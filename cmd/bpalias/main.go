@@ -1,0 +1,78 @@
+// Command bpalias prints the interference structure of a predictor table
+// over a workload: the most-conflicting branch pairs, the branches that
+// suffer most destructive sharing, and the overall constructive/destructive
+// split — the pair-level view behind the paper's collision counts.
+//
+// Example:
+//
+//	bpalias -workload gcc -input train -scheme gshare -size 4KB -top 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim/internal/alias"
+	"branchsim/internal/predictor"
+	"branchsim/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "gcc", "workload name")
+		input  = flag.String("input", "train", "workload input")
+		scheme = flag.String("scheme", "gshare", "indexing scheme: bimodal, ghist or gshare")
+		size   = flag.String("size", "4KB", "table size")
+		top    = flag.Int("top", 15, "number of pairs/victims to print")
+	)
+	flag.Parse()
+	if err := run(*wl, *input, *scheme, *size, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "bpalias:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, input, scheme, size string, top int) error {
+	bytes, err := predictor.ParseSize(size)
+	if err != nil {
+		return err
+	}
+	a, err := alias.NewAnalyzer(scheme, bytes)
+	if err != nil {
+		return err
+	}
+	prog, err := workload.Get(wl)
+	if err != nil {
+		return err
+	}
+	if err := prog.Run(input, a); err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s/%s: %d branches, %d cross-branch conflicts (%.1f%% of lookups), %.1f%% between opposed branches\n\n",
+		a.Scheme(), wl, input, a.Branches, a.Conflicts,
+		100*float64(a.Conflicts)/float64(a.Branches), 100*a.OpposedFraction())
+	if d := a.Dropped(); d > 0 {
+		fmt.Printf("warning: %d conflicts unattributed (pair table full)\n\n", d)
+	}
+
+	fmt.Printf("top interference pairs:\n%-14s %-14s %10s %10s %7s %7s\n",
+		"victim", "aggressor", "conflicts", "opposed", "biasV", "biasA")
+	for _, p := range a.TopPairs(top) {
+		fmt.Printf("%#-14x %#-14x %10d %10d %6.1f%% %6.1f%%\n",
+			p.Victim, p.Aggressor, p.Count, p.Opposed,
+			100*a.Bias(p.Victim), 100*a.Bias(p.Aggressor))
+	}
+
+	fmt.Printf("\nmost-afflicted victims (static-prediction candidates):\n%-14s %10s %10s %7s\n",
+		"victim", "conflicts", "opposed", "bias")
+	victims := a.VictimTotals()
+	if top > 0 && len(victims) > top {
+		victims = victims[:top]
+	}
+	for _, v := range victims {
+		fmt.Printf("%#-14x %10d %10d %6.1f%%\n", v.Victim, v.Count, v.Opposed, 100*a.Bias(v.Victim))
+	}
+	return nil
+}

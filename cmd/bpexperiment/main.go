@@ -1,0 +1,141 @@
+// Command bpexperiment regenerates the paper's tables and figures (and this
+// repo's ablations). Each experiment renders one or more text tables; -csv
+// additionally writes machine-readable series for plotting.
+//
+// Examples:
+//
+//	bpexperiment -list
+//	bpexperiment -run table3
+//	bpexperiment -run all -csv out/
+//	bpexperiment -run fig13 -quick          # reduced inputs, seconds not minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"branchsim/internal/experiment"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "experiment id, comma-separated list, or \"all\"")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced-scale inputs (train/test instead of ref/train)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		verbose  = flag.Bool("v", false, "log every uncached simulation")
+		parallel = flag.Int("j", runtime.NumCPU(), "experiments to run concurrently (shared arms are still computed once)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-13s %-10s %s\n", e.ID, "["+e.Paper+"]", e.Title)
+		}
+		return
+	}
+	if *runID == "" {
+		fmt.Fprintln(os.Stderr, "bpexperiment: -run or -list is required")
+		os.Exit(2)
+	}
+	if err := run(*runID, *quick, *csvDir, *verbose, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "bpexperiment:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runID string, quick bool, csvDir string, verbose bool, parallel int) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	var h *experiment.Harness
+	if quick {
+		h = experiment.NewQuickHarness()
+	} else {
+		h = experiment.NewHarness()
+	}
+	if verbose {
+		h.Log = os.Stderr
+	}
+
+	var exps []experiment.Experiment
+	if runID == "all" {
+		exps = experiment.All()
+	} else {
+		for _, id := range strings.Split(runID, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	// Run experiments concurrently (the harness deduplicates shared arms)
+	// but emit results strictly in paper order.
+	type outcome struct {
+		res *experiment.Result
+		err error
+		dur time.Duration
+	}
+	results := make([]outcome, len(exps))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e experiment.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := e.Run(h)
+			results[i] = outcome{res: res, err: err, dur: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+
+	for i, e := range exps {
+		out := results[i]
+		if out.err != nil {
+			return fmt.Errorf("%s: %w", e.ID, out.err)
+		}
+		for ti, t := range out.res.Tables {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			if csvDir != "" {
+				name := out.res.ID
+				if len(out.res.Tables) > 1 {
+					name = fmt.Sprintf("%s_%d", out.res.ID, ti)
+				}
+				f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+				if err != nil {
+					return err
+				}
+				if err := t.CSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, out.dur.Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuickWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// redirect stdout noise away from the test log
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run("table1", true, dir, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Program") {
+		t.Fatalf("csv missing header: %q", data)
+	}
+}
+
+func TestRunCommaSeparatedIDs(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run("table1, table5", true, "", false, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run("nosuch", true, "", false, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

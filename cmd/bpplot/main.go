@@ -1,0 +1,80 @@
+// Command bpplot renders experiment CSVs (as written by `bpexperiment
+// -csv`) into standalone SVG charts — the pictures behind the paper's
+// figures.
+//
+// Examples:
+//
+//	bpplot -csv results/fig2.csv -type line -x Size \
+//	    -series "MISP/KI none,MISP/KI static_acc" -o fig2.svg
+//	bpplot -csv results/fig8.csv -type bars -x Predictor -o fig8.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"branchsim/internal/plot"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "input CSV (required)")
+		out     = flag.String("o", "", "output SVG path (default stdout)")
+		kindStr = flag.String("type", "line", "chart type: line or bars")
+		xCol    = flag.String("x", "", "category column (default: first column)")
+		series  = flag.String("series", "", "comma-separated series columns (default: all numeric)")
+		title   = flag.String("title", "", "chart title (default: CSV filename)")
+		yLabel  = flag.String("ylabel", "MISP/KI", "y-axis label")
+		xLabel  = flag.String("xlabel", "", "x-axis label")
+	)
+	flag.Parse()
+	if err := run(*csvPath, *out, *kindStr, *xCol, *series, *title, *xLabel, *yLabel); err != nil {
+		fmt.Fprintln(os.Stderr, "bpplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(csvPath, out, kindStr, xCol, seriesList, title, xLabel, yLabel string) error {
+	if csvPath == "" {
+		return fmt.Errorf("-csv is required")
+	}
+	var kind plot.Kind
+	switch kindStr {
+	case "line":
+		kind = plot.Line
+	case "bars":
+		kind = plot.Bars
+	default:
+		return fmt.Errorf("unknown chart type %q (want line or bars)", kindStr)
+	}
+	var seriesCols []string
+	if seriesList != "" {
+		for _, s := range strings.Split(seriesList, ",") {
+			seriesCols = append(seriesCols, strings.TrimSpace(s))
+		}
+	}
+	if title == "" {
+		title = csvPath
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := plot.FromCSV(f, title, kind, xCol, seriesCols)
+	if err != nil {
+		return err
+	}
+	c.XLabel = xLabel
+	c.YLabel = yLabel
+
+	svg := c.SVG()
+	if out == "" {
+		_, err = os.Stdout.WriteString(svg)
+		return err
+	}
+	return os.WriteFile(out, []byte(svg), 0o644)
+}

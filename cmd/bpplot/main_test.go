@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "fig.csv")
+	data := "Size,MISP/KI none,MISP/KI static\n1KB,3.0,2.0\n2KB,2.5,1.5\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlotLine(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, dir)
+	out := filepath.Join(dir, "fig.svg")
+	if err := run(csvPath, out, "line", "Size", "", "My Figure", "size", "MISP/KI"); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "My Figure", "polyline", "MISP/KI none"} {
+		if !strings.Contains(string(svg), want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestPlotBarsWithExplicitSeries(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, dir)
+	out := filepath.Join(dir, "bars.svg")
+	if err := run(csvPath, out, "bars", "Size", "MISP/KI static", "", "", "y"); err != nil {
+		t.Fatal(err)
+	}
+	svg, _ := os.ReadFile(out)
+	if !strings.Contains(string(svg), "<rect") {
+		t.Fatal("no bars rendered")
+	}
+	if strings.Contains(string(svg), "MISP/KI none") {
+		t.Fatal("unselected series rendered")
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, dir)
+	if err := run("", "", "line", "", "", "", "", ""); err == nil {
+		t.Fatal("missing csv accepted")
+	}
+	if err := run(csvPath, "", "pie", "", "", "", "", ""); err == nil {
+		t.Fatal("unknown chart type accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.csv"), "", "line", "", "", "", "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run(csvPath, "", "line", "NoSuchColumn", "", "", "", ""); err == nil {
+		t.Fatal("bad x column accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Command bpprofile runs the paper's phase 1: it profiles a workload's
+// branches — execution counts, biases and (optionally) the per-branch
+// accuracy of a specific dynamic predictor — and writes the profile database
+// other tools consume.
+//
+// Examples:
+//
+//	bpprofile -workload gcc -input train -o gcc.train.json
+//	bpprofile -workload gcc -input ref -predictor gshare:16KB -o gcc.acc.json
+//	bpprofile -merge a.json -merge b.json -o merged.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim"
+	"branchsim/internal/profile"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var merges stringList
+	var (
+		wl    = flag.String("workload", "gcc", "workload name")
+		input = flag.String("input", "train", "workload input: test, train or ref")
+		pred  = flag.String("predictor", "", "optional predictor spec for per-branch accuracy (needed by staticacc selection)")
+		out   = flag.String("o", "", "output profile path (default stdout)")
+	)
+	flag.Var(&merges, "merge", "merge existing profile databases instead of profiling (repeatable)")
+	flag.Parse()
+
+	if err := run(*wl, *input, *pred, *out, merges); err != nil {
+		fmt.Fprintln(os.Stderr, "bpprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, input, pred, out string, merges []string) error {
+	var db *profile.DB
+	switch {
+	case len(merges) == 1:
+		return fmt.Errorf("-merge needs at least two databases")
+	case len(merges) > 1:
+		var err error
+		db, err = profile.LoadFile(merges[0])
+		if err != nil {
+			return err
+		}
+		for _, path := range merges[1:] {
+			other, err := profile.LoadFile(path)
+			if err != nil {
+				return err
+			}
+			if other.Workload != db.Workload {
+				return fmt.Errorf("cannot merge profiles of %q and %q", db.Workload, other.Workload)
+			}
+			db.Merge(other)
+		}
+	default:
+		var m branchsim.Metrics
+		var err error
+		db, m, err = branchsim.Profile(wl, input, pred)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "profiled %s/%s: %d static branches, %d dynamic (%.1f CBRs/KI)\n",
+			wl, input, db.Len(), db.DynamicBranches(), m.CBRsPerKI())
+		if pred != "" {
+			fmt.Fprintf(os.Stderr, "phase-1 predictor %s: %.3f MISP/KI\n", pred, m.MISPKI())
+		}
+	}
+
+	if out == "" {
+		return db.Save(os.Stdout)
+	}
+	return db.SaveFile(out)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"branchsim/internal/profile"
+)
+
+func TestProfileAndMergeFlow(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	merged := filepath.Join(dir, "m.json")
+
+	if err := run("compress", "test", "", a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("compress", "test", "gshare:1KB", b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", "", merged, []string{a, b}); err != nil {
+		t.Fatal(err)
+	}
+
+	dbA, err := profile.LoadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := profile.LoadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbM, err := profile.LoadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbA.Predictor != "" || dbB.Predictor != "gshare" {
+		t.Fatalf("predictor annotations: %q / %q", dbA.Predictor, dbB.Predictor)
+	}
+	if dbM.DynamicBranches() != dbA.DynamicBranches()+dbB.DynamicBranches() {
+		t.Fatalf("merge did not sum executions")
+	}
+}
+
+func TestMergeNeedsTwo(t *testing.T) {
+	if err := run("", "", "", "", []string{"only.json"}); err == nil {
+		t.Fatal("single -merge accepted")
+	}
+}
+
+func TestMergeRejectsDifferentWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := run("compress", "test", "", a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ijpeg", "test", "", b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", "", "", []string{a, b}); err == nil {
+		t.Fatal("cross-workload merge accepted")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if err := run("nosuch", "test", "", "", nil); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

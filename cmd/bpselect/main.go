@@ -1,0 +1,99 @@
+// Command bpselect turns a profile database into a static hint database —
+// the selection phase of the paper. It supports the paper's two schemes
+// (static95, staticacc), the Lindsay-style staticfac, the future-work
+// staticcol, and the Spike-style drift filter for cross-training.
+//
+// Examples:
+//
+//	bpselect -profile gcc.train.json -scheme static95 -o gcc.hints.json
+//	bpselect -profile gcc.acc.json -scheme staticacc -o gcc.hints.json
+//	bpselect -profile gcc.train.json -scheme static95 \
+//	    -filter-against gcc.ref.json -max-drift 0.05 -o gcc.hints.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim/internal/core"
+	"branchsim/internal/profile"
+)
+
+func main() {
+	var (
+		profPath   = flag.String("profile", "", "input profile database (required)")
+		scheme     = flag.String("scheme", "static95", "selection scheme: static90, static95, static99, staticacc, staticfac, staticcol")
+		out        = flag.String("o", "", "output hint database path (default stdout)")
+		filterPath = flag.String("filter-against", "", "second profile; branches whose bias drifts more than -max-drift between the two are dropped before selection")
+		maxDrift   = flag.Float64("max-drift", 0.05, "bias drift threshold for -filter-against")
+		minExec    = flag.Uint64("min-exec", 0, "ignore branches executed fewer than this many times")
+	)
+	flag.Parse()
+
+	if err := run(*profPath, *scheme, *out, *filterPath, *maxDrift, *minExec); err != nil {
+		fmt.Fprintln(os.Stderr, "bpselect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profPath, scheme, out, filterPath string, maxDrift float64, minExec uint64) error {
+	if profPath == "" {
+		return fmt.Errorf("-profile is required")
+	}
+	db, err := profile.LoadFile(profPath)
+	if err != nil {
+		return err
+	}
+
+	if filterPath != "" {
+		other, err := profile.LoadFile(filterPath)
+		if err != nil {
+			return err
+		}
+		removed := db.RemoveUnstable(other, maxDrift)
+		fmt.Fprintf(os.Stderr, "drift filter: removed %d of %d branches (drift > %.0f%%)\n",
+			removed, removed+db.Len(), 100*maxDrift)
+	}
+
+	sel, err := core.SelectorByName(scheme)
+	if err != nil {
+		return err
+	}
+	sel = withMinExec(sel, minExec)
+	hints, err := sel.Select(db)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s selected %d of %d branches for static prediction\n",
+		hints.Scheme, hints.Len(), db.Len())
+
+	if out == "" {
+		return hints.Save(os.Stdout)
+	}
+	return hints.SaveFile(out)
+}
+
+// withMinExec applies the execution-count floor to the selectors that
+// support it.
+func withMinExec(sel core.Selector, minExec uint64) core.Selector {
+	if minExec == 0 {
+		return sel
+	}
+	switch s := sel.(type) {
+	case core.Static95:
+		s.MinExec = minExec
+		return s
+	case core.StaticAcc:
+		s.MinExec = minExec
+		return s
+	case core.StaticFac:
+		s.MinExec = minExec
+		return s
+	case core.StaticCol:
+		s.MinExec = minExec
+		return s
+	default:
+		return sel
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"branchsim"
+	"branchsim/internal/core"
+)
+
+func writeProfile(t *testing.T, path, workload, input, pred string) {
+	t.Helper()
+	db, _, err := branchsim.Profile(workload, input, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectStatic95(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.json")
+	hints := filepath.Join(dir, "h.json")
+	writeProfile(t, prof, "compress", "test", "")
+
+	if err := run(prof, "static95", hints, "", 0.05, 0); err != nil {
+		t.Fatal(err)
+	}
+	hd, err := core.LoadHintsFile(hints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Len() == 0 || hd.Scheme != "static95" || hd.Workload != "compress" {
+		t.Fatalf("hints = %+v (%d)", hd, hd.Len())
+	}
+}
+
+func TestSelectStaticAccNeedsAccuracyProfile(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.json")
+	writeProfile(t, prof, "compress", "test", "")
+	if err := run(prof, "staticacc", filepath.Join(dir, "h.json"), "", 0.05, 0); err == nil {
+		t.Fatal("staticacc accepted a bias-only profile")
+	}
+	prof2 := filepath.Join(dir, "p2.json")
+	writeProfile(t, prof2, "compress", "test", "gshare:1KB")
+	if err := run(prof2, "staticacc", filepath.Join(dir, "h2.json"), "", 0.05, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectWithDriftFilter(t *testing.T) {
+	dir := t.TempDir()
+	trainProf := filepath.Join(dir, "train.json")
+	refProf := filepath.Join(dir, "ref.json")
+	writeProfile(t, trainProf, "m88ksim", "test", "")
+	writeProfile(t, refProf, "m88ksim", "train", "")
+
+	naive := filepath.Join(dir, "naive.json")
+	filtered := filepath.Join(dir, "filtered.json")
+	if err := run(trainProf, "static95", naive, "", 0.05, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(trainProf, "static95", filtered, refProf, 0.05, 0); err != nil {
+		t.Fatal(err)
+	}
+	hn, _ := core.LoadHintsFile(naive)
+	hf, _ := core.LoadHintsFile(filtered)
+	if hf.Len() > hn.Len() {
+		t.Fatalf("filter grew the hint set: %d -> %d", hn.Len(), hf.Len())
+	}
+}
+
+func TestSelectMinExec(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.json")
+	writeProfile(t, prof, "compress", "test", "")
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := run(prof, "static95", a, "", 0.05, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(prof, "static95", b, "", 0.05, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := core.LoadHintsFile(a)
+	hb, _ := core.LoadHintsFile(b)
+	if hb.Len() >= ha.Len() {
+		t.Fatalf("absurd min-exec did not shrink hints: %d vs %d", hb.Len(), ha.Len())
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if err := run("", "static95", "", "", 0.05, 0); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "p.json")
+	writeProfile(t, prof, "compress", "test", "")
+	if err := run(prof, "nosuch", "", "", 0.05, 0); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command bpsim runs one branch-prediction simulation: a workload's branch
+// stream through a dynamic predictor, optionally combined with static hints.
+//
+// Examples:
+//
+//	bpsim -workload gcc -input ref -predictor gshare:16KB
+//	bpsim -workload gcc -predictor 2bcgskew:8KB -hints gcc.hints.json -shift
+//	bpsim -workload go -predictor ghist:4KB -collisions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim"
+	"branchsim/internal/core"
+)
+
+func main() {
+	var (
+		wl         = flag.String("workload", "gcc", "workload name (see -list)")
+		input      = flag.String("input", "ref", "workload input: test, train or ref")
+		pred       = flag.String("predictor", "gshare:16KB", "dynamic predictor spec, e.g. 2bcgskew:8KB")
+		hintsPath  = flag.String("hints", "", "static hint database (JSON) produced by bpselect")
+		shift      = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
+		collisions = flag.Bool("collisions", true, "track predictor-table collisions")
+		list       = flag.Bool("list", false, "list workloads and predictor schemes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads: ")
+		for _, name := range branchsim.Workloads() {
+			p, _ := branchsim.WorkloadByName(name)
+			fmt.Printf("  %-9s %s\n", name, p.Description())
+		}
+		fmt.Println("predictors:", branchsim.PredictorNames())
+		return
+	}
+
+	if err := run(*wl, *input, *pred, *hintsPath, *shift, *collisions); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, input, pred, hintsPath string, shift, collisions bool) error {
+	dyn, err := branchsim.NewPredictor(pred)
+	if err != nil {
+		return err
+	}
+
+	var hints *branchsim.HintDB
+	if hintsPath != "" {
+		hints, err = core.LoadHintsFile(hintsPath)
+		if err != nil {
+			return err
+		}
+		if hints.Workload != wl {
+			return fmt.Errorf("hints were selected for workload %q, not %q", hints.Workload, wl)
+		}
+	}
+	policy := branchsim.NoShift
+	if shift {
+		policy = branchsim.ShiftOutcome
+	}
+	combined := branchsim.Combine(dyn, hints, policy)
+
+	m, err := branchsim.Run(branchsim.RunConfig{
+		Workload: wl, Input: input,
+		Predictor: combined, TrackCollisions: collisions,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(m.String())
+	if hints != nil {
+		st := combined.Stats()
+		fmt.Printf("static: %d hinted branches, %d executions (%.1f%% of branches), %d static mispredicts\n",
+			hints.Len(), st.StaticExecs,
+			100*float64(st.StaticExecs)/float64(m.Branches), st.StaticMispred)
+	}
+	return nil
+}

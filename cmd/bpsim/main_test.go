@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"branchsim"
+)
+
+func TestRunPlain(t *testing.T) {
+	if err := run("compress", "test", "gshare:1KB", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithHints(t *testing.T) {
+	dir := t.TempDir()
+	hintsPath := filepath.Join(dir, "h.json")
+	db, _, err := branchsim.Profile("compress", "test", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints, err := branchsim.SelectHints(branchsim.Static95{}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hints.SaveFile(hintsPath); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run("compress", "test", "gshare:1KB", hintsPath, true, true); err != nil {
+		t.Fatal(err)
+	}
+	// hints for the wrong workload must be rejected
+	if err := run("ijpeg", "test", "gshare:1KB", hintsPath, false, false); err == nil {
+		t.Fatal("wrong-workload hints accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("compress", "test", "nosuch", "", false, false); err == nil {
+		t.Fatal("bad predictor accepted")
+	}
+	if err := run("nosuch", "test", "gshare:1KB", "", false, false); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+	if err := run("compress", "test", "gshare:1KB", "/nonexistent/h.json", false, false); err == nil {
+		t.Fatal("missing hints file accepted")
+	}
+}

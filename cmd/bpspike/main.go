@@ -1,0 +1,150 @@
+// Command bpspike maintains a Spike-style profile database across program
+// runs — the production workflow the paper sketches in §5.1. Profiles from
+// individual runs accumulate under a store directory; hint generation merges
+// them and filters out branches whose behaviour is unstable across inputs.
+//
+//	bpspike update -store db -workload gcc -input train
+//	bpspike update -store db -workload gcc -input ref
+//	bpspike list   -store db
+//	bpspike select -store db -workload gcc -scheme static95 -o gcc.hints.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim"
+	"branchsim/internal/core"
+	"branchsim/internal/spike"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "update":
+		err = update(os.Args[2:])
+	case "list":
+		err = list(os.Args[2:])
+	case "select":
+		err = sel(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpspike:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bpspike update -store DIR -workload W -input I [-predictor SPEC]
+  bpspike list   -store DIR
+  bpspike select -store DIR -workload W -scheme SCHEME [-max-drift F] [-o FILE]`)
+}
+
+func update(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	store := fs.String("store", "", "store directory (required)")
+	wl := fs.String("workload", "", "workload to profile (required)")
+	input := fs.String("input", "train", "workload input")
+	pred := fs.String("predictor", "", "optional predictor spec for per-branch accuracy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" || *wl == "" {
+		return fmt.Errorf("update: -store and -workload are required")
+	}
+	s, err := spike.Open(*store)
+	if err != nil {
+		return err
+	}
+	db, m, err := branchsim.Profile(*wl, *input, *pred)
+	if err != nil {
+		return err
+	}
+	if err := s.Update(db); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s/%s: %d branches, %d dynamic (%.1f CBRs/KI)\n",
+		*wl, *input, db.Len(), db.DynamicBranches(), m.CBRsPerKI())
+	return nil
+}
+
+func list(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	store := fs.String("store", "", "store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("list: -store is required")
+	}
+	s, err := spike.Open(*store)
+	if err != nil {
+		return err
+	}
+	wls, err := s.Workloads()
+	if err != nil {
+		return err
+	}
+	if len(wls) == 0 {
+		fmt.Println("store is empty")
+		return nil
+	}
+	for _, wl := range wls {
+		runs, err := s.Runs(wl)
+		if err != nil {
+			return err
+		}
+		unstable, err := s.UnstableBranches(wl, 0.05)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %d runs:", wl, len(runs))
+		for _, r := range runs {
+			fmt.Printf(" %s(%d br)", r.Input, r.Len())
+		}
+		fmt.Printf("; %d branches unstable at 5%% drift\n", len(unstable))
+	}
+	return nil
+}
+
+func sel(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	store := fs.String("store", "", "store directory (required)")
+	wl := fs.String("workload", "", "workload (required)")
+	scheme := fs.String("scheme", "static95", "selection scheme")
+	maxDrift := fs.Float64("max-drift", 0.05, "bias drift threshold across runs")
+	out := fs.String("o", "", "output hint file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" || *wl == "" {
+		return fmt.Errorf("select: -store and -workload are required")
+	}
+	s, err := spike.Open(*store)
+	if err != nil {
+		return err
+	}
+	selector, err := core.SelectorByName(*scheme)
+	if err != nil {
+		return err
+	}
+	hints, removed, err := s.SelectHints(*wl, selector, *maxDrift)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d hints (%d unstable branches filtered)\n",
+		hints.Scheme, hints.Len(), removed)
+	if *out == "" {
+		return hints.Save(os.Stdout)
+	}
+	return hints.SaveFile(*out)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"branchsim/internal/core"
+)
+
+func TestSpikeWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "db")
+	hints := filepath.Join(dir, "h.json")
+
+	if err := update([]string{"-store", store, "-workload", "compress", "-input", "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := update([]string{"-store", store, "-workload", "compress", "-input", "train"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := list([]string{"-store", store}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sel([]string{"-store", store, "-workload", "compress", "-scheme", "static95", "-o", hints}); err != nil {
+		t.Fatal(err)
+	}
+	hd, err := core.LoadHintsFile(hints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Len() == 0 || hd.Workload != "compress" {
+		t.Fatalf("hints = %+v", hd)
+	}
+	if _, err := os.Stat(filepath.Join(store, "compress", "run-00002.json")); err != nil {
+		t.Fatalf("second run not recorded: %v", err)
+	}
+}
+
+func TestSpikeArgErrors(t *testing.T) {
+	if err := update([]string{"-workload", "compress"}); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	if err := list([]string{}); err == nil {
+		t.Fatal("missing store accepted")
+	}
+	if err := sel([]string{"-store", t.TempDir()}); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+	if err := sel([]string{"-store", t.TempDir(), "-workload", "compress", "-scheme", "nope"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Command bptrace records workload branch streams to compact binary trace
+// files, prints statistics about existing traces, and replays traces through
+// predictors. Traces decouple workload execution from simulation: record
+// once, sweep many predictor configurations.
+//
+// Examples:
+//
+//	bptrace record -workload gcc -input ref -o gcc.ref.btrc
+//	bptrace stat gcc.ref.btrc
+//	bptrace replay -predictor gshare:16KB gcc.ref.btrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim"
+	"branchsim/internal/sim"
+	"branchsim/internal/trace"
+	"branchsim/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "stat":
+		err = stat(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bptrace record -workload W -input I -o FILE
+  bptrace stat FILE
+  bptrace replay -predictor SPEC FILE`)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("workload", "gcc", "workload name")
+	input := fs.String("input", "train", "workload input")
+	out := fs.String("o", "", "output trace path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	prog, err := workload.Get(*wl)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	var counts trace.Counts
+	if err := prog.Run(*input, trace.Tee(&counts, w)); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fi, _ := os.Stat(*out)
+	fmt.Printf("recorded %s/%s: %d branches, %d instructions, %d bytes (%.2f bits/branch)\n",
+		*wl, *input, counts.Branches, counts.Instructions, fi.Size(),
+		8*float64(fi.Size())/float64(counts.Branches))
+	return nil
+}
+
+func stat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat: expected one trace file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	counts, err := r.Replay(trace.Discard)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d branches (%.1f CBRs/KI, %.1f%% taken)\n",
+		args[0], counts.Instructions, counts.Branches, counts.CBRsPerKI(),
+		100*float64(counts.TakenCount)/float64(counts.Branches))
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	pred := fs.String("predictor", "gshare:16KB", "predictor spec")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: expected one trace file")
+	}
+	p, err := branchsim.NewPredictor(*pred)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	runner := sim.NewRunner(p, sim.WithCollisions(), sim.WithLabels(fs.Arg(0), "trace"))
+	if _, err := r.Replay(runner); err != nil {
+		return err
+	}
+	m := runner.Metrics()
+	fmt.Println(m.String())
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordStatReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.btrc")
+
+	if err := record([]string{"-workload", "compress", "-input", "test", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stat([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-predictor", "gshare:1KB", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordRequiresOutput(t *testing.T) {
+	if err := record([]string{"-workload", "compress", "-input", "test"}); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+}
+
+func TestStatRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := record([]string{"-workload", "compress", "-input", "test", "-o", bad + ".ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stat([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := stat([]string{}); err == nil {
+		t.Fatal("no-arg stat accepted")
+	}
+}
+
+func TestReplayBadPredictor(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.btrc")
+	if err := record([]string{"-workload", "ijpeg", "-input", "test", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay([]string{"-predictor", "nosuch:1KB", path}); err == nil {
+		t.Fatal("unknown predictor accepted")
+	}
+}

@@ -1,0 +1,42 @@
+// Package branchsim is a trace-driven branch-prediction laboratory
+// reproducing Patil & Emer, "Combining Static and Dynamic Branch Prediction
+// to Reduce Destructive Aliasing" (HPCA 2000).
+//
+// The library has four layers, each usable on its own:
+//
+//   - Dynamic predictors (internal/predictor, constructed here via
+//     [NewPredictor]): bimodal, ghist, gshare, bi-mode, 2bcgskew and several
+//     related designs, all behind one Predict/Update interface with optional
+//     collision instrumentation.
+//
+//   - Workloads (internal/workload, run via [Run] or [Profile]): six
+//     instrumented benchmark programs standing in for the paper's SPECINT95
+//     suite, with deterministic train/ref inputs.
+//
+//   - The paper's contribution (internal/core): profile-guided selection of
+//     statically predicted branches ([Static95], [StaticAcc], …) and the
+//     [Combine] wrapper that applies the resulting hints around any dynamic
+//     predictor, optionally shifting static outcomes into its global
+//     history.
+//
+//   - Experiments (internal/experiment, cmd/bpexperiment): one registered
+//     experiment per table and figure of the paper, plus ablations.
+//
+// # Quick start
+//
+//	p, _ := branchsim.NewPredictor("gshare:16KB")
+//	m, _ := branchsim.Run(branchsim.RunConfig{
+//		Workload: "gcc", Input: "ref", Predictor: p,
+//	})
+//	fmt.Printf("%.2f mispredicts/KI\n", m.MISPKI())
+//
+// To reproduce the paper's combined scheme:
+//
+//	db, _, _ := branchsim.Profile("gcc", "train", "gshare:16KB")
+//	hints, _ := branchsim.SelectHints(branchsim.StaticAcc{}, db)
+//	p, _ = branchsim.NewPredictor("gshare:16KB")
+//	m, _ = branchsim.Run(branchsim.RunConfig{
+//		Workload: "gcc", Input: "ref",
+//		Predictor: branchsim.Combine(p, hints, branchsim.NoShift),
+//	})
+package branchsim

@@ -1,0 +1,100 @@
+// Production flow: the paper's §5.1 vision end to end — accumulate profiles
+// across several runs in a Spike-style store, filter branches whose
+// behaviour is unstable across inputs, generate hints, and price the result
+// in pipeline cycles.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"branchsim"
+	"branchsim/internal/cpi"
+	"branchsim/internal/spike"
+)
+
+func main() {
+	workload := "m88ksim" // the paper's worst naive-cross-training victim
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	const spec = "gshare:16KB"
+
+	dir, err := os.MkdirTemp("", "spike-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := spike.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Instrumented runs accumulate profiles in the store, as a fleet of
+	// production runs with varied inputs would (the paper's Spike model:
+	// "as a program runs with different inputs ... Spike collects execution
+	// profiles and updates the profile database").
+	for _, input := range []string{branchsim.InputTest, branchsim.InputTrain, branchsim.InputRef} {
+		db, m, err := branchsim.Profile(workload, input, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Update(db); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %s/%s: %d branches, %.1f CBRs/KI\n", workload, input, db.Len(), m.CBRsPerKI())
+	}
+
+	// 2. The optimizer generates hints from the merged store, dropping
+	// branches whose bias drifts more than 5% across runs.
+	hints, removed, err := store.SelectHints(workload, branchsim.Static95{}, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hints: %d selected, %d unstable branches filtered (%s)\n\n",
+		hints.Len(), removed, hints.Profile)
+
+	// 3. Deploy on the reference input. Compare against hints generated
+	// naively from the train profile alone (no store, no filter).
+	naiveDB, _, err := branchsim.Profile(workload, branchsim.InputTrain, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveHints, err := branchsim.SelectHints(branchsim.Static95{}, naiveDB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseDyn, _ := branchsim.NewPredictor(spec)
+	base, err := branchsim.Run(branchsim.RunConfig{
+		Workload: workload, Input: branchsim.InputRef, Predictor: baseDyn,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, _ := branchsim.NewPredictor(spec)
+	comb, err := branchsim.Run(branchsim.RunConfig{
+		Workload: workload, Input: branchsim.InputRef,
+		Predictor: branchsim.Combine(dyn, hints, branchsim.NoShift),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveDyn, _ := branchsim.NewPredictor(spec)
+	naive, err := branchsim.Run(branchsim.RunConfig{
+		Workload: workload, Input: branchsim.InputRef,
+		Predictor: branchsim.Combine(naiveDyn, naiveHints, branchsim.NoShift),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %8.3f MISP/KI\n", "dynamic only", base.MISPKI())
+	fmt.Printf("%-28s %8.3f MISP/KI\n", "naive single-run hints", naive.MISPKI())
+	fmt.Printf("%-28s %8.3f MISP/KI\n\n", "spike store, drift-filtered", comb.MISPKI())
+
+	// 4. Price it: what the misprediction reduction buys per pipeline.
+	for _, pl := range cpi.Pipelines() {
+		fmt.Printf("%-38s CPI %.3f -> %.3f (%+.1f%% speedup)\n",
+			pl.String(), pl.CPI(base), pl.CPI(comb), 100*pl.Speedup(base, comb))
+	}
+}

@@ -1,0 +1,256 @@
+// Package alias analyzes predictor-table interference at the branch-pair
+// level: which branches share entries, how often, and whether the sharing
+// partners agree (constructive) or oppose each other (destructive).
+//
+// The paper measures collisions as scalar counts; this package answers the
+// follow-up question its future-work section raises — *which* branches to
+// statically predict to kill destructive interference — by attributing every
+// conflict to an (aggressor, victim) pair. The StaticCol selector uses the
+// per-branch aggregation; the bpalias tool prints the pair ranking.
+//
+// The analyzer models the index function of the simple single-table schemes
+// (bimodal, ghist, gshare) directly, rather than instrumenting a live
+// predictor: interference is a property of the indexing, not of counter
+// dynamics, and modelling it separately lets one analysis pass serve any
+// table size.
+package alias
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"branchsim/internal/predictor"
+)
+
+// Pair is one ordered interference pair: Victim looked up an entry last
+// touched by Aggressor.
+type Pair struct {
+	Victim    uint64
+	Aggressor uint64
+	// Count is how many times this pair conflicted.
+	Count uint64
+	// Opposed counts conflicts in which the two branches' running
+	// majority directions disagreed — the destructive kind.
+	Opposed uint64
+}
+
+// Analyzer is a trace Recorder that builds the interference graph of one
+// indexing scheme over one run.
+type Analyzer struct {
+	scheme  string
+	entries int
+	histLen int
+
+	owners []uint64 // last PC per entry (0 = untouched)
+	hist   uint64
+
+	// per-branch running direction counts, to classify opposition
+	execs map[uint64]uint64
+	takes map[uint64]uint64
+
+	pairs    map[[2]uint64]*Pair
+	overflow uint64 // conflicts dropped after maxPairs distinct pairs
+
+	Conflicts uint64 // total cross-branch conflicts observed
+	Branches  uint64
+}
+
+// maxPairs bounds the pair map; workloads here stay far below it, but a
+// pathological stream must not exhaust memory.
+const maxPairs = 1 << 20
+
+// NewAnalyzer builds an analyzer for scheme ("bimodal", "ghist" or
+// "gshare") with a table of sizeBytes of 2-bit counters, mirroring the
+// predictor's own geometry.
+func NewAnalyzer(scheme string, sizeBytes int) (*Analyzer, error) {
+	scheme = strings.ToLower(scheme)
+	switch scheme {
+	case "bimodal", "ghist", "gshare":
+	default:
+		return nil, fmt.Errorf("alias: unsupported scheme %q (want bimodal, ghist or gshare)", scheme)
+	}
+	entries := 1
+	for entries*2 <= sizeBytes*4 {
+		entries *= 2
+	}
+	histLen := 0
+	if scheme != "bimodal" {
+		histLen = log2i(entries)
+	}
+	return &Analyzer{
+		scheme:  scheme,
+		entries: entries,
+		histLen: histLen,
+		owners:  make([]uint64, entries),
+		execs:   map[uint64]uint64{},
+		takes:   map[uint64]uint64{},
+		pairs:   map[[2]uint64]*Pair{},
+	}, nil
+}
+
+func log2i(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Scheme reports the analyzed scheme and geometry.
+func (a *Analyzer) Scheme() string {
+	return fmt.Sprintf("%s:%s", a.scheme, predictor.FormatSize(a.entries/4))
+}
+
+func (a *Analyzer) index(pc uint64) uint64 {
+	mask := uint64(a.entries - 1)
+	h := a.hist
+	if a.histLen < 64 {
+		h &= (uint64(1) << a.histLen) - 1
+	}
+	switch a.scheme {
+	case "bimodal":
+		return (pc >> 2) & mask
+	case "ghist":
+		return h & mask
+	default: // gshare
+		return ((pc >> 2) ^ h) & mask
+	}
+}
+
+// Branch implements trace.Recorder.
+func (a *Analyzer) Branch(pc uint64, taken bool) {
+	a.Branches++
+	idx := a.index(pc)
+	owner := a.owners[idx]
+	if owner != 0 && owner != pc {
+		a.Conflicts++
+		key := [2]uint64{pc, owner}
+		p := a.pairs[key]
+		if p == nil {
+			if len(a.pairs) >= maxPairs {
+				a.overflow++
+			} else {
+				p = &Pair{Victim: pc, Aggressor: owner}
+				a.pairs[key] = p
+			}
+		}
+		if p != nil {
+			p.Count++
+			if a.majorityTaken(pc, taken) != a.majorityTaken(owner, false) {
+				p.Opposed++
+			}
+		}
+	}
+	a.owners[idx] = pc
+
+	a.execs[pc]++
+	if taken {
+		a.takes[pc]++
+	}
+	if a.histLen > 0 {
+		a.hist = a.hist<<1 | b2u(taken)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// majorityTaken returns the branch's running majority direction; for the
+// victim the current outcome is the best prior, for unseen aggressors it
+// defaults to taken.
+func (a *Analyzer) majorityTaken(pc uint64, fallback bool) bool {
+	e := a.execs[pc]
+	if e == 0 {
+		return fallback
+	}
+	return 2*a.takes[pc] >= e
+}
+
+// Ops implements trace.Recorder.
+func (a *Analyzer) Ops(uint64) {}
+
+// Dropped reports conflicts that could not be attributed because the pair
+// map was full.
+func (a *Analyzer) Dropped() uint64 { return a.overflow }
+
+// TopPairs returns the n most frequent interference pairs, most conflicts
+// first (ties broken by victim then aggressor PC for determinism).
+func (a *Analyzer) TopPairs(n int) []Pair {
+	out := make([]Pair, 0, len(a.pairs))
+	for _, p := range a.pairs {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Victim != out[j].Victim {
+			return out[i].Victim < out[j].Victim
+		}
+		return out[i].Aggressor < out[j].Aggressor
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// OpposedFraction is the fraction of attributed conflicts whose partners
+// ran in opposite majority directions — a proxy for the destructive share.
+func (a *Analyzer) OpposedFraction() float64 {
+	var total, opposed uint64
+	for _, p := range a.pairs {
+		total += p.Count
+		opposed += p.Opposed
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(opposed) / float64(total)
+}
+
+// VictimTotals aggregates conflicts per victim branch, most-afflicted
+// first. These are the natural candidates for static prediction under the
+// paper's future-work selection idea.
+func (a *Analyzer) VictimTotals() []Pair {
+	agg := map[uint64]*Pair{}
+	for _, p := range a.pairs {
+		v := agg[p.Victim]
+		if v == nil {
+			v = &Pair{Victim: p.Victim}
+			agg[p.Victim] = v
+		}
+		v.Count += p.Count
+		v.Opposed += p.Opposed
+	}
+	out := make([]Pair, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Opposed != out[j].Opposed {
+			return out[i].Opposed > out[j].Opposed
+		}
+		return out[i].Victim < out[j].Victim
+	})
+	return out
+}
+
+// Bias returns the observed taken-bias of a branch during the analysis.
+func (a *Analyzer) Bias(pc uint64) float64 {
+	e := a.execs[pc]
+	if e == 0 {
+		return 0
+	}
+	tb := float64(a.takes[pc]) / float64(e)
+	if tb >= 0.5 {
+		return tb
+	}
+	return 1 - tb
+}

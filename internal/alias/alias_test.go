@@ -1,0 +1,150 @@
+package alias
+
+import (
+	"testing"
+
+	"branchsim/internal/workload"
+)
+
+func TestAnalyzerRejectsUnknownScheme(t *testing.T) {
+	if _, err := NewAnalyzer("tage", 1024); err == nil {
+		t.Fatal("unsupported scheme accepted")
+	}
+}
+
+func TestBimodalConflictDetection(t *testing.T) {
+	a, err := NewAnalyzer("bimodal", 16) // 64 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcA := uint64(0x1000)
+	pcB := pcA + 64*4 // same bimodal index
+	pcC := pcA + 4    // different index
+
+	a.Branch(pcA, true)
+	a.Branch(pcC, true) // no conflict
+	a.Branch(pcB, false)
+	a.Branch(pcA, true)
+
+	if a.Conflicts != 2 {
+		t.Fatalf("conflicts = %d, want 2 (B evicts A, A evicts B)", a.Conflicts)
+	}
+	pairs := a.TopPairs(0)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	// both conflicts are between opposite-direction branches
+	for _, p := range pairs {
+		if p.Opposed != p.Count {
+			t.Fatalf("opposition not detected: %+v", p)
+		}
+	}
+	if f := a.OpposedFraction(); f != 1 {
+		t.Fatalf("opposed fraction = %v", f)
+	}
+}
+
+func TestSameDirectionConflictIsNotOpposed(t *testing.T) {
+	a, _ := NewAnalyzer("bimodal", 16)
+	pcA, pcB := uint64(0x1000), uint64(0x1000+64*4)
+	for i := 0; i < 4; i++ {
+		a.Branch(pcA, true)
+		a.Branch(pcB, true)
+	}
+	if a.Conflicts == 0 {
+		t.Fatal("no conflicts on a shared entry")
+	}
+	if f := a.OpposedFraction(); f != 0 {
+		t.Fatalf("same-direction conflicts marked opposed (%.2f)", f)
+	}
+}
+
+func TestGshareHistorySpreadsConflicts(t *testing.T) {
+	// With gshare indexing, one branch with varying history self-spreads;
+	// cross-branch conflicts appear when histories align entries.
+	a, _ := NewAnalyzer("gshare", 8) // 32 entries
+	for i := 0; i < 4000; i++ {
+		a.Branch(0x100, i%3 == 0)
+		a.Branch(0x104, i%2 == 0)
+		a.Branch(0x108, true)
+	}
+	if a.Conflicts == 0 {
+		t.Fatal("no conflicts in a 32-entry gshare under three history-churning branches")
+	}
+	if len(a.TopPairs(0)) == 0 {
+		t.Fatal("no pairs attributed")
+	}
+}
+
+func TestVictimTotalsAggregates(t *testing.T) {
+	a, _ := NewAnalyzer("bimodal", 16)
+	pcA, pcB, pcC := uint64(0x1000), uint64(0x1000+64*4), uint64(0x1000+128*4)
+	for i := 0; i < 3; i++ {
+		a.Branch(pcA, true)
+		a.Branch(pcB, false)
+		a.Branch(pcC, false)
+	}
+	victims := a.VictimTotals()
+	if len(victims) != 3 {
+		t.Fatalf("victims = %v", victims)
+	}
+	var sum uint64
+	for _, v := range victims {
+		sum += v.Count
+	}
+	if sum != a.Conflicts {
+		t.Fatalf("victim totals (%d) != conflicts (%d)", sum, a.Conflicts)
+	}
+}
+
+func TestTopPairsDeterministicOrder(t *testing.T) {
+	build := func() []Pair {
+		a, _ := NewAnalyzer("bimodal", 8)
+		for i := 0; i < 50; i++ {
+			a.Branch(uint64(0x1000+(i%7)*32*4), i%2 == 0)
+		}
+		return a.TopPairs(5)
+	}
+	p1, p2 := build(), build()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("pair order not deterministic: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestBiasTracking(t *testing.T) {
+	a, _ := NewAnalyzer("bimodal", 1024)
+	for i := 0; i < 10; i++ {
+		a.Branch(0x40, i < 9)
+	}
+	if b := a.Bias(0x40); b < 0.89 || b > 0.91 {
+		t.Fatalf("bias = %v, want 0.9", b)
+	}
+	if a.Bias(0x999) != 0 {
+		t.Fatalf("unseen branch has bias")
+	}
+}
+
+func TestAnalyzerOnRealWorkload(t *testing.T) {
+	a, err := NewAnalyzer("gshare", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Run(workload.InputTest, a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Conflicts == 0 || len(a.TopPairs(10)) == 0 {
+		t.Fatal("no interference found on gcc in a 4K-entry gshare")
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("pair map overflowed on a small run: %d dropped", a.Dropped())
+	}
+	if f := a.OpposedFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("opposed fraction %v out of (0,1)", f)
+	}
+}

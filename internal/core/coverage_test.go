@@ -1,0 +1,62 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"branchsim/internal/predictor"
+)
+
+func TestCombinedDynamicAccessor(t *testing.T) {
+	dyn := predictor.NewGShare(1024)
+	c := NewCombined(dyn, nil, NoShift)
+	if c.Dynamic() != predictor.Predictor(dyn) {
+		t.Fatalf("Dynamic() does not return the wrapped predictor")
+	}
+}
+
+func TestCombinedShiftHistoryPassthrough(t *testing.T) {
+	// ShiftHistory on the wrapper forwards to the dynamic predictor (so a
+	// Combined can itself be wrapped); with a history-less predictor it
+	// must be a safe no-op.
+	spy := &spyPredictor{}
+	c := NewCombined(spy, nil, NoShift)
+	c.ShiftHistory(true)
+	if spy.shifts != 1 || spy.lastShift != true {
+		t.Fatalf("ShiftHistory not forwarded: %+v", spy)
+	}
+	bim := NewCombined(predictor.NewBimodal(64), nil, NoShift)
+	bim.ShiftHistory(true) // no history register: must not panic
+}
+
+func TestHintsFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.json")
+	h := NewHintDB("w", "static95", "train")
+	h.Set(0x40, true)
+	if err := h.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHintsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taken, ok := got.Lookup(0x40); !ok || !taken {
+		t.Fatalf("file round trip lost the hint")
+	}
+	if err := h.SaveFile(filepath.Join(dir, "no/such/dir/h.json")); err == nil {
+		t.Fatalf("SaveFile to a missing directory succeeded")
+	}
+	if _, err := LoadHintsFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("LoadHintsFile of a missing file succeeded")
+	}
+}
+
+func TestStaticFacDefaultFactor(t *testing.T) {
+	if (StaticFac{}).factor() != 0.5 {
+		t.Fatalf("default factor = %v", (StaticFac{}).factor())
+	}
+	if (StaticFac{}).Name() != "staticfac0.5" {
+		t.Fatalf("name = %q", (StaticFac{}).Name())
+	}
+}

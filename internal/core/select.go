@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"branchsim/internal/profile"
+)
+
+// A Selector turns a profile database into a hint database — the paper's
+// phase-1 "selection phase". Different selectors embody different theories
+// of which branches should leave the dynamic predictor.
+type Selector interface {
+	// Name returns the scheme name recorded in the HintDB ("static95", …).
+	Name() string
+	// Select computes the hint set from the profile. Selectors that need
+	// per-branch dynamic-predictor accuracy (Static_Acc, Static_Fac,
+	// Static_Col) return an error when db carries no predictor annotation.
+	Select(db *profile.DB) (*HintDB, error)
+}
+
+// Static95 selects "easy" branches: any branch whose bias exceeds Cutoff is
+// predicted statically in its majority direction. With the paper's default
+// cutoff of 0.95 this frees dynamic-predictor capacity from branches any
+// scheme would get right, at the cost of the residual (1−bias) mispredicts
+// becoming permanent. Selection is independent of the dynamic predictor, so
+// one profile serves every predictor.
+type Static95 struct {
+	// Cutoff is the bias threshold; branches with Bias() > Cutoff are
+	// selected. Zero means the paper's 0.95.
+	Cutoff float64
+	// MinExec ignores branches executed fewer than this many times in the
+	// profile (0 = keep all, the paper's behaviour).
+	MinExec uint64
+}
+
+// Name implements Selector.
+func (s Static95) Name() string {
+	c := s.cutoff()
+	if c == 0.95 {
+		return "static95"
+	}
+	return fmt.Sprintf("static%g", 100*c)
+}
+
+func (s Static95) cutoff() float64 {
+	if s.Cutoff == 0 {
+		return 0.95
+	}
+	return s.Cutoff
+}
+
+// Select implements Selector.
+func (s Static95) Select(db *profile.DB) (*HintDB, error) {
+	h := NewHintDB(db.Workload, s.Name(), db.Input)
+	cutoff := s.cutoff()
+	for _, b := range db.Branches() {
+		if b.Exec < s.MinExec || b.Exec == 0 {
+			continue
+		}
+		if b.Bias() > cutoff {
+			h.Set(b.PC, b.MajorityTaken())
+		}
+	}
+	return h, nil
+}
+
+// StaticAcc selects "hard" branches: those whose bias exceeds the profiled
+// per-branch accuracy of the *specific* dynamic predictor the hints will be
+// combined with. For such a branch the fixed majority direction mispredicts
+// no more often than the dynamic predictor did, so selection can only help —
+// on the profiled input. This is the paper's Static_Acc scheme; it requires
+// a phase-1 simulation of the dynamic predictor (profile.DB.Predictor set).
+type StaticAcc struct {
+	// MinExec ignores branches executed fewer than this many times.
+	MinExec uint64
+}
+
+// Name implements Selector.
+func (StaticAcc) Name() string { return "staticacc" }
+
+// Select implements Selector.
+func (s StaticAcc) Select(db *profile.DB) (*HintDB, error) {
+	if db.Predictor == "" {
+		return nil, fmt.Errorf("core: staticacc needs a profile with per-branch predictor accuracy (got plain bias profile for %s)", db.Workload)
+	}
+	h := NewHintDB(db.Workload, s.Name(), db.Input)
+	for _, b := range db.Branches() {
+		if b.Exec < s.MinExec || b.Exec == 0 {
+			continue
+		}
+		if b.Bias() > b.Accuracy() {
+			h.Set(b.PC, b.MajorityTaken())
+		}
+	}
+	return h, nil
+}
+
+// StaticFac is a single-iteration version of Lindsay's selection (the
+// paper's Static_Fac): a branch is selected when predicting it statically
+// would cost at most Factor times the mispredictions the dynamic predictor
+// charged it in the profile run. Factor 1.0 reduces to Static_Acc; smaller
+// factors demand a margin of safety, trading coverage for robustness on
+// unseen inputs.
+type StaticFac struct {
+	// Factor scales the dynamic misprediction budget. Zero means 0.5.
+	Factor float64
+	// MinExec ignores branches executed fewer than this many times.
+	MinExec uint64
+}
+
+// Name implements Selector.
+func (s StaticFac) Name() string { return fmt.Sprintf("staticfac%g", s.factor()) }
+
+func (s StaticFac) factor() float64 {
+	if s.Factor == 0 {
+		return 0.5
+	}
+	return s.Factor
+}
+
+// Select implements Selector.
+func (s StaticFac) Select(db *profile.DB) (*HintDB, error) {
+	if db.Predictor == "" {
+		return nil, fmt.Errorf("core: staticfac needs a profile with per-branch predictor accuracy")
+	}
+	h := NewHintDB(db.Workload, s.Name(), db.Input)
+	f := s.factor()
+	for _, b := range db.Branches() {
+		if b.Exec < s.MinExec || b.Exec == 0 {
+			continue
+		}
+		staticMisses := float64(min(b.Taken, b.Exec-b.Taken))
+		dynMisses := float64(b.Exec - b.Correct)
+		if staticMisses <= f*dynMisses {
+			h.Set(b.PC, b.MajorityTaken())
+		}
+	}
+	return h, nil
+}
+
+// StaticCol implements the selection idea the paper sketches as future work
+// in §5: target the branches that *cause* destructive collisions. A branch
+// is selected when it is reasonably biased (Bias > BiasFloor) and suffered
+// destructive collisions in more than ColRate of its profiled executions.
+// Removing these branches attacks aliasing directly instead of inferring it
+// from accuracy.
+type StaticCol struct {
+	// BiasFloor is the minimum bias required; zero means 0.9.
+	BiasFloor float64
+	// ColRate is the destructive-collision rate threshold; zero means 0.05.
+	ColRate float64
+	// MinExec ignores branches executed fewer than this many times.
+	MinExec uint64
+}
+
+// Name implements Selector.
+func (StaticCol) Name() string { return "staticcol" }
+
+// Select implements Selector.
+func (s StaticCol) Select(db *profile.DB) (*HintDB, error) {
+	if db.Predictor == "" {
+		return nil, fmt.Errorf("core: staticcol needs a profile with per-branch collision counts")
+	}
+	floor := s.BiasFloor
+	if floor == 0 {
+		floor = 0.9
+	}
+	rate := s.ColRate
+	if rate == 0 {
+		rate = 0.05
+	}
+	h := NewHintDB(db.Workload, s.Name(), db.Input)
+	for _, b := range db.Branches() {
+		if b.Exec < s.MinExec || b.Exec == 0 {
+			continue
+		}
+		colRate := float64(b.Dcol) / float64(b.Exec)
+		if b.Bias() > floor && colRate > rate {
+			h.Set(b.PC, b.MajorityTaken())
+		}
+	}
+	return h, nil
+}
+
+// SelectorByName builds a selector from a scheme name as used on tool
+// command lines: "static95", "static99", "staticacc", "staticfac",
+// "staticcol", or "none" (nil hint set).
+func SelectorByName(name string) (Selector, error) {
+	switch name {
+	case "static95":
+		return Static95{}, nil
+	case "static90":
+		return Static95{Cutoff: 0.90}, nil
+	case "static99":
+		return Static95{Cutoff: 0.99}, nil
+	case "staticacc":
+		return StaticAcc{}, nil
+	case "staticfac":
+		return StaticFac{}, nil
+	case "staticcol":
+		return StaticCol{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown selection scheme %q", name)
+	}
+}

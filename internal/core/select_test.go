@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"branchsim/internal/profile"
+)
+
+// mkProfile builds a profile with controlled per-branch behaviour.
+// Each row: pc, exec, taken, correct.
+func mkProfile(pred string, rows [][4]uint64) *profile.DB {
+	db := profile.NewDB("w", "train")
+	db.Predictor = pred
+	for _, r := range rows {
+		pc, exec, taken, correct := r[0], r[1], r[2], r[3]
+		for i := uint64(0); i < exec; i++ {
+			db.RecordPredicted(pc, i < taken, i < correct)
+		}
+	}
+	return db
+}
+
+func TestStatic95SelectsOnlyBiased(t *testing.T) {
+	db := mkProfile("", [][4]uint64{
+		{0x10, 100, 100, 0}, // 100% taken: selected
+		{0x14, 100, 96, 0},  // 96% taken: selected
+		{0x18, 100, 95, 0},  // exactly 95%: NOT selected (strict >)
+		{0x1c, 100, 50, 0},  // 50/50: not selected
+		{0x20, 100, 2, 0},   // 98% not-taken: selected, direction false
+	})
+	h, err := Static95{}.Select(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("selected %d branches, want 3: %v", h.Len(), h.Hints())
+	}
+	if taken, ok := h.Lookup(0x10); !ok || !taken {
+		t.Fatalf("0x10 hint wrong")
+	}
+	if taken, ok := h.Lookup(0x20); !ok || taken {
+		t.Fatalf("0x20 must be hinted not-taken")
+	}
+	if _, ok := h.Lookup(0x18); ok {
+		t.Fatalf("bias == cutoff must not be selected")
+	}
+	if h.Scheme != "static95" {
+		t.Fatalf("scheme = %q", h.Scheme)
+	}
+}
+
+func TestStatic95CustomCutoff(t *testing.T) {
+	db := mkProfile("", [][4]uint64{{0x10, 100, 92, 0}})
+	h, err := Static95{Cutoff: 0.90}.Select(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("90%% cutoff missed a 92%% branch")
+	}
+	if h.Scheme != "static90" {
+		t.Fatalf("scheme = %q", h.Scheme)
+	}
+}
+
+func TestStatic95MinExec(t *testing.T) {
+	db := mkProfile("", [][4]uint64{
+		{0x10, 2, 2, 0},    // biased but rarely executed
+		{0x14, 100, 99, 0}, // biased and hot
+	})
+	h, err := Static95{MinExec: 10}.Select(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("min-exec filter selected %d", h.Len())
+	}
+	if _, ok := h.Lookup(0x10); ok {
+		t.Fatalf("cold branch selected despite MinExec")
+	}
+}
+
+func TestStaticAccSelectsHardBranches(t *testing.T) {
+	db := mkProfile("gshare:8KB", [][4]uint64{
+		{0x10, 100, 90, 70}, // bias .9 > acc .7: selected
+		{0x14, 100, 90, 95}, // bias .9 < acc .95: kept dynamic
+		{0x18, 100, 10, 50}, // bias .9 (not-taken) > acc .5: selected NT
+	})
+	h, err := StaticAcc{}.Select(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("selected %d, want 2", h.Len())
+	}
+	if taken, ok := h.Lookup(0x18); !ok || taken {
+		t.Fatalf("0x18 must be hinted not-taken")
+	}
+	if _, ok := h.Lookup(0x14); ok {
+		t.Fatalf("well-predicted branch selected")
+	}
+}
+
+func TestStaticAccNeedsPredictorProfile(t *testing.T) {
+	db := mkProfile("", nil)
+	if _, err := (StaticAcc{}).Select(db); err == nil {
+		t.Fatalf("staticacc accepted a bias-only profile")
+	}
+}
+
+func TestStaticFacMargin(t *testing.T) {
+	// Branch: 10 static misses (90/100 taken), 30 dynamic misses.
+	// factor 0.5: 10 <= 15 -> selected. factor 0.2: 10 > 6 -> not.
+	rows := [][4]uint64{{0x10, 100, 90, 70}}
+	h1, err := StaticFac{Factor: 0.5}.Select(mkProfile("p", rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Len() != 1 {
+		t.Fatalf("factor 0.5 did not select")
+	}
+	h2, err := StaticFac{Factor: 0.2}.Select(mkProfile("p", rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 0 {
+		t.Fatalf("factor 0.2 selected a marginal branch")
+	}
+}
+
+func TestStaticFacNeedsPredictorProfile(t *testing.T) {
+	if _, err := (StaticFac{}).Select(mkProfile("", nil)); err == nil {
+		t.Fatalf("staticfac accepted a bias-only profile")
+	}
+}
+
+func TestStaticColSelectsCollisionVictims(t *testing.T) {
+	db := mkProfile("gshare:1KB", [][4]uint64{
+		{0x10, 100, 95, 80}, // biased, collisions added below: selected
+		{0x14, 100, 95, 80}, // biased, no collisions: not selected
+		{0x18, 100, 50, 50}, // collisions but unbiased: not selected
+	})
+	for i := 0; i < 20; i++ {
+		db.RecordDestructiveCollision(0x10)
+		db.RecordDestructiveCollision(0x18)
+	}
+	h, err := StaticCol{}.Select(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("selected %d, want 1 (%v)", h.Len(), h.Hints())
+	}
+	if _, ok := h.Lookup(0x10); !ok {
+		t.Fatalf("collision victim not selected")
+	}
+}
+
+func TestSelectorByName(t *testing.T) {
+	for _, name := range []string{"static90", "static95", "static99", "staticacc", "staticfac", "staticcol"} {
+		sel, err := SelectorByName(name)
+		if err != nil {
+			t.Errorf("SelectorByName(%q): %v", name, err)
+			continue
+		}
+		if sel == nil {
+			t.Errorf("SelectorByName(%q) returned nil", name)
+		}
+	}
+	if _, err := SelectorByName("bogus"); err == nil {
+		t.Fatalf("unknown selector accepted")
+	}
+}
+
+func TestSelectorNamesMatchRegistry(t *testing.T) {
+	// every selector's Name() must round-trip through SelectorByName for
+	// the experiment harness's cache keys to be meaningful
+	for _, name := range []string{"static90", "static95", "static99", "staticacc", "staticcol"} {
+		sel, err := SelectorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Name() != name {
+			t.Errorf("SelectorByName(%q).Name() = %q", name, sel.Name())
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"branchsim/internal/sim"
+	"branchsim/internal/trace"
+)
+
+func metrics(instr, mispred uint64) sim.Metrics {
+	m := sim.Metrics{Mispredicts: mispred}
+	m.Counts = trace.Counts{Instructions: instr, Branches: instr / 8}
+	return m
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCPIFormula(t *testing.T) {
+	p := Pipeline{BaseCPI: 1.0, MispredictPenalty: 10}
+	// 1000 instructions, 5 mispredicts: 1.0 + 10*5/1000 = 1.05
+	if got := p.CPI(metrics(1000, 5)); !almost(got, 1.05) {
+		t.Fatalf("CPI = %v, want 1.05", got)
+	}
+	if p.CPI(metrics(0, 0)) != 0 {
+		t.Fatalf("zero-instruction CPI must be 0")
+	}
+}
+
+func TestPerfectPredictionHitsBase(t *testing.T) {
+	for _, p := range Pipelines() {
+		if got := p.CPI(metrics(1e6, 0)); !almost(got, p.BaseCPI) {
+			t.Errorf("%s: perfect prediction CPI %v != base %v", p.Name, got, p.BaseCPI)
+		}
+	}
+}
+
+func TestDeeperPipelineHurtsMore(t *testing.T) {
+	m := metrics(1000, 20)
+	if EV6.CPI(m)-EV6.BaseCPI >= Deep.CPI(m)-Deep.BaseCPI {
+		t.Fatalf("deep pipeline penalty not larger: ev6 %+v deep %+v", EV6.CPI(m), Deep.CPI(m))
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	p := Pipeline{BaseCPI: 1.0, MispredictPenalty: 10}
+	base := metrics(1000, 100)  // CPI 2.0
+	better := metrics(1000, 50) // CPI 1.5
+	if got := p.Speedup(base, better); !almost(got, 2.0/1.5-1) {
+		t.Fatalf("speedup = %v", got)
+	}
+	if p.Speedup(base, base) != 0 {
+		t.Fatalf("self-speedup non-zero")
+	}
+}
+
+func TestBranchPenaltyShare(t *testing.T) {
+	p := Pipeline{BaseCPI: 1.0, MispredictPenalty: 10}
+	m := metrics(1000, 100) // CPI 2.0, half of it penalty
+	if got := p.BranchPenaltyShare(m); !almost(got, 0.5) {
+		t.Fatalf("share = %v, want 0.5", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if !strings.Contains(EV6.String(), "ev6") {
+		t.Fatalf("String() = %q", EV6.String())
+	}
+}

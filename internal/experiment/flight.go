@@ -1,0 +1,47 @@
+package experiment
+
+import "sync"
+
+// flight is a memoizing singleflight: concurrent callers of the same key
+// share one execution of fn, and completed results are cached forever. It
+// is what lets experiments run in parallel over one harness without
+// recomputing the shared baseline arms.
+type flight[T any] struct {
+	mu sync.Mutex
+	m  map[string]*call[T]
+}
+
+type call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// do returns the cached result for key, computing it with fn on first use.
+// If another goroutine is already computing key, do blocks until it
+// finishes and shares the result.
+func (f *flight[T]) do(key string, fn func() (T, error)) (T, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = map[string]*call[T]{}
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[T]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// size reports the number of cached (or in-flight) keys.
+func (f *flight[T]) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}

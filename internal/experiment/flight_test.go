@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightComputesOnce(t *testing.T) {
+	var f flight[int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := f.do("k", func() (int, error) {
+				calls.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times", calls.Load())
+	}
+	if f.size() != 1 {
+		t.Fatalf("size = %d", f.size())
+	}
+}
+
+func TestFlightCachesErrors(t *testing.T) {
+	var f flight[int]
+	sentinel := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := f.do("k", func() (int, error) {
+			calls++
+			return 0, sentinel
+		})
+		if err != sentinel {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("error result not cached: %d calls", calls)
+	}
+}
+
+func TestFlightDistinctKeys(t *testing.T) {
+	var f flight[string]
+	a, _ := f.do("a", func() (string, error) { return "A", nil })
+	b, _ := f.do("b", func() (string, error) { return "B", nil })
+	if a != "A" || b != "B" {
+		t.Fatalf("cross-key contamination: %q %q", a, b)
+	}
+}
+
+func TestHarnessConcurrentRuns(t *testing.T) {
+	h := testHarness()
+	arms := []Arm{
+		{Workload: "compress", Pred: "gshare:1KB", Scheme: "none"},
+		{Workload: "compress", Pred: "gshare:1KB", Scheme: "static95"},
+		{Workload: "compress", Pred: "bimodal:1KB", Scheme: "none"},
+		{Workload: "ijpeg", Pred: "gshare:1KB", Scheme: "none"},
+	}
+	var wg sync.WaitGroup
+	results := make([][]uint64, len(arms))
+	for round := 0; round < 4; round++ {
+		for i, a := range arms {
+			wg.Add(1)
+			go func(i int, a Arm) {
+				defer wg.Done()
+				m, err := h.Run(a)
+				if err != nil {
+					t.Errorf("%+v: %v", a, err)
+					return
+				}
+				results[i] = append(results[i], m.Mispredicts)
+			}(i, a)
+		}
+		wg.Wait() // rounds serialize so the per-arm slices are race-free
+	}
+	for i, rs := range results {
+		for _, v := range rs[1:] {
+			if v != rs[0] {
+				t.Fatalf("arm %d returned differing results: %v", i, rs)
+			}
+		}
+	}
+}

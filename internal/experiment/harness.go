@@ -1,0 +1,293 @@
+// Package experiment defines one runnable experiment per table and figure of
+// the paper, plus ablations, all sharing a caching harness so that repeated
+// arms (baseline runs, phase-1 profiles, hint sets) are computed once.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"branchsim/internal/core"
+	"branchsim/internal/predictor"
+	"branchsim/internal/profile"
+	"branchsim/internal/report"
+	"branchsim/internal/sim"
+	"branchsim/internal/workload"
+)
+
+// Suite is the paper's benchmark order (Table 1).
+var Suite = []string{"go", "gcc", "perl", "m88ksim", "compress", "ijpeg"}
+
+// FivePredictors are the paper's evaluated schemes, in Table 2 order.
+var FivePredictors = []string{"bimodal", "ghist", "gshare", "bimode", "2bcgskew"}
+
+// Harness runs simulations for experiments, memoizing profiles, hint sets
+// and runs. It is safe for concurrent use: concurrent requests for the same
+// arm share one simulation (singleflight), so experiments can run in
+// parallel over one harness without duplicating the shared baselines.
+type Harness struct {
+	// RefInput is the measurement input (paper: "ref").
+	RefInput string
+	// TrainInput is the profiling input for cross-training experiments
+	// (paper: "train").
+	TrainInput string
+	// Log, when non-nil, receives one line per uncached simulation.
+	Log io.Writer
+
+	logMu    sync.Mutex
+	profiles flight[*profile.DB]
+	hints    flight[*core.HintDB]
+	runs     flight[sim.Metrics]
+}
+
+// NewHarness returns a full-scale harness (ref/train inputs).
+func NewHarness() *Harness {
+	return &Harness{RefInput: workload.InputRef, TrainInput: workload.InputTrain}
+}
+
+// NewQuickHarness returns a reduced harness for tests and -short benches:
+// measurements run on the train input, cross-training profiles on the test
+// input. Shapes shrink but every code path is exercised.
+func NewQuickHarness() *Harness {
+	return &Harness{RefInput: workload.InputTrain, TrainInput: workload.InputTest}
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Log != nil {
+		h.logMu.Lock()
+		fmt.Fprintf(h.Log, format+"\n", args...)
+		h.logMu.Unlock()
+	}
+}
+
+// Profile returns the memoized phase-1 profile of predSpec over wl/input.
+// An empty predSpec collects a bias-only profile.
+func (h *Harness) Profile(wl, input, predSpec string) (*profile.DB, error) {
+	key := "p|" + wl + "|" + input + "|" + predSpec
+	return h.profiles.do(key, func() (*profile.DB, error) {
+		h.logf("profile %-8s %-5s %s", wl, input, predSpec)
+		db := profile.NewDB(wl, input)
+		prog, err := workload.Get(wl)
+		if err != nil {
+			return nil, err
+		}
+		if predSpec == "" {
+			rec := &biasOnly{db: db}
+			if err := prog.Run(input, rec); err != nil {
+				return nil, err
+			}
+			db.Instructions = rec.instr
+		} else {
+			p, err := predictor.New(predSpec)
+			if err != nil {
+				return nil, err
+			}
+			r := sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db))
+			if err := prog.Run(input, r); err != nil {
+				return nil, err
+			}
+			r.Metrics() // stamps db.Instructions
+		}
+		return db, nil
+	})
+}
+
+type biasOnly struct {
+	db    *profile.DB
+	instr uint64
+}
+
+func (b *biasOnly) Branch(pc uint64, taken bool) {
+	b.instr++
+	b.db.Record(pc, taken)
+}
+
+func (b *biasOnly) Ops(n uint64) { b.instr += n }
+
+// Arm describes one measured configuration.
+type Arm struct {
+	Workload string
+	Input    string // measurement input; empty = harness RefInput
+	Pred     string // predictor spec
+	Scheme   string // "none", "static95", "staticacc", "staticfac", "staticcol", ...
+	// ProfileInput is where hints are profiled; empty = self-trained
+	// (same as measurement input).
+	ProfileInput string
+	// FilterDrift, when > 0 with cross-training, removes branches whose
+	// bias drifts more than this between ProfileInput and the measurement
+	// input before selecting hints (the paper's merged-profile filter).
+	FilterDrift float64
+	Shift       core.ShiftPolicy
+}
+
+func (a Arm) key() string {
+	return fmt.Sprintf("r|%s|%s|%s|%s|%s|%g|%d", a.Workload, a.Input, a.Pred, a.Scheme, a.ProfileInput, a.FilterDrift, a.Shift)
+}
+
+// Hints returns the memoized hint set for an arm ("none" → nil).
+func (h *Harness) Hints(a Arm) (*core.HintDB, error) {
+	if a.Scheme == "" || a.Scheme == "none" {
+		return nil, nil
+	}
+	profInput := a.ProfileInput
+	if profInput == "" {
+		profInput = a.input(h)
+	}
+	key := fmt.Sprintf("h|%s|%s|%s|%s|%g|%s", a.Workload, profInput, a.Pred, a.Scheme, a.FilterDrift, a.input(h))
+	return h.hints.do(key, func() (*core.HintDB, error) {
+		sel, err := core.SelectorByName(a.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		// Static95 needs only bias; the others need the predictor's
+		// per-branch accuracy profile.
+		predSpec := a.Pred
+		if _, ok := sel.(core.Static95); ok {
+			predSpec = ""
+		}
+		db, err := h.Profile(a.Workload, profInput, predSpec)
+		if err != nil {
+			return nil, err
+		}
+		if a.FilterDrift > 0 && profInput != a.input(h) {
+			// Spike-style profile maintenance: drop unstable branches
+			// using the measurement input's bias profile.
+			refDB, err := h.Profile(a.Workload, a.input(h), "")
+			if err != nil {
+				return nil, err
+			}
+			db = db.Clone()
+			db.RemoveUnstable(refDB, a.FilterDrift)
+		}
+		return sel.Select(db)
+	})
+}
+
+func (a Arm) input(h *Harness) string {
+	if a.Input != "" {
+		return a.Input
+	}
+	return h.RefInput
+}
+
+// Run executes (or recalls) one arm and returns its metrics. Collision
+// tracking is always on.
+func (h *Harness) Run(a Arm) (sim.Metrics, error) {
+	key := a.key() + "|" + a.input(h)
+	return h.runs.do(key, func() (sim.Metrics, error) {
+		hints, err := h.Hints(a)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		dyn, err := predictor.New(a.Pred)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		p := core.NewCombined(dyn, hints, a.Shift)
+		prog, err := workload.Get(a.Workload)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		input := a.input(h)
+		h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, a.Pred, a.Scheme, a.Shift, a.ProfileInput)
+		r := sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions())
+		if err := prog.Run(input, r); err != nil {
+			return sim.Metrics{}, err
+		}
+		return r.Metrics(), nil
+	})
+}
+
+// Improvement returns the relative MISP/KI improvement of arm over the
+// matching no-static baseline (positive = fewer mispredictions), the paper's
+// Tables 3 and 4 metric.
+func (h *Harness) Improvement(a Arm) (float64, error) {
+	base := a
+	base.Scheme = "none"
+	base.Shift = core.NoShift
+	base.ProfileInput = ""
+	base.FilterDrift = 0
+	mb, err := h.Run(base)
+	if err != nil {
+		return 0, err
+	}
+	ma, err := h.Run(a)
+	if err != nil {
+		return 0, err
+	}
+	if mb.MISPKI() == 0 {
+		return 0, nil
+	}
+	return 1 - ma.MISPKI()/mb.MISPKI(), nil
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+}
+
+// An Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID          string
+	Title       string
+	Paper       string // which paper artifact it reproduces, e.g. "Table 3"
+	Description string
+	Run         func(h *Harness) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// paperOrder lists experiments the way the paper presents its results;
+// ablations follow. Unlisted experiments (if any are added) sort last in
+// registration order.
+var paperOrder = []string{
+	"table1", "table2",
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"table3", "table4", "table5", "fig13",
+	"abl-cutoff", "abl-shift", "abl-agree", "abl-staticcol", "abl-zoo", "abl-history", "abl-modern", "abl-pipeline", "abl-extra",
+}
+
+// All returns the registered experiments in paper order.
+func All() []Experiment {
+	rank := map[string]int{}
+	for i, id := range paperOrder {
+		rank[id] = i
+	}
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].ID]
+		rj, jok := rank[out[j].ID]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		default:
+			return false
+		}
+	})
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q (known: %v)", id, ids)
+}

@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FromCSV builds a chart from a table CSV as written by the report package:
+// a header row, one row per x category, with the category name in the first
+// selected column and numeric series in the others.
+//
+// xCol names the category column; seriesCols names the numeric columns to
+// plot (empty = every column whose cells all parse as numbers, optionally
+// stripping a trailing "%" or leading "+").
+func FromCSV(r io.Reader, title string, kind Kind, xCol string, seriesCols []string) (*Chart, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("plot: reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("plot: csv has no data rows")
+	}
+	header := rows[0]
+	data := rows[1:]
+
+	colIdx := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	xi := 0
+	if xCol != "" {
+		xi = colIdx(xCol)
+		if xi < 0 {
+			return nil, fmt.Errorf("plot: no column %q (have %v)", xCol, header)
+		}
+	}
+
+	// pick series columns
+	var cols []int
+	if len(seriesCols) > 0 {
+		for _, name := range seriesCols {
+			i := colIdx(name)
+			if i < 0 {
+				return nil, fmt.Errorf("plot: no column %q (have %v)", name, header)
+			}
+			cols = append(cols, i)
+		}
+	} else {
+		for i := range header {
+			if i == xi {
+				continue
+			}
+			numeric := true
+			for _, row := range data {
+				if _, err := parseCell(row[i]); err != nil {
+					numeric = false
+					break
+				}
+			}
+			if numeric {
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("plot: no numeric columns found")
+		}
+	}
+
+	categories := make([]string, len(data))
+	for i, row := range data {
+		categories[i] = row[xi]
+	}
+	c := New(title, kind, categories)
+	for _, ci := range cols {
+		values := make([]float64, len(data))
+		for ri, row := range data {
+			v, err := parseCell(row[ci])
+			if err != nil {
+				return nil, fmt.Errorf("plot: column %q row %d: %w", header[ci], ri+1, err)
+			}
+			values[ri] = v
+		}
+		if err := c.AddSeries(header[ci], values); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// parseCell parses a numeric cell, tolerating the report package's
+// percentage ("+5.0%", "12.3%") and plain float formats.
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,217 @@
+// Package plot renders the experiment CSVs as standalone SVG charts — the
+// paper's artifacts are figures, and this closes the loop from simulation to
+// picture with no dependencies beyond the standard library.
+//
+// Two chart kinds cover the paper's needs: line charts for the size sweeps
+// (Figures 1–6) and grouped bar charts for the scheme comparisons
+// (Figures 7–13). The x axis is categorical (sizes, program names); y is
+// linear from zero, which is how the paper plots MISPs/KI.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind selects the chart geometry.
+type Kind int
+
+const (
+	// Line draws one polyline per series over categorical x positions.
+	Line Kind = iota
+	// Bars draws grouped vertical bars, one group per x category.
+	Bars
+)
+
+// Chart is a categorical-x, linear-y chart.
+type Chart struct {
+	Title  string
+	Kind   Kind
+	XLabel string
+	YLabel string
+
+	categories []string
+	series     []series
+}
+
+type series struct {
+	name   string
+	values []float64
+}
+
+// chart geometry (pixels)
+const (
+	chartW  = 760
+	chartH  = 420
+	marginL = 70
+	marginR = 170
+	marginT = 48
+	marginB = 64
+	plotW   = chartW - marginL - marginR
+	plotH   = chartH - marginT - marginB
+)
+
+// seriesColors is a small qualitative palette.
+var seriesColors = []string{
+	"#1f5fbf", "#c2452d", "#2e8540", "#8031a7", "#b8860b", "#11767a", "#6b6b6b",
+}
+
+// New creates a chart over the given x categories.
+func New(title string, kind Kind, categories []string) *Chart {
+	return &Chart{Title: title, Kind: kind, categories: append([]string(nil), categories...)}
+}
+
+// AddSeries appends a named series; it must have one value per category.
+func (c *Chart) AddSeries(name string, values []float64) error {
+	if len(values) != len(c.categories) {
+		return fmt.Errorf("plot: series %q has %d values for %d categories", name, len(values), len(c.categories))
+	}
+	c.series = append(c.series, series{name: name, values: append([]float64(nil), values...)})
+	return nil
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// yMax returns the y-axis top: the data maximum rounded up to a clean step.
+func (c *Chart) yMax() float64 {
+	m := 0.0
+	for _, s := range c.series {
+		for _, v := range s.values {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	if m <= 0 {
+		return 1
+	}
+	// round up to 1/2/5 × 10^k
+	exp := math.Floor(math.Log10(m))
+	base := math.Pow(10, exp)
+	for _, mult := range []float64{1, 2, 5, 10} {
+		if m <= mult*base {
+			return mult * base
+		}
+	}
+	return 10 * base
+}
+
+func (c *Chart) xPos(i int) float64 {
+	n := len(c.categories)
+	if n == 1 {
+		return marginL + plotW/2
+	}
+	return marginL + float64(i)*plotW/float64(n-1)
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		chartW, chartH, chartW, chartH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	top := c.yMax()
+	yPos := func(v float64) float64 {
+		return marginT + plotH - v/top*plotH
+	}
+
+	// gridlines + y ticks
+	const ticks = 5
+	for t := 0; t <= ticks; t++ {
+		v := top * float64(t) / ticks
+		y := yPos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, trimFloat(v))
+	}
+	// axes
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// x category labels
+	for i, cat := range c.categories {
+		var x float64
+		if c.Kind == Bars {
+			x = marginL + (float64(i)+0.5)*plotW/float64(len(c.categories))
+		} else {
+			x = c.xPos(i)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+18, esc(cat))
+	}
+	// axis titles
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, chartH-14, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+	}
+
+	// data
+	switch c.Kind {
+	case Line:
+		for si, s := range c.series {
+			color := seriesColors[si%len(seriesColors)]
+			var pts []string
+			for i, v := range s.values {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", c.xPos(i), yPos(v)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for i, v := range s.values {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+					c.xPos(i), yPos(v), color)
+			}
+		}
+	case Bars:
+		nCat := len(c.categories)
+		nSer := len(c.series)
+		groupW := float64(plotW) / float64(nCat)
+		barW := groupW * 0.8 / float64(max(nSer, 1))
+		for si, s := range c.series {
+			color := seriesColors[si%len(seriesColors)]
+			for i, v := range s.values {
+				// the y axis starts at zero (MISP/KI-style quantities);
+				// negative values clamp to a zero-height bar at the axis
+				if v < 0 {
+					v = 0
+				}
+				x := marginL + float64(i)*groupW + groupW*0.1 + float64(si)*barW
+				y := yPos(v)
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					x, y, barW, float64(marginT+plotH)-y, color)
+			}
+		}
+	}
+
+	// legend
+	for si, s := range c.series {
+		color := seriesColors[si%len(seriesColors)]
+		y := marginT + 10 + si*20
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			marginL+plotW+14, y, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			marginL+plotW+30, y+10, esc(s.name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// trimFloat formats a tick value without trailing zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,139 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartSVG(t *testing.T) {
+	c := New("Demo sweep", Line, []string{"1KB", "2KB", "4KB"})
+	if err := c.AddSeries("none", []float64{3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("static", []float64{2, 1.5, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.YLabel = "MISP/KI"
+	svg := c.SVG()
+
+	for _, want := range []string{
+		"<svg", "</svg>", "Demo sweep", "polyline", "MISP/KI",
+		"1KB", "2KB", "4KB", "none", "static",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("%d markers, want 6", got)
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := New("Bars", Bars, []string{"go", "gcc"})
+	if err := c.AddSeries("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("b", []float64{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	// 4 data bars + legend swatches (2) + background rect
+	if got := strings.Count(svg, "<rect"); got != 4+2+1 {
+		t.Errorf("%d rects, want 7", got)
+	}
+}
+
+func TestSeriesLengthMismatch(t *testing.T) {
+	c := New("t", Line, []string{"a", "b"})
+	if err := c.AddSeries("s", []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := New(`<script>&"`, Line, []string{"x<y"})
+	if err := c.AddSeries("a&b", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	for _, want := range []string{"&lt;script&gt;", "x&lt;y", "a&amp;b"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing escaped form %q", want)
+		}
+	}
+}
+
+func TestYMaxRounding(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1.3: 2, 3.9: 5, 7.2: 10, 43: 50, 170: 200, 9.99: 10,
+	}
+	for v, want := range cases {
+		c := New("t", Line, []string{"a"})
+		if err := c.AddSeries("s", []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.yMax(); got != want {
+			t.Errorf("yMax(%v) = %v, want %v", v, got, want)
+		}
+	}
+	empty := New("t", Line, []string{"a"})
+	if empty.yMax() != 1 {
+		t.Errorf("empty chart yMax = %v", empty.yMax())
+	}
+}
+
+func TestFromCSVAutoSeries(t *testing.T) {
+	csvData := `Size,MISP/KI none,MISP/KI static,Note
+1KB,3.0,2.0,hi
+2KB,2.5,1.5,there
+`
+	c, err := FromCSV(strings.NewReader(csvData), "t", Line, "Size", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.series) != 2 {
+		t.Fatalf("auto-detected %d series, want 2 (Note is not numeric)", len(c.series))
+	}
+	if c.series[0].values[1] != 2.5 {
+		t.Fatalf("series values wrong: %+v", c.series[0])
+	}
+	if c.categories[0] != "1KB" {
+		t.Fatalf("categories wrong: %v", c.categories)
+	}
+}
+
+func TestFromCSVExplicitSeriesAndPercent(t *testing.T) {
+	csvData := `Program,Improvement
+gcc,+42.4%
+go,-1.8%
+`
+	c, err := FromCSV(strings.NewReader(csvData), "t", Bars, "Program", []string{"Improvement"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.series[0].values[0] != 42.4 || c.series[0].values[1] != -1.8 {
+		t.Fatalf("percent parsing wrong: %+v", c.series[0].values)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	if _, err := FromCSV(strings.NewReader("just,a,header\n"), "t", Line, "", nil); err == nil {
+		t.Fatal("headerless csv accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("a,b\n1,2\n"), "t", Line, "nope", nil); err == nil {
+		t.Fatal("missing x column accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("a,b\nx,y\n"), "t", Line, "a", []string{"b"}); err == nil {
+		t.Fatal("non-numeric explicit series accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("a,b\nx,y\n"), "t", Line, "a", nil); err == nil {
+		t.Fatal("csv with no numeric columns accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package predictor
+
+// Agree implements the agree mechanism of Sprangle, Chappell, Alsup and Patt
+// (related work §3 of the paper). Each branch carries a "bias bit" giving the
+// direction it is expected to usually take; the gshare-indexed counter table
+// then learns whether branches *agree* with their bias bit rather than
+// whether they are taken. Two branches that alias in the table but both
+// follow their own bias push the shared counter the same way, converting
+// destructive aliasing into constructive aliasing.
+//
+// The bias bit lives with the instruction (like the paper's static hint
+// bits), not in the predictor, so it is not charged to the storage budget.
+// We set it the way the original paper's hardware variant did: to the first
+// observed outcome of the branch. SetBias allows a profile-derived bias to be
+// installed instead, which the ablation experiments use to compare agree
+// against static filtering.
+type Agree struct {
+	t         *table
+	hist      ghr
+	bias      map[uint64]bool
+	collision bool
+	lIdx      uint64
+	lBias     bool
+	lKnown    bool
+}
+
+// NewAgree builds an agree predictor with gshare indexing over sizeBytes of
+// counter storage.
+func NewAgree(sizeBytes int) *Agree {
+	t := newTable(entriesForBytes(sizeBytes))
+	return &Agree{t: t, hist: newGHR(log2(t.entries())), bias: make(map[uint64]bool)}
+}
+
+// Name implements Predictor.
+func (p *Agree) Name() string { return "agree" }
+
+// SizeBits implements Predictor.
+func (p *Agree) SizeBits() int { return p.t.sizeBits() + p.hist.sizeBits() }
+
+// SetBias installs a bias bit for the branch at pc, overriding the
+// first-outcome default.
+func (p *Agree) SetBias(pc uint64, taken bool) { p.bias[pc] = taken }
+
+// Predict implements Predictor.
+func (p *Agree) Predict(pc uint64) bool {
+	p.lIdx = pcIndex(pc) ^ p.hist.value(p.hist.len)
+	c, col := p.t.read(p.lIdx, pc)
+	p.collision = col
+	b, known := p.bias[pc]
+	p.lBias, p.lKnown = b, known
+	if !known {
+		// First encounter: predict the counter's raw direction; the bias
+		// bit is installed at Update.
+		return taken(c)
+	}
+	agree := taken(c)
+	return b == agree
+}
+
+// Update implements Predictor.
+func (p *Agree) Update(pc uint64, outcome bool) {
+	if !p.lKnown {
+		p.bias[pc] = outcome
+		p.lBias = outcome
+	}
+	p.t.update(p.lIdx, outcome == p.lBias)
+	p.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (p *Agree) ShiftHistory(outcome bool) { p.hist.shift(outcome) }
+
+// Reset implements Predictor. It clears counters, history and all bias bits
+// (including ones installed with SetBias); callers comparing profile-derived
+// bias must re-install after Reset.
+func (p *Agree) Reset() {
+	p.t.reset()
+	p.hist.reset()
+	p.collision = false
+	p.bias = make(map[uint64]bool)
+}
+
+// EnableCollisionTracking implements Collider.
+func (p *Agree) EnableCollisionTracking() { p.t.enableTags() }
+
+// LastCollision implements Collider.
+func (p *Agree) LastCollision() bool { return p.collision }

@@ -1,0 +1,118 @@
+package predictor
+
+// BiMode is the bi-mode predictor of Lee, Chen and Mudge. Branches are
+// steered by a bimodal "choice" table into one of two gshare-indexed
+// direction banks — one that learns the behaviour of mostly-taken branches,
+// one for mostly-not-taken branches — so that branches of opposite bias that
+// alias in a direction bank still push its counters the same way.
+//
+// Update policy, as the paper describes it: only the selected direction bank
+// is trained with the outcome; the choice table is always trained with the
+// outcome except when the choice disagreed with the outcome and the selected
+// direction bank nevertheless predicted correctly.
+//
+// The storage budget is split as in the original design: the two direction
+// banks and the choice table all have the same number of entries, each the
+// largest power of two so that the three tables fit the byte budget. The
+// gshare history length equals the direction banks' index width ("as many
+// bits of global history as required by the gshare table" — the paper did
+// not tune per-program history lengths for bi-mode).
+type BiMode struct {
+	choice    *table
+	direction [2]*table // [0] = not-taken bank, [1] = taken bank
+	hist      ghr
+	collision bool
+
+	// lookup state carried from Predict to Update
+	lChoiceIdx uint64
+	lDirIdx    uint64
+	lChoice    bool
+	lPred      bool
+}
+
+// NewBiMode builds a bi-mode predictor within sizeBytes of counter storage.
+func NewBiMode(sizeBytes int) *BiMode {
+	// Three equal tables of e entries cost 3*2*e bits; find the largest
+	// power-of-two e that fits the byte budget. The loop tests the doubled
+	// table (12e bits) so it stops without overshooting.
+	e := 1
+	for (e*12+7)/8 <= sizeBytes {
+		e *= 2
+	}
+	if e < 2 {
+		e = 2
+	}
+	p := &BiMode{
+		choice:    newTable(e),
+		direction: [2]*table{newTable(e), newTable(e)},
+	}
+	p.hist = newGHR(log2(e))
+	return p
+}
+
+// Name implements Predictor.
+func (p *BiMode) Name() string { return "bimode" }
+
+// SizeBits implements Predictor.
+func (p *BiMode) SizeBits() int {
+	return p.choice.sizeBits() + p.direction[0].sizeBits() + p.direction[1].sizeBits() + p.hist.sizeBits()
+}
+
+func (p *BiMode) dirIndex(pc uint64) uint64 {
+	return pcIndex(pc) ^ p.hist.value(p.hist.len)
+}
+
+// Predict implements Predictor.
+func (p *BiMode) Predict(pc uint64) bool {
+	p.lChoiceIdx = pcIndex(pc)
+	p.lDirIdx = p.dirIndex(pc)
+
+	cc, colC := p.choice.read(p.lChoiceIdx, pc)
+	p.lChoice = taken(cc)
+	bank := 0
+	if p.lChoice {
+		bank = 1
+	}
+	dc, colD := p.direction[bank].read(p.lDirIdx, pc)
+	p.lPred = taken(dc)
+	p.collision = colC || colD
+	return p.lPred
+}
+
+// Update implements Predictor.
+func (p *BiMode) Update(_ uint64, outcome bool) {
+	bank := 0
+	if p.lChoice {
+		bank = 1
+	}
+	p.direction[bank].update(p.lDirIdx, outcome)
+
+	// Train the choice table unless it was wrong but the selected bank
+	// still produced the right final prediction.
+	if !(p.lChoice != outcome && p.lPred == outcome) {
+		p.choice.update(p.lChoiceIdx, outcome)
+	}
+	p.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (p *BiMode) ShiftHistory(outcome bool) { p.hist.shift(outcome) }
+
+// Reset implements Predictor.
+func (p *BiMode) Reset() {
+	p.choice.reset()
+	p.direction[0].reset()
+	p.direction[1].reset()
+	p.hist.reset()
+	p.collision = false
+}
+
+// EnableCollisionTracking implements Collider.
+func (p *BiMode) EnableCollisionTracking() {
+	p.choice.enableTags()
+	p.direction[0].enableTags()
+	p.direction[1].enableTags()
+}
+
+// LastCollision implements Collider.
+func (p *BiMode) LastCollision() bool { return p.collision }

@@ -1,0 +1,107 @@
+package predictor
+
+// GSkew is the enhanced e-gskew predictor (Michaud, Seznec, Uhlig): three
+// equally sized banks of 2-bit counters, each indexed by a different skewing
+// function of (address, history), with a majority vote. A pair of branches
+// colliding in one bank almost never collides in the other two, so the vote
+// out-shouts the corrupted bank.
+//
+// Bank 0 is indexed by address alone (its bimodal role in the enhanced
+// design); banks 1 and 2 use skewed (address, history) indices. The enhanced
+// partial-update policy applies: on a correct prediction only the agreeing
+// banks are re-enforced, on a misprediction all banks are trained.
+type GSkew struct {
+	banks     [3]*table
+	hist      ghr
+	n         int
+	collision bool
+	lIdx      [3]uint64
+	lPred     [3]bool
+	lOut      bool
+}
+
+// NewGSkew builds an e-gskew predictor within sizeBytes of counter storage,
+// split evenly across the three banks.
+func NewGSkew(sizeBytes int) *GSkew {
+	e := 1
+	for (e*12+7)/8 <= sizeBytes { // doubled-table cost: 3 banks × 2 bits × 2e
+		e *= 2
+	}
+	if e < 4 {
+		e = 4
+	}
+	n := log2(e)
+	p := &GSkew{n: n}
+	for i := range p.banks {
+		p.banks[i] = newTable(e)
+	}
+	p.hist = newGHR(n)
+	return p
+}
+
+// Name implements Predictor.
+func (p *GSkew) Name() string { return "gskew" }
+
+// SizeBits implements Predictor.
+func (p *GSkew) SizeBits() int {
+	return 3*p.banks[0].sizeBits() + p.hist.sizeBits()
+}
+
+// Predict implements Predictor.
+func (p *GSkew) Predict(pc uint64) bool {
+	p.lIdx[0] = pcIndex(pc)
+	v1, v2 := bankInput(pc, p.hist.bits, p.hist.len, p.n)
+	p.lIdx[1] = skewIndex(1, v1, v2, p.n)
+	p.lIdx[2] = skewIndex(2, v1, v2, p.n)
+
+	votes := 0
+	p.collision = false
+	for i, b := range p.banks {
+		c, col := b.read(p.lIdx[i], pc)
+		p.collision = p.collision || col
+		p.lPred[i] = taken(c)
+		if p.lPred[i] {
+			votes++
+		}
+	}
+	p.lOut = votes >= 2
+	return p.lOut
+}
+
+// Update implements Predictor.
+func (p *GSkew) Update(_ uint64, outcome bool) {
+	if p.lOut == outcome {
+		for i, b := range p.banks {
+			if p.lPred[i] == outcome {
+				b.update(p.lIdx[i], outcome)
+			}
+		}
+	} else {
+		for i, b := range p.banks {
+			b.update(p.lIdx[i], outcome)
+		}
+	}
+	p.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (p *GSkew) ShiftHistory(outcome bool) { p.hist.shift(outcome) }
+
+// Reset implements Predictor.
+func (p *GSkew) Reset() {
+	for _, b := range p.banks {
+		b.reset()
+	}
+	p.hist.reset()
+	p.collision = false
+}
+
+// EnableCollisionTracking implements Collider.
+func (p *GSkew) EnableCollisionTracking() {
+	for _, b := range p.banks {
+		b.enableTags()
+	}
+}
+
+// LastCollision implements Collider.
+func (p *GSkew) LastCollision() bool { return p.collision }

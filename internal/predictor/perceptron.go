@@ -1,0 +1,142 @@
+package predictor
+
+// Perceptron is the neural branch predictor of Jiménez and Lin: each branch
+// hashes to a weight vector; the prediction is the sign of the dot product
+// of the weights with the global history (±1 per bit) plus a bias weight.
+// Training only happens on a misprediction or when the output magnitude is
+// below a threshold (the classic θ = 1.93·h + 14 rule).
+//
+// Like TAGE it postdates the paper; the abl-modern experiment uses it to
+// test whether profile-guided static filtering still helps predictors whose
+// capacity pressure is per-weight rather than per-counter.
+type Perceptron struct {
+	weights   [][]int16 // [entry][histLen+1], index 0 = bias weight
+	mask      uint64
+	histLen   int
+	theta     int32
+	hist      ghr
+	collision bool
+	dbgTags   []uint64
+
+	lIdx  uint64
+	lSum  int32
+	lPred bool
+}
+
+// perceptronWeightBits is the per-weight width (8-bit signed weights, the
+// published configuration).
+const perceptronWeightBits = 8
+
+// NewPerceptron builds a perceptron predictor within sizeBytes. History
+// length is fixed at 31 bits (near the published sweet spot); the number of
+// weight vectors scales with the budget.
+func NewPerceptron(sizeBytes int) *Perceptron {
+	const histLen = 31
+	perEntryBits := (histLen + 1) * perceptronWeightBits
+	e := 2
+	for e*2*perEntryBits <= sizeBytes*8 {
+		e *= 2
+	}
+	p := &Perceptron{
+		weights: make([][]int16, e),
+		mask:    uint64(e - 1),
+		histLen: histLen,
+		theta:   int32(193*histLen/100 + 14), // θ = 1.93·h + 14 (Jiménez & Lin)
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int16, histLen+1)
+	}
+	p.hist = newGHR(histLen)
+	return p
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// SizeBits implements Predictor.
+func (p *Perceptron) SizeBits() int {
+	return len(p.weights)*(p.histLen+1)*perceptronWeightBits + p.hist.sizeBits()
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool {
+	p.lIdx = (pcIndex(pc) ^ pcIndex(pc)>>9) & p.mask
+	if p.dbgTags != nil {
+		old := p.dbgTags[p.lIdx]
+		p.collision = old != 0 && old != pc+1
+		p.dbgTags[p.lIdx] = pc + 1
+	}
+	w := p.weights[p.lIdx]
+	sum := int32(w[0])
+	h := p.hist.bits
+	for i := 1; i <= p.histLen; i++ {
+		if h&1 == 1 {
+			sum += int32(w[i])
+		} else {
+			sum -= int32(w[i])
+		}
+		h >>= 1
+	}
+	p.lSum = sum
+	p.lPred = sum >= 0
+	return p.lPred
+}
+
+func satAdd8(w int16, up bool) int16 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -128 {
+		return w - 1
+	}
+	return w
+}
+
+// Update implements Predictor.
+func (p *Perceptron) Update(_ uint64, outcome bool) {
+	mag := p.lSum
+	if mag < 0 {
+		mag = -mag
+	}
+	if p.lPred != outcome || mag <= p.theta {
+		w := p.weights[p.lIdx]
+		w[0] = satAdd8(w[0], outcome)
+		h := p.hist.bits
+		for i := 1; i <= p.histLen; i++ {
+			agree := (h&1 == 1) == outcome
+			w[i] = satAdd8(w[i], agree)
+			h >>= 1
+		}
+	}
+	p.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (p *Perceptron) ShiftHistory(outcome bool) { p.hist.shift(outcome) }
+
+// Reset implements Predictor.
+func (p *Perceptron) Reset() {
+	for i := range p.weights {
+		for j := range p.weights[i] {
+			p.weights[i][j] = 0
+		}
+	}
+	if p.dbgTags != nil {
+		p.dbgTags = make([]uint64, len(p.weights))
+	}
+	p.hist.reset()
+	p.collision = false
+}
+
+// EnableCollisionTracking implements Collider.
+func (p *Perceptron) EnableCollisionTracking() {
+	if p.dbgTags == nil {
+		p.dbgTags = make([]uint64, len(p.weights))
+	}
+}
+
+// LastCollision implements Collider.
+func (p *Perceptron) LastCollision() bool { return p.collision }

@@ -1,0 +1,313 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+
+	"branchsim/internal/xrand"
+)
+
+// allSpecs instantiates every scheme at a small size.
+func allSpecs() []string {
+	return []string{
+		"bimodal:1KB", "ghist:1KB", "gshare:1KB", "bimode:1KB", "2bcgskew:1KB",
+		"agree:1KB", "gskew:1KB", "yags:1KB", "local:1KB", "mcfarling:1KB",
+		"tage:2KB", "perceptron:2KB", "taken", "nottaken",
+	}
+}
+
+// drive feeds a stream and returns the misprediction count.
+func drive(p Predictor, stream []struct {
+	pc    uint64
+	taken bool
+}) int {
+	miss := 0
+	for _, ev := range stream {
+		if p.Predict(ev.pc) != ev.taken {
+			miss++
+		}
+		p.Update(ev.pc, ev.taken)
+	}
+	return miss
+}
+
+type ev = struct {
+	pc    uint64
+	taken bool
+}
+
+// constantStream returns n executions of one always-taken branch.
+func constantStream(n int, pc uint64, taken bool) []ev {
+	out := make([]ev, n)
+	for i := range out {
+		out[i] = ev{pc, taken}
+	}
+	return out
+}
+
+func TestAllPredictorsLearnConstantBranch(t *testing.T) {
+	for _, spec := range allSpecs() {
+		if strings.HasPrefix(spec, "nottaken") {
+			continue
+		}
+		p := MustNew(spec)
+		miss := drive(p, constantStream(1000, 0x1000, true))
+		// everything except the not-taken static predictor must converge
+		// after a short warmup (history register fill + counter training)
+		if miss > 25 {
+			t.Errorf("%s: %d mispredicts on a constant branch", spec, miss)
+		}
+	}
+}
+
+func TestHistoryPredictorsLearnAlternation(t *testing.T) {
+	// T,N,T,N... is unlearnable for bimodal (stuck ~50%) but trivial for
+	// any global-history or local-history scheme.
+	stream := make([]ev, 2000)
+	for i := range stream {
+		stream[i] = ev{0x2000, i%2 == 0}
+	}
+	for _, spec := range []string{"ghist:1KB", "gshare:1KB", "local:1KB", "bimode:1KB", "2bcgskew:1KB", "gskew:1KB", "mcfarling:1KB", "yags:1KB", "tage:2KB", "perceptron:2KB"} {
+		p := MustNew(spec)
+		if miss := drive(p, stream); miss > 100 {
+			t.Errorf("%s: %d/2000 mispredicts on alternating branch", spec, miss)
+		}
+	}
+	// and bimodal really cannot learn it
+	if miss := drive(MustNew("bimodal:1KB"), stream); miss < 900 {
+		t.Errorf("bimodal unexpectedly learned an alternating pattern (%d misses)", miss)
+	}
+}
+
+func TestPredictorsLearnCorrelatedPattern(t *testing.T) {
+	// Branch B follows branch A's outcome: classic correlation. History
+	// predictors should nail B even though B alone is 50/50.
+	rng := xrand.New(7)
+	var stream []ev
+	for i := 0; i < 3000; i++ {
+		a := rng.Bool(0.5)
+		stream = append(stream, ev{0x100, a}, ev{0x200, a})
+	}
+	for _, spec := range []string{"ghist:1KB", "gshare:1KB", "2bcgskew:1KB"} {
+		p := MustNew(spec)
+		miss := drive(p, stream)
+		// A is unpredictable (~1500 misses expected for it alone), B is
+		// fully determined by history: total must be well under 2/3.
+		if miss > 2200 {
+			t.Errorf("%s: %d/6000 mispredicts; correlation not captured", spec, miss)
+		}
+		// check B specifically
+		p2 := MustNew(spec)
+		missB := 0
+		for _, e := range stream {
+			pred := p2.Predict(e.pc)
+			if e.pc == 0x200 && pred != e.taken {
+				missB++
+			}
+			p2.Update(e.pc, e.taken)
+		}
+		if missB > 300 {
+			t.Errorf("%s: %d/3000 mispredicts on the correlated branch", spec, missB)
+		}
+	}
+}
+
+func TestResetRestoresDeterminism(t *testing.T) {
+	rng := xrand.New(42)
+	stream := make([]ev, 5000)
+	for i := range stream {
+		stream[i] = ev{0x400 + uint64(rng.Intn(64))*4, rng.Bool(0.7)}
+	}
+	for _, spec := range allSpecs() {
+		p := MustNew(spec)
+		m1 := drive(p, stream)
+		p.Reset()
+		m2 := drive(p, stream)
+		if m1 != m2 {
+			t.Errorf("%s: %d then %d mispredicts across Reset", spec, m1, m2)
+		}
+	}
+}
+
+func TestSizeBitsWithinBudget(t *testing.T) {
+	for _, name := range []string{"bimodal", "ghist", "gshare", "bimode", "2bcgskew", "agree", "gskew", "yags", "local", "mcfarling", "tage", "perceptron"} {
+		for _, kb := range []int{1, 2, 8, 64} {
+			spec := name + ":" + FormatSize(kb<<10)
+			p := MustNew(spec)
+			budget := kb << 13            // bits
+			if p.SizeBits() > budget+64 { // +64: history register slack
+				t.Errorf("%s: %d bits exceeds budget %d", spec, p.SizeBits(), budget)
+			}
+			// tables must not be degenerate either: at least 1/8 of budget
+			if p.SizeBits() < budget/8 {
+				t.Errorf("%s: %d bits is under an eighth of budget %d", spec, p.SizeBits(), budget)
+			}
+		}
+	}
+}
+
+func TestSizeBitsGrowsWithBudget(t *testing.T) {
+	for _, name := range []string{"bimodal", "ghist", "gshare", "bimode", "2bcgskew", "gskew", "yags", "local", "mcfarling", "tage", "perceptron"} {
+		small := MustNew(name + ":1KB").SizeBits()
+		big := MustNew(name + ":32KB").SizeBits()
+		if big <= small {
+			t.Errorf("%s: 32KB predictor (%d bits) not larger than 1KB (%d bits)", name, big, small)
+		}
+	}
+}
+
+func TestCollisionDetection(t *testing.T) {
+	// two branches mapping to the same bimodal entry must collide
+	p := NewBimodal(16) // 64 entries
+	p.EnableCollisionTracking()
+	p.Predict(0x1000)
+	p.Update(0x1000, true)
+	if p.LastCollision() {
+		t.Fatalf("first access collided")
+	}
+	alias := uint64(0x1000 + 64*4) // same index after masking
+	p.Predict(alias)
+	if !p.LastCollision() {
+		t.Fatalf("aliasing branch did not collide")
+	}
+	p.Update(alias, false)
+}
+
+func TestCollidersImplemented(t *testing.T) {
+	for _, spec := range allSpecs() {
+		p := MustNew(spec)
+		col, ok := p.(Collider)
+		if !ok {
+			if spec == "taken" || spec == "nottaken" {
+				continue // no tables, nothing to collide
+			}
+			t.Errorf("%s does not implement Collider", spec)
+			continue
+		}
+		col.EnableCollisionTracking()
+		p.Predict(0x10)
+		p.Update(0x10, true)
+		if col.LastCollision() {
+			t.Errorf("%s: first lookup collided", spec)
+		}
+	}
+}
+
+func TestHistoryShifterChangesPrediction(t *testing.T) {
+	// Shifting history without training must change a ghist predictor's
+	// subsequent index/prediction path.
+	for _, spec := range []string{"ghist:1KB", "gshare:1KB", "bimode:1KB", "2bcgskew:1KB", "gskew:1KB", "mcfarling:1KB", "agree:1KB", "yags:1KB", "tage:2KB", "perceptron:2KB"} {
+		p := MustNew(spec)
+		if _, ok := p.(HistoryShifter); !ok {
+			t.Errorf("%s does not implement HistoryShifter", spec)
+		}
+	}
+	if _, ok := any(NewBimodal(1024)).(HistoryShifter); ok {
+		t.Errorf("bimodal must not claim a history register")
+	}
+
+	// behavioural check with ghist: train a history-dependent pattern,
+	// then desync the history and watch the prediction change
+	g := NewGHist(1024)
+	stream := make([]ev, 400)
+	for i := range stream {
+		stream[i] = ev{0x100, i%2 == 0}
+	}
+	drive(g, stream)
+	before := g.Predict(0x100)
+	g.Update(0x100, before)
+	g.ShiftHistory(!before) // inject a surprise outcome
+	g.ShiftHistory(!before)
+	after := g.Predict(0x100)
+	g.Update(0x100, after)
+	if before == after {
+		t.Errorf("ghist prediction unchanged after history injection")
+	}
+}
+
+func TestTrivialPredictors(t *testing.T) {
+	if miss := drive(AlwaysTaken{}, constantStream(100, 1<<4, true)); miss != 0 {
+		t.Errorf("taken mispredicted taken branches: %d", miss)
+	}
+	if miss := drive(AlwaysNotTaken{}, constantStream(100, 1<<4, true)); miss != 100 {
+		t.Errorf("nottaken got %d misses on taken branches, want 100", miss)
+	}
+	if (AlwaysTaken{}).SizeBits() != 0 || (AlwaysNotTaken{}).SizeBits() != 0 {
+		t.Errorf("trivial predictors must cost no storage")
+	}
+}
+
+func TestAgreeSetBias(t *testing.T) {
+	p := NewAgree(1024)
+	p.SetBias(0x500, true)
+	// with the bias installed, an always-taken branch agrees from the
+	// start: the initial weakly-not-taken counter means "disagree"
+	// prediction = bias==false at first — verify convergence anyway
+	miss := drive(p, constantStream(500, 0x500, true))
+	if miss > 25 {
+		t.Errorf("agree with installed bias: %d misses", miss)
+	}
+}
+
+func TestAgreeConvertsAliasingConstructive(t *testing.T) {
+	// Two opposite-bias branches forced onto one gshare entry destroy each
+	// other; agree with correct bias bits keeps them both predictable.
+	mk := func() []ev {
+		var s []ev
+		for i := 0; i < 2000; i++ {
+			s = append(s, ev{0x100, true}, ev{0x100 + 1<<40, false})
+		}
+		return s
+	}
+	// plain gshare:64B = 256 entries; the two PCs differ only above the
+	// index bits, so they share an entry with identical history.
+	gs := NewGShareHist(64, 0)
+	gsMiss := drive(gs, mk())
+	ag := NewAgree(64)
+	ag.SetBias(0x100, true)
+	ag.SetBias(0x100+1<<40, false)
+	agMiss := drive(ag, mk())
+	if agMiss*2 > gsMiss {
+		t.Errorf("agree (%d misses) did not beat aliased gshare (%d misses)", agMiss, gsMiss)
+	}
+}
+
+func TestYAGSStoresExceptions(t *testing.T) {
+	// A branch that is mostly taken with a history-determined exception:
+	// YAGS should learn the exception pattern in its NT-cache.
+	var stream []ev
+	for i := 0; i < 4000; i++ {
+		stream = append(stream, ev{0x700, i%8 != 0})
+	}
+	p := NewYAGS(1024)
+	if miss := drive(p, stream); miss > 400 {
+		t.Errorf("yags: %d/4000 misses on periodic-exception branch", miss)
+	}
+}
+
+func TestLocalLearnsLoopPeriod(t *testing.T) {
+	// A loop of trip count 5 (TTTTN repeated) is a per-branch pattern
+	// local history captures exactly.
+	var stream []ev
+	for i := 0; i < 4000; i++ {
+		stream = append(stream, ev{0x900, i%5 != 4})
+	}
+	if miss := drive(NewLocal(2048), stream); miss > 200 {
+		t.Errorf("local: %d/4000 misses on period-5 loop", miss)
+	}
+}
+
+func TestPredictUpdateContractPanicsAreAbsent(t *testing.T) {
+	// exercise every predictor with widely spread PCs to shake out index
+	// overflow issues
+	rng := xrand.New(99)
+	for _, spec := range allSpecs() {
+		p := MustNew(spec)
+		for i := 0; i < 2000; i++ {
+			pc := rng.Uint64() &^ 3
+			pred := p.Predict(pc)
+			_ = pred
+			p.Update(pc, rng.Bool(0.5))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package predictor
+
+import "testing"
+
+// TestShiftHistoryEquivalence: for every history-based predictor, a branch
+// stream interleaved with explicit ShiftHistory calls must behave exactly
+// like the same stream where those outcomes arrived through Update on a
+// sacrificial branch is *not* expected (tables differ), but ShiftHistory
+// itself must (a) exist, (b) change subsequent indexing, and (c) leave the
+// predictor deterministic.
+func TestShiftHistoryOnAllHistoryPredictors(t *testing.T) {
+	specs := []string{
+		"ghist:1KB", "gshare:1KB", "bimode:1KB", "2bcgskew:1KB",
+		"gskew:1KB", "mcfarling:1KB", "agree:1KB", "yags:1KB",
+		"tage:2KB", "perceptron:2KB",
+	}
+	for _, spec := range specs {
+		run := func(shifts []bool) int {
+			p := MustNew(spec)
+			hs := p.(HistoryShifter)
+			miss := 0
+			for i := 0; i < 3000; i++ {
+				pc := uint64(0x100 + (i%8)*4)
+				outcome := i%3 == 0
+				if p.Predict(pc) != outcome {
+					miss++
+				}
+				p.Update(pc, outcome)
+				hs.ShiftHistory(shifts[i%len(shifts)])
+			}
+			return miss
+		}
+		a := run([]bool{true})
+		b := run([]bool{true})
+		if a != b {
+			t.Errorf("%s: ShiftHistory made the predictor nondeterministic (%d vs %d)", spec, a, b)
+		}
+		// Interleaving a different constant may or may not change the miss
+		// count (both histories are equally learnable); the behavioural
+		// effect of shifting is asserted per-scheme in
+		// TestHistoryShifterChangesPrediction. Here we only require that
+		// alternating shifts keep the predictor deterministic too.
+		c := run([]bool{false, true})
+		d := run([]bool{false, true})
+		if c != d {
+			t.Errorf("%s: alternating ShiftHistory nondeterministic (%d vs %d)", spec, c, d)
+		}
+	}
+}
+
+func TestNamesOfAllPredictors(t *testing.T) {
+	want := map[string]string{
+		"bimodal:1KB":    "bimodal",
+		"ghist:1KB":      "ghist",
+		"gshare:1KB":     "gshare",
+		"bimode:1KB":     "bimode",
+		"2bcgskew:1KB":   "2bcgskew",
+		"agree:1KB":      "agree",
+		"gskew:1KB":      "gskew",
+		"yags:1KB":       "yags",
+		"local:1KB":      "local",
+		"mcfarling:1KB":  "mcfarling",
+		"tage:1KB":       "tage",
+		"perceptron:1KB": "perceptron",
+	}
+	for spec, name := range want {
+		if got := MustNew(spec).Name(); got != name {
+			t.Errorf("%s: Name() = %q, want %q", spec, got, name)
+		}
+	}
+}
+
+func TestGShareHistoryLenAccessor(t *testing.T) {
+	p := NewGShareHist(1024, 5)
+	if p.HistoryLen() != 5 {
+		t.Fatalf("HistoryLen = %d", p.HistoryLen())
+	}
+	// clamped to index width
+	big := NewGShareHist(64, 60)
+	if big.HistoryLen() > 10 {
+		t.Fatalf("history not clamped: %d", big.HistoryLen())
+	}
+	// negative clamps to zero
+	if NewGShareHist(1024, -3).HistoryLen() != 0 {
+		t.Fatalf("negative history not clamped")
+	}
+}

@@ -1,0 +1,169 @@
+package predictor
+
+import "fmt"
+
+// Bimodal is the classic PC-indexed table of 2-bit saturating counters
+// (Smith). It exploits the fact that most branches are strongly biased in one
+// direction. It keeps no global history, so HistoryShifter is intentionally
+// not implemented.
+type Bimodal struct {
+	t         *table
+	collision bool
+	track     bool
+}
+
+// NewBimodal builds a bimodal predictor with the largest power-of-two table
+// that fits in sizeBytes of counter storage.
+func NewBimodal(sizeBytes int) *Bimodal {
+	return &Bimodal{t: newTable(entriesForBytes(sizeBytes))}
+}
+
+// Name implements Predictor.
+func (p *Bimodal) Name() string { return "bimodal" }
+
+// SizeBits implements Predictor.
+func (p *Bimodal) SizeBits() int { return p.t.sizeBits() }
+
+// Predict implements Predictor.
+func (p *Bimodal) Predict(pc uint64) bool {
+	c, col := p.t.read(pcIndex(pc), pc)
+	p.collision = col
+	return taken(c)
+}
+
+// Update implements Predictor.
+func (p *Bimodal) Update(pc uint64, outcome bool) {
+	p.t.update(pcIndex(pc), outcome)
+}
+
+// Reset implements Predictor.
+func (p *Bimodal) Reset() { p.t.reset(); p.collision = false }
+
+// EnableCollisionTracking implements Collider.
+func (p *Bimodal) EnableCollisionTracking() { p.track = true; p.t.enableTags() }
+
+// LastCollision implements Collider.
+func (p *Bimodal) LastCollision() bool { return p.collision }
+
+// GHist is the GAg scheme of Yeh & Patt, called "ghist" in the paper: a
+// single table of 2-bit counters indexed purely by the global branch history
+// register. It exploits branch correlation and, because the index carries no
+// address bits at all, it is the predictor most exposed to aliasing.
+type GHist struct {
+	t         *table
+	hist      ghr
+	collision bool
+}
+
+// NewGHist builds a ghist predictor; the history length equals the table's
+// index width, the natural configuration for GAg.
+func NewGHist(sizeBytes int) *GHist {
+	t := newTable(entriesForBytes(sizeBytes))
+	return &GHist{t: t, hist: newGHR(log2(t.entries()))}
+}
+
+// Name implements Predictor.
+func (p *GHist) Name() string { return "ghist" }
+
+// SizeBits implements Predictor.
+func (p *GHist) SizeBits() int { return p.t.sizeBits() + p.hist.sizeBits() }
+
+// Predict implements Predictor.
+func (p *GHist) Predict(pc uint64) bool {
+	c, col := p.t.read(p.hist.value(p.hist.len), pc)
+	p.collision = col
+	return taken(c)
+}
+
+// Update implements Predictor.
+func (p *GHist) Update(_ uint64, outcome bool) {
+	p.t.update(p.hist.value(p.hist.len), outcome)
+	p.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (p *GHist) ShiftHistory(outcome bool) { p.hist.shift(outcome) }
+
+// Reset implements Predictor.
+func (p *GHist) Reset() { p.t.reset(); p.hist.reset(); p.collision = false }
+
+// EnableCollisionTracking implements Collider.
+func (p *GHist) EnableCollisionTracking() { p.t.enableTags() }
+
+// LastCollision implements Collider.
+func (p *GHist) LastCollision() bool { return p.collision }
+
+// GShare xors branch address bits with the global history to index its
+// counter table (McFarling), blending bimodal and ghist behaviour.
+type GShare struct {
+	t         *table
+	hist      ghr
+	idxBits   int
+	collision bool
+}
+
+// NewGShare builds a gshare predictor whose history length equals the index
+// width (a "full" gshare). Use NewGShareHist to pick a shorter history.
+func NewGShare(sizeBytes int) *GShare {
+	t := newTable(entriesForBytes(sizeBytes))
+	n := log2(t.entries())
+	return &GShare{t: t, hist: newGHR(n), idxBits: n}
+}
+
+// NewGShareHist builds a gshare with an explicit history length histLen
+// (clamped to the index width). The paper notes the best history length
+// varies with table size and program; experiments sweep this.
+func NewGShareHist(sizeBytes, histLen int) *GShare {
+	t := newTable(entriesForBytes(sizeBytes))
+	n := log2(t.entries())
+	if histLen > n {
+		histLen = n
+	}
+	if histLen < 0 {
+		histLen = 0
+	}
+	return &GShare{t: t, hist: newGHR(histLen), idxBits: n}
+}
+
+// Name implements Predictor.
+func (p *GShare) Name() string {
+	if p.hist.len != p.idxBits {
+		return fmt.Sprintf("gshare(h=%d)", p.hist.len)
+	}
+	return "gshare"
+}
+
+// SizeBits implements Predictor.
+func (p *GShare) SizeBits() int { return p.t.sizeBits() + p.hist.sizeBits() }
+
+func (p *GShare) index(pc uint64) uint64 {
+	return pcIndex(pc) ^ p.hist.value(p.hist.len)
+}
+
+// Predict implements Predictor.
+func (p *GShare) Predict(pc uint64) bool {
+	c, col := p.t.read(p.index(pc), pc)
+	p.collision = col
+	return taken(c)
+}
+
+// Update implements Predictor.
+func (p *GShare) Update(pc uint64, outcome bool) {
+	p.t.update(p.index(pc), outcome)
+	p.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (p *GShare) ShiftHistory(outcome bool) { p.hist.shift(outcome) }
+
+// Reset implements Predictor.
+func (p *GShare) Reset() { p.t.reset(); p.hist.reset(); p.collision = false }
+
+// EnableCollisionTracking implements Collider.
+func (p *GShare) EnableCollisionTracking() { p.t.enableTags() }
+
+// LastCollision implements Collider.
+func (p *GShare) LastCollision() bool { return p.collision }
+
+// HistoryLen reports the configured global history length.
+func (p *GShare) HistoryLen() int { return p.hist.len }

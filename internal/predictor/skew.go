@@ -1,0 +1,82 @@
+package predictor
+
+// Skewing functions from Seznec's skewed-associative work, used by the
+// e-gskew and 2bcgskew predictors. The point of the family is that two
+// (address, history) pairs that collide in one bank are guaranteed (with high
+// probability) not to collide in the others, converting destructive aliasing
+// into recoverable single-bank noise that the majority vote absorbs.
+//
+// hFunc is a one-bit LFSR step on an n-bit value:
+//
+//	H(y)  rotates y right by one, feeding back y0 xor y(n-1) into the top bit
+//	H⁻¹   is its exact inverse
+//
+// Both are bijections on n-bit values, so each skewing function below is a
+// bijection of the 2n-bit input (v1, v2) onto n-bit indices per bank.
+
+// hFunc computes H(y) over n-bit values. For n < 2 it degenerates to the
+// identity (a 1-bit value has no distinct rotation).
+func hFunc(y uint64, n int) uint64 {
+	mask := (uint64(1) << n) - 1
+	y &= mask
+	if n < 2 {
+		return y
+	}
+	fb := (y ^ (y >> (n - 1))) & 1
+	return ((y >> 1) | (fb << (n - 1))) & mask
+}
+
+// hInv computes H⁻¹(y) over n-bit values.
+func hInv(y uint64, n int) uint64 {
+	mask := (uint64(1) << n) - 1
+	y &= mask
+	if n < 2 {
+		return y
+	}
+	top := (y >> (n - 1)) & 1
+	next := (y >> (n - 2)) & 1
+	b0 := top ^ next
+	return ((y << 1) | b0) & mask
+}
+
+// skewIndex computes the bank-th skewing function over the 2n-bit input
+// split into high part v1 and low part v2:
+//
+//	f0(v1,v2) = H(v1)   xor H⁻¹(v2) xor v2
+//	f1(v1,v2) = H(v1)   xor H⁻¹(v2) xor v1
+//	f2(v1,v2) = H⁻¹(v1) xor H(v2)  xor v2
+func skewIndex(bank int, v1, v2 uint64, n int) uint64 {
+	mask := (uint64(1) << n) - 1
+	v1 &= mask
+	v2 &= mask
+	switch bank {
+	case 0:
+		return hFunc(v1, n) ^ hInv(v2, n) ^ v2
+	case 1:
+		return hFunc(v1, n) ^ hInv(v2, n) ^ v1
+	default:
+		return hInv(v1, n) ^ hFunc(v2, n) ^ v2
+	}
+}
+
+// bankInput builds the (v1, v2) pair for a skewed bank from the branch
+// address and hlen bits of global history. The address contributes both
+// halves so that zero-history configurations still separate branches; the
+// history is folded into the low half, which is where the skewing functions
+// diffuse bits fastest.
+func bankInput(pc uint64, hist uint64, hlen, n int) (v1, v2 uint64) {
+	a := pcIndex(pc)
+	mask := (uint64(1) << n) - 1
+	h := hist
+	if hlen < 64 {
+		h &= (uint64(1) << hlen) - 1
+	}
+	v1 = (a >> n) & mask
+	v2 = (a ^ h) & mask
+	// Fold history bits beyond the index width back in so long histories
+	// still influence the index.
+	if hlen > n {
+		v1 ^= (h >> n) & mask
+	}
+	return v1, v2
+}

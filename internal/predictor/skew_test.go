@@ -1,0 +1,118 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHFuncInverse(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		mask := (uint64(1) << n) - 1
+		for y := uint64(0); y <= mask && y < 4096; y++ {
+			if got := hInv(hFunc(y, n), n); got != y {
+				t.Fatalf("n=%d: hInv(hFunc(%#x)) = %#x", n, y, got)
+			}
+			if got := hFunc(hInv(y, n), n); got != y {
+				t.Fatalf("n=%d: hFunc(hInv(%#x)) = %#x", n, y, got)
+			}
+		}
+	}
+}
+
+func TestHFuncInverseProperty(t *testing.T) {
+	f := func(y uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%19) // 2..20
+		y &= (uint64(1) << n) - 1
+		return hInv(hFunc(y, n), n) == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHFuncIsPermutation(t *testing.T) {
+	const n = 10
+	seen := make([]bool, 1<<n)
+	for y := uint64(0); y < 1<<n; y++ {
+		v := hFunc(y, n)
+		if seen[v] {
+			t.Fatalf("hFunc not injective at %#x", y)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHFuncDegenerateWidth(t *testing.T) {
+	for _, y := range []uint64{0, 1} {
+		if hFunc(y, 1) != y || hInv(y, 1) != y {
+			t.Fatalf("1-bit H must be identity")
+		}
+	}
+}
+
+// skewIndex over a full (v1, v2) square must hit every index equally often:
+// each skewing function is a balanced map from 2n bits onto n bits.
+func TestSkewIndexBalanced(t *testing.T) {
+	const n = 6
+	for bank := 0; bank < 3; bank++ {
+		counts := make([]int, 1<<n)
+		for v1 := uint64(0); v1 < 1<<n; v1++ {
+			for v2 := uint64(0); v2 < 1<<n; v2++ {
+				counts[skewIndex(bank, v1, v2, n)]++
+			}
+		}
+		for idx, c := range counts {
+			if c != 1<<n {
+				t.Fatalf("bank %d: index %d hit %d times, want %d", bank, idx, c, 1<<n)
+			}
+		}
+	}
+}
+
+// Pairs that collide in one bank should (almost) never collide in all
+// banks — the de-aliasing property the skewing family exists for.
+func TestSkewIndexDecorrelatesBanks(t *testing.T) {
+	const n = 8
+	type pair struct{ v1, v2 uint64 }
+	// group inputs by bank-0 index, then check bank-1 spreads each group
+	groups := map[uint64][]pair{}
+	for v1 := uint64(0); v1 < 64; v1++ {
+		for v2 := uint64(0); v2 < 64; v2++ {
+			idx := skewIndex(0, v1, v2, n)
+			groups[idx] = append(groups[idx], pair{v1, v2})
+		}
+	}
+	bothCollide := 0
+	total := 0
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			total++
+			if skewIndex(1, g[0].v1, g[0].v2, n) == skewIndex(1, g[i].v1, g[i].v2, n) {
+				bothCollide++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no bank-0 collisions in sample")
+	}
+	if frac := float64(bothCollide) / float64(total); frac > 0.05 {
+		t.Fatalf("%.1f%% of bank-0-colliding pairs also collide in bank 1", 100*frac)
+	}
+}
+
+func TestBankInputDeterministic(t *testing.T) {
+	v1a, v2a := bankInput(0x1234_5678, 0xabcd, 12, 10)
+	v1b, v2b := bankInput(0x1234_5678, 0xabcd, 12, 10)
+	if v1a != v1b || v2a != v2b {
+		t.Fatalf("bankInput not deterministic")
+	}
+	mask := uint64(1)<<10 - 1
+	if v1a&^mask != 0 || v2a&^mask != 0 {
+		t.Fatalf("bankInput exceeded index width")
+	}
+	// history must influence the input
+	_, v2c := bankInput(0x1234_5678, 0xabce, 12, 10)
+	if v2c == v2a {
+		t.Fatalf("history change did not alter bank input")
+	}
+}

@@ -1,0 +1,146 @@
+package predictor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// New builds a predictor from a spec string of the form
+//
+//	name[:size][:key=value,...]
+//
+// where size accepts a decimal byte count with an optional K/KB/M/MB suffix
+// (e.g. "gshare:16KB", "2bcgskew:8K", "bimodal:2048B"). Recognized names:
+//
+//	bimodal, ghist, gshare, bimode, 2bcgskew    (the paper's five)
+//	agree, gskew, yags, local, mcfarling        (contemporary extensions)
+//	tage, perceptron                            (modern successors)
+//	taken, nottaken                             (trivial static baselines)
+//
+// Options: h=<n> sets the gshare global history length.
+func New(spec string) (Predictor, error) {
+	parts := strings.Split(spec, ":")
+	name := strings.ToLower(strings.TrimSpace(parts[0]))
+
+	sizeBytes := 8 * 1024 // default: the 8KB point most paper tables use
+	opts := map[string]int{}
+	for _, part := range parts[1:] {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.Contains(part, "=") {
+			for _, kv := range strings.Split(part, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("predictor: bad option %q in spec %q", kv, spec)
+				}
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil {
+					return nil, fmt.Errorf("predictor: bad option value %q in spec %q", kv, spec)
+				}
+				opts[strings.ToLower(strings.TrimSpace(k))] = n
+			}
+			continue
+		}
+		n, err := ParseSize(part)
+		if err != nil {
+			return nil, fmt.Errorf("predictor: spec %q: %w", spec, err)
+		}
+		sizeBytes = n
+	}
+
+	switch name {
+	case "bimodal":
+		return NewBimodal(sizeBytes), nil
+	case "ghist", "gag":
+		return NewGHist(sizeBytes), nil
+	case "gshare":
+		if h, ok := opts["h"]; ok {
+			return NewGShareHist(sizeBytes, h), nil
+		}
+		return NewGShare(sizeBytes), nil
+	case "bimode", "bi-mode":
+		return NewBiMode(sizeBytes), nil
+	case "2bcgskew", "2bc-gskew":
+		return NewTwoBcGskew(sizeBytes), nil
+	case "agree":
+		return NewAgree(sizeBytes), nil
+	case "gskew", "egskew", "e-gskew":
+		return NewGSkew(sizeBytes), nil
+	case "yags":
+		return NewYAGS(sizeBytes), nil
+	case "local", "pag":
+		return NewLocal(sizeBytes), nil
+	case "mcfarling", "combining":
+		return NewMcFarling(sizeBytes), nil
+	case "tage":
+		return NewTAGE(sizeBytes), nil
+	case "perceptron":
+		return NewPerceptron(sizeBytes), nil
+	case "taken":
+		return AlwaysTaken{}, nil
+	case "nottaken", "not-taken":
+		return AlwaysNotTaken{}, nil
+	default:
+		return nil, fmt.Errorf("predictor: unknown scheme %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// MustNew is New for known-good literal specs in tests and examples.
+func MustNew(spec string) Predictor {
+	p, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists the scheme names New accepts, sorted.
+func Names() []string {
+	names := []string{
+		"bimodal", "ghist", "gshare", "bimode", "2bcgskew",
+		"agree", "gskew", "yags", "local", "mcfarling",
+		"tage", "perceptron", "taken", "nottaken",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSize parses a byte-count string with an optional B/K/KB/M/MB suffix
+// (case-insensitive): "8KB" → 8192, "512" → 512.
+func ParseSize(s string) (int, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "M"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "M")
+	case strings.HasSuffix(u, "K"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "K")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(u))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+// FormatSize renders a byte count the way the paper's axes do: "8KB".
+func FormatSize(bytes int) string {
+	switch {
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", bytes>>20)
+	case bytes >= 1<<10 && bytes%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -1,0 +1,137 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"bimodal", "bimodal"},
+		{"bimodal:2KB", "bimodal"},
+		{"gshare:16KB", "gshare"},
+		{"gshare:16KB:h=4", "gshare(h=4)"},
+		{"GSHARE:16kb", "gshare"},
+		{"ghist:512B", "ghist"},
+		{"gag:1K", "ghist"},
+		{"bi-mode:4K", "bimode"},
+		{"2bcgskew:8KB", "2bcgskew"},
+		{"2bc-gskew:8KB", "2bcgskew"},
+		{"egskew:2KB", "gskew"},
+		{"pag:2KB", "local"},
+		{"combining:2KB", "mcfarling"},
+		{"taken", "taken"},
+		{"not-taken", "nottaken"},
+	}
+	for _, c := range cases {
+		p, err := New(c.spec)
+		if err != nil {
+			t.Errorf("New(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("New(%q).Name() = %q, want %q", c.spec, p.Name(), c.name)
+		}
+	}
+}
+
+func TestNewInvalidSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"", "ittage:8KB", "gshare:-1KB", "gshare:0", "gshare:xKB",
+		"gshare:8KB:h", "gshare:8KB:h=x", "gshare:8QB",
+	} {
+		if _, err := New(spec); err == nil {
+			t.Errorf("New(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestNewErrorMentionsKnownSchemes(t *testing.T) {
+	_, err := New("nosuch:1KB")
+	if err == nil || !strings.Contains(err.Error(), "gshare") {
+		t.Errorf("unknown-scheme error should list known schemes: %v", err)
+	}
+}
+
+func TestMustNewPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew did not panic")
+		}
+	}()
+	MustNew("bogus")
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"512":   512,
+		"512B":  512,
+		"8K":    8192,
+		"8KB":   8192,
+		"8kb":   8192,
+		"1M":    1 << 20,
+		"2MB":   2 << 20,
+		" 4KB ": 4096,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "-4KB", "0", "KB", "4GB2"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) succeeded", in)
+		}
+	}
+}
+
+func TestFormatSizeRoundTrip(t *testing.T) {
+	for _, bytes := range []int{512, 1 << 10, 8 << 10, 64 << 10, 1 << 20, 3 << 20, 1000} {
+		s := FormatSize(bytes)
+		back, err := ParseSize(s)
+		if err != nil || back != bytes {
+			t.Errorf("FormatSize(%d) = %q, parses back to %d, %v", bytes, s, back, err)
+		}
+	}
+}
+
+func TestDefaultSizeIs8KB(t *testing.T) {
+	p := MustNew("bimodal")
+	want := NewBimodal(8 << 10).SizeBits()
+	if p.SizeBits() != want {
+		t.Errorf("default bimodal size = %d bits, want %d", p.SizeBits(), want)
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, err := New(n); err != nil {
+			t.Errorf("listed scheme %q does not construct: %v", n, err)
+		}
+	}
+}
+
+func TestEntriesForBytes(t *testing.T) {
+	cases := map[int]int{
+		1:    4,
+		2:    8,
+		1024: 4096,
+		1023: 2048,
+		0:    4, // clamped to 1 byte
+	}
+	for bytes, want := range cases {
+		if got := entriesForBytes(bytes); got != want {
+			t.Errorf("entriesForBytes(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}

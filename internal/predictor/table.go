@@ -1,0 +1,138 @@
+package predictor
+
+// ctrMax is the saturation value of a 2-bit counter; ctrInit is the power-on
+// value (weakly not-taken). The taken threshold is the counter's MSB, i.e.
+// values 2 and 3 predict taken.
+const (
+	ctrMax       = 3
+	ctrInit      = 1
+	ctrThreshold = 2
+)
+
+// table is a power-of-two array of 2-bit saturating up/down counters with
+// optional per-entry PC tags for collision instrumentation.
+//
+// Counters are stored one per byte: the simulator is memory-bound on real
+// table sizes (≤ 256K entries), and byte access keeps Read/Update branch-free
+// and fast, while SizeBits still reports the architectural 2 bits per entry.
+type table struct {
+	ctr  []uint8
+	tags []uint64 // nil unless collision tracking enabled; tag = pc+1 (0 = never used)
+	mask uint64
+}
+
+func newTable(entries int) *table {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predictor: table entries must be a positive power of two")
+	}
+	t := &table{ctr: make([]uint8, entries), mask: uint64(entries - 1)}
+	t.reset()
+	return t
+}
+
+func (t *table) reset() {
+	for i := range t.ctr {
+		t.ctr[i] = ctrInit
+	}
+	if t.tags != nil {
+		t.tags = make([]uint64, len(t.ctr))
+	}
+}
+
+func (t *table) entries() int { return len(t.ctr) }
+
+// sizeBits is the architectural storage: 2 bits per counter. Tags are
+// instrumentation, not hardware, and are excluded — as in the paper, which
+// counted collisions in software while costing only the counter arrays.
+func (t *table) sizeBits() int { return 2 * len(t.ctr) }
+
+func (t *table) enableTags() {
+	if t.tags == nil {
+		t.tags = make([]uint64, len(t.ctr))
+	}
+}
+
+// read returns the counter at idx and whether the access collided (the entry
+// was last used by a different PC). It installs pc as the entry's tag.
+func (t *table) read(idx, pc uint64) (ctr uint8, collided bool) {
+	idx &= t.mask
+	ctr = t.ctr[idx]
+	if t.tags != nil {
+		old := t.tags[idx]
+		collided = old != 0 && old != pc+1
+		t.tags[idx] = pc + 1
+	}
+	return ctr, collided
+}
+
+// taken reports the direction a counter value predicts.
+func taken(ctr uint8) bool { return ctr >= ctrThreshold }
+
+// update trains the counter at idx toward the outcome.
+func (t *table) update(idx uint64, outcome bool) {
+	idx &= t.mask
+	c := t.ctr[idx]
+	if outcome {
+		if c < ctrMax {
+			t.ctr[idx] = c + 1
+		}
+	} else if c > 0 {
+		t.ctr[idx] = c - 1
+	}
+}
+
+// strengthen moves the counter at idx toward outcome only if it already
+// agrees with it (re-enforcement without allowing a flip). Used by the
+// 2bcgskew partial-update policy.
+func (t *table) strengthen(idx uint64, outcome bool) {
+	idx &= t.mask
+	c := t.ctr[idx]
+	if taken(c) == outcome {
+		if outcome {
+			if c < ctrMax {
+				t.ctr[idx] = c + 1
+			}
+		} else if c > 0 {
+			t.ctr[idx] = c - 1
+		}
+	}
+}
+
+// ghr is a global branch history register of fixed length.
+type ghr struct {
+	bits uint64
+	len  int
+}
+
+func newGHR(length int) ghr {
+	if length < 0 {
+		length = 0
+	}
+	if length > 64 {
+		length = 64
+	}
+	return ghr{len: length}
+}
+
+func (g *ghr) shift(taken bool) {
+	g.bits <<= 1
+	if taken {
+		g.bits |= 1
+	}
+	if g.len < 64 {
+		g.bits &= (uint64(1) << g.len) - 1
+	}
+}
+
+// value returns the low n bits of the history (n ≤ g.len assumed by callers).
+func (g *ghr) value(n int) uint64 {
+	if n >= 64 {
+		return g.bits
+	}
+	return g.bits & ((uint64(1) << n) - 1)
+}
+
+func (g *ghr) reset() { g.bits = 0 }
+
+// sizeBits of the history register itself.
+func (g *ghr) sizeBits() int { return g.len }

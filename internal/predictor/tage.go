@@ -1,0 +1,299 @@
+package predictor
+
+// TAGE (TAgged GEometric history length) is Seznec's successor to 2bcgskew:
+// a bimodal base predictor plus several partially tagged components indexed
+// with geometrically increasing history lengths. The longest-history
+// component that *tag-matches* provides the prediction; allocation on
+// mispredictions steers each branch to the shortest history that predicts
+// it.
+//
+// It is not part of the paper's evaluated set (it postdates it by six
+// years), but it is the natural end point of the de-aliasing arms race the
+// paper participates in: tags remove destructive aliasing directly. The
+// abl-modern experiment asks the paper's question against it — how much
+// headroom is left for profile-guided static filtering once the dynamic
+// predictor de-aliases itself.
+//
+// This is a compact, faithful TAGE: per-entry 3-bit counters, 2-bit useful
+// bits, partial tags, a use-alternate-on-newly-allocated policy, and
+// periodic useful-bit aging. No loop predictor or statistical corrector.
+type TAGE struct {
+	base *table // bimodal base
+
+	comps []tageComp
+	hist  ghr
+
+	// lookup state
+	lBaseIdx  uint64
+	lProvider int // component index, -1 = base
+	lAltPred  bool
+	lProvPred bool
+	lPred     bool
+	lIdx      []uint64
+	lTagMatch []bool
+	lNewAlloc bool
+	collision bool
+	tick      int
+}
+
+type tageComp struct {
+	ctr     []int8 // 3-bit signed counters, -4..3; >= 0 predicts taken
+	tag     []uint16
+	useful  []uint8 // 2-bit useful counters
+	mask    uint64
+	histLen int
+	tagBits int
+
+	dbgTags []uint64 // collision instrumentation (last PC per entry)
+}
+
+// tageHistLens are the geometric history lengths of the tagged components.
+var tageHistLens = []int{4, 8, 16, 32, 64}
+
+// NewTAGE builds a TAGE within sizeBytes. The base bimodal gets a quarter of
+// the budget; the rest splits evenly across the tagged components (each
+// entry costs 3+2+tagBits bits).
+func NewTAGE(sizeBytes int) *TAGE {
+	baseBudget := sizeBytes / 4
+	if baseBudget < 1 {
+		baseBudget = 1
+	}
+	t := &TAGE{base: newTable(entriesForBytes(baseBudget))}
+
+	nComp := len(tageHistLens)
+	perComp := (sizeBytes - baseBudget) / nComp
+	for i, hl := range tageHistLens {
+		tagBits := 7 + i // longer histories earn longer tags
+		entryBits := 3 + 2 + tagBits
+		e := 2
+		for e*2*entryBits <= perComp*8 {
+			e *= 2
+		}
+		t.comps = append(t.comps, tageComp{
+			ctr:     make([]int8, e),
+			tag:     make([]uint16, e),
+			useful:  make([]uint8, e),
+			mask:    uint64(e - 1),
+			histLen: hl,
+			tagBits: tagBits,
+		})
+	}
+	t.hist = newGHR(64)
+	t.lIdx = make([]uint64, nComp)
+	t.lTagMatch = make([]bool, nComp)
+	return t
+}
+
+// Name implements Predictor.
+func (t *TAGE) Name() string { return "tage" }
+
+// SizeBits implements Predictor.
+func (t *TAGE) SizeBits() int {
+	bits := t.base.sizeBits() + t.hist.sizeBits()
+	for _, c := range t.comps {
+		bits += len(c.ctr) * (3 + 2 + c.tagBits)
+	}
+	return bits
+}
+
+// foldHistory compresses hl bits of history into width bits by xor-folding.
+func foldHistory(hist uint64, hl, width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	h := hist
+	if hl < 64 {
+		h &= (uint64(1) << hl) - 1
+	}
+	var out uint64
+	for hl > 0 {
+		out ^= h & ((uint64(1) << width) - 1)
+		h >>= width
+		hl -= width
+	}
+	return out
+}
+
+func (c *tageComp) index(pc, hist uint64) uint64 {
+	w := log2(len(c.ctr))
+	a := pcIndex(pc)
+	return (a ^ (a >> w) ^ foldHistory(hist, c.histLen, w)) & c.mask
+}
+
+func (c *tageComp) tagOf(pc, hist uint64) uint16 {
+	a := pcIndex(pc)
+	return uint16((a ^ (a >> 5) ^ foldHistory(hist, c.histLen, c.tagBits) ^
+		foldHistory(hist, c.histLen, c.tagBits-1)<<1) & ((1 << c.tagBits) - 1))
+}
+
+// Predict implements Predictor.
+func (t *TAGE) Predict(pc uint64) bool {
+	t.lBaseIdx = pcIndex(pc)
+	baseCtr, col := t.base.read(t.lBaseIdx, pc)
+	t.collision = col
+	basePred := taken(baseCtr)
+
+	t.lProvider = -1
+	alt := basePred
+	pred := basePred
+	altSet := false
+	for i := range t.comps {
+		c := &t.comps[i]
+		t.lIdx[i] = c.index(pc, t.hist.bits)
+		t.lTagMatch[i] = c.tag[t.lIdx[i]] == c.tagOf(pc, t.hist.bits)
+		if c.dbgTags != nil {
+			old := c.dbgTags[t.lIdx[i]]
+			if old != 0 && old != pc+1 {
+				t.collision = true
+			}
+			c.dbgTags[t.lIdx[i]] = pc + 1
+		}
+		if t.lTagMatch[i] {
+			if t.lProvider >= 0 {
+				alt = t.comps[t.lProvider].ctr[t.lIdx[t.lProvider]] >= 0
+				altSet = true
+			}
+			t.lProvider = i
+		}
+	}
+	if t.lProvider >= 0 {
+		prov := &t.comps[t.lProvider]
+		ctr := prov.ctr[t.lIdx[t.lProvider]]
+		t.lProvPred = ctr >= 0
+		if !altSet {
+			alt = basePred
+		}
+		// use-alt-on-newly-allocated: weak counter + not useful
+		weak := ctr == 0 || ctr == -1
+		t.lNewAlloc = weak && prov.useful[t.lIdx[t.lProvider]] == 0
+		if t.lNewAlloc {
+			pred = alt
+		} else {
+			pred = t.lProvPred
+		}
+	} else {
+		t.lProvPred = basePred
+		t.lNewAlloc = false
+	}
+	t.lAltPred = alt
+	t.lPred = pred
+	return pred
+}
+
+func ctr3Update(v int8, outcome bool) int8 {
+	if outcome {
+		if v < 3 {
+			return v + 1
+		}
+		return v
+	}
+	if v > -4 {
+		return v - 1
+	}
+	return v
+}
+
+// Update implements Predictor.
+func (t *TAGE) Update(pc uint64, outcome bool) {
+	correct := t.lPred == outcome
+
+	if t.lProvider >= 0 {
+		prov := &t.comps[t.lProvider]
+		idx := t.lIdx[t.lProvider]
+		// useful bit: provider beat the alternate
+		if t.lProvPred != t.lAltPred {
+			if t.lProvPred == outcome {
+				if prov.useful[idx] < 3 {
+					prov.useful[idx]++
+				}
+			} else if prov.useful[idx] > 0 {
+				prov.useful[idx]--
+			}
+		}
+		prov.ctr[idx] = ctr3Update(prov.ctr[idx], outcome)
+		// train the base too when the provider entry is freshly allocated
+		if t.lNewAlloc {
+			t.base.update(t.lBaseIdx, outcome)
+		}
+	} else {
+		t.base.update(t.lBaseIdx, outcome)
+	}
+
+	// allocate a longer-history entry on a misprediction
+	if !correct && t.lProvider < len(t.comps)-1 {
+		start := t.lProvider + 1
+		allocated := false
+		for i := start; i < len(t.comps); i++ {
+			c := &t.comps[i]
+			idx := c.index(pc, t.hist.bits)
+			if c.useful[idx] == 0 {
+				c.tag[idx] = c.tagOf(pc, t.hist.bits)
+				if outcome {
+					c.ctr[idx] = 0
+				} else {
+					c.ctr[idx] = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// decay useful bits on the candidates so future allocations
+			// succeed (the classic anti-ping-pong mechanism)
+			for i := start; i < len(t.comps); i++ {
+				c := &t.comps[i]
+				idx := c.index(pc, t.hist.bits)
+				if c.useful[idx] > 0 {
+					c.useful[idx]--
+				}
+			}
+		}
+		// periodic global aging
+		t.tick++
+		if t.tick >= 1<<18 {
+			t.tick = 0
+			for i := range t.comps {
+				for j := range t.comps[i].useful {
+					t.comps[i].useful[j] >>= 1
+				}
+			}
+		}
+	}
+
+	t.hist.shift(outcome)
+}
+
+// ShiftHistory implements HistoryShifter.
+func (t *TAGE) ShiftHistory(outcome bool) { t.hist.shift(outcome) }
+
+// Reset implements Predictor.
+func (t *TAGE) Reset() {
+	t.base.reset()
+	for i := range t.comps {
+		c := &t.comps[i]
+		for j := range c.ctr {
+			c.ctr[j] = 0
+			c.tag[j] = 0
+			c.useful[j] = 0
+		}
+		if c.dbgTags != nil {
+			c.dbgTags = make([]uint64, len(c.ctr))
+		}
+	}
+	t.hist.reset()
+	t.tick = 0
+	t.collision = false
+}
+
+// EnableCollisionTracking implements Collider.
+func (t *TAGE) EnableCollisionTracking() {
+	t.base.enableTags()
+	for i := range t.comps {
+		if t.comps[i].dbgTags == nil {
+			t.comps[i].dbgTags = make([]uint64, len(t.comps[i].ctr))
+		}
+	}
+}
+
+// LastCollision implements Collider.
+func (t *TAGE) LastCollision() bool { return t.collision }

@@ -1,0 +1,39 @@
+package predictor
+
+// AlwaysTaken predicts every branch taken. It is the degenerate static
+// baseline; backward-taken/forward-not-taken heuristics and profile-based
+// static schemes are measured against it in the ablation experiments.
+type AlwaysTaken struct{}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "taken" }
+
+// SizeBits implements Predictor.
+func (AlwaysTaken) SizeBits() int { return 0 }
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(uint64, bool) {}
+
+// Reset implements Predictor.
+func (AlwaysTaken) Reset() {}
+
+// AlwaysNotTaken predicts every branch not taken.
+type AlwaysNotTaken struct{}
+
+// Name implements Predictor.
+func (AlwaysNotTaken) Name() string { return "nottaken" }
+
+// SizeBits implements Predictor.
+func (AlwaysNotTaken) SizeBits() int { return 0 }
+
+// Predict implements Predictor.
+func (AlwaysNotTaken) Predict(uint64) bool { return false }
+
+// Update implements Predictor.
+func (AlwaysNotTaken) Update(uint64, bool) {}
+
+// Reset implements Predictor.
+func (AlwaysNotTaken) Reset() {}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileFormat is the on-disk JSON shape. Branches are stored as a PC-sorted
+// slice (JSON objects cannot key on uint64, and sorted output diffs well).
+type fileFormat struct {
+	Version      int            `json:"version"`
+	Workload     string         `json:"workload"`
+	Input        string         `json:"input"`
+	Predictor    string         `json:"predictor,omitempty"`
+	Instructions uint64         `json:"instructions"`
+	Branches     []*BranchStats `json:"branches"`
+}
+
+const fileVersion = 1
+
+// Save writes the database as JSON.
+func (d *DB) Save(w io.Writer) error {
+	ff := fileFormat{
+		Version:      fileVersion,
+		Workload:     d.Workload,
+		Input:        d.Input,
+		Predictor:    d.Predictor,
+		Instructions: d.Instructions,
+		Branches:     d.Branches(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(&ff); err != nil {
+		return fmt.Errorf("profile: encoding database: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("profile: decoding database: %w", err)
+	}
+	if ff.Version != fileVersion {
+		return nil, fmt.Errorf("profile: unsupported database version %d", ff.Version)
+	}
+	d := NewDB(ff.Workload, ff.Input)
+	d.Predictor = ff.Predictor
+	d.Instructions = ff.Instructions
+	for _, b := range ff.Branches {
+		if prev, dup := d.byPC[b.PC]; dup {
+			return nil, fmt.Errorf("profile: duplicate record for pc %#x (%v, %v)", b.PC, prev, b)
+		}
+		d.byPC[b.PC] = b
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveFile writes the database to path.
+func (d *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,127 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// the two formats the bench harness and the bpexperiment tool emit.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple rectangular result table with a title and column
+// headers. Cells are preformatted strings; numeric formatting is the
+// producer's job so each experiment controls its own precision.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes are free-form lines printed under the table (substitutions,
+	// caveats, paper references).
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len([]rune(t.Title))))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (headers first, no title).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a fraction as a percentage with one decimal, e.g. 0.153 →
+// "15.3%".
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// PctDelta formats a relative improvement (positive = better) with one
+// decimal and an explicit sign, matching the paper's Tables 3 and 4.
+func PctDelta(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}

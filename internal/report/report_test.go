@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	tb.AddNote("a note")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "Demo" || lines[1] != "====" {
+		t.Fatalf("title block wrong: %q %q", lines[0], lines[1])
+	}
+	// header and rows must align on the widest cell
+	if !strings.HasPrefix(lines[2], "Name    Value") {
+		t.Fatalf("header row = %q", lines[2])
+	}
+	if lines[4] != "a       1" {
+		t.Fatalf("row = %q", lines[4])
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+	for _, ln := range lines {
+		if strings.HasSuffix(ln, " ") {
+			t.Fatalf("trailing spaces in %q", ln)
+		}
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow("x")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n=") {
+		t.Fatalf("empty title rendered a rule")
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := NewTable("t", "A", "B", "C")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `has "quotes", commas`)
+	tb.AddRow("3", "has\nnewline")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n1,plain\n2,\"has \"\"quotes\"\", commas\"\n3,\"has\nnewline\"\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+	if PctDelta(0.05) != "+5.0%" || PctDelta(-0.021) != "-2.1%" {
+		t.Errorf("PctDelta = %q / %q", PctDelta(0.05), PctDelta(-0.021))
+	}
+	if F(3.14159, 2) != "3.14" || F(2, 0) != "2" {
+		t.Errorf("F formatting wrong")
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := NewTable("t", "Σ", "x")
+	tb.AddRow("αβγ", "1")
+	tb.AddRow("a", "2")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	// the second data row must pad "a" to the rune width of "αβγ" (3)
+	if lines[5] != "a    2" {
+		t.Fatalf("unicode alignment broken: %q", lines[5])
+	}
+}

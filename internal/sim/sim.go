@@ -1,0 +1,167 @@
+// Package sim drives a predictor over a dynamic branch stream and
+// accumulates the paper's metrics: mispredictions per thousand instructions
+// (MISPs/KI), prediction accuracy, and collision counts split into
+// constructive and destructive.
+//
+// The Runner is a trace.Recorder, so anything that produces a branch stream
+// — an instrumented workload, a trace file replay, a synthetic generator —
+// can feed it directly, with no intermediate buffering.
+package sim
+
+import (
+	"fmt"
+
+	"branchsim/internal/predictor"
+	"branchsim/internal/profile"
+	"branchsim/internal/trace"
+)
+
+// Collisions counts predictor-table aliasing events, classified the way the
+// paper does: a collision is a lookup whose counter was last used by a
+// different branch; it is constructive when the final prediction was
+// nevertheless correct, destructive when it was wrong.
+type Collisions struct {
+	Total        uint64
+	Constructive uint64
+	Destructive  uint64
+}
+
+// Metrics is the result of one simulation run.
+type Metrics struct {
+	Predictor string
+	Workload  string
+	Input     string
+
+	trace.Counts
+	Mispredicts uint64
+
+	// Collisions is populated only when the predictor supports tracking
+	// and the Runner was built with WithCollisions.
+	Collisions        Collisions
+	CollisionsTracked bool
+}
+
+// MISPKI returns mispredictions per thousand instructions, the paper's
+// primary metric (it argues MISPs/KI beats raw accuracy because it weights
+// programs by branch density).
+func (m *Metrics) MISPKI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(m.Mispredicts) / float64(m.Instructions)
+}
+
+// Accuracy returns the fraction of branches predicted correctly.
+func (m *Metrics) Accuracy() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return 1 - float64(m.Mispredicts)/float64(m.Branches)
+}
+
+// String summarizes the run.
+func (m *Metrics) String() string {
+	s := fmt.Sprintf("%s on %s/%s: %.3f MISP/KI (acc %.2f%%, %d br, %d instr)",
+		m.Predictor, m.Workload, m.Input, m.MISPKI(), 100*m.Accuracy(), m.Branches, m.Instructions)
+	if m.CollisionsTracked {
+		s += fmt.Sprintf(", collisions %d (%d constructive, %d destructive)",
+			m.Collisions.Total, m.Collisions.Constructive, m.Collisions.Destructive)
+	}
+	return s
+}
+
+// Runner feeds a predictor from a branch stream. It implements
+// trace.Recorder.
+type Runner struct {
+	p       predictor.Predictor
+	col     predictor.Collider
+	prof    *profile.DB
+	metrics Metrics
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithCollisions enables collision tracking when the predictor supports it.
+func WithCollisions() Option {
+	return func(r *Runner) {
+		if c, ok := r.p.(predictor.Collider); ok {
+			c.EnableCollisionTracking()
+			r.col = c
+			r.metrics.CollisionsTracked = true
+		}
+	}
+}
+
+// WithProfile collects per-branch statistics into db during the run — the
+// paper's phase-1 profiling. Per-branch accuracy (and destructive-collision
+// counts, if tracking is on) refer to the Runner's predictor, so db.Predictor
+// is set to its name.
+func WithProfile(db *profile.DB) Option {
+	return func(r *Runner) {
+		r.prof = db
+		db.Predictor = r.p.Name()
+	}
+}
+
+// WithLabels sets the workload/input labels recorded in the metrics.
+func WithLabels(workload, input string) Option {
+	return func(r *Runner) {
+		r.metrics.Workload = workload
+		r.metrics.Input = input
+	}
+}
+
+// NewRunner builds a Runner around p.
+func NewRunner(p predictor.Predictor, opts ...Option) *Runner {
+	r := &Runner{p: p}
+	r.metrics.Predictor = p.Name()
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Branch implements trace.Recorder: predict, score, classify, train.
+func (r *Runner) Branch(pc uint64, taken bool) {
+	pred := r.p.Predict(pc)
+	correct := pred == taken
+	if !correct {
+		r.metrics.Mispredicts++
+	}
+	destructive := false
+	if r.col != nil && r.col.LastCollision() {
+		r.metrics.Collisions.Total++
+		if correct {
+			r.metrics.Collisions.Constructive++
+		} else {
+			r.metrics.Collisions.Destructive++
+			destructive = true
+		}
+	}
+	if r.prof != nil {
+		r.prof.RecordPredicted(pc, taken, correct)
+		if destructive {
+			r.prof.RecordDestructiveCollision(pc)
+		}
+	}
+	r.p.Update(pc, taken)
+	r.metrics.Counts.Branch(pc, taken)
+}
+
+// Ops implements trace.Recorder.
+func (r *Runner) Ops(n uint64) {
+	r.metrics.Counts.Ops(n)
+}
+
+// Metrics returns a snapshot of the accumulated results. When profiling is
+// enabled it also stamps the profile database with the instruction total.
+func (r *Runner) Metrics() Metrics {
+	if r.prof != nil {
+		r.prof.Instructions = r.metrics.Instructions
+	}
+	return r.metrics
+}
+
+// Predictor returns the predictor under test.
+func (r *Runner) Predictor() predictor.Predictor { return r.p }

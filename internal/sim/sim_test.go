@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"branchsim/internal/predictor"
+	"branchsim/internal/profile"
+)
+
+// scripted predicts from a fixed list and exposes collision flags.
+type scripted struct {
+	preds      []bool
+	collisions []bool
+	i          int
+	tracking   bool
+}
+
+func (s *scripted) Name() string  { return "scripted" }
+func (s *scripted) SizeBits() int { return 0 }
+func (s *scripted) Predict(uint64) bool {
+	p := s.preds[s.i]
+	return p
+}
+func (s *scripted) Update(uint64, bool) { s.i++ }
+func (s *scripted) Reset()              { s.i = 0 }
+func (s *scripted) EnableCollisionTracking() {
+	s.tracking = true
+}
+func (s *scripted) LastCollision() bool { return s.collisions[s.i] }
+
+func TestRunnerCountsMispredicts(t *testing.T) {
+	p := &scripted{preds: []bool{true, true, false, false}, collisions: make([]bool, 4)}
+	r := NewRunner(p, WithLabels("w", "i"))
+	outcomes := []bool{true, false, false, true} // 2 correct, 2 wrong
+	for k, o := range outcomes {
+		r.Branch(uint64(k*4), o)
+	}
+	r.Ops(96)
+	m := r.Metrics()
+	if m.Mispredicts != 2 || m.Branches != 4 || m.Instructions != 100 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if math.Abs(m.MISPKI()-20) > 1e-9 {
+		t.Fatalf("MISP/KI = %v, want 20", m.MISPKI())
+	}
+	if math.Abs(m.Accuracy()-0.5) > 1e-9 {
+		t.Fatalf("accuracy = %v, want 0.5", m.Accuracy())
+	}
+	if m.Workload != "w" || m.Input != "i" || m.Predictor != "scripted" {
+		t.Fatalf("labels = %+v", m)
+	}
+}
+
+func TestRunnerClassifiesCollisions(t *testing.T) {
+	p := &scripted{
+		preds:      []bool{true, true, true, true},
+		collisions: []bool{false, true, true, false},
+	}
+	r := NewRunner(p, WithCollisions())
+	if !p.tracking {
+		t.Fatalf("collision tracking not enabled on the predictor")
+	}
+	r.Branch(0, true)  // correct, no collision
+	r.Branch(4, true)  // correct, collision -> constructive
+	r.Branch(8, false) // wrong, collision -> destructive
+	r.Branch(12, true)
+	m := r.Metrics()
+	if !m.CollisionsTracked {
+		t.Fatalf("collisions not tracked")
+	}
+	if m.Collisions.Total != 2 || m.Collisions.Constructive != 1 || m.Collisions.Destructive != 1 {
+		t.Fatalf("collisions = %+v", m.Collisions)
+	}
+}
+
+func TestRunnerNoCollisionsForPlainPredictor(t *testing.T) {
+	// predictors without Collider support must simply not track
+	r := NewRunner(predictor.AlwaysTaken{}, WithCollisions())
+	r.Branch(0, true)
+	if m := r.Metrics(); m.CollisionsTracked {
+		t.Fatalf("tracked collisions on a trivial predictor")
+	}
+}
+
+func TestRunnerProfileCollection(t *testing.T) {
+	db := profile.NewDB("w", "i")
+	p := &scripted{
+		preds:      []bool{true, false, true},
+		collisions: []bool{false, true, false},
+	}
+	r := NewRunner(p, WithCollisions(), WithProfile(db))
+	r.Branch(0x10, true)  // predicted true: correct
+	r.Branch(0x10, true)  // predicted false: wrong + collision -> destructive
+	r.Branch(0x14, false) // predicted true: wrong
+	r.Ops(7)
+	r.Metrics()
+
+	if db.Predictor != "scripted" {
+		t.Fatalf("profile predictor = %q", db.Predictor)
+	}
+	b := db.Get(0x10)
+	if b == nil || b.Exec != 2 || b.Taken != 2 || b.Correct != 1 || b.Dcol != 1 {
+		t.Fatalf("profiled stats = %+v", b)
+	}
+	if db.Instructions != 10 {
+		t.Fatalf("profile instructions = %d", db.Instructions)
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	var m Metrics
+	if m.MISPKI() != 0 || m.Accuracy() != 0 {
+		t.Fatalf("zero metrics divide by zero")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	p := &scripted{preds: []bool{true}, collisions: []bool{false}}
+	r := NewRunner(p, WithLabels("gcc", "ref"), WithCollisions())
+	r.Branch(0, true)
+	m := r.Metrics()
+	s := m.String()
+	for _, want := range []string{"gcc", "ref", "scripted", "collisions"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

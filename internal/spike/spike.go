@@ -1,0 +1,198 @@
+// Package spike models the profile-database workflow the paper proposes for
+// production use (§5.1): a persistent store, named after Compaq's Spike
+// binary optimizer, that accumulates branch profiles across many runs of a
+// program, detects branches whose behaviour is unstable across inputs, and
+// generates static hints only from the stable majority.
+//
+// Layout under the store directory:
+//
+//	<workload>/run-00001.json    profile of one instrumented run
+//	<workload>/run-00002.json
+//	...
+//
+// Each run is kept separately so stability is judged across *runs*, not
+// against a single merged blob — merging first would hide a branch that is
+// 95% taken on one input and 95% not-taken on another behind a bland 50%.
+package spike
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"branchsim/internal/core"
+	"branchsim/internal/profile"
+)
+
+// Store is a directory of accumulated profiles.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spike: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) workloadDir(workload string) string {
+	return filepath.Join(s.dir, workload)
+}
+
+// Update records one run's profile for its workload.
+func (s *Store) Update(db *profile.DB) error {
+	if db.Workload == "" {
+		return fmt.Errorf("spike: profile has no workload name")
+	}
+	wdir := s.workloadDir(db.Workload)
+	if err := os.MkdirAll(wdir, 0o755); err != nil {
+		return fmt.Errorf("spike: %w", err)
+	}
+	runs, err := s.runFiles(db.Workload)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(wdir, fmt.Sprintf("run-%05d.json", len(runs)+1))
+	return db.SaveFile(path)
+}
+
+// runFiles lists the run profiles of a workload, oldest first.
+func (s *Store) runFiles(workload string) ([]string, error) {
+	entries, err := os.ReadDir(s.workloadDir(workload))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spike: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "run-") && strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, filepath.Join(s.workloadDir(workload), e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Runs loads all recorded run profiles of a workload, oldest first.
+func (s *Store) Runs(workload string) ([]*profile.DB, error) {
+	files, err := s.runFiles(workload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*profile.DB, 0, len(files))
+	for _, f := range files {
+		db, err := profile.LoadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("spike: %s: %w", f, err)
+		}
+		out = append(out, db)
+	}
+	return out, nil
+}
+
+// Workloads lists workloads with at least one recorded run.
+func (s *Store) Workloads() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("spike: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			files, err := s.runFiles(e.Name())
+			if err != nil {
+				return nil, err
+			}
+			if len(files) > 0 {
+				out = append(out, e.Name())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Merged returns the union profile of all recorded runs. Accuracy
+// annotations survive only if every run profiled the same predictor.
+func (s *Store) Merged(workload string) (*profile.DB, error) {
+	runs, err := s.Runs(workload)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("spike: no runs recorded for %q", workload)
+	}
+	merged := runs[0].Clone()
+	for _, r := range runs[1:] {
+		merged.Merge(r)
+	}
+	return merged, nil
+}
+
+// UnstableBranches returns the PCs whose taken-bias ranges more than
+// maxDrift across the recorded runs (considering only runs that executed
+// the branch).
+func (s *Store) UnstableBranches(workload string, maxDrift float64) (map[uint64]bool, error) {
+	runs, err := s.Runs(workload)
+	if err != nil {
+		return nil, err
+	}
+	lo := map[uint64]float64{}
+	hi := map[uint64]float64{}
+	for _, r := range runs {
+		for _, b := range r.Branches() {
+			tb := b.TakenBias()
+			if cur, ok := lo[b.PC]; !ok || tb < cur {
+				lo[b.PC] = tb
+			}
+			if cur, ok := hi[b.PC]; !ok || tb > cur {
+				hi[b.PC] = tb
+			}
+		}
+	}
+	unstable := map[uint64]bool{}
+	for pc := range lo {
+		if hi[pc]-lo[pc] > maxDrift {
+			unstable[pc] = true
+		}
+	}
+	return unstable, nil
+}
+
+// SelectHints generates hints from the merged profile, excluding branches
+// whose bias drifts more than maxDrift across runs — the paper's proposed
+// production flow. With a single recorded run it degrades gracefully to
+// plain selection.
+func (s *Store) SelectHints(workload string, sel core.Selector, maxDrift float64) (*core.HintDB, int, error) {
+	merged, err := s.Merged(workload)
+	if err != nil {
+		return nil, 0, err
+	}
+	unstable, err := s.UnstableBranches(workload, maxDrift)
+	if err != nil {
+		return nil, 0, err
+	}
+	for pc := range unstable {
+		merged.Remove(pc)
+	}
+	hints, err := sel.Select(merged)
+	if err != nil {
+		return nil, 0, err
+	}
+	files, err := s.runFiles(workload)
+	if err != nil {
+		return nil, 0, err
+	}
+	hints.Profile = fmt.Sprintf("spike(%s, %d runs, %d unstable filtered at drift>%g%%)",
+		workload, len(files), len(unstable), 100*maxDrift)
+	return hints, len(unstable), nil
+}

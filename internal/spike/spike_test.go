@@ -1,0 +1,147 @@
+package spike
+
+import (
+	"testing"
+
+	"branchsim/internal/core"
+	"branchsim/internal/profile"
+)
+
+// mkRun fabricates a run profile with given per-branch (pc, exec, taken).
+func mkRun(workload, input string, rows [][3]uint64) *profile.DB {
+	db := profile.NewDB(workload, input)
+	for _, r := range rows {
+		for i := uint64(0); i < r[1]; i++ {
+			db.Record(r[0], i < r[2])
+		}
+	}
+	return db
+}
+
+func TestUpdateAndRuns(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(mkRun("gcc", "a", [][3]uint64{{4, 10, 9}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(mkRun("gcc", "b", [][3]uint64{{4, 10, 10}})); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.Runs("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Input != "a" || runs[1].Input != "b" {
+		t.Fatalf("runs = %v", runs)
+	}
+	wls, err := s.Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 1 || wls[0] != "gcc" {
+		t.Fatalf("workloads = %v", wls)
+	}
+}
+
+func TestUpdateRejectsAnonymousProfile(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.Update(profile.NewDB("", "x")); err == nil {
+		t.Fatal("anonymous profile accepted")
+	}
+}
+
+func TestMergedAccumulates(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Update(mkRun("w", "a", [][3]uint64{{4, 10, 5}}))
+	s.Update(mkRun("w", "b", [][3]uint64{{4, 10, 5}, {8, 4, 4}}))
+	m, err := s.Merged("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(4).Exec != 20 || m.Get(8).Exec != 4 {
+		t.Fatalf("merged = %+v / %+v", m.Get(4), m.Get(8))
+	}
+}
+
+func TestMergedEmptyStore(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.Merged("w"); err == nil {
+		t.Fatal("empty store merged")
+	}
+}
+
+func TestUnstableBranches(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	// pc 4: stable at 90%; pc 8: 90% then 10%; pc 12: only in run one
+	s.Update(mkRun("w", "a", [][3]uint64{{4, 10, 9}, {8, 10, 9}, {12, 10, 10}}))
+	s.Update(mkRun("w", "b", [][3]uint64{{4, 10, 9}, {8, 10, 1}}))
+	unstable, err := s.UnstableBranches("w", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unstable) != 1 || !unstable[8] {
+		t.Fatalf("unstable = %v, want {8}", unstable)
+	}
+}
+
+func TestSelectHintsFiltersUnstable(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Update(mkRun("w", "a", [][3]uint64{{4, 100, 99}, {8, 100, 99}}))
+	s.Update(mkRun("w", "b", [][3]uint64{{4, 100, 99}, {8, 100, 1}}))
+	hints, removed, err := s.SelectHints("w", core.Static95{}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if hints.Len() != 1 {
+		t.Fatalf("hints = %v", hints.Hints())
+	}
+	if _, ok := hints.Lookup(4); !ok {
+		t.Fatal("stable branch not hinted")
+	}
+	if _, ok := hints.Lookup(8); ok {
+		t.Fatal("unstable branch hinted")
+	}
+}
+
+func TestSelectHintsSingleRun(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Update(mkRun("w", "a", [][3]uint64{{4, 100, 99}}))
+	hints, removed, err := s.SelectHints("w", core.Static95{}, 0.05)
+	if err != nil || removed != 0 || hints.Len() != 1 {
+		t.Fatalf("single-run selection: hints=%d removed=%d err=%v", hints.Len(), removed, err)
+	}
+}
+
+func TestOpenAndDir(t *testing.T) {
+	dir := t.TempDir() + "/nested/store"
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", s.Dir(), dir)
+	}
+	// Open must fail when the path is unusable (a file in the way).
+	if _, err := Open("/dev/null/impossible"); err == nil {
+		t.Fatal("Open of an impossible path succeeded")
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir)
+	s1.Update(mkRun("w", "a", [][3]uint64{{4, 10, 9}}))
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s2.Runs("w")
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("reopened store lost runs: %v, %v", runs, err)
+	}
+}

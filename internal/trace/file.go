@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format (version 1).
+//
+// The file starts with the 6-byte magic "BTRC1\n" followed by a stream of
+// unsigned varints:
+//
+//	0              — an Ops record; the next uvarint is the instruction count
+//	v > 0          — a branch record encoding (delta<<1 | taken) + 1, where
+//	                 delta is the PC's zig-zag delta from the previous branch PC
+//
+// Delta encoding keeps files small because branch addresses are clustered:
+// the hot loops of a workload revisit nearby PCs.
+//
+// Branch addresses are stored modulo 2^60 so that the zig-zag delta, the
+// taken bit and the ops/branch discriminator all fit one 64-bit varint
+// without overflow. Real address spaces are far below 60 bits.
+
+var traceMagic = []byte("BTRC1\n")
+
+// ErrBadMagic is returned by NewReader when the input is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic, not a branch trace file")
+
+// Writer encodes a branch event stream to an io.Writer. It implements
+// Recorder; Close (or Flush) must be called to drain the internal buffer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	err    error
+	tmp    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter creates a trace Writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(traceMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// pcMask truncates stored addresses to 60 bits (see the format comment).
+const pcMask = uint64(1)<<60 - 1
+
+// Branch implements Recorder. Addresses are recorded modulo 2^60.
+func (w *Writer) Branch(pc uint64, taken bool) {
+	if w.err != nil {
+		return
+	}
+	pc &= pcMask
+	delta := zigzag(int64(pc) - int64(w.lastPC))
+	w.lastPC = pc
+	v := delta << 1
+	if taken {
+		v |= 1
+	}
+	n := binary.PutUvarint(w.tmp[:], v+1)
+	_, w.err = w.w.Write(w.tmp[:n])
+}
+
+// Ops implements Recorder.
+func (w *Writer) Ops(n uint64) {
+	if w.err != nil || n == 0 {
+		return
+	}
+	k := binary.PutUvarint(w.tmp[:], 0)
+	k += binary.PutUvarint(w.tmp[k:], n)
+	_, w.err = w.w.Write(w.tmp[:k])
+}
+
+// Flush drains buffered output and reports any deferred write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a trace file and replays it into a Recorder.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != string(traceMagic) {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record. Exactly one of the following holds:
+// isBranch is true and (pc, taken) are valid; isBranch is false and ops is
+// valid; or err is non-nil (io.EOF at a clean end of stream).
+func (r *Reader) Next() (pc uint64, taken bool, ops uint64, isBranch bool, err error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, false, 0, false, err
+	}
+	if v == 0 {
+		n, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, false, 0, false, fmt.Errorf("trace: truncated ops record: %w", err)
+		}
+		return 0, false, n, false, nil
+	}
+	v--
+	delta := unzigzag(v >> 1)
+	r.lastPC = uint64(int64(r.lastPC)+delta) & pcMask
+	return r.lastPC, v&1 == 1, 0, true, nil
+}
+
+// Replay streams the whole remaining trace into rec. It returns the totals
+// observed.
+func (r *Reader) Replay(rec Recorder) (Counts, error) {
+	var c Counts
+	tee := Tee(&c, rec)
+	for {
+		pc, taken, ops, isBranch, err := r.Next()
+		if err == io.EOF {
+			return c, nil
+		}
+		if err != nil {
+			return c, err
+		}
+		if isBranch {
+			tee.Branch(pc, taken)
+		} else {
+			tee.Ops(ops)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReaderRobustness feeds arbitrary bytes to the trace reader: it must
+// either reject them or terminate cleanly, never panic or loop.
+func FuzzReaderRobustness(f *testing.F) {
+	// seed with a valid trace
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Branch(0x1200_0000, true)
+	w.Ops(12)
+	w.Branch(0x1200_0010, false)
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("BTRC1\n"))
+	f.Add([]byte("BTRC1\n\x00"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// bound the number of records to keep the fuzzer fast
+		for i := 0; i < 1_000_000; i++ {
+			_, _, _, _, err := r.Next()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write→read identity over arbitrary event streams.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1200_0000), true, uint64(3))
+	f.Add(uint64(0), false, uint64(0))
+	f.Add(uint64(1)<<59, true, uint64(1)<<40)
+
+	f.Fuzz(func(t *testing.T, pc uint64, taken bool, ops uint64) {
+		pc &= pcMask
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Branch(pc, taken)
+		w.Ops(ops)
+		w.Branch(pc+4, !taken)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Buffer
+		counts, err := r.Replay(&got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Events) != 2 || got.Events[0].PC != pc || got.Events[0].Taken != taken {
+			t.Fatalf("event 0 = %+v, want pc %#x taken %v", got.Events, pc, taken)
+		}
+		if got.Events[1].PC != (pc+4)&pcMask || got.Events[1].Taken == taken {
+			t.Fatalf("event 1 = %+v", got.Events[1])
+		}
+		if counts.Instructions != 2+ops {
+			t.Fatalf("instructions = %d, want %d", counts.Instructions, 2+ops)
+		}
+	})
+}

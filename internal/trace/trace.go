@@ -1,0 +1,106 @@
+// Package trace defines the dynamic branch event model shared by workloads,
+// predictors and the simulator.
+//
+// A run of a workload produces an ordered stream of two kinds of records:
+//
+//   - conditional branch events, each carrying the branch's address (PC) and
+//     its resolved direction, and
+//   - straight-line instruction counts, charged between branches.
+//
+// This mirrors what the paper observed through Atom instrumentation of Alpha
+// binaries: the predictors only ever see (PC, taken) pairs, and MISPs/KI
+// needs a total instruction count as denominator. Everything downstream —
+// profiling, hint selection, prediction — consumes this stream through the
+// Recorder interface.
+package trace
+
+// Event is a single dynamic conditional branch.
+type Event struct {
+	// PC is the address of the branch instruction. Workloads assign
+	// word-aligned addresses clustered per function, like a real text
+	// segment, because predictor indexing hashes PC bits.
+	PC uint64
+	// Taken reports the resolved direction.
+	Taken bool
+}
+
+// Recorder receives the dynamic stream of a run. Implementations include the
+// simulator's run loop, profile collectors, trace file writers and in-memory
+// buffers.
+//
+// Branch must be called once per dynamic conditional branch, in program
+// order. Ops charges n non-branch instructions; callers may invoke it with
+// any granularity. Each Branch call itself accounts for exactly one
+// instruction (the branch), so implementations must not double-count it.
+type Recorder interface {
+	Branch(pc uint64, taken bool)
+	Ops(n uint64)
+}
+
+// Counts accumulates the instruction and branch totals of a stream. It is
+// embedded by most Recorder implementations.
+type Counts struct {
+	Instructions uint64 // total dynamic instructions, branches included
+	Branches     uint64 // dynamic conditional branches
+	TakenCount   uint64 // how many of those were taken
+}
+
+// Branch implements Recorder.
+func (c *Counts) Branch(_ uint64, taken bool) {
+	c.Instructions++
+	c.Branches++
+	if taken {
+		c.TakenCount++
+	}
+}
+
+// Ops implements Recorder.
+func (c *Counts) Ops(n uint64) { c.Instructions += n }
+
+// CBRsPerKI returns dynamic conditional branches per thousand instructions,
+// the branch-density metric of the paper's Table 1.
+func (c *Counts) CBRsPerKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.Branches) / float64(c.Instructions)
+}
+
+// Buffer is a Recorder that stores the full event stream in memory, for
+// tests and for replaying the same stream through several predictors.
+type Buffer struct {
+	Counts
+	Events []Event
+}
+
+// Branch implements Recorder.
+func (b *Buffer) Branch(pc uint64, taken bool) {
+	b.Counts.Branch(pc, taken)
+	b.Events = append(b.Events, Event{PC: pc, Taken: taken})
+}
+
+// Tee duplicates a stream to several recorders in order.
+func Tee(rs ...Recorder) Recorder { return teeRecorder(rs) }
+
+type teeRecorder []Recorder
+
+func (t teeRecorder) Branch(pc uint64, taken bool) {
+	for _, r := range t {
+		r.Branch(pc, taken)
+	}
+}
+
+func (t teeRecorder) Ops(n uint64) {
+	for _, r := range t {
+		r.Ops(n)
+	}
+}
+
+// Discard is a Recorder that drops everything. Useful for benchmarking the
+// raw cost of a workload.
+var Discard Recorder = discard{}
+
+type discard struct{}
+
+func (discard) Branch(uint64, bool) {}
+func (discard) Ops(uint64)          {}

@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// compressProg is the SPEC "compress" analogue: LZW compression followed by
+// decompression of generated text, with a round-trip check. Its branch mix —
+// hash-probe hits and misses, dictionary growth, code-width bumps — makes
+// roughly half the dynamic branches highly biased, matching the paper's
+// Table 2 row for compress (49.1%).
+type compressProg struct{}
+
+func init() { Register(compressProg{}) }
+
+// Name implements Program.
+func (compressProg) Name() string { return "compress" }
+
+// Description implements Program.
+func (compressProg) Description() string {
+	return "LZW compression and decompression of generated text with round-trip verification (SPEC compress analogue)"
+}
+
+// compressInput scales the run. Train and ref use different seeds and
+// lengths *and* different alphabets (ref text is word-structured with
+// punctuation, train is plain prose), so some character-class branches
+// shift bias between the inputs — the drift the paper's Table 5 measures.
+type compressInput struct {
+	seed   uint64
+	length int
+	ref    bool // richer alphabet
+}
+
+var compressInputs = map[string]compressInput{
+	InputTest:  {seed: 11, length: 12_000, ref: false},
+	InputTrain: {seed: 21, length: 220_000, ref: false},
+	InputRef:   {seed: 31, length: 700_000, ref: true},
+}
+
+// Run implements Program.
+func (compressProg) Run(input string, rec trace.Recorder) error {
+	in, ok := compressInputs[input]
+	if !ok {
+		return fmt.Errorf("compress: unknown input %q", input)
+	}
+	text := genText(in.seed, in.length, in.ref)
+
+	c := NewCtx(rec)
+	lz := newLZW(c)
+	c.SetBlockBias(3)
+	c.Ops(200) // program startup
+
+	codes := lz.compress(text)
+	out := lz.decompress(codes)
+
+	// Round-trip check: the comparison loop is itself branchy, biased code.
+	if !lz.equal(text, out) {
+		return fmt.Errorf("compress: round-trip mismatch on input %q (%d in, %d out)", input, len(text), len(out))
+	}
+	return nil
+}
+
+// genText produces deterministic pseudo-prose with a 2nd-order letter bias.
+func genText(seed uint64, n int, rich bool) []byte {
+	rng := xrand.New(seed)
+	out := make([]byte, 0, n)
+	wordLen := 0
+	for len(out) < n {
+		switch {
+		case wordLen > 3 && rng.Bool(0.3):
+			// end of word
+			if rich && rng.Bool(0.12) {
+				out = append(out, ",.;:!?"[rng.Intn(6)])
+			}
+			if rich && rng.Bool(0.08) {
+				out = append(out, '\n')
+			} else {
+				out = append(out, ' ')
+			}
+			wordLen = 0
+		case rich && rng.Bool(0.05):
+			out = append(out, byte('0'+rng.Intn(10)))
+			wordLen++
+		default:
+			// biased letter distribution: vowels and common consonants
+			// dominate, so LZW finds plenty of repeats
+			const letters = "etaoinshrdlucmfwypvbgkjqxz"
+			idx := rng.Intn(len(letters))
+			if rng.Bool(0.7) {
+				idx = rng.Intn(9) // common letters most of the time
+			}
+			ch := letters[idx]
+			if rich && wordLen == 0 && rng.Bool(0.15) {
+				ch -= 'a' - 'A'
+			}
+			out = append(out, ch)
+			wordLen++
+		}
+	}
+	return out[:n]
+}
+
+// lzwMaxBits caps code width; the dictionary resets when full, like the
+// original compress(1).
+const (
+	lzwMaxBits  = 12
+	lzwMaxCodes = 1 << lzwMaxBits
+	lzwHashSize = 1 << 13
+)
+
+// lzw holds the instrumented coder state and its branch sites.
+type lzw struct {
+	c *Ctx
+
+	// hash table: (prefix code, next char) -> code
+	hashKey  []uint32
+	hashVal  []uint16
+	nextCode int
+
+	// decompressor dictionary
+	prefix  []uint16
+	suffix  []byte
+	stack   []byte
+	dNext   int
+	scratch []byte
+
+	// compress sites; the probe sites are 4-way replicated, modelling the
+	// unrolled open-addressing probe loop of the original coder
+	sEOF, sDictFull                    *Site
+	sProbeEmpty, sProbeHit, sProbeWrap *SiteGroup
+	sWidthBump, sIsLetter, sIsSpace    *Site
+	// decompress sites
+	sDEOF, sDReset, sDKnown, sDStackLoop, sDDictFull *Site
+	// verify sites
+	sVLen, sVLoop, sVEq *Site
+}
+
+func newLZW(c *Ctx) *lzw {
+	lz := &lzw{
+		c:       c,
+		hashKey: make([]uint32, lzwHashSize),
+		hashVal: make([]uint16, lzwHashSize),
+		prefix:  make([]uint16, lzwMaxCodes),
+		suffix:  make([]byte, lzwMaxCodes),
+	}
+	// compress "function"
+	lz.sEOF = c.Site(4)                // main loop: more input?
+	lz.sIsLetter = c.Site(3)           // char-class statistics branch
+	lz.sIsSpace = c.Site(2)            //
+	lz.sProbeEmpty = c.SiteGroup(4, 5) // hash slot empty?
+	lz.sProbeHit = c.SiteGroup(4, 4)   // hash slot matches?
+	lz.sProbeWrap = c.SiteGroup(4, 2)  // probe wrapped table end?
+	lz.sDictFull = c.Site(6)           // dictionary full -> reset
+	lz.sWidthBump = c.Site(5)          // output code width increase
+	c.Gap(48)
+	// decompress "function"
+	lz.sDEOF = c.Site(5)
+	lz.sDReset = c.Site(4)
+	lz.sDKnown = c.Site(4) // code already in dictionary?
+	lz.sDStackLoop = c.Site(3)
+	lz.sDDictFull = c.Site(4)
+	c.Gap(32)
+	// verify "function"
+	lz.sVLen = c.Site(3)
+	lz.sVLoop = c.Site(2)
+	lz.sVEq = c.Site(3)
+	return lz
+}
+
+func (lz *lzw) resetDict() {
+	for i := range lz.hashKey {
+		lz.hashKey[i] = 0
+	}
+	lz.nextCode = 257 // 0-255 literals, 256 reserved for reset
+	lz.c.Ops(64)
+}
+
+func lzwHash(prefix uint16, ch byte) uint32 {
+	h := (uint32(prefix) << 8) ^ uint32(ch)
+	h = (h ^ (h >> 7)) * 0x9e37
+	return h & (lzwHashSize - 1)
+}
+
+// compress encodes text into a code stream.
+func (lz *lzw) compress(text []byte) []uint16 {
+	lz.resetDict()
+	codes := make([]uint16, 0, len(text)/2)
+	widthLimit := 512
+	i := 0
+	var prefix uint16
+	havePrefix := false
+	for lz.sEOF.Taken(i < len(text)) {
+		ch := text[i]
+		i++
+		// character-class bookkeeping branches (biased by input mix)
+		if lz.sIsLetter.Taken(ch >= 'a' && ch <= 'z') {
+			lz.c.Ops(1)
+		} else if lz.sIsSpace.Taken(ch == ' ') {
+			lz.c.Ops(2)
+		}
+		if !havePrefix {
+			prefix = uint16(ch)
+			havePrefix = true
+			continue
+		}
+		// probe the hash table for (prefix, ch)
+		key := (uint32(prefix) << 8) | uint32(ch) | 1<<24 // non-zero marker
+		h := lzwHash(prefix, ch)
+		found := false
+		for depth := 0; ; depth++ {
+			if lz.sProbeEmpty.Taken(depth, lz.hashKey[h] == 0) {
+				break
+			}
+			if lz.sProbeHit.Taken(depth, lz.hashKey[h] == key) {
+				found = true
+				break
+			}
+			h++
+			if lz.sProbeWrap.Taken(depth, h == lzwHashSize) {
+				h = 0
+			}
+		}
+		if found {
+			prefix = lz.hashVal[h]
+			continue
+		}
+		// emit prefix, add (prefix, ch) to dictionary
+		codes = append(codes, prefix)
+		if lz.sDictFull.Taken(lz.nextCode >= lzwMaxCodes) {
+			codes = append(codes, 256) // reset marker
+			lz.resetDict()
+		} else {
+			lz.hashKey[h] = key
+			lz.hashVal[h] = uint16(lz.nextCode)
+			lz.nextCode++
+			if lz.sWidthBump.Taken(lz.nextCode == widthLimit) {
+				widthLimit *= 2
+				lz.c.Ops(8)
+			}
+		}
+		prefix = uint16(ch)
+	}
+	if havePrefix {
+		codes = append(codes, prefix)
+	}
+	return codes
+}
+
+// decompress decodes a code stream produced by compress.
+func (lz *lzw) decompress(codes []uint16) []byte {
+	out := make([]byte, 0, len(codes)*2)
+	dNext := 257
+	var prev uint16
+	havePrev := false
+	i := 0
+	for lz.sDEOF.Taken(i < len(codes)) {
+		code := codes[i]
+		i++
+		if lz.sDReset.Taken(code == 256) {
+			dNext = 257
+			havePrev = false
+			lz.c.Ops(32)
+			continue
+		}
+		// expand code to bytes via the suffix chain
+		lz.stack = lz.stack[:0]
+		cur := code
+		if !lz.sDKnown.Taken(int(cur) < dNext || cur < 256) {
+			// KwKwK case: code not yet defined
+			lz.stack = append(lz.stack, lz.firstByte(prev, dNext))
+			cur = prev
+		}
+		for lz.sDStackLoop.Taken(cur >= 257) {
+			lz.stack = append(lz.stack, lz.suffix[cur])
+			cur = lz.prefix[cur]
+		}
+		first := byte(cur)
+		out = append(out, first)
+		for j := len(lz.stack) - 1; j >= 0; j-- {
+			out = append(out, lz.stack[j])
+		}
+		lz.c.Ops(len(lz.stack))
+
+		if havePrev {
+			if lz.sDDictFull.Taken(dNext < lzwMaxCodes) {
+				lz.prefix[dNext] = prev
+				lz.suffix[dNext] = first
+				dNext++
+			}
+		}
+		prev = code
+		havePrev = true
+	}
+	return out
+}
+
+// firstByte walks the prefix chain of code to its first literal byte.
+func (lz *lzw) firstByte(code uint16, dNext int) byte {
+	for code >= 257 && int(code) < dNext {
+		code = lz.prefix[code]
+	}
+	return byte(code)
+}
+
+// equal is an instrumented byte-slice comparison.
+func (lz *lzw) equal(a, b []byte) bool {
+	if lz.sVLen.Taken(len(a) != len(b)) {
+		return false
+	}
+	for i := 0; lz.sVLoop.Taken(i < len(a)); i++ {
+		if lz.sVEq.Taken(a[i] != b[i]) {
+			return false
+		}
+	}
+	return true
+}

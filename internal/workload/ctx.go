@@ -1,0 +1,133 @@
+package workload
+
+import "branchsim/internal/trace"
+
+// Ctx is the instrumentation context a running program emits through. It
+// plays the role Atom's analysis runtime played in the paper: every
+// conditional branch in the program calls through a Site, which forwards
+// (PC, outcome) to the recorder and charges the basic block's instruction
+// cost.
+//
+// Branch-site addresses are assigned at program setup, sequentially within a
+// synthetic text segment, spaced by each site's basic-block size — so the
+// address map looks like a real binary's: word-aligned, clustered by
+// function, denser where blocks are shorter.
+type Ctx struct {
+	rec    trace.Recorder
+	nextPC uint64
+	bias   uint64
+}
+
+// textBase is where workload text segments start; the value mimics an Alpha
+// text segment and, more importantly, exercises index truncation in
+// predictors (high PC bits must not matter).
+const textBase = 0x1_2000_0000
+
+// NewCtx returns a context emitting into rec.
+func NewCtx(rec trace.Recorder) *Ctx {
+	return &Ctx{rec: rec, nextPC: textBase}
+}
+
+// Site declares one static conditional branch whose basic block contains
+// blockOps straight-line instructions. Each dynamic execution of the site
+// charges blockOps instructions plus the branch itself. Sites must be
+// allocated in a fixed order at program setup so PCs are stable across runs.
+func (c *Ctx) Site(blockOps int) *Site {
+	if blockOps < 0 {
+		blockOps = 0
+	}
+	s := &Site{ctx: c, pc: c.nextPC, ops: uint64(blockOps)}
+	// Advance past this block: blockOps instructions plus the branch,
+	// 4 bytes each.
+	c.nextPC += 4 * uint64(blockOps+1)
+	return s
+}
+
+// Gap advances the text cursor by n instruction slots without declaring a
+// branch, modelling straight-line code or function padding between branchy
+// regions. It affects only address layout, not instruction accounting.
+func (c *Ctx) Gap(n int) {
+	if n > 0 {
+		c.nextPC += 4 * uint64(n)
+	}
+}
+
+// SetBlockBias charges n extra straight-line instructions on every site
+// execution. Each program sets this once to calibrate its dynamic branch
+// density (CBRs/KI) to the paper's Table 1: one Go statement does not cost
+// one Alpha instruction, so the per-site block weights alone land in the
+// wrong range, and the bias supplies the uniform straight-line remainder.
+func (c *Ctx) SetBlockBias(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.bias = uint64(n)
+}
+
+// Ops charges n straight-line instructions that are not attached to any
+// branch site (e.g. a block executed once, or work between sites).
+func (c *Ctx) Ops(n int) {
+	if n > 0 {
+		c.rec.Ops(uint64(n))
+	}
+}
+
+// SiteGroup models a logical branch that a real program's much larger code
+// base spreads across many distinct static sites: per-opcode emulation
+// routines in a simulator, hand-unrolled neighbor checks, macro expansions,
+// specialized pass bodies in a compiler. Each context gets its own branch
+// address, so the group contributes n static branches to the profile and to
+// predictor indexing — the code-size spread that drives PC-indexed aliasing
+// in the paper's SPEC binaries.
+//
+// Contexts must be derived from stable program structure (an opcode, a
+// direction, a function identity), never from transient data values;
+// otherwise the "sites" would not correspond to anything a compiler could
+// attach a hint bit to.
+type SiteGroup struct {
+	sites []*Site
+}
+
+// SiteGroup declares n replicated sites with the given per-execution block
+// cost.
+func (c *Ctx) SiteGroup(n, blockOps int) *SiteGroup {
+	if n < 1 {
+		n = 1
+	}
+	g := &SiteGroup{sites: make([]*Site, n)}
+	for i := range g.sites {
+		g.sites[i] = c.Site(blockOps)
+	}
+	return g
+}
+
+// Taken records one execution of the context's site and returns cond.
+func (g *SiteGroup) Taken(ctx int, cond bool) bool {
+	if ctx < 0 {
+		ctx = -ctx
+	}
+	return g.sites[ctx%len(g.sites)].Taken(cond)
+}
+
+// Len returns the number of replicated sites.
+func (g *SiteGroup) Len() int { return len(g.sites) }
+
+// Site is one static conditional branch.
+type Site struct {
+	ctx *Ctx
+	pc  uint64
+	ops uint64
+}
+
+// PC returns the site's assigned branch address.
+func (s *Site) PC() uint64 { return s.pc }
+
+// Taken records one execution of the branch with the given outcome and
+// returns the outcome, so call sites read naturally:
+//
+//	if hashHit.Taken(table[h] == key) { ... }
+func (s *Site) Taken(cond bool) bool {
+	s.ctx.rec.Ops(s.ops + s.ctx.bias)
+	s.ctx.rec.Branch(s.pc, cond)
+	return cond
+}

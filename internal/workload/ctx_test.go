@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+
+	"branchsim/internal/trace"
+)
+
+func TestSiteChargesBlockCost(t *testing.T) {
+	var c trace.Counts
+	ctx := NewCtx(&c)
+	s := ctx.Site(7)
+	s.Taken(true)
+	if c.Branches != 1 || c.Instructions != 8 { // 7 block ops + the branch
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestSitePCsAreWordAlignedAndSpaced(t *testing.T) {
+	ctx := NewCtx(trace.Discard)
+	a := ctx.Site(3)
+	b := ctx.Site(0)
+	cSite := ctx.Site(5)
+	if a.PC()%4 != 0 || b.PC()%4 != 0 {
+		t.Fatalf("PCs not word aligned: %#x %#x", a.PC(), b.PC())
+	}
+	if b.PC()-a.PC() != 4*(3+1) {
+		t.Fatalf("site spacing %d, want %d", b.PC()-a.PC(), 16)
+	}
+	if cSite.PC()-b.PC() != 4 {
+		t.Fatalf("zero-block site spacing %d, want 4", cSite.PC()-b.PC())
+	}
+}
+
+func TestGapAdvancesLayoutOnly(t *testing.T) {
+	var c trace.Counts
+	ctx := NewCtx(&c)
+	a := ctx.Site(0)
+	ctx.Gap(10)
+	b := ctx.Site(0)
+	if b.PC()-a.PC() != 4+40 {
+		t.Fatalf("gap spacing %d", b.PC()-a.PC())
+	}
+	if c.Instructions != 0 {
+		t.Fatalf("gap charged instructions")
+	}
+}
+
+func TestSetBlockBias(t *testing.T) {
+	var c trace.Counts
+	ctx := NewCtx(&c)
+	s := ctx.Site(2)
+	ctx.SetBlockBias(5)
+	s.Taken(false)
+	if c.Instructions != 2+5+1 {
+		t.Fatalf("instructions = %d, want 8", c.Instructions)
+	}
+	ctx.SetBlockBias(-1) // clamps to zero
+	s.Taken(false)
+	if c.Instructions != 8+3 {
+		t.Fatalf("instructions after clamp = %d", c.Instructions)
+	}
+}
+
+func TestSiteTakenReturnsCondition(t *testing.T) {
+	ctx := NewCtx(trace.Discard)
+	s := ctx.Site(0)
+	if !s.Taken(true) || s.Taken(false) {
+		t.Fatalf("Taken does not return its condition")
+	}
+}
+
+func TestSiteGroupDistinctPCs(t *testing.T) {
+	var buf trace.Buffer
+	ctx := NewCtx(&buf)
+	g := ctx.SiteGroup(4, 1)
+	if g.Len() != 4 {
+		t.Fatalf("group len = %d", g.Len())
+	}
+	for i := 0; i < 4; i++ {
+		g.Taken(i, true)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range buf.Events {
+		if seen[e.PC] {
+			t.Fatalf("group contexts shared a PC")
+		}
+		seen[e.PC] = true
+	}
+}
+
+func TestSiteGroupContextWrapsAndNegates(t *testing.T) {
+	var buf trace.Buffer
+	ctx := NewCtx(&buf)
+	g := ctx.SiteGroup(3, 0)
+	g.Taken(0, true)
+	g.Taken(3, true)  // wraps to context 0
+	g.Taken(-3, true) // |-3| % 3 = 0
+	if buf.Events[0].PC != buf.Events[1].PC || buf.Events[1].PC != buf.Events[2].PC {
+		t.Fatalf("context wrapping broken: %v", buf.Events)
+	}
+}
+
+func TestSiteGroupMinimumSize(t *testing.T) {
+	ctx := NewCtx(trace.Discard)
+	g := ctx.SiteGroup(0, 1)
+	if g.Len() != 1 {
+		t.Fatalf("empty group allowed")
+	}
+	g.Taken(5, true) // must not panic
+}
+
+func TestOpsHelper(t *testing.T) {
+	var c trace.Counts
+	ctx := NewCtx(&c)
+	ctx.Ops(9)
+	ctx.Ops(0)
+	ctx.Ops(-4)
+	if c.Instructions != 9 {
+		t.Fatalf("instructions = %d", c.Instructions)
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"branchsim/internal/trace"
+)
+
+// ---- li internals ----
+
+func liTestVM(t *testing.T, heap int) *liVM {
+	t.Helper()
+	vm := newLiVM(NewCtx(trace.Discard), heap)
+	vm.defineBuiltins()
+	vm.gcEnabled = true
+	return vm
+}
+
+// evalString reads and evaluates source, returning the last value.
+func evalString(t *testing.T, vm *liVM, src string) int {
+	t.Helper()
+	vm.gcEnabled = false
+	exprs, err := vm.read([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.gcEnabled = true
+	var last int
+	for _, e := range exprs {
+		last = vm.eval(e, 0)
+	}
+	return last
+}
+
+func TestLiArithmetic(t *testing.T) {
+	vm := liTestVM(t, 1<<12)
+	cases := map[string]int64{
+		"(+ 1 2)":              3,
+		"(- 10 4)":             6,
+		"(* -3 7)":             -21,
+		"(quotient 17 5)":      3,
+		"(< 1 2)":              1,
+		"(< 2 1)":              0,
+		"(= 5 5)":              1,
+		"(+ (* 2 3) (- 10 4))": 12,
+		"(if (< 1 2) 42 99)":   42,
+		"(if (< 2 1) 42 99)":   99,
+		"(car (cons 1 2))":     1,
+		"(cdr (cons 1 2))":     2,
+		"(null? (quote ()))":   1,
+		"(null? (cons 1 2))":   0,
+		"(not 0)":              1,
+	}
+	for src, want := range cases {
+		v := evalString(t, vm, src)
+		if vm.cells[v].tag != liNum || vm.cells[v].num != want {
+			t.Errorf("%s = cell{tag %d, num %d}, want %d", src, vm.cells[v].tag, vm.cells[v].num, want)
+		}
+	}
+}
+
+func TestLiLambdaAndRecursion(t *testing.T) {
+	vm := liTestVM(t, 1<<13)
+	v := evalString(t, vm, `
+		(define fact (lambda (n) (if (< n 2) 1 (* n (fact (- n 1))))))
+		(fact 10)`)
+	if vm.cells[v].num != 3628800 {
+		t.Fatalf("fact 10 = %d", vm.cells[v].num)
+	}
+}
+
+func TestLiLexicalScope(t *testing.T) {
+	vm := liTestVM(t, 1<<12)
+	v := evalString(t, vm, `
+		(define make-adder (lambda (n) (lambda (x) (+ x n))))
+		(define add5 (make-adder 5))
+		(add5 37)`)
+	if vm.cells[v].num != 42 {
+		t.Fatalf("closure capture broken: %d", vm.cells[v].num)
+	}
+}
+
+func TestLiGCPreservesLiveData(t *testing.T) {
+	// a heap just big enough to force many collections while a long list
+	// stays live through them
+	vm := liTestVM(t, 800)
+	v := evalString(t, vm, `
+		(define build (lambda (n) (if (= n 0) (quote ()) (cons n (build (- n 1))))))
+		(define sum (lambda (l acc) (if (null? l) acc (sum (cdr l) (+ acc (car l))))))
+		(define go (lambda (k acc) (if (= k 0) acc (go (- k 1) (sum (build 40) acc)))))
+		(go 10 0)`)
+	if vm.cells[v].num != 8200 {
+		t.Fatalf("sum after GC churn = %d, want 8200", vm.cells[v].num)
+	}
+	if vm.gcRuns == 0 {
+		t.Fatalf("GC never ran; the test heap is too large to be a test")
+	}
+}
+
+func TestLiErrors(t *testing.T) {
+	for _, src := range []string{
+		"(undefined-symbol)",
+		"(quotient 1 0)",
+		"(car (quote ()))",
+		"((lambda (x) x))",     // too few args
+		"((lambda (x) x) 1 2)", // too many args
+		"(+ (quote ()) 1)",     // non-number
+	} {
+		func() {
+			vm := liTestVM(t, 1<<12)
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(liError); !ok {
+						panic(r)
+					}
+				} else {
+					t.Errorf("%s did not fail", src)
+				}
+			}()
+			evalString(t, vm, src)
+		}()
+	}
+}
+
+func TestLiReaderErrors(t *testing.T) {
+	vm := liTestVM(t, 1<<12)
+	for _, src := range []string{"(", "(1 2", ")"} {
+		vm.gcEnabled = false
+		if _, err := vm.read([]byte(src)); err == nil && src != ")" {
+			t.Errorf("read(%q) accepted", src)
+		}
+	}
+}
+
+// ---- vortex internals ----
+
+func testDB() *vortexDB {
+	c := NewCtx(trace.Discard)
+	return &vortexDB{c: c, s: newVortexSites(c)}
+}
+
+func TestBTreeInsertSearchDelete(t *testing.T) {
+	db := testDB()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := int64((i * 7919) % n) // scrambled order
+		db.insert(key, recVal(key))
+	}
+	if db.size != n {
+		t.Fatalf("size = %d, want %d", db.size, n)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := db.search(i)
+		if !ok || !recOK(i, v) {
+			t.Fatalf("search(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := db.search(n + 5); ok {
+		t.Fatalf("found a key never inserted")
+	}
+	// delete every third key
+	for i := int64(0); i < n; i += 3 {
+		if !db.delete(i) {
+			t.Fatalf("delete(%d) missed", i)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		_, ok := db.search(i)
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("after deletes, search(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	count, err := db.audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != db.size {
+		t.Fatalf("audit %d, size %d", count, db.size)
+	}
+}
+
+func TestBTreeUpdateInPlace(t *testing.T) {
+	db := testDB()
+	db.insert(5, recVal(5))
+	db.insert(5, recVal(5))
+	if db.size != 1 {
+		t.Fatalf("duplicate insert grew the tree: %d", db.size)
+	}
+}
+
+func TestBTreeDeleteMissing(t *testing.T) {
+	db := testDB()
+	if db.delete(1) {
+		t.Fatalf("deleted from an empty tree")
+	}
+	db.insert(1, recVal(1))
+	if db.delete(2) {
+		t.Fatalf("deleted a missing key")
+	}
+	if !db.delete(1) || db.size != 0 {
+		t.Fatalf("delete of the only key failed")
+	}
+}
+
+func TestBTreeAuditCatchesCorruption(t *testing.T) {
+	db := testDB()
+	for i := int64(0); i < 100; i++ {
+		db.insert(i, recVal(i))
+	}
+	// corrupt one record
+	node := db.root
+	for !node.leaf {
+		node = node.kids[0]
+	}
+	node.vals[0]++
+	if _, err := db.audit(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("audit missed the corruption: %v", err)
+	}
+}
+
+func TestBTreeDrainCompletely(t *testing.T) {
+	db := testDB()
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		db.insert(i, recVal(i))
+	}
+	for i := int64(n - 1); i >= 0; i-- {
+		if !db.delete(i) {
+			t.Fatalf("drain: delete(%d) missed", i)
+		}
+	}
+	if db.size != 0 {
+		t.Fatalf("size %d after drain", db.size)
+	}
+	count, err := db.audit()
+	if err != nil || count != 0 {
+		t.Fatalf("audit after drain: %d, %v", count, err)
+	}
+}

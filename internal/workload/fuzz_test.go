@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// FuzzCCSourceRobustness lexes and parses arbitrary byte soup: the compiler
+// front end must reject or accept without panicking, and anything it
+// accepts must survive fold/compile/peephole/run agreeing with the AST
+// interpreter.
+func FuzzCCSourceRobustness(f *testing.F) {
+	f.Add([]byte("fn f ( ) { ret 1 ; }"))
+	f.Add([]byte("fn f ( ) { a = 1 + 2 * b ; if ( a < 3 ) { ret a ; } ret 0 ; }"))
+	f.Add([]byte("fn f ( ) { while ( a > 0 ) { a = a - 1 ; } ret a ; }"))
+	f.Add([]byte("} } ("))
+	f.Add([]byte("fn"))
+	f.Add(genCCSource(ccInput{seed: 1, nFuncs: 2, maxStmt: 4}))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<14 {
+			return
+		}
+		cc := newCC(NewCtx(trace.Discard))
+		toks, err := cc.lex(src)
+		if err != nil {
+			return
+		}
+		funcs, err := cc.parse(toks)
+		if err != nil {
+			return
+		}
+		for fi, fn := range funcs {
+			cc.fn = fi
+			folded := cc.fold(fn.body)
+			code := cc.peephole(cc.compile(folded))
+			args := [ccNumVars]int64{1, -2, 3, 0, 5, -6, 7, 100}
+			want := cc.eval(fn.body, args)
+			if got := cc.eval(folded, args); got != want {
+				t.Fatalf("fold changed value: %d vs %d", got, want)
+			}
+			got, err := cc.run(code, args)
+			if err != nil {
+				t.Fatalf("VM error on accepted program: %v", err)
+			}
+			if got != want {
+				t.Fatalf("VM %d, AST %d", got, want)
+			}
+		}
+	})
+}
+
+// FuzzLZWRoundTrip compresses and decompresses arbitrary input.
+func FuzzLZWRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("aaaa"))
+	f.Add([]byte("the quick brown fox"))
+	seed := make([]byte, 512)
+	xrand.New(1).Bytes(seed)
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<16 {
+			return
+		}
+		lz := newLZW(NewCtx(trace.Discard))
+		out := lz.decompress(lz.compress(in))
+		if string(out) != string(in) {
+			t.Fatalf("round trip failed: %d in, %d out", len(in), len(out))
+		}
+	})
+}

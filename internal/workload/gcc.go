@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// ccProg is the SPEC "gcc" analogue: a compiler for a small C-like
+// expression language. It generates deterministic source text, lexes it,
+// parses it with recursive descent, constant-folds the AST, compiles it to a
+// stack machine, runs a peephole pass, and then executes both the AST and
+// the compiled code, checking they agree.
+//
+// Like gcc it has by far the largest *static* branch population of the
+// suite — scores of sites across lexer, parser, folder, code generator and
+// VM — and a comparatively flat bias distribution, which is what made gcc
+// the paper's best customer for static filtering at every predictor size.
+type ccProg struct{}
+
+func init() { Register(ccProg{}) }
+
+// Name implements Program.
+func (ccProg) Name() string { return "gcc" }
+
+// Description implements Program.
+func (ccProg) Description() string {
+	return "compiler for a C-like expression language: lex, parse, fold, codegen, verify (SPEC gcc analogue)"
+}
+
+type ccInput struct {
+	seed    uint64
+	nFuncs  int
+	maxStmt int
+	divisor bool // ref flavour: more division/modulo and deeper nesting
+	evalN   int  // times each function is evaluated
+}
+
+var ccInputs = map[string]ccInput{
+	InputTest:  {seed: 101, nFuncs: 12, maxStmt: 8, divisor: false, evalN: 2},
+	InputTrain: {seed: 201, nFuncs: 180, maxStmt: 10, divisor: false, evalN: 3},
+	InputRef:   {seed: 301, nFuncs: 420, maxStmt: 14, divisor: true, evalN: 4},
+}
+
+// Run implements Program.
+func (ccProg) Run(input string, rec trace.Recorder) error {
+	in, ok := ccInputs[input]
+	if !ok {
+		return fmt.Errorf("gcc: unknown input %q", input)
+	}
+	src := genCCSource(in)
+
+	c := NewCtx(rec)
+	cc := newCC(c)
+	c.SetBlockBias(3)
+	c.Ops(400)
+
+	toks, err := cc.lex(src)
+	if err != nil {
+		return fmt.Errorf("gcc: %w", err)
+	}
+	funcs, err := cc.parse(toks)
+	if err != nil {
+		return fmt.Errorf("gcc: %w", err)
+	}
+
+	argRng := xrand.New(in.seed ^ 0xa5a5)
+	for fi, fn := range funcs {
+		cc.fn = fi // specialization context for this function's passes
+		folded := cc.fold(fn.body)
+		code := cc.compile(folded)
+		code = cc.peephole(code)
+		// Evaluate both representations over a deterministic argument
+		// sweep; they must agree.
+		for k := 0; k < in.evalN; k++ {
+			// Argument entropy: each evaluation sees fresh values, so
+			// control flow inside a function does not simply repeat
+			// (real compilers see different trees at every call site).
+			var args [ccNumVars]int64
+			for vi := range args {
+				args[vi] = int64(argRng.Intn(4000) - 1000)
+			}
+			want := cc.eval(fn.body, args)
+			got := cc.eval(folded, args)
+			if want != got {
+				return fmt.Errorf("gcc: fold changed value of func %d: %d vs %d", fi, want, got)
+			}
+			vmGot, err := cc.run(code, args)
+			if err != nil {
+				return err
+			}
+			if vmGot != want {
+				return fmt.Errorf("gcc: VM disagrees on func %d: %d vs %d", fi, vmGot, want)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- source generation ----
+
+// ccNumVars is the number of variables a..h available in expressions.
+const ccNumVars = 8
+
+// genCCSource emits a deterministic pseudo-program. The grammar matches what
+// the parser accepts:
+//
+//	program := func*
+//	func    := "fn" ident "(" ")" block
+//	block   := "{" stmt* "}"
+//	stmt    := ident "=" expr ";" | "if" "(" expr ")" block ["else" block]
+//	         | "while" "(" expr ")" block | "ret" expr ";"
+//	expr    := cmp (("=="|"!=") cmp)*
+//	cmp     := sum (("<"|">"|"<="|">=") sum)*
+//	sum     := term (("+"|"-") term)*
+//	term    := unary (("*"|"/"|"%") unary)*
+//	unary   := ["-"] primary
+//	primary := number | ident | "(" expr ")"
+func genCCSource(in ccInput) []byte {
+	rng := xrand.New(in.seed)
+	var out []byte
+	emit := func(s string) { out = append(out, s...); out = append(out, ' ') }
+
+	var genExpr func(depth int)
+	genExpr = func(depth int) {
+		gen1 := func() {
+			switch {
+			case depth > 3 || rng.Bool(0.45):
+				emit(fmt.Sprintf("%d", rng.Intn(200)-40))
+			case rng.Bool(0.75):
+				emit(string(rune('a' + rng.Intn(ccNumVars))))
+			default:
+				emit("(")
+				genExpr(depth + 1)
+				emit(")")
+			}
+		}
+		gen1()
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			ops := "+-*"
+			if in.divisor {
+				ops = "+-*/%<>"
+			}
+			op := ops[rng.Intn(len(ops))]
+			switch op {
+			case '<', '>':
+				emit(string(op))
+			case '/':
+				emit("/")
+			case '%':
+				emit("%")
+			default:
+				emit(string(op))
+			}
+			gen1()
+		}
+	}
+
+	var genBlock func(depth, n int)
+	genStmtImpl := func(depth int) {
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			emit(string(rune('a' + rng.Intn(ccNumVars))))
+			emit("=")
+			genExpr(0)
+			emit(";")
+		case r < 0.65 && depth < 2:
+			emit("if")
+			emit("(")
+			genExpr(0)
+			emit(")")
+			genBlock(depth+1, 1+rng.Intn(3))
+			if rng.Bool(0.4) {
+				emit("else")
+				genBlock(depth+1, 1+rng.Intn(2))
+			}
+		case r < 0.78 && depth < 2:
+			emit("while")
+			emit("(")
+			// bounded loop: (var % k) pattern terminates under the
+			// interpreter's iteration cap
+			emit(string(rune('a' + rng.Intn(ccNumVars))))
+			emit(">")
+			emit(fmt.Sprintf("%d", rng.Intn(6)))
+			emit(")")
+			genBlock(depth+1, 1+rng.Intn(2))
+		default:
+			emit(string(rune('a' + rng.Intn(ccNumVars))))
+			emit("=")
+			genExpr(1)
+			emit(";")
+		}
+	}
+	genBlock = func(depth, n int) {
+		emit("{")
+		for i := 0; i < n; i++ {
+			genStmtImpl(depth)
+		}
+		if depth == 0 {
+			emit("ret")
+			genExpr(0)
+			emit(";")
+		}
+		emit("}")
+	}
+
+	for f := 0; f < in.nFuncs; f++ {
+		emit("fn")
+		emit(fmt.Sprintf("f%d", f))
+		emit("(")
+		emit(")")
+		genBlock(0, 2+rng.Intn(in.maxStmt))
+		out = append(out, '\n')
+	}
+	return out
+}

@@ -1,0 +1,619 @@
+package workload
+
+import "fmt"
+
+// Token kinds for the cc language.
+const (
+	tkEOF = iota
+	tkFn
+	tkIdent
+	tkNum
+	tkIf
+	tkElse
+	tkWhile
+	tkRet
+	tkLP
+	tkRP
+	tkLB
+	tkRB
+	tkSemi
+	tkAssign
+	tkEq
+	tkNe
+	tkLt
+	tkGt
+	tkLe
+	tkGe
+	tkPlus
+	tkMinus
+	tkStar
+	tkSlash
+	tkPct
+)
+
+type ccToken struct {
+	kind int
+	val  int64
+	name string
+}
+
+// AST node kinds.
+const (
+	ndNum = iota
+	ndVar
+	ndBin
+	ndNeg
+	ndAssign
+	ndIf
+	ndWhile
+	ndRet
+	ndBlock
+)
+
+type ccNode struct {
+	kind int
+	op   int // binop: token kind of the operator
+	val  int64
+	varI int
+	kids []*ccNode
+}
+
+type ccFunc struct {
+	name string
+	body *ccNode
+}
+
+// ccLoopCap bounds every while loop: the language defines `while` as
+// executing at most ccLoopCap iterations. Both the AST interpreter and the
+// VM implement the same bound, so generated loops need not provably
+// terminate for the two to agree.
+const ccLoopCap = 48
+
+// VM opcodes.
+const (
+	vPushC = iota
+	vLoad
+	vStore
+	vBin // arg = operator token kind
+	vNeg
+	vJmp // arg = absolute target
+	vJz
+	vRet
+	vLoopInit // push loop budget
+	vLoopDec  // decrement budget; exhausted -> jump to arg
+	vLoopPop
+)
+
+type ccOp struct {
+	op  int
+	arg int64
+}
+
+// ccSpecContexts is the number of specialization contexts for the fold,
+// codegen, peephole, eval and VM passes. A production compiler spreads each
+// of these logical branches over many distinct static sites — inlined
+// copies, per-mode variants, generated specializations — which is where
+// SPEC gcc's tens of thousands of static branches come from. We model that
+// spread by giving every compiled function a stable context that selects
+// one replica of each hot site (see DESIGN.md, substitutions).
+const ccSpecContexts = 32
+
+// cc bundles the instrumented compiler passes. Each pass has its own branch
+// sites, laid out in separate "functions" of the synthetic text segment.
+type cc struct {
+	c *Ctx
+	// fn is the specialization context of the function currently being
+	// processed (set by Run for each function).
+	fn int
+
+	// lexer sites
+	lxMore, lxSpace, lxDigit, lxAlpha, lxNumLoop, lxIdentLoop *Site
+	lxKwFn, lxKwIf, lxKwElse, lxKwWhile, lxKwRet              *Site
+	lxEqEq, lxBangEq, lxLtEq, lxGtEq, lxPunct                 *Site
+	lxNeg, lxOverflow                                         *Site
+
+	// parser sites
+	psDepthGuard                                                       *Site
+	psMoreFunc, psLP, psRP, psLB, psRBLoop, psIsIf, psIsWhile, psIsRet *Site
+	psElse, psAssignVar, psSemi                                        *Site
+	psEqOp, psCmpOp, psSumOp, psTermOp, psUnaryNeg                     *Site
+	psPrimNum, psPrimVar, psPrimParen                                  *Site
+
+	// fold sites
+	fdIsBin, fdBothConst, fdIsNeg, fdNegConst, fdKids, fdAddZero, fdMulOne *SiteGroup
+
+	// compile sites
+	cgKind [6]*SiteGroup
+
+	// peephole sites
+	phMore, phPushPair, phBinNext, phNegNext *SiteGroup
+
+	// eval sites
+	evNil, evDepth                                           *SiteGroup
+	evKindNum, evKindVar, evKindBin, evKindNeg, evKindAssign *SiteGroup
+	evKindIf, evKindWhile, evKindRet                         *SiteGroup
+	evCondTrue, evLoopMore, evRetSeen, evDivZero             *SiteGroup
+	evCmp                                                    *SiteGroup
+
+	// vm sites
+	vmStackGuard, vmTraceHook                                    *SiteGroup
+	vmMore, vmOpC, vmOpLoad, vmOpStore, vmOpBin, vmOpJz, vmOpJmp *SiteGroup
+	vmOpNeg, vmOpRet, vmOpLoop, vmJzTaken, vmLoopExh, vmDivZero  *SiteGroup
+	vmCmpTrue                                                    *SiteGroup
+}
+
+func newCC(c *Ctx) *cc {
+	m := &cc{c: c}
+	// lexer
+	m.lxMore = c.Site(4)
+	m.lxSpace = c.Site(2)
+	m.lxDigit = c.Site(3)
+	m.lxAlpha = c.Site(3)
+	m.lxNumLoop = c.Site(4)
+	m.lxIdentLoop = c.Site(3)
+	m.lxKwFn = c.Site(3)
+	m.lxKwIf = c.Site(2)
+	m.lxKwElse = c.Site(2)
+	m.lxKwWhile = c.Site(2)
+	m.lxKwRet = c.Site(2)
+	m.lxEqEq = c.Site(3)
+	m.lxBangEq = c.Site(2)
+	m.lxLtEq = c.Site(2)
+	m.lxGtEq = c.Site(2)
+	m.lxPunct = c.Site(4)
+	m.lxNeg = c.Site(2)
+	m.lxOverflow = c.Site(2)
+	c.Gap(40)
+	// parser
+	m.psDepthGuard = c.Site(3)
+	m.psMoreFunc = c.Site(6)
+	m.psLP = c.Site(3)
+	m.psRP = c.Site(3)
+	m.psLB = c.Site(3)
+	m.psRBLoop = c.Site(4)
+	m.psIsIf = c.Site(3)
+	m.psIsWhile = c.Site(3)
+	m.psIsRet = c.Site(3)
+	m.psElse = c.Site(3)
+	m.psAssignVar = c.Site(4)
+	m.psSemi = c.Site(3)
+	m.psEqOp = c.Site(3)
+	m.psCmpOp = c.Site(3)
+	m.psSumOp = c.Site(3)
+	m.psTermOp = c.Site(3)
+	m.psUnaryNeg = c.Site(2)
+	m.psPrimNum = c.Site(3)
+	m.psPrimVar = c.Site(3)
+	m.psPrimParen = c.Site(3)
+	c.Gap(40)
+	// fold
+	m.fdIsBin = c.SiteGroup(ccSpecContexts, 4)
+	m.fdBothConst = c.SiteGroup(ccSpecContexts, 4)
+	m.fdIsNeg = c.SiteGroup(ccSpecContexts, 2)
+	m.fdNegConst = c.SiteGroup(ccSpecContexts, 2)
+	m.fdKids = c.SiteGroup(ccSpecContexts, 3)
+	m.fdAddZero = c.SiteGroup(ccSpecContexts, 3)
+	m.fdMulOne = c.SiteGroup(ccSpecContexts, 3)
+	c.Gap(24)
+	// compile
+	for i := range m.cgKind {
+		m.cgKind[i] = c.SiteGroup(ccSpecContexts, 4)
+	}
+	c.Gap(24)
+	// peephole
+	m.phMore = c.SiteGroup(ccSpecContexts, 4)
+	m.phPushPair = c.SiteGroup(ccSpecContexts, 4)
+	m.phBinNext = c.SiteGroup(ccSpecContexts, 3)
+	m.phNegNext = c.SiteGroup(ccSpecContexts, 2)
+	c.Gap(24)
+	// eval
+	m.evNil = c.SiteGroup(ccSpecContexts, 2)
+	m.evDepth = c.SiteGroup(ccSpecContexts, 2)
+	m.evKindNum = c.SiteGroup(ccSpecContexts, 2)
+	m.evKindVar = c.SiteGroup(ccSpecContexts, 2)
+	m.evKindBin = c.SiteGroup(ccSpecContexts, 3)
+	m.evKindNeg = c.SiteGroup(ccSpecContexts, 2)
+	m.evKindAssign = c.SiteGroup(ccSpecContexts, 3)
+	m.evKindIf = c.SiteGroup(ccSpecContexts, 3)
+	m.evKindWhile = c.SiteGroup(ccSpecContexts, 3)
+	m.evKindRet = c.SiteGroup(ccSpecContexts, 2)
+	m.evCondTrue = c.SiteGroup(ccSpecContexts, 4)
+	m.evLoopMore = c.SiteGroup(ccSpecContexts, 4)
+	m.evRetSeen = c.SiteGroup(ccSpecContexts, 2)
+	m.evDivZero = c.SiteGroup(ccSpecContexts, 3)
+	m.evCmp = c.SiteGroup(ccSpecContexts, 3)
+	c.Gap(32)
+	// vm
+	m.vmStackGuard = c.SiteGroup(ccSpecContexts, 2)
+	m.vmTraceHook = c.SiteGroup(ccSpecContexts, 2)
+	m.vmMore = c.SiteGroup(ccSpecContexts, 4)
+	m.vmOpC = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpLoad = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpStore = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpBin = c.SiteGroup(ccSpecContexts, 3)
+	m.vmOpJz = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpJmp = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpNeg = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpRet = c.SiteGroup(ccSpecContexts, 2)
+	m.vmOpLoop = c.SiteGroup(ccSpecContexts, 3)
+	m.vmJzTaken = c.SiteGroup(ccSpecContexts, 3)
+	m.vmLoopExh = c.SiteGroup(ccSpecContexts, 3)
+	m.vmDivZero = c.SiteGroup(ccSpecContexts, 3)
+	m.vmCmpTrue = c.SiteGroup(ccSpecContexts, 3)
+	return m
+}
+
+// ---- lexer ----
+
+func (m *cc) lex(src []byte) ([]ccToken, error) {
+	var toks []ccToken
+	i := 0
+	for m.lxMore.Taken(i < len(src)) {
+		ch := src[i]
+		if m.lxSpace.Taken(ch == ' ' || ch == '\n' || ch == '\t') {
+			i++
+			continue
+		}
+		if m.lxDigit.Taken(ch >= '0' && ch <= '9') {
+			var v int64
+			for m.lxNumLoop.Taken(i < len(src) && src[i] >= '0' && src[i] <= '9') {
+				v = v*10 + int64(src[i]-'0')
+				i++
+			}
+			if m.lxOverflow.Taken(v > 1<<40) {
+				return nil, fmt.Errorf("lex: numeric literal overflow at %d", i)
+			}
+			toks = append(toks, ccToken{kind: tkNum, val: v})
+			continue
+		}
+		if m.lxAlpha.Taken(ch >= 'a' && ch <= 'z') {
+			start := i
+			for m.lxIdentLoop.Taken(i < len(src) && (src[i] >= 'a' && src[i] <= 'z' || src[i] >= '0' && src[i] <= '9')) {
+				i++
+			}
+			word := string(src[start:i])
+			switch {
+			case m.lxKwFn.Taken(word == "fn"):
+				toks = append(toks, ccToken{kind: tkFn})
+			case m.lxKwIf.Taken(word == "if"):
+				toks = append(toks, ccToken{kind: tkIf})
+			case m.lxKwElse.Taken(word == "else"):
+				toks = append(toks, ccToken{kind: tkElse})
+			case m.lxKwWhile.Taken(word == "while"):
+				toks = append(toks, ccToken{kind: tkWhile})
+			case m.lxKwRet.Taken(word == "ret"):
+				toks = append(toks, ccToken{kind: tkRet})
+			default:
+				toks = append(toks, ccToken{kind: tkIdent, name: word})
+			}
+			continue
+		}
+		// operators and punctuation
+		two := byte(0)
+		if i+1 < len(src) {
+			two = src[i+1]
+		}
+		switch {
+		case m.lxEqEq.Taken(ch == '=' && two == '='):
+			toks = append(toks, ccToken{kind: tkEq})
+			i += 2
+		case m.lxBangEq.Taken(ch == '!' && two == '='):
+			toks = append(toks, ccToken{kind: tkNe})
+			i += 2
+		case m.lxLtEq.Taken(ch == '<' && two == '='):
+			toks = append(toks, ccToken{kind: tkLe})
+			i += 2
+		case m.lxGtEq.Taken(ch == '>' && two == '='):
+			toks = append(toks, ccToken{kind: tkGe})
+			i += 2
+		default:
+			kind := -1
+			switch ch {
+			case '=':
+				kind = tkAssign
+			case '<':
+				kind = tkLt
+			case '>':
+				kind = tkGt
+			case '+':
+				kind = tkPlus
+			case '-':
+				kind = tkMinus
+			case '*':
+				kind = tkStar
+			case '/':
+				kind = tkSlash
+			case '%':
+				kind = tkPct
+			case '(':
+				kind = tkLP
+			case ')':
+				kind = tkRP
+			case '{':
+				kind = tkLB
+			case '}':
+				kind = tkRB
+			case ';':
+				kind = tkSemi
+			}
+			if m.lxPunct.Taken(kind < 0) {
+				return nil, fmt.Errorf("lex: stray byte %q at %d", ch, i)
+			}
+			toks = append(toks, ccToken{kind: kind})
+			i++
+		}
+	}
+	toks = append(toks, ccToken{kind: tkEOF})
+	return toks, nil
+}
+
+// ---- parser ----
+
+type ccParser struct {
+	m    *cc
+	toks []ccToken
+	pos  int
+}
+
+// peek and next treat the end of the stream as an endless run of tkEOF, so
+// a malformed program can never drive the parser out of bounds.
+func (p *ccParser) peek() int {
+	if p.pos >= len(p.toks) {
+		return tkEOF
+	}
+	return p.toks[p.pos].kind
+}
+
+func (p *ccParser) next() ccToken {
+	if p.pos >= len(p.toks) {
+		return ccToken{kind: tkEOF}
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+func (p *ccParser) expect(kind int, site *Site) error {
+	if !site.Taken(p.peek() == kind) {
+		return fmt.Errorf("parse: expected token %d, got %d at %d", kind, p.peek(), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (m *cc) parse(toks []ccToken) ([]ccFunc, error) {
+	p := &ccParser{m: m, toks: toks}
+	var funcs []ccFunc
+	for m.psMoreFunc.Taken(p.peek() == tkFn) {
+		p.next() // fn
+		nameTok := p.next()
+		if nameTok.kind != tkIdent {
+			return nil, fmt.Errorf("parse: function name expected, got token %d", nameTok.kind)
+		}
+		name := nameTok.name
+		if err := p.expect(tkLP, m.psLP); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkRP, m.psRP); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		funcs = append(funcs, ccFunc{name: name, body: body})
+	}
+	if p.peek() != tkEOF {
+		return nil, fmt.Errorf("parse: trailing tokens at %d", p.pos)
+	}
+	return funcs, nil
+}
+
+func (p *ccParser) parseBlock() (*ccNode, error) {
+	m := p.m
+	if err := p.expect(tkLB, m.psLB); err != nil {
+		return nil, err
+	}
+	blk := &ccNode{kind: ndBlock}
+	for !m.psRBLoop.Taken(p.peek() == tkRB) {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.kids = append(blk.kids, st)
+	}
+	p.pos++ // consume }
+	return blk, nil
+}
+
+func (p *ccParser) parseStmt() (*ccNode, error) {
+	m := p.m
+	if m.psDepthGuard.Taken(p.pos >= len(p.toks)) {
+		return nil, fmt.Errorf("parse: ran off token stream")
+	}
+	switch {
+	case m.psIsIf.Taken(p.peek() == tkIf):
+		p.pos++
+		if err := p.expect(tkLP, m.psLP); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkRP, m.psRP); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node := &ccNode{kind: ndIf, kids: []*ccNode{cond, then}}
+		if m.psElse.Taken(p.peek() == tkElse) {
+			p.pos++
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.kids = append(node.kids, els)
+		}
+		return node, nil
+	case m.psIsWhile.Taken(p.peek() == tkWhile):
+		p.pos++
+		if err := p.expect(tkLP, m.psLP); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkRP, m.psRP); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ccNode{kind: ndWhile, kids: []*ccNode{cond, body}}, nil
+	case m.psIsRet.Taken(p.peek() == tkRet):
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkSemi, m.psSemi); err != nil {
+			return nil, err
+		}
+		return &ccNode{kind: ndRet, kids: []*ccNode{e}}, nil
+	default:
+		// assignment: ident = expr ;
+		if !m.psAssignVar.Taken(p.peek() == tkIdent) {
+			return nil, fmt.Errorf("parse: unexpected token %d at %d", p.peek(), p.pos)
+		}
+		name := p.next().name
+		vi := int(name[0] - 'a')
+		if vi < 0 || vi >= ccNumVars {
+			return nil, fmt.Errorf("parse: unknown variable %q", name)
+		}
+		if err := p.expect(tkAssign, m.psSemi); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkSemi, m.psSemi); err != nil {
+			return nil, err
+		}
+		return &ccNode{kind: ndAssign, varI: vi, kids: []*ccNode{e}}, nil
+	}
+}
+
+// precedence-climbing: expr (==/!=), cmp (</>/<=/>=), sum (+/-), term (*,/,%)
+func (p *ccParser) parseExpr() (*ccNode, error) {
+	m := p.m
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for m.psEqOp.Taken(p.peek() == tkEq || p.peek() == tkNe) {
+		op := p.next().kind
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = &ccNode{kind: ndBin, op: op, kids: []*ccNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *ccParser) parseCmp() (*ccNode, error) {
+	m := p.m
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	for m.psCmpOp.Taken(p.peek() == tkLt || p.peek() == tkGt || p.peek() == tkLe || p.peek() == tkGe) {
+		op := p.next().kind
+		right, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		left = &ccNode{kind: ndBin, op: op, kids: []*ccNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *ccParser) parseSum() (*ccNode, error) {
+	m := p.m
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for m.psSumOp.Taken(p.peek() == tkPlus || p.peek() == tkMinus) {
+		op := p.next().kind
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &ccNode{kind: ndBin, op: op, kids: []*ccNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *ccParser) parseTerm() (*ccNode, error) {
+	m := p.m
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for m.psTermOp.Taken(p.peek() == tkStar || p.peek() == tkSlash || p.peek() == tkPct) {
+		op := p.next().kind
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ccNode{kind: ndBin, op: op, kids: []*ccNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *ccParser) parseUnary() (*ccNode, error) {
+	m := p.m
+	if m.psUnaryNeg.Taken(p.peek() == tkMinus) {
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ccNode{kind: ndNeg, kids: []*ccNode{inner}}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *ccParser) parsePrimary() (*ccNode, error) {
+	m := p.m
+	switch {
+	case m.psPrimNum.Taken(p.peek() == tkNum):
+		t := p.next()
+		return &ccNode{kind: ndNum, val: t.val}, nil
+	case m.psPrimVar.Taken(p.peek() == tkIdent):
+		t := p.next()
+		vi := int(t.name[0] - 'a')
+		if vi < 0 || vi >= ccNumVars || len(t.name) != 1 {
+			return nil, fmt.Errorf("parse: unknown variable %q", t.name)
+		}
+		return &ccNode{kind: ndVar, varI: vi}, nil
+	case m.psPrimParen.Taken(p.peek() == tkLP):
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tkRP, m.psRP); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("parse: unexpected primary token %d at %d", p.peek(), p.pos)
+	}
+}

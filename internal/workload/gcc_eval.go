@@ -1,0 +1,354 @@
+package workload
+
+import "fmt"
+
+// ---- constant folding ----
+
+// fold returns a copy of the tree with constant subexpressions evaluated
+// and algebraic identities (x+0, x*1) simplified — the instrumented analogue
+// of gcc's fold-const pass.
+func (m *cc) fold(n *ccNode) *ccNode {
+	if n == nil {
+		return nil
+	}
+	out := &ccNode{kind: n.kind, op: n.op, val: n.val, varI: n.varI}
+	for i := range n.kids {
+		m.fdKids.Taken(m.fn, i < len(n.kids)-1) // child-iteration branch
+		out.kids = append(out.kids, m.fold(n.kids[i]))
+	}
+	if m.fdIsBin.Taken(m.fn, out.kind == ndBin) {
+		l, r := out.kids[0], out.kids[1]
+		if m.fdBothConst.Taken(m.fn, l.kind == ndNum && r.kind == ndNum) {
+			return &ccNode{kind: ndNum, val: ccApply(out.op, l.val, r.val)}
+		}
+		if m.fdAddZero.Taken(m.fn, out.op == tkPlus && r.kind == ndNum && r.val == 0) {
+			return l
+		}
+		if m.fdMulOne.Taken(m.fn, out.op == tkStar && r.kind == ndNum && r.val == 1) {
+			return l
+		}
+	} else if m.fdIsNeg.Taken(m.fn, out.kind == ndNeg) {
+		if m.fdNegConst.Taken(m.fn, out.kids[0].kind == ndNum) {
+			return &ccNode{kind: ndNum, val: -out.kids[0].val}
+		}
+	}
+	return out
+}
+
+// ccApply implements the language's binary operators. Division and modulo
+// by zero yield 0; MinInt64 / -1 wraps (no trap), like Alpha hardware.
+func ccApply(op int, a, b int64) int64 {
+	switch op {
+	case tkPlus:
+		return a + b
+	case tkMinus:
+		return a - b
+	case tkStar:
+		return a * b
+	case tkSlash:
+		if b == 0 || (a == -1<<63 && b == -1) {
+			if b == 0 {
+				return 0
+			}
+			return a
+		}
+		return a / b
+	case tkPct:
+		if b == 0 || (a == -1<<63 && b == -1) {
+			return 0
+		}
+		return a % b
+	case tkEq:
+		if a == b {
+			return 1
+		}
+		return 0
+	case tkNe:
+		if a != b {
+			return 1
+		}
+		return 0
+	case tkLt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case tkGt:
+		if a > b {
+			return 1
+		}
+		return 0
+	case tkLe:
+		if a <= b {
+			return 1
+		}
+		return 0
+	default: // tkGe
+		if a >= b {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ---- AST interpreter ----
+
+// eval runs a function body over the given variable values and returns its
+// result (the value of the first `ret`, or 0).
+func (m *cc) eval(body *ccNode, args [ccNumVars]int64) int64 {
+	env := args
+	val, _ := m.evalStmt(body, &env)
+	return val
+}
+
+// evalStmt executes a statement; returned = true means a ret fired.
+func (m *cc) evalStmt(n *ccNode, env *[ccNumVars]int64) (int64, bool) {
+	switch {
+	case m.evKindAssign.Taken(m.fn, n.kind == ndAssign):
+		env[n.varI] = m.evalExpr(n.kids[0], env)
+		return 0, false
+	case m.evKindIf.Taken(m.fn, n.kind == ndIf):
+		if m.evCondTrue.Taken(m.fn, m.evalExpr(n.kids[0], env) != 0) {
+			return m.evalStmt(n.kids[1], env)
+		} else if len(n.kids) == 3 {
+			return m.evalStmt(n.kids[2], env)
+		}
+		return 0, false
+	case m.evKindWhile.Taken(m.fn, n.kind == ndWhile):
+		for iter := 0; m.evLoopMore.Taken(m.fn, iter < ccLoopCap && m.evalExpr(n.kids[0], env) != 0); iter++ {
+			if v, ret := m.evalStmt(n.kids[1], env); m.evRetSeen.Taken(m.fn, ret) {
+				return v, true
+			}
+		}
+		return 0, false
+	case m.evKindRet.Taken(m.fn, n.kind == ndRet):
+		return m.evalExpr(n.kids[0], env), true
+	default: // block
+		for _, kid := range n.kids {
+			if v, ret := m.evalStmt(kid, env); m.evRetSeen.Taken(m.fn, ret) {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+}
+
+func (m *cc) evalExpr(n *ccNode, env *[ccNumVars]int64) int64 {
+	if m.evNil.Taken(m.fn, n == nil) {
+		return 0 // defensive: cannot happen on parser output
+	}
+	m.evDepth.Taken(m.fn, len(n.kids) > 8)
+	switch {
+	case m.evKindNum.Taken(m.fn, n.kind == ndNum):
+		return n.val
+	case m.evKindVar.Taken(m.fn, n.kind == ndVar):
+		return env[n.varI]
+	case m.evKindNeg.Taken(m.fn, n.kind == ndNeg):
+		return -m.evalExpr(n.kids[0], env)
+	default: // binary
+		a := m.evalExpr(n.kids[0], env)
+		b := m.evalExpr(n.kids[1], env)
+		switch n.op {
+		case tkSlash, tkPct:
+			m.evDivZero.Taken(m.fn, b == 0)
+		case tkEq, tkNe, tkLt, tkGt, tkLe, tkGe:
+			r := ccApply(n.op, a, b)
+			m.evCmp.Taken(m.fn, r != 0)
+			return r
+		}
+		return ccApply(n.op, a, b)
+	}
+}
+
+// ---- code generation ----
+
+// compile lowers a function body to stack-machine code ending in vRet.
+func (m *cc) compile(body *ccNode) []ccOp {
+	var code []ccOp
+	m.compileStmt(body, &code)
+	code = append(code, ccOp{op: vPushC, arg: 0}, ccOp{op: vRet})
+	return code
+}
+
+func (m *cc) compileStmt(n *ccNode, code *[]ccOp) {
+	switch {
+	case m.cgKind[0].Taken(m.fn, n.kind == ndAssign):
+		m.compileExpr(n.kids[0], code)
+		*code = append(*code, ccOp{op: vStore, arg: int64(n.varI)})
+	case m.cgKind[1].Taken(m.fn, n.kind == ndIf):
+		m.compileExpr(n.kids[0], code)
+		jz := len(*code)
+		*code = append(*code, ccOp{op: vJz})
+		m.compileStmt(n.kids[1], code)
+		if m.cgKind[2].Taken(m.fn, len(n.kids) == 3) {
+			jmp := len(*code)
+			*code = append(*code, ccOp{op: vJmp})
+			(*code)[jz].arg = int64(len(*code))
+			m.compileStmt(n.kids[2], code)
+			(*code)[jmp].arg = int64(len(*code))
+		} else {
+			(*code)[jz].arg = int64(len(*code))
+		}
+	case m.cgKind[3].Taken(m.fn, n.kind == ndWhile):
+		*code = append(*code, ccOp{op: vLoopInit, arg: ccLoopCap})
+		top := len(*code)
+		dec := len(*code)
+		*code = append(*code, ccOp{op: vLoopDec})
+		m.compileExpr(n.kids[0], code)
+		jz := len(*code)
+		*code = append(*code, ccOp{op: vJz})
+		m.compileStmt(n.kids[1], code)
+		*code = append(*code, ccOp{op: vJmp, arg: int64(top)})
+		exit := int64(len(*code))
+		(*code)[jz].arg = exit
+		(*code)[dec].arg = exit
+		*code = append(*code, ccOp{op: vLoopPop})
+	case m.cgKind[4].Taken(m.fn, n.kind == ndRet):
+		m.compileExpr(n.kids[0], code)
+		*code = append(*code, ccOp{op: vRet})
+	default: // block
+		for _, kid := range n.kids {
+			m.cgKind[5].Taken(m.fn, kid.kind == ndAssign)
+			m.compileStmt(kid, code)
+		}
+	}
+}
+
+func (m *cc) compileExpr(n *ccNode, code *[]ccOp) {
+	switch n.kind {
+	case ndNum:
+		*code = append(*code, ccOp{op: vPushC, arg: n.val})
+	case ndVar:
+		*code = append(*code, ccOp{op: vLoad, arg: int64(n.varI)})
+	case ndNeg:
+		m.compileExpr(n.kids[0], code)
+		*code = append(*code, ccOp{op: vNeg})
+	default:
+		m.compileExpr(n.kids[0], code)
+		m.compileExpr(n.kids[1], code)
+		*code = append(*code, ccOp{op: vBin, arg: int64(n.op)})
+	}
+}
+
+// ---- peephole ----
+
+// peephole folds constant arithmetic in the instruction stream:
+// (PushC a, PushC b, Bin op) → PushC and (PushC a, Neg) → PushC. Jump
+// targets are preserved by only rewriting runs that no jump lands inside;
+// for simplicity a rewrite is skipped when any jump targets the middle of
+// the pattern.
+func (m *cc) peephole(code []ccOp) []ccOp {
+	// collect jump targets
+	targets := map[int64]bool{}
+	for _, op := range code {
+		switch op.op {
+		case vJmp, vJz, vLoopDec:
+			targets[op.arg] = true
+		}
+	}
+	var out []ccOp
+	remap := make([]int64, len(code)+1)
+	i := 0
+	for m.phMore.Taken(m.fn, i < len(code)) {
+		remap[i] = int64(len(out))
+		if m.phPushPair.Taken(m.fn, i+2 < len(code) &&
+			code[i].op == vPushC && code[i+1].op == vPushC && code[i+2].op == vBin &&
+			!targets[int64(i+1)] && !targets[int64(i+2)]) {
+			if m.phBinNext.Taken(m.fn, true) {
+				v := ccApply(int(code[i+2].arg), code[i].arg, code[i+1].arg)
+				remap[i+1] = int64(len(out))
+				remap[i+2] = int64(len(out))
+				out = append(out, ccOp{op: vPushC, arg: v})
+				i += 3
+				continue
+			}
+		}
+		if m.phNegNext.Taken(m.fn, i+1 < len(code) && code[i].op == vPushC && code[i+1].op == vNeg && !targets[int64(i+1)]) {
+			remap[i+1] = int64(len(out))
+			out = append(out, ccOp{op: vPushC, arg: -code[i].arg})
+			i += 2
+			continue
+		}
+		out = append(out, code[i])
+		i++
+	}
+	remap[len(code)] = int64(len(out))
+	// fix jump targets
+	for j := range out {
+		switch out[j].op {
+		case vJmp, vJz, vLoopDec:
+			out[j].arg = remap[out[j].arg]
+		}
+	}
+	return out
+}
+
+// ---- stack VM ----
+
+// run executes compiled code over the argument vector.
+func (m *cc) run(code []ccOp, args [ccNumVars]int64) (int64, error) {
+	env := args
+	var stack []int64
+	var loops []int64
+	pc := 0
+	steps := 0
+	for m.vmMore.Taken(m.fn, pc < len(code)) {
+		steps++
+		if steps > 10_000_000 {
+			return 0, fmt.Errorf("gcc: VM runaway at pc %d", pc)
+		}
+		op := code[pc]
+		pc++
+		if m.vmStackGuard.Taken(m.fn, len(stack) > 1<<16) {
+			return 0, fmt.Errorf("gcc: VM stack overflow at pc %d", pc-1)
+		}
+		m.vmTraceHook.Taken(m.fn, false) // bytecode trace hook compiled out
+		switch {
+		case m.vmOpC.Taken(m.fn, op.op == vPushC):
+			stack = append(stack, op.arg)
+		case m.vmOpLoad.Taken(m.fn, op.op == vLoad):
+			stack = append(stack, env[op.arg])
+		case m.vmOpStore.Taken(m.fn, op.op == vStore):
+			env[op.arg] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case m.vmOpBin.Taken(m.fn, op.op == vBin):
+			b := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-1]
+			switch int(op.arg) {
+			case tkSlash, tkPct:
+				m.vmDivZero.Taken(m.fn, b == 0)
+			case tkEq, tkNe, tkLt, tkGt, tkLe, tkGe:
+				m.vmCmpTrue.Taken(m.fn, ccApply(int(op.arg), a, b) != 0)
+			}
+			stack[len(stack)-1] = ccApply(int(op.arg), a, b)
+		case m.vmOpNeg.Taken(m.fn, op.op == vNeg):
+			stack[len(stack)-1] = -stack[len(stack)-1]
+		case m.vmOpJz.Taken(m.fn, op.op == vJz):
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if m.vmJzTaken.Taken(m.fn, v == 0) {
+				pc = int(op.arg)
+			}
+		case m.vmOpJmp.Taken(m.fn, op.op == vJmp):
+			pc = int(op.arg)
+		case m.vmOpRet.Taken(m.fn, op.op == vRet):
+			return stack[len(stack)-1], nil
+		case m.vmOpLoop.Taken(m.fn, op.op == vLoopInit):
+			loops = append(loops, op.arg)
+		default:
+			switch op.op {
+			case vLoopDec:
+				loops[len(loops)-1]--
+				if m.vmLoopExh.Taken(m.fn, loops[len(loops)-1] < 0) {
+					pc = int(op.arg)
+				}
+			case vLoopPop:
+				loops = loops[:len(loops)-1]
+			default:
+				return 0, fmt.Errorf("gcc: VM illegal op %d at pc %d", op.op, pc-1)
+			}
+		}
+	}
+	return 0, fmt.Errorf("gcc: VM fell off code end")
+}

@@ -1,0 +1,351 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// goProg is the SPEC "go" analogue: an AI playing a Go-like territory game
+// against itself — stone placement, liberty counting by flood fill, capture,
+// and a greedy evaluation over frontier moves. Its branches are dominated by
+// data-dependent board tests and comparison chains whose outcomes shift as
+// the position evolves, giving the suite's lowest highly-biased fraction and
+// the hardest prediction problem, just like the paper's go row (15.9%
+// highly-biased, worst accuracy for every predictor).
+type goProg struct{}
+
+func init() { Register(goProg{}) }
+
+// Name implements Program.
+func (goProg) Name() string { return "go" }
+
+// Description implements Program.
+func (goProg) Description() string {
+	return "Go-like territory game self-play with liberty counting and capture (SPEC go analogue)"
+}
+
+type goInput struct {
+	size  int
+	moves int
+	games int
+	seed  uint64
+}
+
+var goInputs = map[string]goInput{
+	InputTest:  {size: 7, moves: 24, games: 2, seed: 71},
+	InputTrain: {size: 9, moves: 56, games: 7, seed: 81},
+	InputRef:   {size: 13, moves: 100, games: 6, seed: 91},
+}
+
+const (
+	cellEmpty = 0
+	cellBlack = 1
+	cellWhite = 2
+)
+
+type goSites struct {
+	// candidate scan
+	candLoop, candEmpty, candFrontier *Site
+	// neighbor inspection: hand-unrolled by direction, as board programs
+	// typically are, so each direction contributes distinct static sites
+	nbLoop, nbInBounds, nbEmpty, nbFriend, nbEnemy *SiteGroup
+	// flood fill (liberty count), per-direction inner sites
+	ffStack                      *Site
+	ffVisited, ffSame, ffLiberty *SiteGroup
+	// capture
+	capLoop, capZero, capRemove *Site
+	// evaluation comparisons
+	evBetter, evTie, evNoise *Site
+	// guards
+	gdKo, gdSanity, gdMark *Site
+	// legality
+	legalSuicide, legalOccupied *Site
+	// game loop
+	mvLoop, gmLoop, passEarly *Site
+	// final invariant scan
+	fvLoop, fvStone, fvHasLib *Site
+}
+
+func newGoSites(c *Ctx) *goSites {
+	s := &goSites{}
+	s.candLoop = c.Site(3)
+	s.candEmpty = c.Site(2)
+	s.candFrontier = c.Site(3)
+	c.Gap(16)
+	s.nbLoop = c.SiteGroup(4, 2)
+	s.nbInBounds = c.SiteGroup(4, 2)
+	s.nbEmpty = c.SiteGroup(4, 2)
+	s.nbFriend = c.SiteGroup(4, 2)
+	s.nbEnemy = c.SiteGroup(4, 2)
+	c.Gap(16)
+	s.ffStack = c.Site(4)
+	s.ffVisited = c.SiteGroup(4, 2)
+	s.ffSame = c.SiteGroup(4, 2)
+	s.ffLiberty = c.SiteGroup(4, 2)
+	c.Gap(16)
+	s.capLoop = c.Site(3)
+	s.capZero = c.Site(3)
+	s.capRemove = c.Site(3)
+	c.Gap(16)
+	s.evBetter = c.Site(4)
+	s.evTie = c.Site(2)
+	s.evNoise = c.Site(2)
+	s.gdKo = c.Site(3)
+	s.gdSanity = c.Site(2)
+	s.gdMark = c.Site(2)
+	s.legalSuicide = c.Site(3)
+	s.legalOccupied = c.Site(2)
+	s.mvLoop = c.Site(6)
+	s.gmLoop = c.Site(8)
+	s.passEarly = c.Site(3)
+	c.Gap(16)
+	s.fvLoop = c.Site(3)
+	s.fvStone = c.Site(2)
+	s.fvHasLib = c.Site(3)
+	return s
+}
+
+// goGame is one self-play game.
+type goGame struct {
+	c *Ctx
+	s *goSites
+	// koCell is the cell just vacated by a single-stone capture; playing
+	// there is forbidden for one move (simplified ko rule). -1 when clear.
+	koCell  int
+	lastCap int
+	n       int
+	board   []uint8
+	mark    []uint32 // flood-fill visit marks
+	epoch   uint32
+	stack   []int
+	rng     *xrand.SplitMix64
+}
+
+func (g *goGame) at(x, y int) uint8     { return g.board[y*g.n+x] }
+func (g *goGame) set(x, y int, v uint8) { g.board[y*g.n+x] = v }
+
+var goDirs = [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// liberties flood-fills the group containing (x,y) and returns its liberty
+// count and the group's cells.
+func (g *goGame) liberties(x, y int) (int, []int) {
+	s := g.s
+	color := g.at(x, y)
+	g.epoch++
+	libs := 0
+	group := g.stack[:0]
+	group = append(group, y*g.n+x)
+	g.mark[y*g.n+x] = g.epoch
+	head := 0
+	for s.ffStack.Taken(head < len(group)) {
+		cell := group[head]
+		head++
+		if s.gdMark.Taken(cell < 0 || cell >= len(g.board)) {
+			panic("go: flood fill escaped the board")
+		}
+		cx, cy := cell%g.n, cell/g.n
+		for d := 0; s.nbLoop.Taken(d, d < 4); d++ {
+			nx, ny := cx+goDirs[d][0], cy+goDirs[d][1]
+			if !s.nbInBounds.Taken(d, nx >= 0 && nx < g.n && ny >= 0 && ny < g.n) {
+				continue
+			}
+			nc := ny*g.n + nx
+			if s.ffVisited.Taken(d, g.mark[nc] == g.epoch) {
+				continue
+			}
+			v := g.board[nc]
+			if s.ffLiberty.Taken(d, v == cellEmpty) {
+				g.mark[nc] = g.epoch
+				libs++
+				continue
+			}
+			if s.ffSame.Taken(d, v == color) {
+				g.mark[nc] = g.epoch
+				group = append(group, nc)
+			}
+		}
+		g.c.Ops(3)
+	}
+	g.stack = group[:0]
+	return libs, group
+}
+
+// tryCaptures removes opposing neighbor groups left with zero liberties
+// after a stone lands at (x,y); returns stones captured.
+func (g *goGame) tryCaptures(x, y int, color uint8) int {
+	s := g.s
+	enemy := uint8(3) - color
+	captured := 0
+	for d := 0; s.capLoop.Taken(d < 4); d++ {
+		nx, ny := x+goDirs[d][0], y+goDirs[d][1]
+		if !s.nbInBounds.Taken(d, nx >= 0 && nx < g.n && ny >= 0 && ny < g.n) {
+			continue
+		}
+		if !s.nbEnemy.Taken(d, g.at(nx, ny) == enemy) {
+			continue
+		}
+		libs, group := g.liberties(nx, ny)
+		if s.capZero.Taken(libs == 0) {
+			for _, cell := range group {
+				if s.capRemove.Taken(g.board[cell] == enemy) {
+					g.board[cell] = cellEmpty
+					g.lastCap = cell
+					captured++
+				}
+			}
+			// group slice aliases g.stack; copy cells out before reuse
+		}
+	}
+	return captured
+}
+
+// score evaluates placing color at (x,y): liberties of the resulting group,
+// friendly contact, captures, minus crowding, plus a tiny deterministic
+// noise term that keeps the search from collapsing into a fixed pattern.
+func (g *goGame) score(x, y int, color uint8) int {
+	s := g.s
+	// place tentatively
+	g.set(x, y, color)
+	libs, group := g.liberties(x, y)
+	sc := libs*4 + len(group)
+	caps := 0
+	enemy := uint8(3) - color
+	for d := 0; s.nbLoop.Taken(d, d < 4); d++ {
+		nx, ny := x+goDirs[d][0], y+goDirs[d][1]
+		if !s.nbInBounds.Taken(d, nx >= 0 && nx < g.n && ny >= 0 && ny < g.n) {
+			sc++ // edge contact: territory-ish
+			continue
+		}
+		v := g.at(nx, ny)
+		if s.nbFriend.Taken(d, v == color) {
+			sc += 2
+		} else if s.nbEnemy.Taken(d, v == enemy) {
+			elibs, _ := g.liberties(nx, ny)
+			if s.capZero.Taken(elibs == 0) {
+				caps += 8
+			} else if elibs == 1 {
+				sc += 3 // atari pressure
+			}
+		}
+	}
+	g.set(x, y, cellEmpty)
+	if s.legalSuicide.Taken(libs == 0 && caps == 0) {
+		return -1 << 20 // suicide: illegal
+	}
+	if s.evNoise.Taken(g.rng.Bool(0.25)) {
+		sc += g.rng.Intn(3)
+	}
+	return sc + caps
+}
+
+// frontier reports whether (x,y) touches any stone (candidate pruning).
+func (g *goGame) frontier(x, y int) bool {
+	s := g.s
+	for d := 0; s.nbLoop.Taken(d, d < 4); d++ {
+		nx, ny := x+goDirs[d][0], y+goDirs[d][1]
+		if !s.nbInBounds.Taken(d, nx >= 0 && nx < g.n && ny >= 0 && ny < g.n) {
+			continue
+		}
+		if s.nbEmpty.Taken(d, g.at(nx, ny) != cellEmpty) {
+			return true
+		}
+	}
+	return false
+}
+
+// play runs one game; returns stones placed and captured.
+func (g *goGame) play(moves int) (placed, captured int) {
+	s := g.s
+	// seed a few stones so the frontier is non-empty
+	g.set(g.n/2, g.n/2, cellBlack)
+	g.set(g.n/2-1, g.n/2, cellWhite)
+	placed = 2
+	color := uint8(cellBlack)
+	for mv := 0; s.mvLoop.Taken(mv < moves); mv++ {
+		best, bestSc := -1, -1<<30
+		for cell := 0; s.candLoop.Taken(cell < g.n*g.n); cell++ {
+			x, y := cell%g.n, cell/g.n
+			if !s.candEmpty.Taken(g.board[cell] == cellEmpty) {
+				continue
+			}
+			if !s.candFrontier.Taken(g.frontier(x, y)) {
+				continue
+			}
+			if s.gdKo.Taken(cell == g.koCell) {
+				continue // ko rule: immediate recapture forbidden
+			}
+			if s.gdSanity.Taken(g.board[cell] > cellWhite) {
+				panic("go: corrupt board cell")
+			}
+			sc := g.score(x, y, color)
+			if s.evBetter.Taken(sc > bestSc) {
+				best, bestSc = cell, sc
+			} else if s.evTie.Taken(sc == bestSc && cell < best) {
+				best = cell
+			}
+		}
+		if s.passEarly.Taken(best < 0 || bestSc <= -1<<20) {
+			break // no legal move: pass out
+		}
+		x, y := best%g.n, best/g.n
+		g.set(x, y, color)
+		placed++
+		caps := g.tryCaptures(x, y, color)
+		captured += caps
+		if caps == 1 {
+			g.koCell = g.lastCap
+		} else {
+			g.koCell = -1
+		}
+		color = 3 - color
+		g.c.Ops(12)
+	}
+	return placed, captured
+}
+
+// Run implements Program.
+func (goProg) Run(input string, rec trace.Recorder) error {
+	in, ok := goInputs[input]
+	if !ok {
+		return fmt.Errorf("go: unknown input %q", input)
+	}
+	c := NewCtx(rec)
+	s := newGoSites(c)
+	c.SetBlockBias(5)
+	c.Ops(200)
+
+	totalPlaced, totalCaptured := 0, 0
+	for game := 0; s.gmLoop.Taken(game < in.games); game++ {
+		g := &goGame{
+			c: c, s: s, n: in.size, koCell: -1,
+			board: make([]uint8, in.size*in.size),
+			mark:  make([]uint32, in.size*in.size),
+			rng:   xrand.New(in.seed + uint64(game)*977),
+		}
+		placed, captured := g.play(in.moves)
+		totalPlaced += placed
+		totalCaptured += captured
+
+		// Invariant: every remaining group has at least one liberty, and
+		// the board bookkeeping balances.
+		stones := 0
+		for cell := 0; s.fvLoop.Taken(cell < g.n*g.n); cell++ {
+			if s.fvStone.Taken(g.board[cell] != cellEmpty) {
+				stones++
+				libs, _ := g.liberties(cell%g.n, cell/g.n)
+				if !s.fvHasLib.Taken(libs > 0) {
+					return fmt.Errorf("go: zero-liberty group survived at cell %d (game %d)", cell, game)
+				}
+			}
+		}
+		if stones != placed-captured {
+			return fmt.Errorf("go: stone accounting broken: %d on board, %d placed - %d captured", stones, placed, captured)
+		}
+	}
+	if totalPlaced == 0 {
+		return fmt.Errorf("go: no stones placed")
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// jpegProg is the SPEC "ijpeg" analogue: a lossy image codec pipeline —
+// 8×8 DCT, quantization, zigzag run-length coding, magnitude-class entropy
+// sizing — followed by the inverse path and an error-bound check against the
+// source image.
+//
+// Like the original, most time goes to long arithmetic blocks with few
+// branches, so its branch density is roughly half the other programs'
+// (paper Table 1: 61–69 CBRs/KI vs 108–156) — which is why the paper found
+// static prediction barely moves ijpeg: there is simply less aliasing.
+type jpegProg struct{}
+
+func init() { Register(jpegProg{}) }
+
+// Name implements Program.
+func (jpegProg) Name() string { return "ijpeg" }
+
+// Description implements Program.
+func (jpegProg) Description() string {
+	return "DCT/quantize/RLE image codec with inverse-path verification (SPEC ijpeg analogue)"
+}
+
+type jpegInput struct {
+	seed  uint64
+	w, h  int
+	noise int // 0..100: fraction of high-frequency content
+}
+
+var jpegInputs = map[string]jpegInput{
+	InputTest:  {seed: 111, w: 64, h: 64, noise: 20},
+	InputTrain: {seed: 121, w: 400, h: 304, noise: 18},
+	InputRef:   {seed: 131, w: 768, h: 512, noise: 45},
+}
+
+type jpegSites struct {
+	blkLoop, rowLoop *Site
+	// quantizer and RLE sites are specialized per coefficient band
+	// (DC / low / mid / high), as production codecs unroll them
+	qZero, qClampHi, qClampLo *SiteGroup
+	rlLoop                    *Site
+	rlIsZero                  *SiteGroup
+	rlRunFlush, rlEOB         *Site
+	szClass                   [6]*Site
+	vLoop, vBound             *Site
+}
+
+// jpegBand maps a zigzag position to its frequency band.
+func jpegBand(i int) int {
+	switch {
+	case i == 0:
+		return 0 // DC
+	case i < 16:
+		return 1
+	case i < 40:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func newJpegSites(c *Ctx) *jpegSites {
+	s := &jpegSites{}
+	// Heavy weights: each branch stands at the end of a long arithmetic
+	// block (DCT butterflies, quantizer multiplies), which is what gives
+	// ijpeg its low branch density.
+	s.blkLoop = c.Site(40)
+	s.rowLoop = c.Site(48) // one DCT row/column pass per execution
+	c.Gap(64)
+	s.qZero = c.SiteGroup(4, 6)
+	s.qClampHi = c.SiteGroup(4, 3)
+	s.qClampLo = c.SiteGroup(4, 3)
+	c.Gap(24)
+	s.rlLoop = c.Site(4)
+	s.rlIsZero = c.SiteGroup(4, 3)
+	s.rlRunFlush = c.Site(5)
+	s.rlEOB = c.Site(4)
+	for i := range s.szClass {
+		s.szClass[i] = c.Site(3)
+	}
+	c.Gap(24)
+	s.vLoop = c.Site(10)
+	s.vBound = c.Site(4)
+	return s
+}
+
+// jpegQuant is a luminance-style quantization table.
+var jpegQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZigzag maps scan order to block position.
+var jpegZigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// genImage builds a deterministic grayscale image: smooth gradients with a
+// seeded fraction of high-frequency texture.
+func genImage(in jpegInput) []uint8 {
+	rng := xrand.New(in.seed)
+	img := make([]uint8, in.w*in.h)
+	for y := 0; y < in.h; y++ {
+		for x := 0; x < in.w; x++ {
+			v := (x*5 + y*3) % 256
+			v = (v + int(32*math.Sin(float64(x)/17)*math.Cos(float64(y)/23))) & 255
+			if rng.Intn(100) < in.noise {
+				v = (v + rng.Intn(96) - 48) & 255
+			}
+			img[y*in.w+x] = uint8(v)
+		}
+	}
+	return img
+}
+
+// fdct8 performs a separable 8×8 DCT-II in place (float64).
+func fdct8(b *[64]float64) {
+	var tmp [64]float64
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			var sum float64
+			for k := 0; k < 8; k++ {
+				sum += b[u*8+k] * dctCos[k][x]
+			}
+			tmp[u*8+x] = sum
+		}
+	}
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var sum float64
+			for k := 0; k < 8; k++ {
+				sum += tmp[k*8+u] * dctCos[k][v]
+			}
+			b[v*8+u] = sum * dctScale[u] * dctScale[v]
+		}
+	}
+}
+
+// idct8 inverts fdct8: rows first over the u (horizontal frequency) axis,
+// then columns over v.
+func idct8(b *[64]float64) {
+	var tmp [64]float64
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			var sum float64
+			for u := 0; u < 8; u++ {
+				sum += b[v*8+u] * dctScale[u] * dctCos[x][u]
+			}
+			tmp[v*8+x] = sum
+		}
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var sum float64
+			for v := 0; v < 8; v++ {
+				sum += tmp[v*8+x] * dctScale[v] * dctCos[y][v]
+			}
+			b[y*8+x] = sum
+		}
+	}
+}
+
+var (
+	dctCos   [8][8]float64 // dctCos[x][u] = cos((2x+1)uπ/16)
+	dctScale [8]float64
+)
+
+func init() {
+	for x := 0; x < 8; x++ {
+		for u := 0; u < 8; u++ {
+			dctCos[x][u] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+	for u := 0; u < 8; u++ {
+		dctScale[u] = 0.5
+	}
+	dctScale[0] = 1 / math.Sqrt(2) * 0.5
+}
+
+// Run implements Program.
+func (jpegProg) Run(input string, rec trace.Recorder) error {
+	in, ok := jpegInputs[input]
+	if !ok {
+		return fmt.Errorf("ijpeg: unknown input %q", input)
+	}
+	img := genImage(in)
+
+	c := NewCtx(rec)
+	s := newJpegSites(c)
+	c.SetBlockBias(6)
+	c.Ops(300)
+
+	bw, bh := in.w/8, in.h/8
+	var totalErr, nPix int64
+	var bits int64
+	var block [64]float64
+
+	for by := 0; s.blkLoop.Taken(by < bh*bw); by++ {
+		bx := by % bw
+		y0 := (by / bw) * 8
+		x0 := bx * 8
+
+		// load block, level-shift
+		for r := 0; s.rowLoop.Taken(r < 8); r++ {
+			for k := 0; k < 8; k++ {
+				block[r*8+k] = float64(img[(y0+r)*in.w+x0+k]) - 128
+			}
+		}
+		fdct8(&block)
+		c.Ops(900) // the DCT butterflies
+
+		// quantize
+		var q [64]int32
+		for i := 0; i < 64; i++ {
+			band := jpegBand(i)
+			v := int32(math.Round(block[i] / float64(jpegQuant[i])))
+			if s.qClampHi.Taken(band, v > 1023) {
+				v = 1023
+			} else if s.qClampLo.Taken(band, v < -1023) {
+				v = -1023
+			}
+			s.qZero.Taken(band, v == 0)
+			q[i] = v
+		}
+
+		// zigzag run-length + magnitude-class sizing
+		run := 0
+		lastNZ := -1
+		for i := 63; i >= 0; i-- {
+			if q[jpegZigzag[i]] != 0 {
+				lastNZ = i
+				break
+			}
+		}
+		c.Ops(16)
+		for i := 0; s.rlLoop.Taken(i <= lastNZ); i++ {
+			v := q[jpegZigzag[i]]
+			if s.rlIsZero.Taken(jpegBand(i), v == 0) {
+				run++
+				if s.rlRunFlush.Taken(run == 16) {
+					bits += 11 // ZRL symbol
+					run = 0
+				}
+				continue
+			}
+			// magnitude class: if-else ladder, like a Huffman size table
+			mag := v
+			if mag < 0 {
+				mag = -mag
+			}
+			size := int64(11)
+			switch {
+			case s.szClass[0].Taken(mag < 2):
+				size = 2
+			case s.szClass[1].Taken(mag < 4):
+				size = 3
+			case s.szClass[2].Taken(mag < 8):
+				size = 4
+			case s.szClass[3].Taken(mag < 16):
+				size = 5
+			case s.szClass[4].Taken(mag < 64):
+				size = 7
+			case s.szClass[5].Taken(mag < 256):
+				size = 9
+			}
+			bits += size + int64(run)
+			run = 0
+		}
+		if s.rlEOB.Taken(lastNZ < 63) {
+			bits += 4
+		}
+
+		// inverse path: dequantize, idct, accumulate reconstruction error
+		for i := 0; i < 64; i++ {
+			block[i] = float64(q[i] * jpegQuant[i])
+		}
+		idct8(&block)
+		c.Ops(900)
+		for r := 0; s.vLoop.Taken(r < 8); r++ {
+			for k := 0; k < 8; k++ {
+				recon := block[r*8+k] + 128
+				src := float64(img[(y0+r)*in.w+x0+k])
+				d := recon - src
+				if d < 0 {
+					d = -d
+				}
+				totalErr += int64(d)
+				nPix++
+			}
+		}
+	}
+
+	if bits == 0 {
+		return fmt.Errorf("ijpeg: produced an empty bitstream")
+	}
+	meanErr := float64(totalErr) / float64(nPix)
+	if !s.vBound.Taken(meanErr < 16) {
+		return fmt.Errorf("ijpeg: reconstruction error too high: mean |err| = %.2f", meanErr)
+	}
+	return nil
+}

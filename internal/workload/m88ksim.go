@@ -1,0 +1,543 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchsim/internal/trace"
+)
+
+// m88kProg is the SPEC "m88ksim" analogue: an instruction-level simulator
+// for a small RISC machine, executing guest programs (sieve, sort,
+// checksum). Like the original — a Motorola 88100 simulator — its host-level
+// branches are dominated by a long, highly biased decode chain plus loop
+// branches, which is why the paper's m88ksim row has the highest
+// highly-biased fraction (85.5%) and the best accuracy under every scheme.
+type m88kProg struct{}
+
+func init() { Register(m88kProg{}) }
+
+// Name implements Program.
+func (m88kProg) Name() string { return "m88ksim" }
+
+// Description implements Program.
+func (m88kProg) Description() string {
+	return "toy RISC CPU simulator executing sieve/sort/checksum guest kernels (SPEC m88ksim analogue)"
+}
+
+// Guest ISA: 32-bit words, 16 registers.
+//
+//	op<<24 | rd<<20 | ra<<16 | rb<<12          (register ops)
+//	op<<24 | rd<<20 | ra<<16 | imm16           (immediate/memory/branch ops,
+//	                                            imm sign-extended; branch
+//	                                            offsets in words)
+const (
+	opHALT = iota
+	opADD
+	opSUB
+	opAND
+	opOR
+	opXOR
+	opSHL
+	opSHR
+	opMUL
+	opADDI
+	opLUI // rd = imm << 16
+	opLD  // rd = mem[ra+imm]
+	opST  // mem[ra+imm] = rd
+	opBEQ // if ra == rd: pc += imm (branches carry the 2nd reg in rd)
+	opBNE
+	opBLT
+	opBGE
+	opJMP // pc += imm
+	opJAL // rd = pc+1; pc += imm
+	opJR  // pc = ra
+	opOUT // append ra to output
+	opNumOps
+)
+
+func rr(op, rd, ra, rb int) uint32 {
+	return uint32(op)<<24 | uint32(rd)<<20 | uint32(ra)<<16 | uint32(rb)<<12
+}
+
+func ri(op, rd, ra, imm int) uint32 {
+	return uint32(op)<<24 | uint32(rd)<<20 | uint32(ra)<<16 | uint32(uint16(int16(imm)))
+}
+
+// guestAsm assembles guest programs with labels.
+type guestAsm struct {
+	code   []uint32
+	labels map[string]int
+	fixups []struct {
+		at    int
+		label string
+	}
+}
+
+func newGuestAsm() *guestAsm { return &guestAsm{labels: map[string]int{}} }
+
+func (a *guestAsm) emit(w uint32) { a.code = append(a.code, w) }
+
+func (a *guestAsm) label(name string) { a.labels[name] = len(a.code) }
+
+// branch emits a branch/jump to a label; the offset is patched at assemble.
+func (a *guestAsm) branch(op, rd, ra int, label string) {
+	a.fixups = append(a.fixups, struct {
+		at    int
+		label string
+	}{len(a.code), label})
+	a.emit(ri(op, rd, ra, 0))
+}
+
+func (a *guestAsm) assemble() ([]uint32, error) {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("m88ksim: undefined label %q", f.label)
+		}
+		off := target - (f.at + 1)
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("m88ksim: branch to %q out of range (%d)", f.label, off)
+		}
+		a.code[f.at] |= uint32(uint16(int16(off)))
+	}
+	return a.code, nil
+}
+
+// m88kInput sets the guest kernel parameters. Train runs a sieve-heavy mix;
+// ref runs bigger arrays and more sort passes, flipping the bias of several
+// guest-level compare branches — the source of the paper's observation that
+// naive cross-training hurts m88ksim badly.
+type m88kInput struct {
+	sieveN    int
+	sortN     int
+	sortSeedA int
+	iters     int
+	descend   bool // ref sorts descending: comparison branches flip
+	// matN > 0 appends a matN×matN integer matrix-multiply kernel, and
+	// needleLen > 0 a naive string-search kernel, to the guest program.
+	// The standard inputs leave both at zero so their streams (and every
+	// recorded experiment) are unchanged; the "mix" input exercises them.
+	matN      int
+	needleLen int
+}
+
+var m88kInputs = map[string]m88kInput{
+	InputTest:  {sieveN: 600, sortN: 80, sortSeedA: 7, iters: 1, descend: false},
+	InputTrain: {sieveN: 4000, sortN: 300, sortSeedA: 7, iters: 4, descend: false},
+	InputRef:   {sieveN: 7000, sortN: 340, sortSeedA: 13, iters: 6, descend: true},
+	// InputMix adds the matrix-multiply and string-search kernels: a richer
+	// guest for studies beyond the paper's tables.
+	InputMix: {sieveN: 3000, sortN: 200, sortSeedA: 17, iters: 3, descend: false, matN: 20, needleLen: 6},
+}
+
+// InputMix is an extra m88ksim input with a broader guest-kernel mix.
+const InputMix = "mix"
+
+// buildGuest assembles the guest program for an input.
+//
+// Memory map (word addresses): 0..sieveN-1 sieve flags; sortBase.. sort
+// array; outputs via OUT.
+func buildGuest(in m88kInput) ([]uint32, error) {
+	a := newGuestAsm()
+	sortBase := in.sieveN + 16
+
+	// r1 = loop counter over iters (r15 holds iters)
+	a.emit(ri(opADDI, 15, 0, in.iters))
+	a.emit(ri(opADDI, 14, 0, 0)) // r14 = iteration index
+	a.label("outer")
+
+	// ---- sieve of Eratosthenes over [2, sieveN) ----
+	// clear flags: for i in 0..N-1: mem[i] = 1
+	a.emit(ri(opADDI, 1, 0, 0)) // i
+	a.emit(ri(opADDI, 2, 0, 1)) // const 1
+	a.emit(ri(opADDI, 3, 0, in.sieveN))
+	a.label("clear")
+	a.emit(ri(opST, 2, 1, 0)) // mem[i] = 1
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 3, 1, "clear") // if i < N
+	// p = 2
+	a.emit(ri(opADDI, 4, 0, 2))
+	a.label("ploop")
+	// if mem[p] == 0 skip marking
+	a.emit(ri(opLD, 5, 4, 0))
+	a.branch(opBEQ, 0, 5, "pnext")
+	// q = p*p? multiplication then mark multiples
+	a.emit(rr(opMUL, 6, 4, 4))
+	a.label("mark")
+	a.branch(opBGE, 3, 6, "pnext") // if q >= N done marking
+	a.emit(ri(opST, 0, 6, 0))      // mem[q] = 0
+	a.emit(rr(opADD, 6, 6, 4))
+	a.branch(opJMP, 0, 0, "mark")
+	a.label("pnext")
+	a.emit(ri(opADDI, 4, 4, 1))
+	a.branch(opBLT, 3, 4, "ploop")
+	// count primes into r7
+	a.emit(ri(opADDI, 7, 0, 0))
+	a.emit(ri(opADDI, 1, 0, 2))
+	a.label("count")
+	a.emit(ri(opLD, 5, 1, 0))
+	a.branch(opBEQ, 0, 5, "notprime")
+	a.emit(ri(opADDI, 7, 7, 1))
+	a.label("notprime")
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 3, 1, "count")
+	a.emit(ri(opOUT, 0, 7, 0)) // output prime count
+
+	// ---- fill sort array with an LCG keyed by iteration ----
+	a.emit(ri(opADDI, 1, 0, 0))                // i
+	a.emit(ri(opADDI, 8, 0, in.sortSeedA))     // x = seed
+	a.emit(rr(opADD, 8, 8, 14))                // x += iteration
+	a.emit(ri(opADDI, 9, 0, in.sortN))         // n
+	a.emit(ri(opADDI, 10, 0, sortBase&0x7fff)) // base (fits: memory is small)
+	a.emit(ri(opADDI, 11, 0, 1103&0x7fff))     // LCG mult
+	a.label("fill")
+	a.emit(rr(opMUL, 8, 8, 11))
+	a.emit(ri(opADDI, 8, 8, 12345))
+	a.emit(ri(opADDI, 12, 0, 0x3fff))
+	a.emit(rr(opAND, 12, 8, 12)) // x & 0x3fff
+	a.emit(rr(opADD, 13, 10, 1))
+	a.emit(ri(opST, 12, 13, 0))
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 9, 1, "fill")
+
+	// ---- bubble sort (ascending for train, descending for ref) ----
+	a.emit(ri(opADDI, 2, 0, 0)) // pass
+	a.label("pass")
+	a.emit(ri(opADDI, 1, 0, 0)) // i
+	a.emit(rr(opSUB, 3, 9, 2))  // limit = n - pass
+	a.emit(ri(opADDI, 3, 3, -1))
+	a.label("inner")
+	a.branch(opBGE, 3, 1, "passend") // if i >= limit
+	a.emit(rr(opADD, 13, 10, 1))
+	a.emit(ri(opLD, 4, 13, 0)) // a = mem[base+i]
+	a.emit(ri(opLD, 5, 13, 1)) // b = mem[base+i+1]
+	if in.descend {
+		a.branch(opBGE, 5, 4, "noswap") // keep if a >= b
+	} else {
+		a.branch(opBLT, 5, 4, "noswap") // keep if a < b
+	}
+	a.emit(ri(opST, 5, 13, 0))
+	a.emit(ri(opST, 4, 13, 1))
+	a.label("noswap")
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opJMP, 0, 0, "inner")
+	a.label("passend")
+	a.emit(ri(opADDI, 2, 2, 1))
+	a.branch(opBLT, 9, 2, "pass")
+
+	// ---- checksum the sorted array ----
+	a.emit(ri(opADDI, 1, 0, 0))
+	a.emit(ri(opADDI, 6, 0, 0))
+	a.label("sum")
+	a.emit(rr(opADD, 13, 10, 1))
+	a.emit(ri(opLD, 4, 13, 0))
+	a.emit(rr(opXOR, 6, 6, 4))
+	a.emit(ri(opSHL, 6, 6, 0)) // rb=0: shift by reg0 (=0)? use ADD instead
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 9, 1, "sum")
+	a.emit(ri(opOUT, 0, 6, 0)) // output checksum
+
+	// ---- optional kernels (zero-sized for the standard inputs) ----
+	if in.matN > 0 {
+		emitMatMul(a, in)
+	}
+	if in.needleLen > 0 {
+		emitStrSearch(a, in)
+	}
+
+	// next outer iteration
+	a.emit(ri(opADDI, 14, 14, 1))
+	a.branch(opBLT, 15, 14, "outer")
+	a.emit(ri(opHALT, 0, 0, 0))
+	return a.assemble()
+}
+
+// emitMatMul appends C = A×B over n×n int32 matrices. A and B are filled
+// from simple index formulas; the trace is dominated by the innermost
+// accumulate loop — long runs of strongly taken branches with arithmetic
+// between, a classic dense-kernel profile.
+func emitMatMul(a *guestAsm, in m88kInput) {
+	n := in.matN
+	baseA := in.sieveN + 2048
+	baseB := baseA + n*n
+	baseC := baseB + n*n
+
+	// fill A[i] = i&63, B[i] = (i*3)&63
+	a.emit(ri(opADDI, 1, 0, 0))
+	a.emit(ri(opADDI, 3, 0, n*n))
+	a.label("mmfill")
+	a.emit(ri(opADDI, 2, 0, 63))
+	a.emit(rr(opAND, 4, 1, 2)) // i & 63
+	a.emit(ri(opADDI, 5, 0, baseA&0x7fff))
+	a.emit(rr(opADD, 5, 5, 1))
+	a.emit(ri(opST, 4, 5, 0))
+	a.emit(ri(opADDI, 6, 0, 3))
+	a.emit(rr(opMUL, 6, 1, 6))
+	a.emit(rr(opAND, 6, 6, 2))
+	a.emit(ri(opADDI, 5, 0, baseB&0x7fff))
+	a.emit(rr(opADD, 5, 5, 1))
+	a.emit(ri(opST, 6, 5, 0))
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 3, 1, "mmfill")
+
+	// triple loop: r1=i, r2=j, r4=k, r6=acc
+	a.emit(ri(opADDI, 1, 0, 0))
+	a.emit(ri(opADDI, 3, 0, n)) // bound
+	a.label("mmi")
+	a.emit(ri(opADDI, 2, 0, 0))
+	a.label("mmj")
+	a.emit(ri(opADDI, 4, 0, 0))
+	a.emit(ri(opADDI, 6, 0, 0))
+	a.label("mmk")
+	// acc += A[i*n+k] * B[k*n+j]
+	a.emit(ri(opADDI, 7, 0, n))
+	a.emit(rr(opMUL, 8, 1, 7))
+	a.emit(rr(opADD, 8, 8, 4))
+	a.emit(ri(opADDI, 8, 8, baseA&0x7fff))
+	a.emit(ri(opLD, 9, 8, 0))
+	a.emit(rr(opMUL, 10, 4, 7))
+	a.emit(rr(opADD, 10, 10, 2))
+	a.emit(ri(opADDI, 10, 10, baseB&0x7fff))
+	a.emit(ri(opLD, 11, 10, 0))
+	a.emit(rr(opMUL, 9, 9, 11))
+	a.emit(rr(opADD, 6, 6, 9))
+	a.emit(ri(opADDI, 4, 4, 1))
+	a.branch(opBLT, 3, 4, "mmk")
+	// C[i*n+j] = acc
+	a.emit(rr(opMUL, 8, 1, 7))
+	a.emit(rr(opADD, 8, 8, 2))
+	a.emit(ri(opADDI, 8, 8, baseC&0x7fff))
+	a.emit(ri(opST, 6, 8, 0))
+	a.emit(ri(opADDI, 2, 2, 1))
+	a.branch(opBLT, 3, 2, "mmj")
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 3, 1, "mmi")
+	a.emit(ri(opOUT, 0, 6, 0)) // last accumulator as a fingerprint
+}
+
+// emitStrSearch appends a naive substring search over the sieve flag
+// region, reinterpreted as a byte-ish haystack — the inner compare loop
+// mostly fails on the first element, a mostly-not-taken profile very unlike
+// the matmul kernel.
+func emitStrSearch(a *guestAsm, in m88kInput) {
+	hayLen := in.sieveN - in.needleLen - 1
+	// needle = the first needleLen words of the haystack shifted by 7
+	// (so matches exist but are rare)
+	a.emit(ri(opADDI, 1, 0, 0)) // i over haystack
+	a.emit(ri(opADDI, 3, 0, hayLen))
+	a.emit(ri(opADDI, 7, 0, 0)) // match count
+	a.label("ssi")
+	a.emit(ri(opADDI, 2, 0, 0)) // j over needle
+	a.label("ssj")
+	a.emit(rr(opADD, 4, 1, 2))
+	a.emit(ri(opLD, 5, 4, 0))   // hay[i+j]
+	a.emit(ri(opADDI, 6, 2, 7)) // "needle": hay[j+7]
+	a.emit(ri(opLD, 6, 6, 0))
+	a.branch(opBNE, 6, 5, "ssmiss")
+	a.emit(ri(opADDI, 2, 2, 1))
+	a.emit(ri(opADDI, 8, 0, in.needleLen))
+	a.branch(opBLT, 8, 2, "ssj")
+	a.emit(ri(opADDI, 7, 7, 1)) // full match
+	a.label("ssmiss")
+	a.emit(ri(opADDI, 1, 1, 1))
+	a.branch(opBLT, 3, 1, "ssi")
+	a.emit(ri(opOUT, 0, 7, 0))
+}
+
+// m88kSites holds the host simulator's branch sites. Decode itself is a
+// dense switch — an indirect jump on real hardware, invisible to a
+// conditional-branch predictor — so the conditional branches a simulator
+// actually executes are the fetch loop, per-instruction guard checks
+// (traps, breakpoints, single-step) that almost never fire, operand guards,
+// and the evaluation of the guest's own branch conditions. That mix is why
+// the paper's m88ksim row is 85.5% highly-biased.
+type m88kSites struct {
+	fetch    *Site
+	trapPend *SiteGroup // pending trap? (never, in this guest)
+	watchHit *SiteGroup // watchpoint on this pc? (never)
+	stepMode *SiteGroup // single-step tracing enabled? (never)
+	isPrivOp *SiteGroup // privileged opcode needing a mode check? (never)
+	brTaken  *SiteGroup
+	memOK    *SiteGroup
+	regZero  *SiteGroup
+}
+
+func newM88kSites(c *Ctx) *m88kSites {
+	s := &m88kSites{}
+	// Block weights model the host work a simulator does per guest
+	// instruction (fetch/decode bookkeeping, operand extraction, ALU).
+	// Per-opcode groups reflect a threaded interpreter: every emulation
+	// routine carries its own copies of the guard and operand checks, so
+	// each opcode contributes distinct static branches, as in the real
+	// m88ksim binary.
+	s.fetch = c.Site(9)
+	s.trapPend = c.SiteGroup(opNumOps, 4)
+	s.watchHit = c.SiteGroup(opNumOps, 3)
+	s.stepMode = c.SiteGroup(opNumOps, 3)
+	s.isPrivOp = c.SiteGroup(opNumOps, 4)
+	c.Gap(16)
+	s.brTaken = c.SiteGroup(opNumOps, 6)
+	s.memOK = c.SiteGroup(opNumOps, 4)
+	s.regZero = c.SiteGroup(opNumOps, 4)
+	return s
+}
+
+const m88kMemWords = 1 << 15
+
+// Run implements Program.
+func (m88kProg) Run(input string, rec trace.Recorder) error {
+	in, ok := m88kInputs[input]
+	if !ok {
+		return fmt.Errorf("m88ksim: unknown input %q", input)
+	}
+	code, err := buildGuest(in)
+	if err != nil {
+		return err
+	}
+
+	c := NewCtx(rec)
+	s := newM88kSites(c)
+	c.SetBlockBias(2)
+	c.Ops(300) // simulator startup
+
+	mem := make([]int32, m88kMemWords)
+	var regs [16]int32
+	var out []int32
+	pc := 0
+	trapPending := false
+	singleStep := false
+	watchPC := -1
+
+	steps := 0
+	const maxSteps = 200_000_000 // runaway-guest guard
+	for s.fetch.Taken(pc >= 0 && pc < len(code)) {
+		steps++
+		if steps > maxSteps {
+			return fmt.Errorf("m88ksim: guest exceeded %d steps", maxSteps)
+		}
+		w := code[pc]
+		pc++
+		op := int(w >> 24)
+		rd := int(w >> 20 & 0xf)
+		ra := int(w >> 16 & 0xf)
+		rb := int(w >> 12 & 0xf)
+		imm := int32(int16(uint16(w)))
+
+		// Per-instruction guard checks: a simulator tests for pending
+		// traps, watchpoints, trace mode and privileged opcodes on every
+		// step, and essentially never takes any of them.
+		if s.trapPend.Taken(op, trapPending) {
+			return fmt.Errorf("m88ksim: unexpected trap at pc %d", pc-1)
+		}
+		if s.watchHit.Taken(op, watchPC >= 0 && pc-1 == watchPC) {
+			return fmt.Errorf("m88ksim: unexpected watchpoint hit")
+		}
+		if s.stepMode.Taken(op, singleStep) {
+			c.Ops(20)
+		}
+		if s.isPrivOp.Taken(op, op >= opNumOps) {
+			return fmt.Errorf("m88ksim: illegal opcode %d at pc %d", op, pc-1)
+		}
+		// Decode proper is a dense switch: an indirect jump, not a
+		// conditional branch, so it is not instrumented.
+		matched := op
+
+		// r0 is hardwired to zero; writes are dropped
+		wr := func(r int, v int32) {
+			if !s.regZero.Taken(matched, r == 0) {
+				regs[r] = v
+			}
+		}
+
+		switch matched {
+		case opHALT:
+			pc = -1
+		case opADD:
+			wr(rd, regs[ra]+regs[rb])
+		case opSUB:
+			wr(rd, regs[ra]-regs[rb])
+		case opAND:
+			wr(rd, regs[ra]&regs[rb])
+		case opOR:
+			wr(rd, regs[ra]|regs[rb])
+		case opXOR:
+			wr(rd, regs[ra]^regs[rb])
+		case opSHL:
+			wr(rd, regs[ra]<<(uint32(regs[rb])&31))
+		case opSHR:
+			wr(rd, int32(uint32(regs[ra])>>(uint32(regs[rb])&31)))
+		case opMUL:
+			wr(rd, regs[ra]*regs[rb])
+		case opADDI:
+			wr(rd, regs[ra]+imm)
+		case opLUI:
+			wr(rd, imm<<16)
+		case opLD:
+			addr := regs[ra] + imm
+			if !s.memOK.Taken(opLD, addr >= 0 && addr < m88kMemWords) {
+				return fmt.Errorf("m88ksim: load fault at %d (pc %d)", addr, pc-1)
+			}
+			wr(rd, mem[addr])
+		case opST:
+			addr := regs[ra] + imm
+			if !s.memOK.Taken(opST, addr >= 0 && addr < m88kMemWords) {
+				return fmt.Errorf("m88ksim: store fault at %d (pc %d)", addr, pc-1)
+			}
+			mem[addr] = regs[rd]
+		case opBEQ:
+			if s.brTaken.Taken(opBEQ, regs[ra] == regs[rd]) {
+				pc += int(imm)
+			}
+		case opBNE:
+			if s.brTaken.Taken(opBNE, regs[ra] != regs[rd]) {
+				pc += int(imm)
+			}
+		case opBLT:
+			if s.brTaken.Taken(opBLT, regs[ra] < regs[rd]) {
+				pc += int(imm)
+			}
+		case opBGE:
+			if s.brTaken.Taken(opBGE, regs[ra] >= regs[rd]) {
+				pc += int(imm)
+			}
+		case opJMP:
+			pc += int(imm)
+		case opJAL:
+			wr(rd, int32(pc))
+			pc += int(imm)
+		case opJR:
+			pc = int(regs[ra])
+		case opOUT:
+			out = append(out, regs[ra])
+			c.Ops(4)
+		}
+	}
+
+	// Verify: the guest outputs one prime count and one checksum per
+	// iteration; the prime count must match a host-computed reference.
+	want := hostSieveCount(in.sieveN)
+	if len(out) < 2 {
+		return fmt.Errorf("m88ksim: guest produced %d outputs, want >= 2", len(out))
+	}
+	if int(out[0]) != want {
+		return fmt.Errorf("m88ksim: guest prime count %d, host says %d", out[0], want)
+	}
+	return nil
+}
+
+// hostSieveCount counts primes below n the boring way, as the verification
+// oracle for the guest kernel.
+func hostSieveCount(n int) int {
+	flags := make([]bool, n)
+	count := 0
+	for p := 2; p < n; p++ {
+		if flags[p] {
+			continue
+		}
+		count++
+		for q := p * p; q < n; q += p {
+			flags[q] = true
+		}
+	}
+	return count
+}

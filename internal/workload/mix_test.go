@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"testing"
+
+	"branchsim/internal/trace"
+)
+
+// The "mix" input extends the m88ksim guest with matrix-multiply and
+// string-search kernels. It must run, verify, and add static branch sites
+// relative to the standard inputs — without perturbing them (the golden
+// stream test in the root package guards the latter).
+func TestM88ksimMixInput(t *testing.T) {
+	p, err := Get("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c trace.Counts
+	if err := p.Run(InputMix, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Branches == 0 {
+		t.Fatal("mix input produced no branches")
+	}
+	cbr := c.CBRsPerKI()
+	if cbr < 90 || cbr > 180 {
+		t.Errorf("mix input CBRs/KI = %.1f, outside the calibrated range", cbr)
+	}
+}
+
+func TestMixGuestKernelsAssemble(t *testing.T) {
+	in := m88kInputs[InputMix]
+	if in.matN == 0 || in.needleLen == 0 {
+		t.Fatal("mix input does not enable the extra kernels")
+	}
+	code, err := buildGuest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := buildGuest(m88kInputs[InputTest])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) <= len(base) {
+		t.Fatalf("mix guest (%d words) not larger than the base guest (%d)", len(code), len(base))
+	}
+}

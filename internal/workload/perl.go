@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchsim/internal/trace"
+)
+
+// perlProg is the SPEC "perl" analogue: a bytecode interpreter for a small
+// string-processing language, running a word-scramble script over generated
+// text (the paper's perl input was scrabbl.pl). The branch mix is classic
+// interpreter: an op-dispatch ladder, character loops, hash probing, and
+// data-dependent character-class tests.
+//
+// The ref input is word-richer text with upper case, digits and punctuation,
+// so whole script paths (case folding, digit handling) execute only on ref —
+// reproducing the paper's Table 5 observation that perl's train input covers
+// unusually few of the ref branches.
+type perlProg struct{}
+
+func init() { Register(perlProg{}) }
+
+// Name implements Program.
+func (perlProg) Name() string { return "perl" }
+
+// Description implements Program.
+func (perlProg) Description() string {
+	return "bytecode interpreter running a word-scramble script over text (SPEC perl analogue)"
+}
+
+type perlInput struct {
+	seed   uint64
+	length int
+	rich   bool
+}
+
+var perlInputs = map[string]perlInput{
+	InputTest:  {seed: 41, length: 9_000, rich: false},
+	InputTrain: {seed: 51, length: 260_000, rich: false},
+	InputRef:   {seed: 61, length: 800_000, rich: true},
+}
+
+// Scramble-script opcodes. The script below is the program the interpreter
+// executes once per word; conditional ops skip the next instruction when
+// their test fails, like a tiny Forth.
+const (
+	sOpIfLonger   = iota // skip next unless len(word) > arg
+	sOpIfHasUpper        // skip next unless word has an upper-case letter
+	sOpIfHasDigit        // skip next unless word has a digit
+	sOpIfVowelish        // skip next unless vowels > arg% of letters
+	sOpReverse           // reverse word in place
+	sOpRot13             // rot13 letters
+	sOpLower             // fold to lower case
+	sOpDigitSum          // append decimal digit-sum
+	sOpHashAdd           // insert word into the hash table
+	sOpCount             // bump a counter register by arg
+	sOpEnd
+)
+
+type scramOp struct {
+	op  int
+	arg int
+}
+
+// scrambleScript is the fixed per-word program; both inputs run the same
+// script, but which ops fire depends on the text.
+var scrambleScript = []scramOp{
+	{sOpIfLonger, 3},
+	{sOpReverse, 0},
+	{sOpIfHasUpper, 0},
+	{sOpLower, 0},
+	{sOpIfHasDigit, 0},
+	{sOpDigitSum, 0},
+	{sOpIfVowelish, 35},
+	{sOpRot13, 0},
+	{sOpIfLonger, 6},
+	{sOpCount, 2},
+	{sOpHashAdd, 0},
+	{sOpCount, 1},
+	{sOpEnd, 0},
+}
+
+const perlHashSize = 1 << 18
+
+type perlSites struct {
+	// word splitter
+	spMore, spIsSep, spEmpty, spAscii *Site
+	// interpreter guards (dispatch itself is a dense switch = indirect jump)
+	// per-op guard sites: each script op's body carries its own copies,
+	// as the C op bodies of a real interpreter do
+	isCondOp, opTrace, bufGuard, sigPending, tieCheck *SiteGroup
+	// conditional-op internals
+	condSkip                           *Site
+	chLoopU, chIsUpper                 *Site
+	chLoopD, chIsDigit                 *Site
+	chLoopV, chIsVowel, chIsLetter     *Site
+	chUtf8                             *Site
+	revLoop, rotLoop, rotIsLo, rotIsHi *Site
+	lowLoop, lowIsUp                   *Site
+	dsLoop, dsIsDigit, dsEmit          *Site
+	// hash table
+	hMagic                                  *Site
+	hProbe, hMatch, hMatchLen, hWrap, hFull *Site
+	// verification pass
+	vLoop, vFound *Site
+}
+
+func newPerlSites(c *Ctx) *perlSites {
+	s := &perlSites{}
+	s.spMore = c.Site(5)
+	s.spIsSep = c.Site(3)
+	s.spEmpty = c.Site(2)
+	s.spAscii = c.Site(2)
+	c.Gap(24)
+	nOps := len(scrambleScript)
+	s.isCondOp = c.SiteGroup(nOps, 4)   // fast path: conditional ops peek at the next slot
+	s.opTrace = c.SiteGroup(nOps, 3)    // interpreter trace hook enabled? (never)
+	s.bufGuard = c.SiteGroup(nOps, 3)   // word buffer overflow? (never)
+	s.sigPending = c.SiteGroup(nOps, 3) // signal delivery check per op (never fires)
+	s.tieCheck = c.SiteGroup(nOps, 2)   // tied/magic variable check (never)
+	s.condSkip = c.Site(2)
+	c.Gap(24)
+	s.chLoopU = c.Site(2)
+	s.chIsUpper = c.Site(2)
+	s.chLoopD = c.Site(2)
+	s.chIsDigit = c.Site(2)
+	s.chLoopV = c.Site(2)
+	s.chIsVowel = c.Site(2)
+	s.chIsLetter = c.Site(2)
+	s.chUtf8 = c.Site(2)
+	s.revLoop = c.Site(4)
+	s.rotLoop = c.Site(3)
+	s.rotIsLo = c.Site(2)
+	s.rotIsHi = c.Site(2)
+	s.lowLoop = c.Site(3)
+	s.lowIsUp = c.Site(2)
+	s.dsLoop = c.Site(3)
+	s.dsIsDigit = c.Site(2)
+	s.dsEmit = c.Site(4)
+	c.Gap(32)
+	s.hMagic = c.Site(3)
+	s.hProbe = c.Site(5)
+	s.hMatch = c.Site(3)
+	s.hMatchLen = c.Site(3)
+	s.hWrap = c.Site(2)
+	s.hFull = c.Site(3)
+	c.Gap(16)
+	s.vLoop = c.Site(3)
+	s.vFound = c.Site(3)
+	return s
+}
+
+// perlVM is the interpreter state.
+type perlVM struct {
+	c *Ctx
+	s *perlSites
+
+	hashKeys  [][]byte
+	inserted  int
+	counter   int
+	traceHook bool
+	signals   int
+	tied      bool
+	probes    []uint32 // insertion order of occupied slots, for verification
+}
+
+// Run implements Program.
+func (perlProg) Run(input string, rec trace.Recorder) error {
+	in, ok := perlInputs[input]
+	if !ok {
+		return fmt.Errorf("perl: unknown input %q", input)
+	}
+	text := genText(in.seed, in.length, in.rich)
+
+	c := NewCtx(rec)
+	s := newPerlSites(c)
+	vm := &perlVM{c: c, s: s, hashKeys: make([][]byte, perlHashSize)}
+	c.SetBlockBias(4)
+	c.Ops(250)
+
+	// split into words and run the script on each
+	i := 0
+	word := make([]byte, 0, 32)
+	words := 0
+	for s.spMore.Taken(i <= len(text)) {
+		var ch byte
+		if i < len(text) {
+			ch = text[i]
+		}
+		i++
+		sep := ch == ' ' || ch == '\n' || ch == 0 || ch == ',' || ch == '.' ||
+			ch == ';' || ch == ':' || ch == '!' || ch == '?'
+		if s.spIsSep.Taken(sep) {
+			if !s.spEmpty.Taken(len(word) == 0) {
+				vm.runScript(word)
+				words++
+				word = word[:0]
+			}
+			continue
+		}
+		if s.spAscii.Taken(ch >= 0x80) {
+			continue // non-ASCII bytes are dropped (never happens here)
+		}
+		word = append(word, ch)
+	}
+	if words == 0 {
+		return fmt.Errorf("perl: no words in input %q", input)
+	}
+
+	// Verify: every 13th inserted word must still be findable.
+	checked := 0
+	for k := 0; s.vLoop.Taken(k < len(vm.probes)); k += 13 {
+		slot := vm.probes[k]
+		if !s.vFound.Taken(vm.hashKeys[slot] != nil) {
+			return fmt.Errorf("perl: lost hash entry at slot %d", slot)
+		}
+		checked++
+	}
+	if vm.inserted > 0 && checked == 0 {
+		return fmt.Errorf("perl: verification checked nothing (%d inserted)", vm.inserted)
+	}
+	return nil
+}
+
+// runScript executes the scramble script over one word.
+func (vm *perlVM) runScript(word []byte) {
+	s := vm.s
+	buf := append([]byte(nil), word...)
+	pc := 0
+	for {
+		opIdx := pc
+		op := scrambleScript[pc]
+		pc++
+		// The interpreter's guard branches: real dispatch is a dense
+		// switch (an indirect jump), but each op checks the trace hook,
+		// the buffer bound, and whether it is a conditional op (those
+		// share a skip-next epilogue).
+		if s.opTrace.Taken(opIdx, vm.traceHook) {
+			vm.c.Ops(30)
+		}
+		if s.bufGuard.Taken(opIdx, len(buf) > 4096) {
+			return
+		}
+		if s.sigPending.Taken(opIdx, vm.signals != 0) {
+			vm.c.Ops(50)
+			vm.signals = 0
+		}
+		s.tieCheck.Taken(opIdx, vm.tied)
+		s.isCondOp.Taken(opIdx, op.op <= sOpIfVowelish)
+		switch op.op {
+		case sOpIfLonger:
+			if s.condSkip.Taken(len(buf) <= op.arg) {
+				pc++
+			}
+		case sOpIfHasUpper:
+			has := false
+			for j := 0; s.chLoopU.Taken(j < len(buf)); j++ {
+				if s.chIsUpper.Taken(buf[j] >= 'A' && buf[j] <= 'Z') {
+					has = true
+					break
+				}
+			}
+			if s.condSkip.Taken(!has) {
+				pc++
+			}
+		case sOpIfHasDigit:
+			has := false
+			for j := 0; s.chLoopD.Taken(j < len(buf)); j++ {
+				if s.chIsDigit.Taken(buf[j] >= '0' && buf[j] <= '9') {
+					has = true
+					break
+				}
+			}
+			if s.condSkip.Taken(!has) {
+				pc++
+			}
+		case sOpIfVowelish:
+			vowels, letters := 0, 0
+			for j := 0; s.chLoopV.Taken(j < len(buf)); j++ {
+				if s.chUtf8.Taken(buf[j] >= 0x80) {
+					continue // multi-byte sequences never appear here
+				}
+				ch := buf[j] | 0x20
+				if s.chIsLetter.Taken(ch >= 'a' && ch <= 'z') {
+					letters++
+					if s.chIsVowel.Taken(ch == 'a' || ch == 'e' || ch == 'i' || ch == 'o' || ch == 'u') {
+						vowels++
+					}
+				}
+			}
+			if s.condSkip.Taken(letters == 0 || vowels*100 <= letters*op.arg) {
+				pc++
+			}
+		case sOpReverse:
+			for l, r := 0, len(buf)-1; s.revLoop.Taken(l < r); l, r = l+1, r-1 {
+				buf[l], buf[r] = buf[r], buf[l]
+			}
+		case sOpRot13:
+			for j := 0; s.rotLoop.Taken(j < len(buf)); j++ {
+				if s.rotIsLo.Taken(buf[j] >= 'a' && buf[j] <= 'z') {
+					buf[j] = 'a' + (buf[j]-'a'+13)%26
+				} else if s.rotIsHi.Taken(buf[j] >= 'A' && buf[j] <= 'Z') {
+					buf[j] = 'A' + (buf[j]-'A'+13)%26
+				}
+			}
+		case sOpLower:
+			for j := 0; s.lowLoop.Taken(j < len(buf)); j++ {
+				if s.lowIsUp.Taken(buf[j] >= 'A' && buf[j] <= 'Z') {
+					buf[j] += 'a' - 'A'
+				}
+			}
+		case sOpDigitSum:
+			sum := 0
+			for j := 0; s.dsLoop.Taken(j < len(buf)); j++ {
+				if s.dsIsDigit.Taken(buf[j] >= '0' && buf[j] <= '9') {
+					sum += int(buf[j] - '0')
+				}
+			}
+			if s.dsEmit.Taken(sum > 0) {
+				buf = append(buf, byte('0'+sum%10))
+			}
+		case sOpHashAdd:
+			vm.hashAdd(buf)
+		case sOpCount:
+			vm.counter += op.arg
+			vm.c.Ops(2)
+		case sOpEnd:
+			return
+		}
+	}
+}
+
+func perlHash(w []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range w {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h & (perlHashSize - 1)
+}
+
+// hashAdd inserts the word with open addressing; duplicates are detected
+// with an instrumented comparison loop.
+func (vm *perlVM) hashAdd(w []byte) {
+	s := vm.s
+	h := perlHash(w)
+	if s.hMagic.Taken(len(w) == 0) {
+		return // empty keys never reach the table
+	}
+	for probes := 0; ; probes++ {
+		if s.hFull.Taken(probes >= 256) {
+			return // pathological clustering: drop, like a bounded namespace
+		}
+		if s.hProbe.Taken(vm.hashKeys[h] == nil) {
+			vm.hashKeys[h] = append([]byte(nil), w...)
+			vm.probes = append(vm.probes, h)
+			vm.inserted++
+			vm.c.Ops(len(w))
+			return
+		}
+		// compare for duplicate
+		k := vm.hashKeys[h]
+		if s.hMatchLen.Taken(len(k) == len(w)) {
+			same := true
+			for j := 0; j < len(k); j++ {
+				if !s.hMatch.Taken(k[j] == w[j]) {
+					same = false
+					break
+				}
+				if j == len(k)-1 {
+					break
+				}
+			}
+			if same {
+				return // duplicate
+			}
+		}
+		h++
+		if s.hWrap.Taken(h == perlHashSize) {
+			h = 0
+		}
+	}
+}

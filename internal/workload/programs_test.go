@@ -1,0 +1,403 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// ---- compress internals ----
+
+func TestLZWRoundTripEdgeCases(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("a"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("abababababababab"),
+		[]byte("the quick brown fox jumps over the lazy dog"),
+	}
+	for _, in := range cases {
+		lz := newLZW(NewCtx(trace.Discard))
+		codes := lz.compress(in)
+		out := lz.decompress(codes)
+		if string(out) != string(in) {
+			t.Errorf("round trip failed for %q: got %q", in, out)
+		}
+	}
+}
+
+func TestLZWRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := xrand.New(seed)
+		in := make([]byte, int(n)%4096)
+		for i := range in {
+			// small alphabet maximizes dictionary churn and resets
+			in[i] = byte('a' + rng.Intn(4))
+		}
+		lz := newLZW(NewCtx(trace.Discard))
+		out := lz.decompress(lz.compress(in))
+		return string(out) == string(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLZWCompresses(t *testing.T) {
+	// repetitive text must shrink substantially
+	in := genText(9, 50_000, false)
+	lz := newLZW(NewCtx(trace.Discard))
+	codes := lz.compress(in)
+	if len(codes)*2 >= len(in) {
+		t.Fatalf("no compression: %d codes for %d bytes", len(codes), len(in))
+	}
+}
+
+// ---- m88ksim internals ----
+
+func TestGuestAssemblerLabelFixups(t *testing.T) {
+	a := newGuestAsm()
+	a.emit(ri(opADDI, 1, 0, 5))
+	a.label("loop")
+	a.emit(ri(opADDI, 1, 1, -1))
+	a.branch(opBNE, 0, 1, "loop")
+	a.emit(ri(opHALT, 0, 0, 0))
+	code, err := a.assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the branch at index 2 must jump back to index 1: offset -2
+	if off := int16(uint16(code[2])); off != -2 {
+		t.Fatalf("fixup offset = %d, want -2", off)
+	}
+}
+
+func TestGuestAssemblerUndefinedLabel(t *testing.T) {
+	a := newGuestAsm()
+	a.branch(opJMP, 0, 0, "nowhere")
+	if _, err := a.assemble(); err == nil {
+		t.Fatalf("undefined label accepted")
+	}
+}
+
+func TestHostSieveCount(t *testing.T) {
+	// π(600) = 109, π(4000) = 550, π(7000) = 900
+	cases := map[int]int{600: 109, 4000: 550, 7000: 900}
+	for n, want := range cases {
+		if got := hostSieveCount(n); got != want {
+			t.Errorf("hostSieveCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGuestProgramComputesPrimes(t *testing.T) {
+	// Run implements the check internally; drive it directly here so a
+	// verification regression is attributed to the guest, not the sim.
+	if err := (m88kProg{}).Run(InputTest, trace.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- gcc internals ----
+
+func TestCCApplySemantics(t *testing.T) {
+	cases := []struct {
+		op   int
+		a, b int64
+		want int64
+	}{
+		{tkPlus, 2, 3, 5},
+		{tkMinus, 2, 3, -1},
+		{tkStar, -4, 3, -12},
+		{tkSlash, 7, 2, 3},
+		{tkSlash, 7, 0, 0},                          // division by zero yields 0
+		{tkPct, 7, 0, 0},                            // modulo by zero yields 0
+		{tkSlash, math.MinInt64, -1, math.MinInt64}, // wraps, no trap
+		{tkPct, math.MinInt64, -1, 0},
+		{tkEq, 3, 3, 1},
+		{tkNe, 3, 3, 0},
+		{tkLt, 2, 3, 1},
+		{tkGt, 2, 3, 0},
+		{tkLe, 3, 3, 1},
+		{tkGe, 2, 3, 0},
+	}
+	for _, c := range cases {
+		if got := ccApply(c.op, c.a, c.b); got != c.want {
+			t.Errorf("ccApply(%d, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCCPipelineAgreesOnRandomPrograms(t *testing.T) {
+	// The gcc workload's own verification compares AST eval, folded eval
+	// and VM execution; run it across several generated programs.
+	for _, seed := range []uint64{1, 2, 3, 99} {
+		in := ccInput{seed: seed, nFuncs: 20, maxStmt: 10, divisor: true, evalN: 3}
+		src := genCCSource(in)
+		cc := newCC(NewCtx(trace.Discard))
+		toks, err := cc.lex(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		funcs, err := cc.parse(toks)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(funcs) != in.nFuncs {
+			t.Fatalf("seed %d: parsed %d functions, want %d", seed, len(funcs), in.nFuncs)
+		}
+		rng := xrand.New(seed * 7)
+		for fi, fn := range funcs {
+			cc.fn = fi
+			folded := cc.fold(fn.body)
+			code := cc.peephole(cc.compile(folded))
+			for k := 0; k < 3; k++ {
+				var args [ccNumVars]int64
+				for vi := range args {
+					args[vi] = int64(rng.Intn(2000) - 500)
+				}
+				want := cc.eval(fn.body, args)
+				if got := cc.eval(folded, args); got != want {
+					t.Fatalf("seed %d func %d: fold changed value %d -> %d", seed, fi, want, got)
+				}
+				got, err := cc.run(code, args)
+				if err != nil {
+					t.Fatalf("seed %d func %d: %v", seed, fi, err)
+				}
+				if got != want {
+					t.Fatalf("seed %d func %d: VM %d, AST %d", seed, fi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPeepholeFoldsConstants(t *testing.T) {
+	cc := newCC(NewCtx(trace.Discard))
+	code := []ccOp{
+		{op: vPushC, arg: 2},
+		{op: vPushC, arg: 3},
+		{op: vBin, arg: tkStar},
+		{op: vRet},
+	}
+	out := cc.peephole(code)
+	if len(out) != 2 || out[0].op != vPushC || out[0].arg != 6 {
+		t.Fatalf("peephole output = %+v", out)
+	}
+	got, err := cc.run(out, [ccNumVars]int64{})
+	if err != nil || got != 6 {
+		t.Fatalf("peepholed code returned %d, %v", got, err)
+	}
+}
+
+func TestPeepholePreservesJumpTargets(t *testing.T) {
+	// jz over a foldable pair: targets must be remapped, and a jump INTO
+	// a pattern must suppress the fold
+	cc := newCC(NewCtx(trace.Discard))
+	code := []ccOp{
+		{op: vLoad, arg: 0},
+		{op: vJz, arg: 6},
+		{op: vPushC, arg: 2},
+		{op: vPushC, arg: 3},
+		{op: vBin, arg: tkPlus},
+		{op: vRet},
+		{op: vPushC, arg: 0},
+		{op: vRet},
+	}
+	out := cc.peephole(code)
+	if len(out) >= len(code) {
+		t.Fatalf("peephole folded nothing: %+v", out)
+	}
+	for _, args := range [][ccNumVars]int64{{0}, {1}} {
+		want, err := cc.run(code, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.run(out, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("args %v: peephole changed result %d -> %d", args, want, got)
+		}
+	}
+}
+
+// ---- ijpeg internals ----
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := xrand.New(4)
+	var b, orig [64]float64
+	for i := range b {
+		b[i] = float64(rng.Intn(256) - 128)
+		orig[i] = b[i]
+	}
+	fdct8(&b)
+	idct8(&b)
+	for i := range b {
+		if math.Abs(b[i]-orig[i]) > 1e-6 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, b[i], orig[i])
+		}
+	}
+}
+
+func TestDCTRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var b, orig [64]float64
+		for i := range b {
+			b[i] = float64(rng.Intn(512)-256) / 2
+			orig[i] = b[i]
+		}
+		fdct8(&b)
+		idct8(&b)
+		for i := range b {
+			if math.Abs(b[i]-orig[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTConcentratesEnergy(t *testing.T) {
+	// a constant block must transform to a single DC coefficient
+	var b [64]float64
+	for i := range b {
+		b[i] = 100
+	}
+	fdct8(&b)
+	if math.Abs(b[0]-800) > 1e-6 { // 8 * 100 with orthonormal scaling
+		t.Fatalf("DC = %v, want 800", b[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(b[i]) > 1e-6 {
+			t.Fatalf("AC coefficient %d = %v, want 0", i, b[i])
+		}
+	}
+}
+
+func TestJpegBand(t *testing.T) {
+	if jpegBand(0) != 0 || jpegBand(1) != 1 || jpegBand(15) != 1 || jpegBand(16) != 2 || jpegBand(39) != 2 || jpegBand(40) != 3 || jpegBand(63) != 3 {
+		t.Fatalf("band boundaries wrong")
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, v := range jpegZigzag {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("zigzag not a permutation")
+		}
+		seen[v] = true
+	}
+	// spot-check the canonical start of the scan
+	if jpegZigzag[0] != 0 || jpegZigzag[1] != 1 || jpegZigzag[2] != 8 {
+		t.Fatalf("zigzag start wrong: %v", jpegZigzag[:3])
+	}
+}
+
+// ---- go internals ----
+
+func TestGoCaptureMechanics(t *testing.T) {
+	g := &goGame{
+		c: NewCtx(trace.Discard), s: newGoSites(NewCtx(trace.Discard)),
+		n: 5, koCell: -1,
+		board: make([]uint8, 25), mark: make([]uint32, 25),
+		rng: xrand.New(1),
+	}
+	// white stone at (1,1) surrounded on three sides by black
+	g.set(1, 1, cellWhite)
+	g.set(0, 1, cellBlack)
+	g.set(1, 0, cellBlack)
+	g.set(2, 1, cellBlack)
+	libs, group := g.liberties(1, 1)
+	if libs != 1 || len(group) != 1 {
+		t.Fatalf("libs=%d group=%d, want 1/1", libs, len(group))
+	}
+	// closing the last liberty captures it
+	g.set(1, 2, cellBlack)
+	captured := g.tryCaptures(1, 2, cellBlack)
+	if captured != 1 {
+		t.Fatalf("captured %d, want 1", captured)
+	}
+	if g.at(1, 1) != cellEmpty {
+		t.Fatalf("captured stone still on board")
+	}
+}
+
+func TestGoGroupLiberties(t *testing.T) {
+	g := &goGame{
+		c: NewCtx(trace.Discard), s: newGoSites(NewCtx(trace.Discard)),
+		n: 5, koCell: -1,
+		board: make([]uint8, 25), mark: make([]uint32, 25),
+		rng: xrand.New(1),
+	}
+	// two connected black stones in the open: 6 liberties
+	g.set(2, 2, cellBlack)
+	g.set(3, 2, cellBlack)
+	libs, group := g.liberties(2, 2)
+	if libs != 6 || len(group) != 2 {
+		t.Fatalf("libs=%d group=%d, want 6/2", libs, len(group))
+	}
+}
+
+func TestGoSuicideForbidden(t *testing.T) {
+	g := &goGame{
+		c: NewCtx(trace.Discard), s: newGoSites(NewCtx(trace.Discard)),
+		n: 3, koCell: -1,
+		board: make([]uint8, 9), mark: make([]uint32, 9),
+		rng: xrand.New(1),
+	}
+	// corner (0,0) surrounded by white: playing black there is suicide
+	g.set(1, 0, cellWhite)
+	g.set(0, 1, cellWhite)
+	if sc := g.score(0, 0, cellBlack); sc > -(1 << 19) {
+		t.Fatalf("suicide scored %d, want the illegal-move sentinel", sc)
+	}
+	if g.at(0, 0) != cellEmpty {
+		t.Fatalf("tentative stone left on board")
+	}
+}
+
+// ---- perl internals ----
+
+func TestPerlHashAddAndDuplicates(t *testing.T) {
+	vm := &perlVM{
+		c: NewCtx(trace.Discard), s: newPerlSites(NewCtx(trace.Discard)),
+		hashKeys: make([][]byte, perlHashSize),
+	}
+	vm.hashAdd([]byte("hello"))
+	vm.hashAdd([]byte("world"))
+	vm.hashAdd([]byte("hello")) // duplicate
+	if vm.inserted != 2 {
+		t.Fatalf("inserted = %d, want 2", vm.inserted)
+	}
+	vm.hashAdd([]byte{}) // empty keys rejected by the guard
+	if vm.inserted != 2 {
+		t.Fatalf("empty key inserted")
+	}
+}
+
+func TestPerlScriptTransforms(t *testing.T) {
+	vm := &perlVM{
+		c: NewCtx(trace.Discard), s: newPerlSites(NewCtx(trace.Discard)),
+		hashKeys: make([][]byte, perlHashSize),
+	}
+	vm.runScript([]byte("scramble"))
+	if vm.inserted != 1 {
+		t.Fatalf("word not inserted")
+	}
+	// the stored key must be a transform of the word, same length or +1
+	// (digit-sum append), never the empty string
+	stored := vm.hashKeys[vm.probes[0]]
+	if len(stored) < len("scramble") {
+		t.Fatalf("stored key %q shorter than input", stored)
+	}
+}

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"testing"
+
+	"branchsim/internal/trace"
+)
+
+// TestProgramsRunAllInputs checks every registered program completes its
+// internal verification on every input and produces a plausible stream.
+func TestProgramsRunAllInputs(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, input := range Inputs() {
+			if testing.Short() && input == InputRef {
+				continue
+			}
+			t.Run(name+"/"+input, func(t *testing.T) {
+				var c trace.Counts
+				if err := p.Run(input, &c); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if c.Branches == 0 || c.Instructions == 0 {
+					t.Fatalf("empty stream: %+v", c)
+				}
+				t.Logf("%s/%s: %d instr, %d branches, %.1f CBRs/KI",
+					name, input, c.Instructions, c.Branches, c.CBRsPerKI())
+			})
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package workload
+
+import (
+	"fmt"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/xrand"
+)
+
+// vortexProg is a SPEC "vortex" analogue: an in-memory object database built
+// on a B-tree, driven by a generated transaction mix of inserts, lookups,
+// updates and deletes, validated continuously against a shadow map. Like li,
+// it is one of the two SPECINT95 members the paper did not evaluate,
+// provided here for studies beyond the paper's tables.
+//
+// Branch profile: tree-descent compare loops (data-dependent, mid-bias),
+// node-full/underflow structural checks (strongly biased), and per-record
+// field validation (biased guards) — a pointer-chasing database mix quite
+// unlike the arithmetic kernels.
+type vortexProg struct{}
+
+func init() { Register(vortexProg{}) }
+
+// Name implements Program.
+func (vortexProg) Name() string { return "vortex" }
+
+// Description implements Program.
+func (vortexProg) Description() string {
+	return "in-memory object database on a B-tree with a generated transaction mix (SPEC vortex analogue)"
+}
+
+type vortexInput struct {
+	seed    uint64
+	ops     int
+	keySpan int
+}
+
+var vortexInputs = map[string]vortexInput{
+	InputTest:  {seed: 601, ops: 20_000, keySpan: 8_000},
+	InputTrain: {seed: 611, ops: 250_000, keySpan: 70_000},
+	InputRef:   {seed: 621, ops: 600_000, keySpan: 160_000},
+}
+
+// btOrder is the B-tree fanout: max keys per node.
+const btOrder = 8
+
+type btNode struct {
+	n    int
+	keys [btOrder]int64
+	vals [btOrder]int64
+	kids [btOrder + 1]*btNode
+	leaf bool
+}
+
+type vortexSites struct {
+	// transaction dispatch guards (the op switch is an indirect jump)
+	txLoop, txAudit, txReadOnly *Site
+	// descent
+	dsLeaf, dsScan *SiteGroup // keyed by depth (the unrolled hot path)
+	dsFound        *Site
+	// insert
+	inFull, inSplitRoot, inLeafShift *Site
+	// delete
+	dlFound, dlLeaf, dlBorrow, dlMerge, dlShrink *Site
+	// record validation
+	vfChecksum, vfRange *Site
+	// audit walk
+	adLoop, adOrder *Site
+}
+
+func newVortexSites(c *Ctx) *vortexSites {
+	s := &vortexSites{}
+	s.txLoop = c.Site(6)
+	s.txAudit = c.Site(3)
+	s.txReadOnly = c.Site(3)
+	c.Gap(24)
+	s.dsLeaf = c.SiteGroup(6, 3) // descent code specialised by level
+	s.dsScan = c.SiteGroup(6, 3)
+	s.dsFound = c.Site(3)
+	c.Gap(16)
+	s.inFull = c.Site(5)
+	s.inSplitRoot = c.Site(4)
+	s.inLeafShift = c.Site(3)
+	c.Gap(16)
+	s.dlFound = c.Site(3)
+	s.dlLeaf = c.Site(3)
+	s.dlBorrow = c.Site(4)
+	s.dlMerge = c.Site(4)
+	s.dlShrink = c.Site(3)
+	c.Gap(16)
+	s.vfChecksum = c.Site(4)
+	s.vfRange = c.Site(2)
+	s.adLoop = c.Site(3)
+	s.adOrder = c.Site(3)
+	return s
+}
+
+// vortexDB is the database.
+type vortexDB struct {
+	c    *Ctx
+	s    *vortexSites
+	root *btNode
+	size int
+}
+
+// recVal packs an object "record": value plus a checksum field the
+// validator recomputes on every read.
+func recVal(key int64) int64 {
+	v := key*2654435761 + 12345
+	return (v << 8) | (v & 0x7f) // low byte is the checksum nibble-ish
+}
+
+func recOK(key, val int64) bool {
+	return val == recVal(key)
+}
+
+// search walks the tree; returns the value and whether the key exists.
+func (db *vortexDB) search(key int64) (int64, bool) {
+	s := db.s
+	node := db.root
+	depth := 0
+	for node != nil {
+		i := 0
+		for s.dsScan.Taken(depth, i < node.n && node.keys[i] < key) {
+			i++
+		}
+		if s.dsFound.Taken(i < node.n && node.keys[i] == key) {
+			return node.vals[i], true
+		}
+		if s.dsLeaf.Taken(depth, node.leaf) {
+			return 0, false
+		}
+		node = node.kids[i]
+		depth++
+		db.c.Ops(2)
+	}
+	return 0, false
+}
+
+// insert adds or updates a key.
+func (db *vortexDB) insert(key, val int64) {
+	s := db.s
+	if db.root == nil {
+		db.root = &btNode{leaf: true}
+	}
+	if s.inSplitRoot.Taken(db.root.n == btOrder) {
+		old := db.root
+		db.root = &btNode{}
+		db.root.kids[0] = old
+		db.splitChild(db.root, 0)
+	}
+	if db.insertNonFull(db.root, key, val, 0) {
+		db.size++
+	}
+}
+
+// splitChild splits parent.kids[i], which must be full.
+func (db *vortexDB) splitChild(parent *btNode, i int) {
+	child := parent.kids[i]
+	mid := btOrder / 2
+	right := &btNode{leaf: child.leaf}
+	right.n = child.n - mid - 1
+	copy(right.keys[:], child.keys[mid+1:child.n])
+	copy(right.vals[:], child.vals[mid+1:child.n])
+	if !child.leaf {
+		copy(right.kids[:], child.kids[mid+1:child.n+1])
+	}
+	upKey, upVal := child.keys[mid], child.vals[mid]
+	child.n = mid
+
+	// shift parent entries right
+	for j := parent.n; j > i; j-- {
+		parent.keys[j] = parent.keys[j-1]
+		parent.vals[j] = parent.vals[j-1]
+		parent.kids[j+1] = parent.kids[j]
+	}
+	parent.keys[i] = upKey
+	parent.vals[i] = upVal
+	parent.kids[i+1] = right
+	parent.n++
+	db.c.Ops(24)
+}
+
+// insertNonFull descends to a non-full leaf; returns true if a new key was
+// added (false on update).
+func (db *vortexDB) insertNonFull(node *btNode, key, val int64, depth int) bool {
+	s := db.s
+	i := 0
+	for s.dsScan.Taken(depth, i < node.n && node.keys[i] < key) {
+		i++
+	}
+	if s.dsFound.Taken(i < node.n && node.keys[i] == key) {
+		node.vals[i] = val // update in place
+		return false
+	}
+	if s.dsLeaf.Taken(depth, node.leaf) {
+		for j := node.n; s.inLeafShift.Taken(j > i); j-- {
+			node.keys[j] = node.keys[j-1]
+			node.vals[j] = node.vals[j-1]
+		}
+		node.keys[i] = key
+		node.vals[i] = val
+		node.n++
+		return true
+	}
+	if s.inFull.Taken(node.kids[i].n == btOrder) {
+		db.splitChild(node, i)
+		if key > node.keys[i] {
+			i++
+		} else if key == node.keys[i] {
+			node.vals[i] = val
+			return false
+		}
+	}
+	return db.insertNonFull(node.kids[i], key, val, depth+1)
+}
+
+// delete removes a key if present, rebalancing as it descends. Returns
+// whether the key existed.
+func (db *vortexDB) delete(key int64) bool {
+	if db.root == nil {
+		return false
+	}
+	ok := db.deleteFrom(db.root, key)
+	if db.s.dlShrink.Taken(db.root.n == 0 && !db.root.leaf) {
+		db.root = db.root.kids[0]
+	}
+	if ok {
+		db.size--
+	}
+	return ok
+}
+
+func (db *vortexDB) deleteFrom(node *btNode, key int64) bool {
+	s := db.s
+	i := 0
+	for i < node.n && node.keys[i] < key {
+		i++
+	}
+	db.c.Ops(int(2 + i))
+
+	if s.dlFound.Taken(i < node.n && node.keys[i] == key) {
+		if s.dlLeaf.Taken(node.leaf) {
+			copy(node.keys[i:], node.keys[i+1:node.n])
+			copy(node.vals[i:], node.vals[i+1:node.n])
+			node.n--
+			return true
+		}
+		// replace with the predecessor from the left subtree, then delete
+		// that predecessor
+		pred := node.kids[i]
+		for !pred.leaf {
+			pred = pred.kids[pred.n]
+		}
+		pk, pv := pred.keys[pred.n-1], pred.vals[pred.n-1]
+		node.keys[i], node.vals[i] = pk, pv
+		db.fill(node, i)
+		return db.deleteFrom(node.kids[i], pk)
+	}
+	if node.leaf {
+		return false
+	}
+	db.fill(node, i)
+	// fill may have merged kids[i] away; re-find the descent child
+	if i > node.n {
+		i = node.n
+	}
+	return db.deleteFrom(node.kids[i], key)
+}
+
+// fill ensures node.kids[i] has at least btOrder/2 keys, borrowing from a
+// sibling or merging.
+func (db *vortexDB) fill(node *btNode, i int) {
+	s := db.s
+	child := node.kids[i]
+	if child == nil || child.n >= btOrder/2 {
+		s.dlBorrow.Taken(false)
+		return
+	}
+	// borrow from left sibling
+	if i > 0 && node.kids[i-1].n > btOrder/2 {
+		s.dlBorrow.Taken(true)
+		left := node.kids[i-1]
+		for j := child.n; j > 0; j-- {
+			child.keys[j] = child.keys[j-1]
+			child.vals[j] = child.vals[j-1]
+		}
+		if !child.leaf {
+			for j := child.n + 1; j > 0; j-- {
+				child.kids[j] = child.kids[j-1]
+			}
+			child.kids[0] = left.kids[left.n]
+		}
+		child.keys[0], child.vals[0] = node.keys[i-1], node.vals[i-1]
+		child.n++
+		node.keys[i-1], node.vals[i-1] = left.keys[left.n-1], left.vals[left.n-1]
+		left.n--
+		db.c.Ops(16)
+		return
+	}
+	// borrow from right sibling
+	if i < node.n && node.kids[i+1].n > btOrder/2 {
+		s.dlBorrow.Taken(true)
+		right := node.kids[i+1]
+		child.keys[child.n], child.vals[child.n] = node.keys[i], node.vals[i]
+		if !child.leaf {
+			child.kids[child.n+1] = right.kids[0]
+			copy(right.kids[:], right.kids[1:right.n+1])
+		}
+		child.n++
+		node.keys[i], node.vals[i] = right.keys[0], right.vals[0]
+		copy(right.keys[:], right.keys[1:right.n])
+		copy(right.vals[:], right.vals[1:right.n])
+		right.n--
+		db.c.Ops(16)
+		return
+	}
+	// merge with a sibling
+	if s.dlMerge.Taken(i == node.n) {
+		i-- // merge kids[i] with kids[i+1], using the last separator
+	}
+	left, right := node.kids[i], node.kids[i+1]
+	left.keys[left.n], left.vals[left.n] = node.keys[i], node.vals[i]
+	copy(left.keys[left.n+1:], right.keys[:right.n])
+	copy(left.vals[left.n+1:], right.vals[:right.n])
+	if !left.leaf {
+		copy(left.kids[left.n+1:], right.kids[:right.n+1])
+	}
+	left.n += right.n + 1
+	copy(node.keys[i:], node.keys[i+1:node.n])
+	copy(node.vals[i:], node.vals[i+1:node.n])
+	copy(node.kids[i+1:], node.kids[i+2:node.n+1])
+	node.n--
+	db.c.Ops(24)
+}
+
+// audit walks the whole tree in order, checking key ordering and record
+// checksums; returns the number of records.
+func (db *vortexDB) audit() (int, error) {
+	s := db.s
+	count := 0
+	last := int64(-1 << 62)
+	var walk func(n *btNode) error
+	walk = func(n *btNode) error {
+		if n == nil {
+			return nil
+		}
+		for i := 0; s.adLoop.Taken(i <= n.n); i++ {
+			if !n.leaf {
+				if err := walk(n.kids[i]); err != nil {
+					return err
+				}
+			}
+			if i == n.n {
+				break
+			}
+			if !s.adOrder.Taken(n.keys[i] > last) {
+				return fmt.Errorf("vortex: key order violated at %d", n.keys[i])
+			}
+			last = n.keys[i]
+			if !s.vfChecksum.Taken(recOK(n.keys[i], n.vals[i])) {
+				return fmt.Errorf("vortex: record checksum broken for key %d", n.keys[i])
+			}
+			count++
+		}
+		return nil
+	}
+	if err := walk(db.root); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// Run implements Program.
+func (vortexProg) Run(input string, rec trace.Recorder) error {
+	in, ok := vortexInputs[input]
+	if !ok {
+		return fmt.Errorf("vortex: unknown input %q", input)
+	}
+	rng := xrand.New(in.seed)
+	c := NewCtx(rec)
+	c.SetBlockBias(4)
+	s := newVortexSites(c)
+	db := &vortexDB{c: c, s: s}
+	shadow := map[int64]int64{}
+	c.Ops(200)
+
+	for op := 0; s.txLoop.Taken(op < in.ops); op++ {
+		key := int64(rng.Intn(in.keySpan))
+		switch r := rng.Intn(100); {
+		case r < 45: // insert/update
+			val := recVal(key)
+			db.insert(key, val)
+			shadow[key] = val
+		case s.txReadOnly.Taken(r < 80): // lookup
+			val, okGot := db.search(key)
+			wantVal, okWant := shadow[key]
+			if okGot != okWant || (okGot && val != wantVal) {
+				return fmt.Errorf("vortex: lookup(%d) = %d,%v; shadow %d,%v", key, val, okGot, wantVal, okWant)
+			}
+			if okGot && !s.vfRange.Taken(recOK(key, val)) {
+				return fmt.Errorf("vortex: stored record corrupt for key %d", key)
+			}
+		default: // delete
+			gotOK := db.delete(key)
+			_, wantOK := shadow[key]
+			if gotOK != wantOK {
+				return fmt.Errorf("vortex: delete(%d) = %v, shadow %v", key, gotOK, wantOK)
+			}
+			delete(shadow, key)
+		}
+		// periodic full audit (the database's integrity checker)
+		if s.txAudit.Taken(op%8192 == 8191) {
+			n, err := db.audit()
+			if err != nil {
+				return err
+			}
+			if n != len(shadow) || n != db.size {
+				return fmt.Errorf("vortex: audit count %d, shadow %d, size %d", n, len(shadow), db.size)
+			}
+		}
+	}
+
+	n, err := db.audit()
+	if err != nil {
+		return err
+	}
+	if n != len(shadow) {
+		return fmt.Errorf("vortex: final audit %d records, shadow has %d", n, len(shadow))
+	}
+	return nil
+}

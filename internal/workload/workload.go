@@ -1,0 +1,88 @@
+// Package workload provides the benchmark programs whose branch streams
+// drive the simulator.
+//
+// The paper instrumented SPECINT95 Alpha binaries with Atom; every
+// conditional branch called into analysis code with its address and outcome.
+// We reproduce that substrate with six Go programs — analogues of the
+// paper's six benchmarks — whose conditional branches are routed through an
+// explicit instrumentation context. Each branch site gets a stable,
+// word-aligned "address" in a synthetic text segment, and each site charges
+// a calibrated number of straight-line instructions so that branch density
+// (CBRs/KI) lands in the paper's range.
+//
+// Programs expose deterministic "train" and "ref" inputs (plus a small
+// "test" input for unit tests), generated from fixed seeds, so the paper's
+// self-trained vs cross-trained methodology can be reproduced exactly.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"branchsim/internal/trace"
+)
+
+// Inputs every Program must provide.
+const (
+	InputTest  = "test"  // small; unit tests and -short benches
+	InputTrain = "train" // profiling input (SPEC "train")
+	InputRef   = "ref"   // measurement input (SPEC "ref")
+)
+
+// Program is one instrumented benchmark.
+type Program interface {
+	// Name is the registry key, e.g. "compress".
+	Name() string
+	// Description says what the program computes and which SPECINT95
+	// benchmark it stands in for.
+	Description() string
+	// Run executes the program on the named input, emitting its dynamic
+	// branch stream into rec. Runs are deterministic: the same input
+	// always produces the identical stream.
+	Run(input string, rec trace.Recorder) error
+}
+
+// Inputs lists the standard input names.
+func Inputs() []string { return []string{InputTest, InputTrain, InputRef} }
+
+var registry = map[string]Program{}
+
+// Register adds a program to the global registry. It panics on duplicate
+// names; programs register from init functions.
+func Register(p Program) {
+	if _, dup := registry[p.Name()]; dup {
+		panic(fmt.Sprintf("workload: duplicate program %q", p.Name()))
+	}
+	registry[p.Name()] = p
+}
+
+// Get returns the named program.
+func Get(name string) (Program, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown program %q (known: %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names returns the registered program names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suite returns the six paper-analogue programs in the paper's Table 1
+// order: go, gcc, perl, m88ksim, compress, ijpeg.
+func Suite() []Program {
+	var out []Program
+	for _, n := range []string{"go", "gcc", "perl", "m88ksim", "compress", "ijpeg"} {
+		if p, ok := registry[n]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package xrand provides small, deterministic pseudo-random generators used
+// by workload input generation and tests.
+//
+// The simulator must be bit-reproducible across runs and platforms, so
+// workloads never use math/rand (whose stream is not guaranteed stable across
+// Go releases). SplitMix64 is tiny, fast, well distributed, and fully
+// specified by its seed.
+package xrand
+
+// SplitMix64 is a deterministic 64-bit PRNG (Steele, Lea, Flood 2014).
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a SplitMix64 seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the high 32 bits of the next value.
+func (s *SplitMix64) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *SplitMix64) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Bytes fills b with pseudo-random bytes.
+func (s *SplitMix64) Bytes(b []byte) {
+	for i := range b {
+		if i%8 == 0 {
+			v := s.Uint64()
+			for j := 0; j < 8 && i+j < len(b); j++ {
+				b[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+}
+
+// Hash64 mixes x through the SplitMix64 finalizer. It is a convenient
+// stateless hash for index-scrambling in tests.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

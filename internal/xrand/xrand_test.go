@@ -1,0 +1,140 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestKnownStream(t *testing.T) {
+	// Reference values for SplitMix64 with seed 0 (Vigna's test vectors
+	// style): pin the stream so workload inputs never silently change.
+	got := make([]uint64, 3)
+	s := New(0)
+	for i := range got {
+		got[i] = s.Uint64()
+	}
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream[%d] = %#x, want %#x (seed-0 reference)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) fired %.3f of the time", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	b := make([]byte, 37)
+	New(3).Bytes(b)
+	zero := 0
+	for _, v := range b {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero > 5 {
+		t.Fatalf("%d of %d bytes are zero", zero, len(b))
+	}
+}
+
+func TestHash64Stateless(t *testing.T) {
+	if Hash64(42) != Hash64(42) {
+		t.Fatalf("Hash64 not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatalf("Hash64(1) == Hash64(2)")
+	}
+}
+
+func TestUint32UsesHighBits(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	if uint64(a.Uint32()) != b.Uint64()>>32 {
+		t.Fatalf("Uint32 is not the high word of Uint64")
+	}
+}
