@@ -14,6 +14,7 @@
 package branchsim_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -45,7 +46,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	h := sharedHarness()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Run(h)
+		res, err := e.Run(context.Background(), h)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkWorkload(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				c = trace.Counts{}
-				if err := p.Run(workload.InputTest, &c); err != nil {
+				if err := p.Run(context.Background(), workload.InputTest, &c); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package branchsim
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/core"
@@ -46,6 +47,9 @@ type (
 	Divergence = profile.Divergence
 	// Program is an instrumented workload.
 	Program = workload.Program
+	// PanicError is a workload/predictor panic converted into an error;
+	// runs never crash the caller.
+	PanicError = workload.PanicError
 )
 
 // Selection schemes from the paper (and extensions).
@@ -120,6 +124,13 @@ type RunConfig struct {
 
 // Run executes one simulation and returns its metrics.
 func Run(cfg RunConfig) (Metrics, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation under ctx: cancelling ctx stops the run
+// cooperatively, and a panicking predictor or workload is returned as a
+// *PanicError instead of crashing the process.
+func RunContext(ctx context.Context, cfg RunConfig) (Metrics, error) {
 	if cfg.Predictor == nil {
 		return Metrics{}, fmt.Errorf("branchsim: RunConfig.Predictor is nil")
 	}
@@ -135,7 +146,7 @@ func Run(cfg RunConfig) (Metrics, error) {
 		opts = append(opts, sim.WithProfile(cfg.Profile))
 	}
 	runner := sim.NewRunner(cfg.Predictor, opts...)
-	if err := prog.Run(cfg.Input, runner); err != nil {
+	if err := workload.RunProgram(ctx, prog, cfg.Input, runner); err != nil {
 		return Metrics{}, err
 	}
 	return runner.Metrics(), nil
@@ -146,6 +157,12 @@ func Run(cfg RunConfig) (Metrics, error) {
 // accuracy and destructive-collision counts. Pass an empty predictorSpec to
 // collect a bias-only profile (sufficient for Static95).
 func Profile(workloadName, input, predictorSpec string) (*ProfileDB, Metrics, error) {
+	return ProfileContext(context.Background(), workloadName, input, predictorSpec)
+}
+
+// ProfileContext is Profile with cooperative cancellation and panic
+// isolation, like RunContext.
+func ProfileContext(ctx context.Context, workloadName, input, predictorSpec string) (*ProfileDB, Metrics, error) {
 	db := profile.NewDB(workloadName, input)
 	if predictorSpec == "" {
 		prog, err := workload.Get(workloadName)
@@ -153,7 +170,7 @@ func Profile(workloadName, input, predictorSpec string) (*ProfileDB, Metrics, er
 			return nil, Metrics{}, err
 		}
 		rec := &biasRecorder{db: db}
-		if err := prog.Run(input, rec); err != nil {
+		if err := workload.RunProgram(ctx, prog, input, rec); err != nil {
 			return nil, Metrics{}, err
 		}
 		db.Instructions = rec.counts.Instructions
@@ -164,7 +181,7 @@ func Profile(workloadName, input, predictorSpec string) (*ProfileDB, Metrics, er
 	if err != nil {
 		return nil, Metrics{}, err
 	}
-	m, err := Run(RunConfig{
+	m, err := RunContext(ctx, RunConfig{
 		Workload: workloadName, Input: input,
 		Predictor: p, TrackCollisions: true, Profile: db,
 	})

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"branchsim/internal/alias"
 	"branchsim/internal/predictor"
@@ -27,13 +30,15 @@ func main() {
 		top    = flag.Int("top", 15, "number of pairs/victims to print")
 	)
 	flag.Parse()
-	if err := run(*wl, *input, *scheme, *size, *top); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *wl, *input, *scheme, *size, *top); err != nil {
 		fmt.Fprintln(os.Stderr, "bpalias:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, input, scheme, size string, top int) error {
+func run(ctx context.Context, wl, input, scheme, size string, top int) error {
 	bytes, err := predictor.ParseSize(size)
 	if err != nil {
 		return err
@@ -42,11 +47,7 @@ func run(wl, input, scheme, size string, top int) error {
 	if err != nil {
 		return err
 	}
-	prog, err := workload.Get(wl)
-	if err != nil {
-		return err
-	}
-	if err := prog.Run(input, a); err != nil {
+	if err := workload.Run(ctx, wl, input, a); err != nil {
 		return err
 	}
 

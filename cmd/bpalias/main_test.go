@@ -1,24 +1,27 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAliasReport(t *testing.T) {
-	if err := run("gcc", "test", "gshare", "1KB", 5); err != nil {
+	if err := run(context.Background(), "gcc", "test", "gshare", "1KB", 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("compress", "test", "bimodal", "64B", 3); err != nil {
+	if err := run(context.Background(), "compress", "test", "bimodal", "64B", 3); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAliasErrors(t *testing.T) {
-	if err := run("gcc", "test", "tage", "1KB", 5); err == nil {
+	if err := run(context.Background(), "gcc", "test", "tage", "1KB", 5); err == nil {
 		t.Fatal("unsupported scheme accepted")
 	}
-	if err := run("nosuch", "test", "gshare", "1KB", 5); err == nil {
+	if err := run(context.Background(), "nosuch", "test", "gshare", "1KB", 5); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if err := run("gcc", "test", "gshare", "1QB", 5); err == nil {
+	if err := run(context.Background(), "gcc", "test", "gshare", "1QB", 5); err == nil {
 		t.Fatal("bad size accepted")
 	}
 }

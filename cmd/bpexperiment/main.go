@@ -2,73 +2,120 @@
 // repo's ablations). Each experiment renders one or more text tables; -csv
 // additionally writes machine-readable series for plotting.
 //
+// Long sweeps are fault-tolerant and resumable: -keep-going renders every
+// experiment that succeeded even when others fail (reporting a per-experiment
+// error summary), -checkpoint journals completed simulations to a directory
+// so a killed sweep resumes where it stopped, and SIGINT/SIGTERM cancel the
+// event loops cooperatively instead of tearing the process down mid-write.
+//
 // Examples:
 //
 //	bpexperiment -list
 //	bpexperiment -run table3
 //	bpexperiment -run all -csv out/
 //	bpexperiment -run fig13 -quick          # reduced inputs, seconds not minutes
+//	bpexperiment -run all -keep-going -checkpoint sweep.ckpt
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"branchsim/internal/experiment"
 )
 
+// options collects the flags of one invocation.
+type options struct {
+	runID         string
+	quick         bool
+	csvDir        string
+	verbose       bool
+	parallel      int
+	keepGoing     bool
+	checkpointDir string
+	armTimeout    time.Duration
+	retries       int
+}
+
 func main() {
 	var (
-		runID    = flag.String("run", "", "experiment id, comma-separated list, or \"all\"")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		quick    = flag.Bool("quick", false, "reduced-scale inputs (train/test instead of ref/train)")
-		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
-		verbose  = flag.Bool("v", false, "log every uncached simulation")
-		parallel = flag.Int("j", runtime.NumCPU(), "experiments to run concurrently (shared arms are still computed once)")
+		opt  options
+		list bool
 	)
+	flag.StringVar(&opt.runID, "run", "", "experiment id, comma-separated list, or \"all\"")
+	flag.BoolVar(&list, "list", false, "list experiments and exit")
+	flag.BoolVar(&opt.quick, "quick", false, "reduced-scale inputs (train/test instead of ref/train)")
+	flag.StringVar(&opt.csvDir, "csv", "", "also write each table as CSV into this directory")
+	flag.BoolVar(&opt.verbose, "v", false, "log every uncached simulation")
+	flag.IntVar(&opt.parallel, "j", runtime.NumCPU(), "experiments to run concurrently (shared arms are still computed once)")
+	flag.BoolVar(&opt.keepGoing, "keep-going", false, "render the experiments that succeed even if others fail; summarize failures and exit non-zero")
+	flag.StringVar(&opt.checkpointDir, "checkpoint", "", "journal completed simulations into this directory and resume from it")
+	flag.DurationVar(&opt.armTimeout, "arm-timeout", 0, "per-simulation deadline, e.g. 10m (0 = none)")
+	flag.IntVar(&opt.retries, "retries", 1, "attempts per simulation for transient failures")
 	flag.Parse()
 
-	if *list {
+	if list {
 		for _, e := range experiment.All() {
 			fmt.Printf("%-13s %-10s %s\n", e.ID, "["+e.Paper+"]", e.Title)
 		}
 		return
 	}
-	if *runID == "" {
+	if opt.runID == "" {
 		fmt.Fprintln(os.Stderr, "bpexperiment: -run or -list is required")
 		os.Exit(2)
 	}
-	if err := run(*runID, *quick, *csvDir, *verbose, *parallel); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "bpexperiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runID string, quick bool, csvDir string, verbose bool, parallel int) error {
-	if parallel < 1 {
-		parallel = 1
+func run(ctx context.Context, opt options) error {
+	if opt.parallel < 1 {
+		opt.parallel = 1
 	}
 	var h *experiment.Harness
-	if quick {
+	if opt.quick {
 		h = experiment.NewQuickHarness()
 	} else {
 		h = experiment.NewHarness()
 	}
-	if verbose {
+	if opt.verbose {
 		h.Log = os.Stderr
+	}
+	h.ArmTimeout = opt.armTimeout
+	if opt.retries > 1 {
+		h.Retry = experiment.RetryPolicy{Attempts: opt.retries, Backoff: 250 * time.Millisecond}
+	}
+	if opt.checkpointDir != "" {
+		cp, err := experiment.OpenCheckpoint(opt.checkpointDir)
+		if err != nil {
+			return err
+		}
+		h.Checkpoint = cp
+		if runs, profiles := cp.Len(); runs > 0 || profiles > 0 {
+			fmt.Fprintf(os.Stderr, "bpexperiment: resuming from %s (%d runs, %d profiles journaled)\n",
+				opt.checkpointDir, runs, profiles)
+		}
 	}
 
 	var exps []experiment.Experiment
-	if runID == "all" {
+	if opt.runID == "all" {
 		exps = experiment.All()
 	} else {
-		for _, id := range strings.Split(runID, ",") {
+		for _, id := range strings.Split(opt.runID, ",") {
 			e, err := experiment.ByID(strings.TrimSpace(id))
 			if err != nil {
 				return err
@@ -77,8 +124,8 @@ func run(runID string, quick bool, csvDir string, verbose bool, parallel int) er
 		}
 	}
 
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+	if opt.csvDir != "" {
+		if err := os.MkdirAll(opt.csvDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -91,7 +138,7 @@ func run(runID string, quick bool, csvDir string, verbose bool, parallel int) er
 		dur time.Duration
 	}
 	results := make([]outcome, len(exps))
-	sem := make(chan struct{}, parallel)
+	sem := make(chan struct{}, opt.parallel)
 	var wg sync.WaitGroup
 	for i, e := range exps {
 		wg.Add(1)
@@ -100,27 +147,39 @@ func run(runID string, quick bool, csvDir string, verbose bool, parallel int) er
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := e.Run(h)
+			res, err := e.Run(ctx, h)
 			results[i] = outcome{res: res, err: err, dur: time.Since(start)}
 		}(i, e)
 	}
 	wg.Wait()
 
+	type failure struct {
+		id  string
+		err error
+	}
+	var failures []failure
 	for i, e := range exps {
 		out := results[i]
 		if out.err != nil {
-			return fmt.Errorf("%s: %w", e.ID, out.err)
+			if !opt.keepGoing {
+				if errors.Is(ctx.Err(), context.Canceled) {
+					return fmt.Errorf("interrupted (checkpointed work is preserved)")
+				}
+				return fmt.Errorf("%s: %w", e.ID, out.err)
+			}
+			failures = append(failures, failure{id: e.ID, err: out.err})
+			continue
 		}
 		for ti, t := range out.res.Tables {
 			if err := t.Render(os.Stdout); err != nil {
 				return err
 			}
-			if csvDir != "" {
+			if opt.csvDir != "" {
 				name := out.res.ID
 				if len(out.res.Tables) > 1 {
 					name = fmt.Sprintf("%s_%d", out.res.ID, ti)
 				}
-				f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+				f, err := os.Create(filepath.Join(opt.csvDir, name+".csv"))
 				if err != nil {
 					return err
 				}
@@ -133,9 +192,20 @@ func run(runID string, quick bool, csvDir string, verbose bool, parallel int) er
 				}
 			}
 		}
-		if verbose {
+		if opt.verbose {
 			fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, out.dur.Round(time.Millisecond))
 		}
+	}
+	if len(failures) > 0 {
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return fmt.Errorf("interrupted with %d of %d experiments unfinished (checkpointed work is preserved)",
+				len(failures), len(exps))
+		}
+		fmt.Fprintf(os.Stderr, "bpexperiment: %d of %d experiments failed:\n", len(failures), len(exps))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %-13s %v\n", f.id, f.err)
+		}
+		return fmt.Errorf("%d of %d experiments failed", len(failures), len(exps))
 	}
 	return nil
 }

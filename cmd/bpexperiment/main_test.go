@@ -1,24 +1,32 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-func TestRunSingleExperimentQuickWithCSV(t *testing.T) {
-	dir := t.TempDir()
-	// redirect stdout noise away from the test log
+// silenceStdout redirects os.Stdout to /dev/null for the duration of a test,
+// keeping rendered tables out of the test log.
+func silenceStdout(t *testing.T) {
+	t.Helper()
 	old := os.Stdout
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	defer func() { os.Stdout = old; devnull.Close() }()
+	t.Cleanup(func() { os.Stdout = old; devnull.Close() })
+}
 
-	if err := run("table1", true, dir, false, 2); err != nil {
+func TestRunSingleExperimentQuickWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	silenceStdout(t)
+
+	err := run(context.Background(), options{runID: "table1", quick: true, csvDir: dir, parallel: 2})
+	if err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
@@ -31,18 +39,31 @@ func TestRunSingleExperimentQuickWithCSV(t *testing.T) {
 }
 
 func TestRunCommaSeparatedIDs(t *testing.T) {
-	old := os.Stdout
-	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	os.Stdout = devnull
-	defer func() { os.Stdout = old; devnull.Close() }()
-
-	if err := run("table1, table5", true, "", false, 2); err != nil {
+	silenceStdout(t)
+	if err := run(context.Background(), options{runID: "table1, table5", quick: true, parallel: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run("nosuch", true, "", false, 1); err == nil {
+	if err := run(context.Background(), options{runID: "nosuch", quick: true, parallel: 1}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWithCheckpointResumes(t *testing.T) {
+	silenceStdout(t)
+	ckpt := t.TempDir()
+	if err := run(context.Background(), options{runID: "table2", quick: true, parallel: 2, checkpointDir: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	// The journal must now hold every completed run; a fresh invocation
+	// resumes from it and succeeds again.
+	entries, err := os.ReadDir(filepath.Join(ckpt, "runs"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("checkpoint empty after sweep: %v (%d entries)", err, len(entries))
+	}
+	if err := run(context.Background(), options{runID: "table2", quick: true, parallel: 2, checkpointDir: ckpt}); err != nil {
+		t.Fatal(err)
 	}
 }

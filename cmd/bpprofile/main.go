@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"branchsim"
 	"branchsim/internal/profile"
@@ -39,13 +42,16 @@ func main() {
 	flag.Var(&merges, "merge", "merge existing profile databases instead of profiling (repeatable)")
 	flag.Parse()
 
-	if err := run(*wl, *input, *pred, *out, merges); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *wl, *input, *pred, *out, merges); err != nil {
 		fmt.Fprintln(os.Stderr, "bpprofile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, input, pred, out string, merges []string) error {
+func run(ctx context.Context, wl, input, pred, out string, merges []string) error {
 	var db *profile.DB
 	switch {
 	case len(merges) == 1:
@@ -69,7 +75,7 @@ func run(wl, input, pred, out string, merges []string) error {
 	default:
 		var m branchsim.Metrics
 		var err error
-		db, m, err = branchsim.Profile(wl, input, pred)
+		db, m, err = branchsim.ProfileContext(ctx, wl, input, pred)
 		if err != nil {
 			return err
 		}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"branchsim"
 	"branchsim/internal/sim"
@@ -26,10 +29,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "record":
-		err = record(os.Args[2:])
+		err = record(ctx, os.Args[2:])
 	case "stat":
 		err = stat(os.Args[2:])
 	case "replay":
@@ -51,7 +56,7 @@ func usage() {
   bptrace replay -predictor SPEC FILE`)
 }
 
-func record(args []string) error {
+func record(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	wl := fs.String("workload", "gcc", "workload name")
 	input := fs.String("input", "train", "workload input")
@@ -61,10 +66,6 @@ func record(args []string) error {
 	}
 	if *out == "" {
 		return fmt.Errorf("record: -o is required")
-	}
-	prog, err := workload.Get(*wl)
-	if err != nil {
-		return err
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -76,7 +77,7 @@ func record(args []string) error {
 		return err
 	}
 	var counts trace.Counts
-	if err := prog.Run(*input, trace.Tee(&counts, w)); err != nil {
+	if err := workload.Run(ctx, *wl, *input, trace.Tee(&counts, w)); err != nil {
 		return err
 	}
 	if err := w.Flush(); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestRecordStatReplay(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.btrc")
 
-	if err := record([]string{"-workload", "compress", "-input", "test", "-o", path}); err != nil {
+	if err := record(context.Background(), []string{"-workload", "compress", "-input", "test", "-o", path}); err != nil {
 		t.Fatal(err)
 	}
 	if err := stat([]string{path}); err != nil {
@@ -21,7 +22,7 @@ func TestRecordStatReplay(t *testing.T) {
 }
 
 func TestRecordRequiresOutput(t *testing.T) {
-	if err := record([]string{"-workload", "compress", "-input", "test"}); err == nil {
+	if err := record(context.Background(), []string{"-workload", "compress", "-input", "test"}); err == nil {
 		t.Fatal("missing -o accepted")
 	}
 }
@@ -29,7 +30,7 @@ func TestRecordRequiresOutput(t *testing.T) {
 func TestStatRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad")
-	if err := record([]string{"-workload", "compress", "-input", "test", "-o", bad + ".ok"}); err != nil {
+	if err := record(context.Background(), []string{"-workload", "compress", "-input", "test", "-o", bad + ".ok"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := stat([]string{filepath.Join(dir, "missing")}); err == nil {
@@ -43,7 +44,7 @@ func TestStatRejectsGarbage(t *testing.T) {
 func TestReplayBadPredictor(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.btrc")
-	if err := record([]string{"-workload", "ijpeg", "-input", "test", "-o", path}); err != nil {
+	if err := record(context.Background(), []string{"-workload", "ijpeg", "-input", "test", "-o", path}); err != nil {
 		t.Fatal(err)
 	}
 	if err := replay([]string{"-predictor", "nosuch:1KB", path}); err == nil {

@@ -1,6 +1,7 @@
 package alias
 
 import (
+	"context"
 	"testing"
 
 	"branchsim/internal/workload"
@@ -135,7 +136,7 @@ func TestAnalyzerOnRealWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := prog.Run(workload.InputTest, a); err != nil {
+	if err := prog.Run(context.Background(), workload.InputTest, a); err != nil {
 		t.Fatal(err)
 	}
 	if a.Conflicts == 0 || len(a.TopPairs(10)) == 0 {

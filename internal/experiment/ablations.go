@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/core"
@@ -80,13 +81,13 @@ func init() {
 	})
 }
 
-func runAblCutoff(h *Harness) (*Result, error) {
+func runAblCutoff(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("abl-cutoff: Static_95 cutoff sweep on gshare "+basePoint+" (MISP/KI)",
 		"Program", "None", "Cutoff 90%", "Cutoff 95%", "Cutoff 99%")
 	for _, wl := range Suite {
 		row := []string{wl}
 		for _, scheme := range []string{"none", "static90", "static95", "static99"} {
-			m, err := h.Run(Arm{Workload: wl, Pred: "gshare:" + basePoint, Scheme: scheme})
+			m, err := h.Run(ctx, Arm{Workload: wl, Pred: "gshare:" + basePoint, Scheme: scheme})
 			if err != nil {
 				return nil, err
 			}
@@ -98,14 +99,14 @@ func runAblCutoff(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-cutoff", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblShift(h *Harness) (*Result, error) {
+func runAblShift(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("abl-shift: improvement by shift policy (static_acc hints, "+basePoint+")",
 		"Program", "Predictor", "NoShift", "ShiftOutcome", "ShiftStatic")
 	for _, wl := range []string{"go", "gcc"} {
 		for _, p := range []string{"ghist", "gshare", "bimode", "2bcgskew"} {
 			row := []string{wl, p}
 			for _, shift := range []core.ShiftPolicy{core.NoShift, core.ShiftOutcome, core.ShiftStatic} {
-				imp, err := h.Improvement(Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: "staticacc", Shift: shift})
+				imp, err := h.Improvement(ctx, Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: "staticacc", Shift: shift})
 				if err != nil {
 					return nil, err
 				}
@@ -118,7 +119,7 @@ func runAblShift(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-shift", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblAgree(h *Harness) (*Result, error) {
+func runAblAgree(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("abl-agree: agree mechanism vs software static filtering ("+basePoint+", MISP/KI)",
 		"Program", "gshare", "agree", "gshare+static95", "gshare+staticacc")
 	for _, wl := range Suite {
@@ -130,7 +131,7 @@ func runAblAgree(h *Harness) (*Result, error) {
 		}
 		row := []string{wl}
 		for _, a := range arms {
-			m, err := h.Run(a)
+			m, err := h.Run(ctx, a)
 			if err != nil {
 				return nil, err
 			}
@@ -142,7 +143,7 @@ func runAblAgree(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-agree", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblStaticCol(h *Harness) (*Result, error) {
+func runAblStaticCol(ctx context.Context, h *Harness) (*Result, error) {
 	const spec = "gshare:4KB"
 	t := report.NewTable("abl-staticcol: collision-targeted selection on "+spec+" (MISP/KI)",
 		"Program", "None", "Static_95", "Static_Acc", "Static_Col", "Hints_95", "Hints_Acc", "Hints_Col")
@@ -151,13 +152,13 @@ func runAblStaticCol(h *Harness) (*Result, error) {
 		var counts []string
 		for _, scheme := range []string{"none", "static95", "staticacc", "staticcol"} {
 			a := Arm{Workload: wl, Pred: spec, Scheme: scheme}
-			m, err := h.Run(a)
+			m, err := h.Run(ctx, a)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, report.F(m.MISPKI(), 3))
 			if scheme != "none" {
-				hd, err := h.Hints(a)
+				hd, err := h.Hints(ctx, a)
 				if err != nil {
 					return nil, err
 				}
@@ -170,14 +171,14 @@ func runAblStaticCol(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-staticcol", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblZoo(h *Harness) (*Result, error) {
+func runAblZoo(ctx context.Context, h *Harness) (*Result, error) {
 	zoo := append(append([]string{}, FivePredictors...), "agree", "gskew", "yags", "local", "mcfarling")
 	headers := append([]string{"Program"}, zoo...)
 	t := report.NewTable("abl-zoo: baseline MISP/KI of all predictors at "+basePoint, headers...)
 	for _, wl := range Suite {
 		row := []string{wl}
 		for _, p := range zoo {
-			m, err := h.Run(Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: "none"})
+			m, err := h.Run(ctx, Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: "none"})
 			if err != nil {
 				return nil, err
 			}
@@ -188,7 +189,7 @@ func runAblZoo(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-zoo", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblHistory(h *Harness) (*Result, error) {
+func runAblHistory(ctx context.Context, h *Harness) (*Result, error) {
 	hists := []int{0, 2, 4, 6, 8, 10, 12, 14, 16}
 	headers := []string{"Program"}
 	for _, hl := range hists {
@@ -198,7 +199,7 @@ func runAblHistory(h *Harness) (*Result, error) {
 	for _, wl := range Suite {
 		row := []string{wl}
 		for _, hl := range hists {
-			m, err := h.Run(Arm{Workload: wl, Pred: fmt.Sprintf("gshare:16KB:h=%d", hl), Scheme: "none"})
+			m, err := h.Run(ctx, Arm{Workload: wl, Pred: fmt.Sprintf("gshare:16KB:h=%d", hl), Scheme: "none"})
 			if err != nil {
 				return nil, err
 			}
@@ -210,14 +211,14 @@ func runAblHistory(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-history", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblModern(h *Harness) (*Result, error) {
+func runAblModern(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("abl-modern: de-aliased successors vs the paper's scheme ("+basePoint+", MISP/KI)",
 		"Program", "2bcgskew", "2bcgskew+acc", "tage", "tage+acc", "perceptron", "perceptron+acc")
 	for _, wl := range Suite {
 		row := []string{wl}
 		for _, pred := range []string{"2bcgskew", "tage", "perceptron"} {
 			for _, scheme := range []string{"none", "staticacc"} {
-				m, err := h.Run(Arm{Workload: wl, Pred: pred + ":" + basePoint, Scheme: scheme})
+				m, err := h.Run(ctx, Arm{Workload: wl, Pred: pred + ":" + basePoint, Scheme: scheme})
 				if err != nil {
 					return nil, err
 				}
@@ -230,18 +231,18 @@ func runAblModern(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-modern", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblPipeline(h *Harness) (*Result, error) {
+func runAblPipeline(ctx context.Context, h *Harness) (*Result, error) {
 	headers := []string{"Program"}
 	for _, pl := range cpi.Pipelines() {
 		headers = append(headers, pl.Name+" CPI", pl.Name+" speedup")
 	}
 	t := report.NewTable("abl-pipeline: CPI impact of static filtering (gshare "+basePoint+", Static_Acc)", headers...)
 	for _, wl := range Suite {
-		base, err := h.Run(Arm{Workload: wl, Pred: "gshare:" + basePoint, Scheme: "none"})
+		base, err := h.Run(ctx, Arm{Workload: wl, Pred: "gshare:" + basePoint, Scheme: "none"})
 		if err != nil {
 			return nil, err
 		}
-		comb, err := h.Run(Arm{Workload: wl, Pred: "gshare:" + basePoint, Scheme: "staticacc"})
+		comb, err := h.Run(ctx, Arm{Workload: wl, Pred: "gshare:" + basePoint, Scheme: "staticacc"})
 		if err != nil {
 			return nil, err
 		}
@@ -257,14 +258,14 @@ func runAblPipeline(h *Harness) (*Result, error) {
 	return &Result{ID: "abl-pipeline", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runAblExtra(h *Harness) (*Result, error) {
+func runAblExtra(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("abl-extra: the paper's comparison on li and vortex ("+basePoint+", MISP/KI)",
 		"Program", "Predictor", "None", "Static_95", "Static_Acc")
 	for _, wl := range []string{"li", "vortex"} {
 		for _, p := range FivePredictors {
 			row := []string{wl, p}
 			for _, scheme := range []string{"none", "static95", "staticacc"} {
-				m, err := h.Run(Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: scheme})
+				m, err := h.Run(ctx, Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: scheme})
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"branchsim/internal/profile"
+	"branchsim/internal/sim"
+)
+
+// Checkpoint journals completed harness work to disk so an interrupted sweep
+// resumes without recomputing finished arms. Completed run metrics and
+// phase-1 profiles are written as they finish, one record per file:
+//
+//	dir/runs/<sha256(key)>.json     {"key": ..., "metrics": {...}}
+//	dir/profiles/<sha256(key)>.json {"key": ..., "profile": {...}}
+//
+// Every record is written to a temporary file in the same directory and
+// renamed into place, so a crash mid-write never leaves a partial record. A
+// record that is nevertheless unreadable — truncated by the filesystem,
+// corrupted, or written for a different key — is treated as absent and the
+// arm recomputes; resumption degrades, it never wedges.
+//
+// Hint sets are deliberately not checkpointed: they are derived from
+// profiles by a cheap selection pass, so persisting them would buy nothing.
+//
+// A Checkpoint is safe for concurrent use by one process. It performs no
+// cross-process locking; give concurrent sweeps separate directories.
+type Checkpoint struct {
+	dir string
+	mu  sync.Mutex // serializes writers of the same key
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint directory.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	for _, sub := range []string{"runs", "profiles"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+		}
+	}
+	return &Checkpoint{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpoint) Dir() string { return c.dir }
+
+// path maps a memoization key to its record file. Keys are hashed: they
+// contain characters that are unsafe in file names, and the hash keeps paths
+// short and uniform.
+func (c *Checkpoint) path(sub, key string) string {
+	h := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, sub, hex.EncodeToString(h[:])+".json")
+}
+
+// runRecord is the on-disk shape of one completed run.
+type runRecord struct {
+	Key     string      `json:"key"`
+	Metrics sim.Metrics `json:"metrics"`
+}
+
+// profileRecord is the on-disk shape of one completed profile. The profile
+// body reuses the profile package's own file format.
+type profileRecord struct {
+	Key     string          `json:"key"`
+	Profile json.RawMessage `json:"profile"`
+}
+
+// LookupRun returns the journaled metrics for key, if present and readable.
+func (c *Checkpoint) LookupRun(key string) (sim.Metrics, bool) {
+	data, err := os.ReadFile(c.path("runs", key))
+	if err != nil {
+		return sim.Metrics{}, false
+	}
+	var rec runRecord
+	if json.Unmarshal(data, &rec) != nil || rec.Key != key {
+		return sim.Metrics{}, false
+	}
+	return rec.Metrics, true
+}
+
+// SaveRun journals one completed run.
+func (c *Checkpoint) SaveRun(key string, m sim.Metrics) error {
+	data, err := json.MarshalIndent(runRecord{Key: key, Metrics: m}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return c.writeAtomic(c.path("runs", key), data)
+}
+
+// LookupProfile returns the journaled profile for key, if present, readable
+// and internally consistent.
+func (c *Checkpoint) LookupProfile(key string) (*profile.DB, bool) {
+	data, err := os.ReadFile(c.path("profiles", key))
+	if err != nil {
+		return nil, false
+	}
+	var rec profileRecord
+	if json.Unmarshal(data, &rec) != nil || rec.Key != key {
+		return nil, false
+	}
+	db, err := profile.Load(bytes.NewReader(rec.Profile))
+	if err != nil {
+		return nil, false
+	}
+	return db, true
+}
+
+// SaveProfile journals one completed profile.
+func (c *Checkpoint) SaveProfile(key string, db *profile.DB) error {
+	var body bytes.Buffer
+	if err := db.Save(&body); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	data, err := json.MarshalIndent(profileRecord{Key: key, Profile: body.Bytes()}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return c.writeAtomic(c.path("profiles", key), data)
+}
+
+// Len reports the number of journaled runs and profiles, for progress
+// messages on resume.
+func (c *Checkpoint) Len() (runs, profiles int) {
+	return c.count("runs"), c.count("profiles")
+}
+
+func (c *Checkpoint) count(sub string) int {
+	entries, err := os.ReadDir(filepath.Join(c.dir, sub))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}
+
+// writeAtomic writes data to path via a same-directory temp file and rename,
+// so readers never observe a partial record.
+func (c *Checkpoint) writeAtomic(path string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return nil
+}

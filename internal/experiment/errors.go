@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"branchsim/internal/workload"
+)
+
+// ArmError is the structured failure of one harness arm. A panicking
+// predictor or workload, a workload error, or an exhausted retry budget all
+// surface as an ArmError carrying enough context to report the failure in a
+// sweep summary without aborting the other arms.
+type ArmError struct {
+	// Key is the memoization key of the failed arm.
+	Key string
+	// Phase is the harness stage that failed: "profile", "hints" or "run".
+	Phase string
+	// Err is the underlying failure. For panics it is a
+	// *workload.PanicError whose Stack names the faulty frame.
+	Err error
+}
+
+// Error implements error.
+func (e *ArmError) Error() string {
+	return fmt.Sprintf("experiment: %s arm %s: %v", e.Phase, e.Key, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *ArmError) Unwrap() error { return e.Err }
+
+// Stack returns the panic-site stack when the arm died of a panic, else nil.
+func (e *ArmError) Stack() []byte {
+	var pe *workload.PanicError
+	if errors.As(e.Err, &pe) {
+		return pe.Stack
+	}
+	return nil
+}
+
+// armError wraps err (not already an ArmError) with arm context. Sweep-level
+// cancellation stays bare — an interrupted arm is not a failed arm — but a
+// per-arm deadline expiry is wrapped, since naming the slow arm is the
+// point.
+func armError(phase, key string, err error) error {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return err
+	}
+	var ae *ArmError
+	if errors.As(err, &ae) {
+		return err // keep the innermost arm context
+	}
+	return &ArmError{Key: key, Phase: phase, Err: err}
+}
+
+// transientError marks a failure worth retrying (see Transient).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// Transient marks err as transient: the flight cache's retry policy will
+// re-attempt the computation with backoff instead of failing the arm on the
+// first occurrence. Deterministic simulation errors (unknown workload, bad
+// spec, panics) must not be marked transient.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether any error in err's chain declares itself
+// transient via a `Transient() bool` method. The check is structural, so
+// fault injectors and future I/O layers can mark their own errors without
+// importing this package.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}

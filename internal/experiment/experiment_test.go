@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,14 +53,14 @@ func TestByID(t *testing.T) {
 func TestHarnessCachesRuns(t *testing.T) {
 	h := testHarness()
 	a := Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: "none"}
-	m1, err := h.Run(a)
+	m1, err := h.Run(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h.runs.size() != 1 {
 		t.Fatalf("run not cached")
 	}
-	m2, err := h.Run(a)
+	m2, err := h.Run(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestHarnessCachesRuns(t *testing.T) {
 
 func TestHarnessProfileCaching(t *testing.T) {
 	h := testHarness()
-	db1, err := h.Profile("compress", workload.InputTest, "")
+	db1, err := h.Profile(context.Background(), "compress", workload.InputTest, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	db2, err := h.Profile("compress", workload.InputTest, "")
+	db2, err := h.Profile(context.Background(), "compress", workload.InputTest, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestHarnessProfileCaching(t *testing.T) {
 func TestHintsNoneIsNil(t *testing.T) {
 	h := testHarness()
 	for _, scheme := range []string{"", "none"} {
-		hd, err := h.Hints(Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: scheme})
+		hd, err := h.Hints(context.Background(), Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: scheme})
 		if err != nil || hd != nil {
 			t.Fatalf("scheme %q: hints = %v, err %v", scheme, hd, err)
 		}
@@ -99,14 +100,14 @@ func TestHintsNoneIsNil(t *testing.T) {
 func TestHintsSelectAndCache(t *testing.T) {
 	h := testHarness()
 	a := Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: "staticacc"}
-	hd, err := h.Hints(a)
+	hd, err := h.Hints(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hd.Len() == 0 {
 		t.Fatalf("staticacc selected nothing on compress")
 	}
-	hd2, err := h.Hints(a)
+	hd2, err := h.Hints(context.Background(), a)
 	if err != nil || hd2 != hd {
 		t.Fatalf("hints not cached")
 	}
@@ -117,11 +118,11 @@ func TestCrossTrainedHintsUseTrainProfile(t *testing.T) {
 	self := Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: "static95"}
 	cross := self
 	cross.ProfileInput = h.TrainInput
-	hs, err := h.Hints(self)
+	hs, err := h.Hints(context.Background(), self)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hc, err := h.Hints(cross)
+	hc, err := h.Hints(context.Background(), cross)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +136,11 @@ func TestFilterDriftShrinksHintSet(t *testing.T) {
 	naive := Arm{Workload: "m88ksim", Pred: "gshare:1KB", Scheme: "static95", ProfileInput: h.TrainInput}
 	filtered := naive
 	filtered.FilterDrift = 0.05
-	hn, err := h.Hints(naive)
+	hn, err := h.Hints(context.Background(), naive)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hf, err := h.Hints(filtered)
+	hf, err := h.Hints(context.Background(), filtered)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestImprovementSign(t *testing.T) {
 	h := testHarness()
 	// self-trained staticacc can only help on the profiled input for a
 	// given branch set; allow small interaction noise but not a blowup
-	imp, err := h.Improvement(Arm{Workload: "gcc", Pred: "gshare:1KB", Scheme: "staticacc"})
+	imp, err := h.Improvement(context.Background(), Arm{Workload: "gcc", Pred: "gshare:1KB", Scheme: "staticacc"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +167,11 @@ func TestCombinedArmRespectsShift(t *testing.T) {
 	a := Arm{Workload: "gcc", Pred: "ghist:1KB", Scheme: "static95"}
 	b := a
 	b.Shift = core.ShiftOutcome
-	ma, err := h.Run(a)
+	ma, err := h.Run(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mb, err := h.Run(b)
+	mb, err := h.Run(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestEveryExperimentRunsOnTestInputs(t *testing.T) {
 	h.RefInput = workload.InputTest // keep even cross arms tiny: both inputs "test"
 	h.TrainInput = workload.InputTest
 	for _, e := range All() {
-		res, err := e.Run(h)
+		res, err := e.Run(context.Background(), h)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
@@ -211,13 +212,13 @@ func TestEveryExperimentRunsOnTestInputs(t *testing.T) {
 
 func TestRunErrorsPropagate(t *testing.T) {
 	h := testHarness()
-	if _, err := h.Run(Arm{Workload: "nosuch", Pred: "gshare:1KB", Scheme: "none"}); err == nil {
+	if _, err := h.Run(context.Background(), Arm{Workload: "nosuch", Pred: "gshare:1KB", Scheme: "none"}); err == nil {
 		t.Fatalf("unknown workload accepted")
 	}
-	if _, err := h.Run(Arm{Workload: "compress", Pred: "nosuch:1KB", Scheme: "none"}); err == nil {
+	if _, err := h.Run(context.Background(), Arm{Workload: "compress", Pred: "nosuch:1KB", Scheme: "none"}); err == nil {
 		t.Fatalf("unknown predictor accepted")
 	}
-	if _, err := h.Run(Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: "nosuch"}); err == nil {
+	if _, err := h.Run(context.Background(), Arm{Workload: "compress", Pred: "gshare:1KB", Scheme: "nosuch"}); err == nil {
 		t.Fatalf("unknown scheme accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/report"
@@ -15,8 +16,8 @@ func init() {
 			Title:       "gshare size sweep with Static_Acc: " + wl,
 			Paper:       fmt.Sprintf("Figure %d", i+1),
 			Description: "MISP/KI and collision counts for gshare at 1–64KB, with and without Static_Acc filtering, on " + wl + ".",
-			Run: func(h *Harness) (*Result, error) {
-				return runGshareSweep(h, id, wl)
+			Run: func(ctx context.Context, h *Harness) (*Result, error) {
+				return runGshareSweep(ctx, h, id, wl)
 			},
 		})
 	}
@@ -28,8 +29,8 @@ func init() {
 			Title:       "static schemes across the five predictors: " + wl,
 			Paper:       fmt.Sprintf("Figure %d", i+7),
 			Description: "MISP/KI of the five " + basePoint + " predictors with no static prediction, Static_95 and Static_Acc, on " + wl + ".",
-			Run: func(h *Harness) (*Result, error) {
-				return runSchemeBars(h, id, wl)
+			Run: func(ctx context.Context, h *Harness) (*Result, error) {
+				return runSchemeBars(ctx, h, id, wl)
 			},
 		})
 	}
@@ -45,17 +46,17 @@ func init() {
 // runGshareSweep regenerates one of Figures 1–6: the MISP/KI-vs-size curves
 // for gshare with and without Static_Acc, plus total collision counts — the
 // quantities plotted in the paper's figures.
-func runGshareSweep(h *Harness, id, wl string) (*Result, error) {
+func runGshareSweep(ctx context.Context, h *Harness, id, wl string) (*Result, error) {
 	t := report.NewTable(fmt.Sprintf("%s: gshare sweep on %s (MISP/KI and collisions)", id, wl),
 		"Size", "MISP/KI none", "MISP/KI static_acc", "Improvement",
 		"Collisions none (K)", "Collisions static_acc (K)", "Destructive none (K)", "Destructive static_acc (K)")
 	for _, size := range sweepSizes {
 		spec := fmt.Sprintf("gshare:%dB", size)
-		base, err := h.Run(Arm{Workload: wl, Pred: spec, Scheme: "none"})
+		base, err := h.Run(ctx, Arm{Workload: wl, Pred: spec, Scheme: "none"})
 		if err != nil {
 			return nil, err
 		}
-		acc, err := h.Run(Arm{Workload: wl, Pred: spec, Scheme: "staticacc"})
+		acc, err := h.Run(ctx, Arm{Workload: wl, Pred: spec, Scheme: "staticacc"})
 		if err != nil {
 			return nil, err
 		}
@@ -79,14 +80,14 @@ func runGshareSweep(h *Harness, id, wl string) (*Result, error) {
 
 // runSchemeBars regenerates one of Figures 7–12: the three-bar groups (none,
 // Static_95, Static_Acc) for each of the five predictors.
-func runSchemeBars(h *Harness, id, wl string) (*Result, error) {
+func runSchemeBars(ctx context.Context, h *Harness, id, wl string) (*Result, error) {
 	t := report.NewTable(fmt.Sprintf("%s: MISP/KI by predictor and static scheme on %s (%s)", id, wl, basePoint),
 		"Predictor", "None", "Static_95", "Static_Acc")
 	for _, p := range FivePredictors {
 		spec := p + ":" + basePoint
 		row := []string{p}
 		for _, scheme := range []string{"none", "static95", "staticacc"} {
-			m, err := h.Run(Arm{Workload: wl, Pred: spec, Scheme: scheme})
+			m, err := h.Run(ctx, Arm{Workload: wl, Pred: spec, Scheme: scheme})
 			if err != nil {
 				return nil, err
 			}
@@ -98,7 +99,7 @@ func runSchemeBars(h *Harness, id, wl string) (*Result, error) {
 	return &Result{ID: id, Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runFig13(h *Harness) (*Result, error) {
+func runFig13(ctx context.Context, h *Harness) (*Result, error) {
 	const spec = "gshare:16KB"
 	t := report.NewTable("fig13: cross-training effect on gshare 16KB + Static_95 (MISP/KI)",
 		"Program", "No static", "Self-trained", "Cross-trained (naive)", "Cross-trained (merged, 5% filter)")
@@ -111,7 +112,7 @@ func runFig13(h *Harness) (*Result, error) {
 			{Workload: wl, Pred: spec, Scheme: "static95", ProfileInput: h.TrainInput, FilterDrift: 0.05},
 		}
 		for _, a := range arms {
-			m, err := h.Run(a)
+			m, err := h.Run(ctx, a)
 			if err != nil {
 				return nil, err
 			}

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestFlightComputesOnce(t *testing.T) {
@@ -15,7 +17,7 @@ func TestFlightComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := f.do("k", func() (int, error) {
+			v, err := f.do(context.Background(), "k", func() (int, error) {
 				calls.Add(1)
 				return 7, nil
 			})
@@ -33,12 +35,12 @@ func TestFlightComputesOnce(t *testing.T) {
 	}
 }
 
-func TestFlightCachesErrors(t *testing.T) {
+func TestFlightDoesNotCacheErrors(t *testing.T) {
 	var f flight[int]
 	sentinel := errors.New("boom")
 	calls := 0
 	for i := 0; i < 3; i++ {
-		_, err := f.do("k", func() (int, error) {
+		_, err := f.do(context.Background(), "k", func() (int, error) {
 			calls++
 			return 0, sentinel
 		})
@@ -46,15 +48,198 @@ func TestFlightCachesErrors(t *testing.T) {
 			t.Fatalf("err = %v", err)
 		}
 	}
+	if calls != 3 {
+		t.Fatalf("failed computation was memoized: %d calls for 3 do()s", calls)
+	}
+	if f.size() != 0 {
+		t.Fatalf("failed key still cached: size = %d", f.size())
+	}
+	// After the failures, a success is cached as usual.
+	v, err := f.do(context.Background(), "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("recovery do = %d, %v", v, err)
+	}
+	if f.size() != 1 {
+		t.Fatalf("successful retry not cached")
+	}
+}
+
+func TestFlightSharesInFlightError(t *testing.T) {
+	// Callers concurrent with a failing execution share its error (their
+	// arms depend on that execution), but the key is released for later
+	// retries.
+	var f flight[int]
+	var calls atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	sentinel := errors.New("boom")
+
+	go f.do(context.Background(), "k", func() (int, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return 0, sentinel
+	})
+	<-started
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				return 0, sentinel
+			}); err != sentinel {
+				t.Errorf("waiter err = %v", err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters block on the leader
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got < 1 || got > 9 {
+		t.Fatalf("calls = %d", got)
+	}
+}
+
+func TestFlightRetriesTransient(t *testing.T) {
+	f := flight[int]{
+		retry: RetryPolicy{Attempts: 3, Backoff: time.Millisecond},
+		sleep: func(context.Context, time.Duration) error { return nil },
+	}
+	calls := 0
+	v, err := f.do(context.Background(), "k", func() (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, Transient(errors.New("flaky"))
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("do = %d, %v", v, err)
+	}
+	if calls != 3 {
+		t.Fatalf("transient error retried %d times, want 3 attempts", calls)
+	}
+}
+
+func TestFlightDoesNotRetryPermanent(t *testing.T) {
+	f := flight[int]{
+		retry: RetryPolicy{Attempts: 5, Backoff: time.Millisecond},
+		sleep: func(context.Context, time.Duration) error { return nil },
+	}
+	calls := 0
+	sentinel := errors.New("deterministic")
+	if _, err := f.do(context.Background(), "k", func() (int, error) {
+		calls++
+		return 0, sentinel
+	}); err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
 	if calls != 1 {
-		t.Fatalf("error result not cached: %d calls", calls)
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+}
+
+func TestFlightRetryBudgetExhausted(t *testing.T) {
+	var backoffs []time.Duration
+	f := flight[int]{
+		retry: RetryPolicy{Attempts: 3, Backoff: 10 * time.Millisecond},
+		sleep: func(_ context.Context, d time.Duration) error {
+			backoffs = append(backoffs, d)
+			return nil
+		},
+	}
+	calls := 0
+	inner := errors.New("still flaky")
+	_, err := f.do(context.Background(), "k", func() (int, error) {
+		calls++
+		return 0, Transient(inner)
+	})
+	if !errors.Is(err, inner) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("attempts = %d, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(backoffs) != len(want) || backoffs[0] != want[0] || backoffs[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", backoffs, want)
+	}
+}
+
+func TestFlightWaiterHonorsContext(t *testing.T) {
+	var f flight[int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go f.do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := f.do(ctx, "k", func() (int, error) { return 2, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("abandoning waiter err = %v", err)
+		}
+	}()
+	cancel()
+	wg.Wait()
+	close(release)
+
+	// The leader's result was not disturbed by the abandoned waiter.
+	v, err := f.do(context.Background(), "k", func() (int, error) { return 3, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("after abandon: do = %d, %v", v, err)
+	}
+}
+
+func TestFlightConcurrentRetries(t *testing.T) {
+	// Hammer one key with failures and successes from many goroutines;
+	// exercised under -race this validates the delete-before-close
+	// ordering in do.
+	f := flight[int]{
+		retry: RetryPolicy{Attempts: 2},
+		sleep: func(context.Context, time.Duration) error { return nil },
+	}
+	var fail atomic.Bool
+	fail.Store(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 32 {
+				fail.Store(false)
+			}
+			f.do(context.Background(), "k", func() (int, error) {
+				if fail.Load() {
+					return 0, Transient(errors.New("flaky"))
+				}
+				return 5, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	// Whether or not a success got cached above (every goroutine may have
+	// shared one failing leader), this call must now succeed and cache.
+	v, err := f.do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("final do = %d, %v", v, err)
 	}
 }
 
 func TestFlightDistinctKeys(t *testing.T) {
 	var f flight[string]
-	a, _ := f.do("a", func() (string, error) { return "A", nil })
-	b, _ := f.do("b", func() (string, error) { return "B", nil })
+	a, _ := f.do(context.Background(), "a", func() (string, error) { return "A", nil })
+	b, _ := f.do(context.Background(), "b", func() (string, error) { return "B", nil })
 	if a != "A" || b != "B" {
 		t.Fatalf("cross-key contamination: %q %q", a, b)
 	}
@@ -75,7 +260,7 @@ func TestHarnessConcurrentRuns(t *testing.T) {
 			wg.Add(1)
 			go func(i int, a Arm) {
 				defer wg.Done()
-				m, err := h.Run(a)
+				m, err := h.Run(context.Background(), a)
 				if err != nil {
 					t.Errorf("%+v: %v", a, err)
 					return

@@ -4,16 +4,21 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"branchsim/internal/core"
 	"branchsim/internal/predictor"
 	"branchsim/internal/profile"
 	"branchsim/internal/report"
 	"branchsim/internal/sim"
+	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 )
 
@@ -27,6 +32,13 @@ var FivePredictors = []string{"bimodal", "ghist", "gshare", "bimode", "2bcgskew"
 // and runs. It is safe for concurrent use: concurrent requests for the same
 // arm share one simulation (singleflight), so experiments can run in
 // parallel over one harness without duplicating the shared baselines.
+//
+// The harness is also the resilience boundary of a sweep. Every arm runs
+// under the caller's context (plus an optional per-arm deadline), a
+// panicking predictor or workload fails only its own arm (surfaced as an
+// *ArmError), transient failures are retried with backoff, and — with a
+// Checkpoint attached — completed work is journaled to disk so a killed
+// sweep resumes where it stopped.
 type Harness struct {
 	// RefInput is the measurement input (paper: "ref").
 	RefInput string
@@ -35,11 +47,103 @@ type Harness struct {
 	TrainInput string
 	// Log, when non-nil, receives one line per uncached simulation.
 	Log io.Writer
+	// ArmTimeout, when positive, bounds each uncached simulation
+	// (profile or measurement run) with its own deadline.
+	ArmTimeout time.Duration
+	// Retry bounds in-place re-attempts of transient arm failures.
+	Retry RetryPolicy
+	// Checkpoint, when non-nil, journals completed profiles and run
+	// metrics and consults the journal before simulating.
+	Checkpoint *Checkpoint
+	// Lookup resolves workload names; nil means workload.Get. Tests
+	// substitute fault-injecting programs here.
+	Lookup func(name string) (workload.Program, error)
+	// NewPredictor builds predictors from specs; nil means predictor.New.
+	// Tests substitute fault-injecting predictors here.
+	NewPredictor func(spec string) (predictor.Predictor, error)
 
 	logMu    sync.Mutex
+	once     sync.Once
 	profiles flight[*profile.DB]
 	hints    flight[*core.HintDB]
 	runs     flight[sim.Metrics]
+
+	profilesComputed atomic.Uint64
+	runsComputed     atomic.Uint64
+	checkpointHits   atomic.Uint64
+}
+
+// Stats is a snapshot of the harness's work counters. RunsComputed and
+// ProfilesComputed count simulations actually executed (cache and checkpoint
+// hits excluded); CheckpointHits counts arms satisfied from the journal. A
+// clean resume of a finished sweep therefore shows zero computed and all
+// hits.
+type Stats struct {
+	ProfilesComputed uint64
+	RunsComputed     uint64
+	CheckpointHits   uint64
+}
+
+// Stats returns the current work counters.
+func (h *Harness) Stats() Stats {
+	return Stats{
+		ProfilesComputed: h.profilesComputed.Load(),
+		RunsComputed:     h.runsComputed.Load(),
+		CheckpointHits:   h.checkpointHits.Load(),
+	}
+}
+
+// setup propagates configuration to the flight caches once, on first use.
+func (h *Harness) setup() {
+	h.once.Do(func() {
+		h.profiles.retry = h.Retry
+		h.hints.retry = h.Retry
+		h.runs.retry = h.Retry
+	})
+}
+
+// lookup resolves a workload name through the configured hook.
+func (h *Harness) lookup(name string) (workload.Program, error) {
+	if h.Lookup != nil {
+		return h.Lookup(name)
+	}
+	return workload.Get(name)
+}
+
+// newPredictor builds a predictor through the configured hook.
+func (h *Harness) newPredictor(spec string) (predictor.Predictor, error) {
+	if h.NewPredictor != nil {
+		return h.NewPredictor(spec)
+	}
+	return predictor.New(spec)
+}
+
+// armCtx derives the context one uncached simulation runs under.
+func (h *Harness) armCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if h.ArmTimeout > 0 {
+		return context.WithTimeout(ctx, h.ArmTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// guard runs fn with panic isolation: a cooperative-cancellation Stop
+// becomes its context error, any other panic becomes a *workload.PanicError
+// with the panic-site stack. It is the harness's last line of defense for
+// code that runs outside workload.RunProgram (predictor construction, hint
+// selection, metric finalization).
+func guard[T any](fn func() (T, error)) (val T, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if stopErr, ok := trace.AsStop(r); ok {
+			err = stopErr
+			return
+		}
+		err = &workload.PanicError{Value: r, Stack: debug.Stack()}
+	}()
+	return fn()
 }
 
 // NewHarness returns a full-scale harness (ref/train inputs).
@@ -63,35 +167,60 @@ func (h *Harness) logf(format string, args ...any) {
 }
 
 // Profile returns the memoized phase-1 profile of predSpec over wl/input.
-// An empty predSpec collects a bias-only profile.
-func (h *Harness) Profile(wl, input, predSpec string) (*profile.DB, error) {
+// An empty predSpec collects a bias-only profile. The simulation runs under
+// ctx (plus the per-arm deadline, if configured); failures are reported as
+// *ArmError and are not memoized, so a later call retries.
+func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*profile.DB, error) {
+	h.setup()
 	key := "p|" + wl + "|" + input + "|" + predSpec
-	return h.profiles.do(key, func() (*profile.DB, error) {
-		h.logf("profile %-8s %-5s %s", wl, input, predSpec)
-		db := profile.NewDB(wl, input)
-		prog, err := workload.Get(wl)
-		if err != nil {
-			return nil, err
-		}
-		if predSpec == "" {
-			rec := &biasOnly{db: db}
-			if err := prog.Run(input, rec); err != nil {
-				return nil, err
+	db, err := h.profiles.do(ctx, key, func() (*profile.DB, error) {
+		if h.Checkpoint != nil {
+			if db, ok := h.Checkpoint.LookupProfile(key); ok {
+				h.checkpointHits.Add(1)
+				h.logf("profile %-8s %-5s %-14s (checkpoint)", wl, input, predSpec)
+				return db, nil
 			}
-			db.Instructions = rec.instr
-		} else {
-			p, err := predictor.New(predSpec)
+		}
+		armCtx, cancel := h.armCtx(ctx)
+		defer cancel()
+		db, err := guard(func() (*profile.DB, error) {
+			h.logf("profile %-8s %-5s %s", wl, input, predSpec)
+			db := profile.NewDB(wl, input)
+			prog, err := h.lookup(wl)
 			if err != nil {
 				return nil, err
 			}
-			r := sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db))
-			if err := prog.Run(input, r); err != nil {
-				return nil, err
+			if predSpec == "" {
+				rec := &biasOnly{db: db}
+				if err := workload.RunProgram(armCtx, prog, input, rec); err != nil {
+					return nil, err
+				}
+				db.Instructions = rec.instr
+			} else {
+				p, err := h.newPredictor(predSpec)
+				if err != nil {
+					return nil, err
+				}
+				r := sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db))
+				if err := workload.RunProgram(armCtx, prog, input, r); err != nil {
+					return nil, err
+				}
+				r.Metrics() // stamps db.Instructions
 			}
-			r.Metrics() // stamps db.Instructions
+			return db, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.profilesComputed.Add(1)
+		if h.Checkpoint != nil {
+			if err := h.Checkpoint.SaveProfile(key, db); err != nil {
+				h.logf("checkpoint: %v", err)
+			}
 		}
 		return db, nil
 	})
+	return db, armError("profile", key, err)
 }
 
 type biasOnly struct {
@@ -127,42 +256,46 @@ func (a Arm) key() string {
 }
 
 // Hints returns the memoized hint set for an arm ("none" → nil).
-func (h *Harness) Hints(a Arm) (*core.HintDB, error) {
+func (h *Harness) Hints(ctx context.Context, a Arm) (*core.HintDB, error) {
 	if a.Scheme == "" || a.Scheme == "none" {
 		return nil, nil
 	}
+	h.setup()
 	profInput := a.ProfileInput
 	if profInput == "" {
 		profInput = a.input(h)
 	}
 	key := fmt.Sprintf("h|%s|%s|%s|%s|%g|%s", a.Workload, profInput, a.Pred, a.Scheme, a.FilterDrift, a.input(h))
-	return h.hints.do(key, func() (*core.HintDB, error) {
-		sel, err := core.SelectorByName(a.Scheme)
-		if err != nil {
-			return nil, err
-		}
-		// Static95 needs only bias; the others need the predictor's
-		// per-branch accuracy profile.
-		predSpec := a.Pred
-		if _, ok := sel.(core.Static95); ok {
-			predSpec = ""
-		}
-		db, err := h.Profile(a.Workload, profInput, predSpec)
-		if err != nil {
-			return nil, err
-		}
-		if a.FilterDrift > 0 && profInput != a.input(h) {
-			// Spike-style profile maintenance: drop unstable branches
-			// using the measurement input's bias profile.
-			refDB, err := h.Profile(a.Workload, a.input(h), "")
+	hd, err := h.hints.do(ctx, key, func() (*core.HintDB, error) {
+		return guard(func() (*core.HintDB, error) {
+			sel, err := core.SelectorByName(a.Scheme)
 			if err != nil {
 				return nil, err
 			}
-			db = db.Clone()
-			db.RemoveUnstable(refDB, a.FilterDrift)
-		}
-		return sel.Select(db)
+			// Static95 needs only bias; the others need the predictor's
+			// per-branch accuracy profile.
+			predSpec := a.Pred
+			if _, ok := sel.(core.Static95); ok {
+				predSpec = ""
+			}
+			db, err := h.Profile(ctx, a.Workload, profInput, predSpec)
+			if err != nil {
+				return nil, err
+			}
+			if a.FilterDrift > 0 && profInput != a.input(h) {
+				// Spike-style profile maintenance: drop unstable branches
+				// using the measurement input's bias profile.
+				refDB, err := h.Profile(ctx, a.Workload, a.input(h), "")
+				if err != nil {
+					return nil, err
+				}
+				db = db.Clone()
+				db.RemoveUnstable(refDB, a.FilterDrift)
+			}
+			return sel.Select(db)
+		})
 	})
+	return hd, armError("hints", key, err)
 }
 
 func (a Arm) input(h *Harness) string {
@@ -173,47 +306,71 @@ func (a Arm) input(h *Harness) string {
 }
 
 // Run executes (or recalls) one arm and returns its metrics. Collision
-// tracking is always on.
-func (h *Harness) Run(a Arm) (sim.Metrics, error) {
+// tracking is always on. The simulation runs under ctx plus the per-arm
+// deadline; failures are reported as *ArmError and not memoized.
+func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
+	h.setup()
 	key := a.key() + "|" + a.input(h)
-	return h.runs.do(key, func() (sim.Metrics, error) {
-		hints, err := h.Hints(a)
+	m, err := h.runs.do(ctx, key, func() (sim.Metrics, error) {
+		if h.Checkpoint != nil {
+			if m, ok := h.Checkpoint.LookupRun(key); ok {
+				h.checkpointHits.Add(1)
+				h.logf("run     %-8s %-5s %-14s %-10s (checkpoint)", a.Workload, a.input(h), a.Pred, a.Scheme)
+				return m, nil
+			}
+		}
+		armCtx, cancel := h.armCtx(ctx)
+		defer cancel()
+		m, err := guard(func() (sim.Metrics, error) {
+			hints, err := h.Hints(armCtx, a)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			dyn, err := h.newPredictor(a.Pred)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			p := core.NewCombined(dyn, hints, a.Shift)
+			prog, err := h.lookup(a.Workload)
+			if err != nil {
+				return sim.Metrics{}, err
+			}
+			input := a.input(h)
+			h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, a.Pred, a.Scheme, a.Shift, a.ProfileInput)
+			r := sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions())
+			if err := workload.RunProgram(armCtx, prog, input, r); err != nil {
+				return sim.Metrics{}, err
+			}
+			return r.Metrics(), nil
+		})
 		if err != nil {
 			return sim.Metrics{}, err
 		}
-		dyn, err := predictor.New(a.Pred)
-		if err != nil {
-			return sim.Metrics{}, err
+		h.runsComputed.Add(1)
+		if h.Checkpoint != nil {
+			if err := h.Checkpoint.SaveRun(key, m); err != nil {
+				h.logf("checkpoint: %v", err)
+			}
 		}
-		p := core.NewCombined(dyn, hints, a.Shift)
-		prog, err := workload.Get(a.Workload)
-		if err != nil {
-			return sim.Metrics{}, err
-		}
-		input := a.input(h)
-		h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, a.Pred, a.Scheme, a.Shift, a.ProfileInput)
-		r := sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions())
-		if err := prog.Run(input, r); err != nil {
-			return sim.Metrics{}, err
-		}
-		return r.Metrics(), nil
+		return m, nil
 	})
+	return m, armError("run", key, err)
 }
 
 // Improvement returns the relative MISP/KI improvement of arm over the
 // matching no-static baseline (positive = fewer mispredictions), the paper's
 // Tables 3 and 4 metric.
-func (h *Harness) Improvement(a Arm) (float64, error) {
+func (h *Harness) Improvement(ctx context.Context, a Arm) (float64, error) {
 	base := a
 	base.Scheme = "none"
 	base.Shift = core.NoShift
 	base.ProfileInput = ""
 	base.FilterDrift = 0
-	mb, err := h.Run(base)
+	mb, err := h.Run(ctx, base)
 	if err != nil {
 		return 0, err
 	}
-	ma, err := h.Run(a)
+	ma, err := h.Run(ctx, a)
 	if err != nil {
 		return 0, err
 	}
@@ -230,13 +387,14 @@ type Result struct {
 	Tables []*report.Table
 }
 
-// An Experiment regenerates one table or figure of the paper.
+// An Experiment regenerates one table or figure of the paper. Run executes
+// under ctx: cancelling it stops the experiment's arms cooperatively.
 type Experiment struct {
 	ID          string
 	Title       string
 	Paper       string // which paper artifact it reproduces, e.g. "Table 3"
 	Description string
-	Run         func(h *Harness) (*Result, error)
+	Run         func(ctx context.Context, h *Harness) (*Result, error)
 }
 
 var registry []Experiment

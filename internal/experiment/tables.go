@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/core"
@@ -32,15 +33,15 @@ func init() {
 	})
 }
 
-func runTable1(h *Harness) (*Result, error) {
+func runTable1(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("Table 1: benchmark characteristics",
 		"Program", "Static CBRs", "Train: Instr (M)", "Train: CBRs/KI", "Ref: Instr (M)", "Ref: CBRs/KI")
 	for _, wl := range Suite {
-		trainDB, err := h.Profile(wl, h.TrainInput, "")
+		trainDB, err := h.Profile(ctx, wl, h.TrainInput, "")
 		if err != nil {
 			return nil, err
 		}
-		refDB, err := h.Profile(wl, h.RefInput, "")
+		refDB, err := h.Profile(ctx, wl, h.RefInput, "")
 		if err != nil {
 			return nil, err
 		}
@@ -65,20 +66,20 @@ func runTable1(h *Harness) (*Result, error) {
 	return &Result{ID: "table1", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runTable2(h *Harness) (*Result, error) {
+func runTable2(ctx context.Context, h *Harness) (*Result, error) {
 	headers := []string{"Program", "Bias>95% (dyn)"}
 	for _, p := range FivePredictors {
 		headers = append(headers, p)
 	}
 	t := report.NewTable("Table 2: highly biased branches and prediction accuracy ("+basePoint+" predictors)", headers...)
 	for _, wl := range Suite {
-		db, err := h.Profile(wl, h.RefInput, "")
+		db, err := h.Profile(ctx, wl, h.RefInput, "")
 		if err != nil {
 			return nil, err
 		}
 		row := []string{wl, report.Pct(db.HighlyBiasedDynamicFraction(0.95))}
 		for _, p := range FivePredictors {
-			m, err := h.Run(Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: "none"})
+			m, err := h.Run(ctx, Arm{Workload: wl, Pred: p + ":" + basePoint, Scheme: "none"})
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +115,7 @@ func init() {
 	})
 }
 
-func runTable3(h *Harness) (*Result, error) {
+func runTable3(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("Table 3: 2bcgskew MISPs/KI improvement with static prediction",
 		"Size", "go: Static_95", "go: Static_Acc", "gcc: Static_95", "gcc: Static_Acc")
 	sizes := []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
@@ -123,7 +124,7 @@ func runTable3(h *Harness) (*Result, error) {
 		row := []string{report.F(float64(size)/1024, 0) + " KB"}
 		for _, wl := range []string{"go", "gcc"} {
 			for _, scheme := range []string{"static95", "staticacc"} {
-				imp, err := h.Improvement(Arm{Workload: wl, Pred: spec, Scheme: scheme})
+				imp, err := h.Improvement(ctx, Arm{Workload: wl, Pred: spec, Scheme: scheme})
 				if err != nil {
 					return nil, err
 				}
@@ -136,7 +137,7 @@ func runTable3(h *Harness) (*Result, error) {
 	return &Result{ID: "table3", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runTable4(h *Harness) (*Result, error) {
+func runTable4(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("Table 4: 2bcgskew, effect of shifting static outcomes into the history",
 		"Program", "Size", "Static_95", "Static_95 Shift", "Static_Acc", "Static_Acc Shift")
 	for _, size := range []int{32 << 10, 64 << 10} {
@@ -145,7 +146,7 @@ func runTable4(h *Harness) (*Result, error) {
 			row := []string{wl, fmt.Sprintf("%dKB", size>>10)}
 			for _, scheme := range []string{"static95", "staticacc"} {
 				for _, shift := range []core.ShiftPolicy{core.NoShift, core.ShiftOutcome} {
-					imp, err := h.Improvement(Arm{Workload: wl, Pred: spec, Scheme: scheme, Shift: shift})
+					imp, err := h.Improvement(ctx, Arm{Workload: wl, Pred: spec, Scheme: scheme, Shift: shift})
 					if err != nil {
 						return nil, err
 					}
@@ -159,15 +160,15 @@ func runTable4(h *Harness) (*Result, error) {
 	return &Result{ID: "table4", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
 
-func runTable5(h *Harness) (*Result, error) {
+func runTable5(ctx context.Context, h *Harness) (*Result, error) {
 	t := report.NewTable("Table 5: branch behaviour, train vs ref (static% / dynamic% of ref branches)",
 		"Program", "Seen with train", "Direction flips", "Bias drift <5%", "Bias drift >50%")
 	for _, wl := range Suite {
-		trainDB, err := h.Profile(wl, h.TrainInput, "")
+		trainDB, err := h.Profile(ctx, wl, h.TrainInput, "")
 		if err != nil {
 			return nil, err
 		}
-		refDB, err := h.Profile(wl, h.RefInput, "")
+		refDB, err := h.Profile(ctx, wl, h.RefInput, "")
 		if err != nil {
 			return nil, err
 		}

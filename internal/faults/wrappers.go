@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"branchsim/internal/predictor"
+	"branchsim/internal/trace"
+	"branchsim/internal/workload"
+)
+
+// Predictor wraps a dynamic predictor, injecting the plan's faults on
+// Predict calls. Predictors have no error path, so KindError panics too
+// (with the scheduled error as the panic value) — exactly what a buggy
+// predictor implementation would do to a sweep.
+type Predictor struct {
+	Inner predictor.Predictor
+	Plan  *Plan
+}
+
+var _ predictor.Predictor = (*Predictor)(nil)
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string { return p.Inner.Name() }
+
+// SizeBits implements predictor.Predictor.
+func (p *Predictor) SizeBits() int { return p.Inner.SizeBits() }
+
+// Predict implements predictor.Predictor, firing scheduled faults first.
+func (p *Predictor) Predict(pc uint64) bool {
+	if f := p.Plan.tick(); f != nil {
+		switch f.Kind {
+		case KindPanic:
+			panic(f.Msg)
+		case KindError:
+			panic(f.Err)
+		case KindDelay:
+			time.Sleep(f.Delay)
+		case KindCorrupt:
+			return !p.Inner.Predict(pc)
+		}
+	}
+	return p.Inner.Predict(pc)
+}
+
+// Update implements predictor.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool) { p.Inner.Update(pc, taken) }
+
+// Reset implements predictor.Predictor.
+func (p *Predictor) Reset() { p.Inner.Reset() }
+
+// Program wraps a workload program, injecting the plan's faults on dynamic
+// branch events. KindError aborts the run and returns the scheduled error
+// from Run; KindCorrupt flips the branch outcome seen downstream.
+type Program struct {
+	Inner workload.Program
+	Plan  *Plan
+	// Rename, when non-empty, overrides the wrapped program's name so
+	// faulty variants can coexist with the genuine article in a registry.
+	Rename string
+}
+
+var _ workload.Program = (*Program)(nil)
+
+// Name implements workload.Program.
+func (p *Program) Name() string {
+	if p.Rename != "" {
+		return p.Rename
+	}
+	return p.Inner.Name()
+}
+
+// Description implements workload.Program.
+func (p *Program) Description() string {
+	return "fault-injecting wrapper of " + p.Inner.Name()
+}
+
+// abort unwinds a faulty run out of the inner program's event loop; Run
+// recovers it.
+type abort struct{ err error }
+
+// Run implements workload.Program.
+func (p *Program) Run(ctx context.Context, input string, rec trace.Recorder) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if a, ok := r.(abort); ok {
+			err = a.err
+			return
+		}
+		panic(r)
+	}()
+	return p.Inner.Run(ctx, input, &faultRecorder{rec: rec, plan: p.Plan})
+}
+
+// faultRecorder sits between the program and the real recorder, ticking the
+// plan once per branch event.
+type faultRecorder struct {
+	rec  trace.Recorder
+	plan *Plan
+}
+
+// Branch implements trace.Recorder.
+func (r *faultRecorder) Branch(pc uint64, taken bool) {
+	if f := r.plan.tick(); f != nil {
+		switch f.Kind {
+		case KindPanic:
+			panic(f.Msg)
+		case KindError:
+			panic(abort{err: f.Err})
+		case KindDelay:
+			time.Sleep(f.Delay)
+		case KindCorrupt:
+			taken = !taken
+		}
+	}
+	r.rec.Branch(pc, taken)
+}
+
+// Ops implements trace.Recorder.
+func (r *faultRecorder) Ops(n uint64) { r.rec.Ops(n) }
+
+// Writer wraps an io.Writer, injecting the plan's faults on Write calls —
+// the disk-failure model for checkpoint and profile persistence tests.
+type Writer struct {
+	W    io.Writer
+	Plan *Plan
+}
+
+var _ io.Writer = (*Writer)(nil)
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if f := w.Plan.tick(); f != nil {
+		switch f.Kind {
+		case KindPanic:
+			panic(f.Msg)
+		case KindError:
+			return 0, f.Err
+		case KindDelay:
+			time.Sleep(f.Delay)
+		case KindCorrupt:
+			if len(p) > 0 {
+				q := make([]byte, len(p))
+				copy(q, p)
+				q[0] ^= 0xff
+				return w.W.Write(q)
+			}
+		}
+	}
+	return w.W.Write(p)
+}

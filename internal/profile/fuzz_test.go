@@ -1,0 +1,87 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validDBJSON renders a small well-formed database for seeding the fuzzer
+// and mutating in table tests.
+func validDBJSON(t testing.TB) []byte {
+	t.Helper()
+	d := NewDB("compress", "test")
+	d.Record(0x400, true)
+	d.Record(0x400, false)
+	d.Record(0x404, true)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadMalformed(t *testing.T) {
+	valid := string(validDBJSON(t))
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"garbage", "not json at all"},
+		{"truncated", valid[:len(valid)/2]},
+		{"wrong version", strings.Replace(valid, `"version": 1`, `"version": 99`, 1)},
+		{"null branch", `{"version":1,"workload":"w","input":"i","instructions":1,"branches":[null]}`},
+		{"duplicate pc", `{"version":1,"workload":"w","input":"i","instructions":1,
+			"branches":[{"pc":64,"exec":2,"taken":1},{"pc":64,"exec":3,"taken":2}]}`},
+		{"taken exceeds exec", `{"version":1,"workload":"w","input":"i","instructions":1,
+			"branches":[{"pc":64,"exec":2,"taken":5}]}`},
+		{"correct exceeds exec", `{"version":1,"workload":"w","input":"i","instructions":1,
+			"branches":[{"pc":64,"exec":2,"taken":1,"correct":9}]}`},
+		{"branches not array", `{"version":1,"workload":"w","input":"i","branches":7}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Load(strings.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("malformed input accepted: %+v", db)
+			}
+		})
+	}
+
+	// Sanity: the valid seed still loads.
+	if _, err := Load(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid database rejected: %v", err)
+	}
+}
+
+// FuzzLoad asserts Load never panics and that anything it accepts survives
+// a Save/Load round trip.
+func FuzzLoad(f *testing.F) {
+	valid := validDBJSON(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1,"branches":[null]}`))
+	f.Add([]byte(`{"version":1,"branches":[{"pc":64,"exec":2,"taken":1},{"pc":64,"exec":2,"taken":1}]}`))
+	f.Add(bytes.Replace(valid, []byte(`"taken": 1`), []byte(`"taken": 999`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 2`), 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("Load accepted a database Validate rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatalf("accepted database does not re-save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

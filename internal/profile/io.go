@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // fileFormat is the on-disk JSON shape. Branches are stored as a PC-sorted
@@ -50,7 +51,10 @@ func Load(r io.Reader) (*DB, error) {
 	d := NewDB(ff.Workload, ff.Input)
 	d.Predictor = ff.Predictor
 	d.Instructions = ff.Instructions
-	for _, b := range ff.Branches {
+	for i, b := range ff.Branches {
+		if b == nil {
+			return nil, fmt.Errorf("profile: null branch record at index %d", i)
+		}
 		if prev, dup := d.byPC[b.PC]; dup {
 			return nil, fmt.Errorf("profile: duplicate record for pc %#x (%v, %v)", b.PC, prev, b)
 		}
@@ -62,17 +66,29 @@ func Load(r io.Reader) (*DB, error) {
 	return d, nil
 }
 
-// SaveFile writes the database to path.
+// SaveFile writes the database to path atomically: the JSON is written to a
+// temporary file in the same directory and renamed into place, so a crash
+// mid-write (or a concurrent reader) never observes a truncated database.
 func (d *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op once the rename lands
+	f.Chmod(0o644)       // CreateTemp defaults to 0600; match os.Create
 	if err := d.Save(f); err != nil {
+		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	return nil
 }
 
 // LoadFile reads a database from path.

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"testing"
 
 	"branchsim/internal/core"
@@ -18,7 +19,7 @@ func runSynth(t *testing.T, p predictor.Predictor, input string) sim.Metrics {
 		t.Fatal(err)
 	}
 	r := sim.NewRunner(p, sim.WithCollisions(), sim.WithLabels("synth", input))
-	if err := prog.Run(input, r); err != nil {
+	if err := prog.Run(context.Background(), input, r); err != nil {
 		t.Fatal(err)
 	}
 	return r.Metrics()
@@ -62,7 +63,7 @@ func TestStatic95OnSynthStream(t *testing.T) {
 	db := profile.NewDB("synth", "test")
 	p := predictor.NewGShare(4 << 10)
 	r := sim.NewRunner(p, sim.WithProfile(db), sim.WithCollisions())
-	if err := prog.Run(workload.InputTest, r); err != nil {
+	if err := prog.Run(context.Background(), workload.InputTest, r); err != nil {
 		t.Fatal(err)
 	}
 	r.Metrics()
@@ -117,7 +118,7 @@ func TestProfileAndMetricsAgree(t *testing.T) {
 	prog, _ := workload.Get("compress")
 	db := profile.NewDB("compress", "test")
 	r := sim.NewRunner(predictor.NewBimodal(1<<10), sim.WithProfile(db))
-	if err := prog.Run(workload.InputTest, r); err != nil {
+	if err := prog.Run(context.Background(), workload.InputTest, r); err != nil {
 		t.Fatal(err)
 	}
 	m := r.Metrics()

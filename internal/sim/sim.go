@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/predictor"
@@ -76,8 +77,15 @@ type Runner struct {
 	p       predictor.Predictor
 	col     predictor.Collider
 	prof    *profile.DB
+	ctx     context.Context
+	events  uint64
 	metrics Metrics
 }
+
+// cancelEvery is the branch cadence of the Runner's own context check, used
+// when the stream producer (a trace replay, a custom generator) has no
+// instrumentation context of its own.
+const cancelEvery = 16384
 
 // Option configures a Runner.
 type Option func(*Runner)
@@ -101,6 +109,19 @@ func WithProfile(db *profile.DB) Option {
 	return func(r *Runner) {
 		r.prof = db
 		db.Predictor = r.p.Name()
+	}
+}
+
+// WithContext arms cooperative cancellation inside the Runner's event loop:
+// once ctx is done, the next periodic check unwinds the stream with a
+// trace.Stop panic, which the run wrappers (workload.RunProgram,
+// trace.Reader.Replay) recover and return as ctx's error. Use it when the
+// producer feeding the Runner does not check a context itself.
+func WithContext(ctx context.Context) Option {
+	return func(r *Runner) {
+		if ctx != nil && ctx.Done() != nil {
+			r.ctx = ctx
+		}
 	}
 }
 
@@ -147,6 +168,11 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 	}
 	r.p.Update(pc, taken)
 	r.metrics.Counts.Branch(pc, taken)
+	if r.events++; r.events%cancelEvery == 0 && r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			panic(trace.Stop{Err: err})
+		}
+	}
 }
 
 // Ops implements trace.Recorder.

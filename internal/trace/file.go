@@ -132,9 +132,18 @@ func (r *Reader) Next() (pc uint64, taken bool, ops uint64, isBranch bool, err e
 }
 
 // Replay streams the whole remaining trace into rec. It returns the totals
-// observed.
-func (r *Reader) Replay(rec Recorder) (Counts, error) {
-	var c Counts
+// observed. A Stop panic raised by rec (cooperative cancellation, e.g. a
+// sim.Runner built WithContext) is recovered and returned as its error.
+func (r *Reader) Replay(rec Recorder) (c Counts, err error) {
+	defer func() {
+		if rv := recover(); rv != nil {
+			if stopErr, ok := AsStop(rv); ok {
+				err = stopErr
+				return
+			}
+			panic(rv)
+		}
+	}()
 	tee := Tee(&c, rec)
 	for {
 		pc, taken, ops, isBranch, err := r.Next()

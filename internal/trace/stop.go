@@ -1,0 +1,33 @@
+package trace
+
+// Stop is the panic value cooperative cancellation uses to unwind a branch
+// stream producer. Producers drive Recorders through plain callbacks with no
+// error return, so when a context expires mid-stream the instrumentation
+// layer panics with a Stop carrying the context's error, and the run wrapper
+// (workload.RunProgram, sim helpers) recovers it and returns Err as an
+// ordinary error. A Stop never escapes to user code through those wrappers.
+type Stop struct {
+	// Err is the cancellation cause, typically context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+}
+
+// AsStop reports whether a recovered panic value is a cancellation Stop,
+// returning its error. Use it in a deferred recover around stream producers:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			if e, ok := trace.AsStop(r); ok {
+//				err = e
+//				return
+//			}
+//			panic(r)
+//		}
+//	}()
+func AsStop(r any) (error, bool) {
+	s, ok := r.(Stop)
+	if !ok {
+		return nil, false
+	}
+	return s.Err, true
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -41,14 +42,14 @@ var compressInputs = map[string]compressInput{
 }
 
 // Run implements Program.
-func (compressProg) Run(input string, rec trace.Recorder) error {
+func (compressProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := compressInputs[input]
 	if !ok {
 		return fmt.Errorf("compress: unknown input %q", input)
 	}
 	text := genText(in.seed, in.length, in.ref)
 
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	lz := newLZW(c)
 	c.SetBlockBias(3)
 	c.Ops(200) // program startup

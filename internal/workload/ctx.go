@@ -1,6 +1,10 @@
 package workload
 
-import "branchsim/internal/trace"
+import (
+	"context"
+
+	"branchsim/internal/trace"
+)
 
 // Ctx is the instrumentation context a running program emits through. It
 // plays the role Atom's analysis runtime played in the paper: every
@@ -16,7 +20,19 @@ type Ctx struct {
 	rec    trace.Recorder
 	nextPC uint64
 	bias   uint64
+
+	// Cooperative cancellation: every cancelEvery-th branch event checks
+	// cancel (when set) and unwinds with a trace.Stop panic that
+	// RunProgram converts back into the context's error.
+	cancel context.Context
+	events uint64
 }
+
+// cancelEvery is how many dynamic branches run between context checks. The
+// event loop executes hundreds of millions of branches, so the check must be
+// nearly free; at this cadence a cancelled ref-input run still stops within
+// well under a millisecond.
+const cancelEvery = 16384
 
 // textBase is where workload text segments start; the value mimics an Alpha
 // text segment and, more importantly, exercises index truncation in
@@ -26,6 +42,29 @@ const textBase = 0x1_2000_0000
 // NewCtx returns a context emitting into rec.
 func NewCtx(rec trace.Recorder) *Ctx {
 	return &Ctx{rec: rec, nextPC: textBase}
+}
+
+// WithContext arms cooperative cancellation: once ctx is done, the next
+// periodic check unwinds the run with a trace.Stop panic (recovered by
+// RunProgram). It returns c for chaining at program setup:
+//
+//	c := NewCtx(rec).WithContext(ctx)
+func (c *Ctx) WithContext(ctx context.Context) *Ctx {
+	if ctx != nil && ctx.Done() != nil {
+		c.cancel = ctx
+	}
+	return c
+}
+
+// tick advances the event counter and performs the periodic cancellation
+// check. It is called once per dynamic branch.
+func (c *Ctx) tick() {
+	c.events++
+	if c.events%cancelEvery == 0 && c.cancel != nil {
+		if err := c.cancel.Err(); err != nil {
+			panic(trace.Stop{Err: err})
+		}
+	}
 }
 
 // Site declares one static conditional branch whose basic block contains
@@ -129,5 +168,6 @@ func (s *Site) PC() uint64 { return s.pc }
 func (s *Site) Taken(cond bool) bool {
 	s.ctx.rec.Ops(s.ops + s.ctx.bias)
 	s.ctx.rec.Branch(s.pc, cond)
+	s.ctx.tick()
 	return cond
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -44,14 +45,14 @@ var ccInputs = map[string]ccInput{
 }
 
 // Run implements Program.
-func (ccProg) Run(input string, rec trace.Recorder) error {
+func (ccProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := ccInputs[input]
 	if !ok {
 		return fmt.Errorf("gcc: unknown input %q", input)
 	}
 	src := genCCSource(in)
 
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	cc := newCC(c)
 	c.SetBlockBias(3)
 	c.Ops(400)

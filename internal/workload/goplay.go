@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -306,12 +307,12 @@ func (g *goGame) play(moves int) (placed, captured int) {
 }
 
 // Run implements Program.
-func (goProg) Run(input string, rec trace.Recorder) error {
+func (goProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := goInputs[input]
 	if !ok {
 		return fmt.Errorf("go: unknown input %q", input)
 	}
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	s := newGoSites(c)
 	c.SetBlockBias(5)
 	c.Ops(200)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -199,14 +200,14 @@ func init() {
 }
 
 // Run implements Program.
-func (jpegProg) Run(input string, rec trace.Recorder) error {
+func (jpegProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := jpegInputs[input]
 	if !ok {
 		return fmt.Errorf("ijpeg: unknown input %q", input)
 	}
 	img := genImage(in)
 
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	s := newJpegSites(c)
 	c.SetBlockBias(6)
 	c.Ops(300)

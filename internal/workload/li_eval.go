@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -292,12 +293,12 @@ func hostFib(n int) int64 {
 }
 
 // Run implements Program.
-func (liProg) Run(input string, rec trace.Recorder) (err error) {
+func (liProg) Run(ctx context.Context, input string, rec trace.Recorder) (err error) {
 	in, ok := liInputs[input]
 	if !ok {
 		return fmt.Errorf("li: unknown input %q", input)
 	}
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	c.SetBlockBias(3)
 	vm := newLiVM(c, in.heap)
 	vm.defineBuiltins()

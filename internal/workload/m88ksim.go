@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -385,7 +386,7 @@ func newM88kSites(c *Ctx) *m88kSites {
 const m88kMemWords = 1 << 15
 
 // Run implements Program.
-func (m88kProg) Run(input string, rec trace.Recorder) error {
+func (m88kProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := m88kInputs[input]
 	if !ok {
 		return fmt.Errorf("m88ksim: unknown input %q", input)
@@ -395,7 +396,7 @@ func (m88kProg) Run(input string, rec trace.Recorder) error {
 		return err
 	}
 
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	s := newM88kSites(c)
 	c.SetBlockBias(2)
 	c.Ops(300) // simulator startup

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"branchsim/internal/trace"
@@ -16,7 +17,7 @@ func TestM88ksimMixInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var c trace.Counts
-	if err := p.Run(InputMix, &c); err != nil {
+	if err := p.Run(context.Background(), InputMix, &c); err != nil {
 		t.Fatal(err)
 	}
 	if c.Branches == 0 {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -165,14 +166,14 @@ type perlVM struct {
 }
 
 // Run implements Program.
-func (perlProg) Run(input string, rec trace.Recorder) error {
+func (perlProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := perlInputs[input]
 	if !ok {
 		return fmt.Errorf("perl: unknown input %q", input)
 	}
 	text := genText(in.seed, in.length, in.rich)
 
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	s := newPerlSites(c)
 	vm := &perlVM{c: c, s: s, hashKeys: make([][]byte, perlHashSize)}
 	c.SetBlockBias(4)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -96,7 +97,7 @@ func TestHostSieveCount(t *testing.T) {
 func TestGuestProgramComputesPrimes(t *testing.T) {
 	// Run implements the check internally; drive it directly here so a
 	// verification regression is attributed to the guest, not the sim.
-	if err := (m88kProg{}).Run(InputTest, trace.Discard); err != nil {
+	if err := (m88kProg{}).Run(context.Background(), InputTest, trace.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"branchsim/internal/trace"
@@ -20,7 +21,7 @@ func TestProgramsRunAllInputs(t *testing.T) {
 			}
 			t.Run(name+"/"+input, func(t *testing.T) {
 				var c trace.Counts
-				if err := p.Run(input, &c); err != nil {
+				if err := p.Run(context.Background(), input, &c); err != nil {
 					t.Fatalf("Run: %v", err)
 				}
 				if c.Branches == 0 || c.Instructions == 0 {

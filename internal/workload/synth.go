@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -51,16 +52,16 @@ var synthInputs = map[string]SynthParams{
 }
 
 // Run implements Program.
-func (synthProg) Run(input string, rec trace.Recorder) error {
+func (synthProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	params, ok := synthInputs[input]
 	if !ok {
 		return fmt.Errorf("synth: unknown input %q", input)
 	}
-	return RunSynth(params, rec)
+	return RunSynth(ctx, params, rec)
 }
 
 // RunSynth emits a synthetic stream with the given parameters.
-func RunSynth(p SynthParams, rec trace.Recorder) error {
+func RunSynth(ctx context.Context, p SynthParams, rec trace.Recorder) error {
 	if p.Sites < 1 || p.Events < 1 {
 		return fmt.Errorf("synth: need at least one site and one event")
 	}
@@ -68,7 +69,7 @@ func RunSynth(p SynthParams, rec trace.Recorder) error {
 		p.Period = 2
 	}
 	rng := xrand.New(p.Seed)
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 
 	biased := c.SiteGroup(p.Sites, p.BlockOps)
 	correlated := c.SiteGroup(p.Sites, p.BlockOps)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim/internal/trace"
@@ -372,13 +373,13 @@ func (db *vortexDB) audit() (int, error) {
 }
 
 // Run implements Program.
-func (vortexProg) Run(input string, rec trace.Recorder) error {
+func (vortexProg) Run(ctx context.Context, input string, rec trace.Recorder) error {
 	in, ok := vortexInputs[input]
 	if !ok {
 		return fmt.Errorf("vortex: unknown input %q", input)
 	}
 	rng := xrand.New(in.seed)
-	c := NewCtx(rec)
+	c := NewCtx(rec).WithContext(ctx)
 	c.SetBlockBias(4)
 	s := newVortexSites(c)
 	db := &vortexDB{c: c, s: s}

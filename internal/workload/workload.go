@@ -16,7 +16,9 @@
 package workload
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"branchsim/internal/trace"
@@ -38,8 +40,10 @@ type Program interface {
 	Description() string
 	// Run executes the program on the named input, emitting its dynamic
 	// branch stream into rec. Runs are deterministic: the same input
-	// always produces the identical stream.
-	Run(input string, rec trace.Recorder) error
+	// always produces the identical stream. Cancelling ctx stops the run
+	// cooperatively (checked every few thousand branch events); the
+	// resulting error is surfaced by RunProgram.
+	Run(ctx context.Context, input string, rec trace.Recorder) error
 }
 
 // Inputs lists the standard input names.
@@ -63,6 +67,59 @@ func Get(name string) (Program, error) {
 		return nil, fmt.Errorf("workload: unknown program %q (known: %v)", name, Names())
 	}
 	return p, nil
+}
+
+// PanicError is a program panic converted into an error by RunProgram. The
+// stack is captured at the panic site, before any unwinding, so it names the
+// faulty predictor or workload frame.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("workload: run panicked: %v", e.Value) }
+
+// Run looks up and executes the named program with cooperative cancellation
+// and panic isolation (see RunProgram).
+func Run(ctx context.Context, name, input string, rec trace.Recorder) error {
+	p, err := Get(name)
+	if err != nil {
+		return err
+	}
+	return RunProgram(ctx, p, input, rec)
+}
+
+// RunProgram executes p on input, converting the two abnormal exits of a
+// branch-stream producer into ordinary errors:
+//
+//   - cooperative cancellation (a trace.Stop panic raised by the
+//     instrumentation context when ctx expires) becomes ctx's error, and
+//   - any other panic — a buggy predictor, a corrupted workload — becomes a
+//     *PanicError carrying the panic value and the stack of the panic site,
+//
+// so one faulty run can never take down a whole sweep.
+func RunProgram(ctx context.Context, p Program, input string, rec trace.Recorder) (err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if stopErr, ok := trace.AsStop(r); ok {
+			err = stopErr
+			return
+		}
+		// debug.Stack here still sees the panicking frames: deferred
+		// functions run before the stack unwinds past them.
+		err = &PanicError{Value: r, Stack: debug.Stack()}
+	}()
+	return p.Run(ctx, input, rec)
 }
 
 // Names returns the registered program names, sorted.

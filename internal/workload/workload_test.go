@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"branchsim/internal/profile"
@@ -64,10 +65,10 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 func TestProgramsDeterministic(t *testing.T) {
 	for _, p := range Suite() {
 		a, b := &streamHash{}, &streamHash{}
-		if err := p.Run(InputTest, a); err != nil {
+		if err := p.Run(context.Background(), InputTest, a); err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
-		if err := p.Run(InputTest, b); err != nil {
+		if err := p.Run(context.Background(), InputTest, b); err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
 		if a.h != b.h || a.n != b.n {
@@ -78,7 +79,7 @@ func TestProgramsDeterministic(t *testing.T) {
 
 func TestProgramsRejectUnknownInput(t *testing.T) {
 	for _, p := range Suite() {
-		if err := p.Run("bogus", trace.Discard); err == nil {
+		if err := p.Run(context.Background(), "bogus", trace.Discard); err == nil {
 			t.Errorf("%s accepted a bogus input", p.Name())
 		}
 	}
@@ -89,10 +90,10 @@ func TestInputsDiffer(t *testing.T) {
 	// seeds/sizes), otherwise cross-training experiments are vacuous
 	for _, p := range Suite() {
 		a, b := &streamHash{}, &streamHash{}
-		if err := p.Run(InputTest, a); err != nil {
+		if err := p.Run(context.Background(), InputTest, a); err != nil {
 			t.Fatal(err)
 		}
-		if err := p.Run(InputTrain, b); err != nil {
+		if err := p.Run(context.Background(), InputTrain, b); err != nil {
 			t.Fatal(err)
 		}
 		if a.h == b.h {
@@ -109,7 +110,7 @@ func profileOf(t *testing.T, name, input string) *profile.DB {
 	}
 	db := profile.NewDB(name, input)
 	rec := recorderFunc{db}
-	if err := p.Run(input, rec); err != nil {
+	if err := p.Run(context.Background(), input, rec); err != nil {
 		t.Fatal(err)
 	}
 	return db
@@ -147,7 +148,7 @@ func TestBranchDensityInPaperRange(t *testing.T) {
 	}
 	for _, p := range Suite() {
 		var c trace.Counts
-		if err := p.Run(InputTrain, &c); err != nil {
+		if err := p.Run(context.Background(), InputTrain, &c); err != nil {
 			t.Fatal(err)
 		}
 		cbr := c.CBRsPerKI()
