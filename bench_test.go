@@ -21,6 +21,8 @@ import (
 
 	"branchsim"
 	"branchsim/internal/experiment"
+	"branchsim/internal/replay"
+	"branchsim/internal/sim"
 	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 	"branchsim/internal/xrand"
@@ -160,6 +162,84 @@ func BenchmarkWorkload(b *testing.B) {
 			b.ReportMetric(float64(c.Branches), "branches/op")
 		})
 	}
+}
+
+// ---- capture-once replay engine vs direct re-execution ----
+//
+// Both benchmarks run the same 5-predictor sweep of one benchmark (the
+// paper's Table 2 column set on ijpeg); direct re-executes the instrumented
+// workload per predictor, replay captures its branch stream once and fans
+// out. Recorded in BENCH_replay.json. The replay win scales with the number
+// of cores (arms replay in parallel) and with the workload/predictor cost
+// ratio; see DESIGN.md §7.
+
+const sweepWorkload = "ijpeg"
+
+func sweepSpecs() []string {
+	specs := make([]string, 0, len(experiment.FivePredictors))
+	for _, p := range experiment.FivePredictors {
+		specs = append(specs, p+":8KB")
+	}
+	return specs
+}
+
+func newSweepRunner(b *testing.B, spec string) *sim.Runner {
+	b.Helper()
+	p, err := branchsim.NewPredictor(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim.NewRunner(p, sim.WithCollisions(), sim.WithLabels(sweepWorkload, workload.InputTrain))
+}
+
+func BenchmarkSweepDirect(b *testing.B) {
+	prog, err := workload.Get(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var branches uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range sweepSpecs() {
+			r := newSweepRunner(b, spec)
+			if err := workload.RunProgram(ctx, prog, workload.InputTrain, r); err != nil {
+				b.Fatal(err)
+			}
+			branches = r.Metrics().Branches
+		}
+	}
+	b.ReportMetric(float64(branches), "branches/arm")
+}
+
+func BenchmarkSweepReplay(b *testing.B) {
+	prog, err := workload.Get(sweepWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	arms := make([]replay.Arm, 0, len(sweepSpecs()))
+	for _, spec := range sweepSpecs() {
+		spec := spec
+		arms = append(arms, replay.Arm{Label: spec, New: func() (trace.Recorder, error) {
+			return newSweepRunner(b, spec), nil
+		}})
+	}
+	var branches uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration so every iteration pays for its own
+		// capture — the steady-state cached case would measure nothing.
+		e := replay.New(0, 0, "")
+		for _, res := range e.Sweep(ctx, prog, workload.InputTrain, arms) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			branches = res.Rec.(*sim.Runner).Metrics().Branches
+		}
+		e.Close()
+	}
+	b.ReportMetric(float64(branches), "branches/arm")
 }
 
 // ---- end-to-end simulation throughput ----

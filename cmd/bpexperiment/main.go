@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"branchsim/internal/experiment"
+	"branchsim/internal/replay"
 )
 
 // options collects the flags of one invocation.
@@ -45,6 +46,10 @@ type options struct {
 	checkpointDir string
 	armTimeout    time.Duration
 	retries       int
+	workers       int
+	noReplay      bool
+	replayMemMB   int
+	replaySpill   string
 }
 
 func main() {
@@ -62,6 +67,10 @@ func main() {
 	flag.StringVar(&opt.checkpointDir, "checkpoint", "", "journal completed simulations into this directory and resume from it")
 	flag.DurationVar(&opt.armTimeout, "arm-timeout", 0, "per-simulation deadline, e.g. 10m (0 = none)")
 	flag.IntVar(&opt.retries, "retries", 1, "attempts per simulation for transient failures")
+	flag.IntVar(&opt.workers, "workers", runtime.GOMAXPROCS(0), "concurrent trace replays in the capture-once engine")
+	flag.BoolVar(&opt.noReplay, "no-replay", false, "execute the workload for every arm instead of capturing its branch stream once and replaying it")
+	flag.IntVar(&opt.replayMemMB, "replay-mem", 512, "in-memory budget for captured traces, in MiB; beyond it chunks spill to disk (0 = unlimited)")
+	flag.StringVar(&opt.replaySpill, "replay-spill", "", "directory for spilled trace chunks (default: the system temp directory)")
 	flag.Parse()
 
 	if list {
@@ -96,6 +105,11 @@ func run(ctx context.Context, opt options) error {
 		h.Log = os.Stderr
 	}
 	h.ArmTimeout = opt.armTimeout
+	if !opt.noReplay {
+		eng := replay.New(opt.workers, int64(opt.replayMemMB)<<20, opt.replaySpill)
+		defer eng.Close()
+		h.Replay = eng
+	}
 	if opt.retries > 1 {
 		h.Retry = experiment.RetryPolicy{Attempts: opt.retries, Backoff: 250 * time.Millisecond}
 	}

@@ -16,6 +16,7 @@ import (
 	"branchsim/internal/core"
 	"branchsim/internal/predictor"
 	"branchsim/internal/profile"
+	"branchsim/internal/replay"
 	"branchsim/internal/report"
 	"branchsim/internal/sim"
 	"branchsim/internal/trace"
@@ -61,6 +62,14 @@ type Harness struct {
 	// NewPredictor builds predictors from specs; nil means predictor.New.
 	// Tests substitute fault-injecting predictors here.
 	NewPredictor func(spec string) (predictor.Predictor, error)
+	// Replay, when non-nil, shares one instrumented execution per
+	// (workload, input) across uncached arms: the first arm to need a
+	// stream captures it while simulating, concurrent arms replay the
+	// capture instead of re-running the workload. Metrics are
+	// bit-identical to direct execution, and singleflight and checkpoint
+	// keys are unchanged, so attaching an engine never changes results —
+	// only how often workloads execute.
+	Replay *replay.Engine
 
 	logMu    sync.Mutex
 	once     sync.Once
@@ -116,6 +125,27 @@ func (h *Harness) newPredictor(spec string) (predictor.Predictor, error) {
 		return h.NewPredictor(spec)
 	}
 	return predictor.New(spec)
+}
+
+// feed drives one freshly built recorder with the branch stream of prog on
+// input — through the replay engine's shared capture when one is attached,
+// by direct execution otherwise. newRec must build the arm's recorder from
+// scratch on every call (the engine re-invokes it when a shared capture
+// fails mid-stream and the partial feed must be discarded); feed leaves the
+// recorder of the final, successful attempt for the caller to read.
+func (h *Harness) feed(ctx context.Context, prog workload.Program, input string, newRec func() (trace.Recorder, error)) error {
+	if h.Replay == nil {
+		rec, err := newRec()
+		if err != nil {
+			return err
+		}
+		return workload.RunProgram(ctx, prog, input, rec)
+	}
+	produce := func(r trace.Recorder) error {
+		return workload.RunProgram(ctx, prog, input, r)
+	}
+	_, err := h.Replay.Run(ctx, replay.Key(prog.Name(), input), produce, newRec)
+	return err
 }
 
 // armCtx derives the context one uncached simulation runs under.
@@ -185,24 +215,37 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 		defer cancel()
 		db, err := guard(func() (*profile.DB, error) {
 			h.logf("profile %-8s %-5s %s", wl, input, predSpec)
-			db := profile.NewDB(wl, input)
 			prog, err := h.lookup(wl)
 			if err != nil {
 				return nil, err
 			}
+			// The recorder (and the profile DB it fills) is rebuilt inside
+			// the factory: a replay retry must not accumulate into a DB
+			// that already saw a partial stream.
+			var db *profile.DB
 			if predSpec == "" {
-				rec := &biasOnly{db: db}
-				if err := workload.RunProgram(armCtx, prog, input, rec); err != nil {
+				var rec *biasOnly
+				err := h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+					db = profile.NewDB(wl, input)
+					rec = &biasOnly{db: db}
+					return rec, nil
+				})
+				if err != nil {
 					return nil, err
 				}
 				db.Instructions = rec.instr
 			} else {
-				p, err := h.newPredictor(predSpec)
+				var r *sim.Runner
+				err := h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+					p, err := h.newPredictor(predSpec)
+					if err != nil {
+						return nil, err
+					}
+					db = profile.NewDB(wl, input)
+					r = sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db))
+					return r, nil
+				})
 				if err != nil {
-					return nil, err
-				}
-				r := sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db))
-				if err := workload.RunProgram(armCtx, prog, input, r); err != nil {
 					return nil, err
 				}
 				r.Metrics() // stamps db.Instructions
@@ -322,23 +365,30 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 		armCtx, cancel := h.armCtx(ctx)
 		defer cancel()
 		m, err := guard(func() (sim.Metrics, error) {
+			// Hints are memoized and effectively read-only, so they are
+			// resolved once; the predictor stack is rebuilt inside the
+			// factory so a replay retry starts from pristine tables.
 			hints, err := h.Hints(armCtx, a)
 			if err != nil {
 				return sim.Metrics{}, err
 			}
-			dyn, err := h.newPredictor(a.Pred)
-			if err != nil {
-				return sim.Metrics{}, err
-			}
-			p := core.NewCombined(dyn, hints, a.Shift)
 			prog, err := h.lookup(a.Workload)
 			if err != nil {
 				return sim.Metrics{}, err
 			}
 			input := a.input(h)
 			h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, a.Pred, a.Scheme, a.Shift, a.ProfileInput)
-			r := sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions())
-			if err := workload.RunProgram(armCtx, prog, input, r); err != nil {
+			var r *sim.Runner
+			err = h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+				dyn, err := h.newPredictor(a.Pred)
+				if err != nil {
+					return nil, err
+				}
+				p := core.NewCombined(dyn, hints, a.Shift)
+				r = sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions())
+				return r, nil
+			})
+			if err != nil {
 				return sim.Metrics{}, err
 			}
 			return r.Metrics(), nil

@@ -1,0 +1,243 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/workload"
+)
+
+// Engine shares captured traces between arms. Concurrent requests for the
+// same key elect one capturer — everyone else replays its chunks as they
+// seal — and a bounded worker pool caps concurrent replay decodes. Traces
+// stay cached for the engine's lifetime (a sweep); Close releases them and
+// deletes any spill files.
+type Engine struct {
+	workers  int
+	budget   int64
+	spillDir string
+
+	sem chan struct{}
+	mem atomic.Int64
+
+	mu     sync.Mutex
+	traces map[string]*Trace
+	closed bool
+}
+
+// New returns an engine. workers bounds concurrent replay decodes (<= 0
+// means GOMAXPROCS); memBudget bounds the total bytes of encoded trace
+// held in memory across all captures, beyond which chunks spill to disk
+// (<= 0 means unlimited, nothing spills); spillDir is where spill files go
+// ("" means the system temp directory).
+func New(workers int, memBudget int64, spillDir string) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if spillDir == "" {
+		spillDir = os.TempDir()
+	}
+	return &Engine{
+		workers:  workers,
+		budget:   memBudget,
+		spillDir: spillDir,
+		sem:      make(chan struct{}, workers),
+		traces:   map[string]*Trace{},
+	}
+}
+
+// Key names the shared capture of one (workload, input) pair. The harness
+// and Sweep use the same key space, so a mixed pipeline still captures each
+// pair exactly once.
+func Key(workload, input string) string { return workload + "\x00" + input }
+
+// ErrClosed is returned by Run on an engine whose Close has been called.
+var ErrClosed = errors.New("replay: engine closed")
+
+// acquire returns the live trace for key, creating it — and electing the
+// caller as its capturer — when absent.
+func (e *Engine) acquire(key string) (*Trace, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, false, ErrClosed
+	}
+	if t, ok := e.traces[key]; ok {
+		return t, false, nil
+	}
+	t := newTrace(e)
+	t.key = key
+	e.traces[key] = t
+	return t, true, nil
+}
+
+// drop unregisters a failed trace so the next caller recaptures.
+func (e *Engine) drop(t *Trace) {
+	e.mu.Lock()
+	if cur, ok := e.traces[t.key]; ok && cur == t {
+		delete(e.traces, t.key)
+	}
+	e.mu.Unlock()
+	t.markDropped()
+}
+
+// wantSpill reports whether an additional n in-memory bytes would exceed
+// the engine's budget.
+func (e *Engine) wantSpill(n int64) bool {
+	return e.budget > 0 && e.mem.Load()+n > e.budget
+}
+
+// acquireSlot takes one replay-decode slot from the worker pool.
+func (e *Engine) acquireSlot(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) releaseSlot() { <-e.sem }
+
+// MemBytes reports the encoded trace bytes currently held in memory.
+func (e *Engine) MemBytes() int64 { return e.mem.Load() }
+
+// Trace returns the cached capture for key, when one is live — e.g. to
+// export it with Trace.WriteTo after a sweep.
+func (e *Engine) Trace(key string) (*Trace, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.traces[key]
+	return t, ok
+}
+
+// Close drops every cached trace and deletes spill files. Runs still in
+// flight finish against their already-acquired traces; new Run calls fail
+// with ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	traces := e.traces
+	e.traces = map[string]*Trace{}
+	e.mu.Unlock()
+	for _, t := range traces {
+		t.markDropped()
+	}
+}
+
+// Run feeds one arm with the branch stream of key: the first caller
+// executes produce (the instrumented workload) while teeing the stream
+// into its own recorder and the shared chunk buffer; every other caller
+// replays the buffer, overlapping the capture. newRec must build a fresh
+// recorder on every call — when a shared capture fails, surviving arms
+// rebuild and replay the recapture from the start, so a recorder must
+// never carry state across attempts. Run returns the stream totals and
+// the error of this arm alone; panics from the arm's recorder propagate
+// (callers isolate them — the harness with its guard, Sweep per arm).
+func (e *Engine) Run(ctx context.Context, key string, produce func(trace.Recorder) error, newRec func() (trace.Recorder, error)) (trace.Counts, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return trace.Counts{}, err
+		}
+		rec, err := newRec()
+		if err != nil {
+			return trace.Counts{}, err
+		}
+		t, capturer, err := e.acquire(key)
+		if err != nil {
+			return trace.Counts{}, err
+		}
+		if capturer {
+			return t.capture(produce, rec)
+		}
+		c, err := t.Replay(ctx, rec)
+		if err != nil && errors.Is(err, ErrCaptureFailed) {
+			// The capturer died. Rebuild the arm (the recorder saw a
+			// partial stream) and recapture; one of the waiters becomes
+			// the new capturer and reports the definitive error.
+			continue
+		}
+		return c, err
+	}
+}
+
+// runGuarded is Run with the pipeline's panic isolation: a cooperative
+// cancellation Stop becomes its error, any other panic a PanicError.
+func (e *Engine) runGuarded(ctx context.Context, key string, produce func(trace.Recorder) error, newRec func() (trace.Recorder, error)) (c trace.Counts, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if stopErr, ok := trace.AsStop(r); ok {
+			err = stopErr
+			return
+		}
+		err = &workload.PanicError{Value: r, Stack: debug.Stack()}
+	}()
+	return e.Run(ctx, key, produce, newRec)
+}
+
+// Arm is one predictor configuration swept over a shared capture.
+type Arm struct {
+	// Label identifies the arm in its Result.
+	Label string
+	// New builds the arm's recorder, typically a *sim.Runner. It is
+	// called again if the arm must restart after a failed shared capture,
+	// so it must return a fresh recorder with no carried-over state.
+	New func() (trace.Recorder, error)
+}
+
+// Result is one arm's outcome.
+type Result struct {
+	Label string
+	// Rec is the recorder that consumed the complete stream (nil when New
+	// failed); cast it back to read the arm's metrics.
+	Rec trace.Recorder
+	// Counts totals the stream the arm consumed.
+	Counts trace.Counts
+	// Err is the arm's failure: its own panic (as a *workload.PanicError),
+	// the workload's error, or the context's.
+	Err error
+}
+
+// Sweep runs prog on input — once — and feeds every arm from the shared
+// capture, concurrently, overlapping the capture itself. One arm drives
+// the instrumented execution while it simulates; the rest replay. A
+// panicking arm fails alone: its Result carries the panic as an error, and
+// if it was the capturer, the surviving arms transparently recapture.
+func (e *Engine) Sweep(ctx context.Context, prog workload.Program, input string, arms []Arm) []Result {
+	produce := func(r trace.Recorder) error {
+		return workload.RunProgram(ctx, prog, input, r)
+	}
+	key := Key(prog.Name(), input)
+	results := make([]Result, len(arms))
+	var wg sync.WaitGroup
+	for i := range arms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := arms[i]
+			var rec trace.Recorder
+			newRec := func() (trace.Recorder, error) {
+				r, err := a.New()
+				if err != nil {
+					return nil, fmt.Errorf("replay: building arm %q: %w", a.Label, err)
+				}
+				rec = r
+				return r, nil
+			}
+			c, err := e.runGuarded(ctx, key, produce, newRec)
+			results[i] = Result{Label: a.Label, Rec: rec, Counts: c, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

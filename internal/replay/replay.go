@@ -1,0 +1,381 @@
+// Package replay implements a capture-once, fan-out simulation engine.
+//
+// Every uncached arm of a sweep used to re-execute the full instrumented
+// workload just to regenerate the identical (PC, taken) stream; for the
+// paper's grid the workload cost is pure replication. This package records
+// a workload's branch stream once — into compact, self-contained encoded
+// chunks (delta-encoded PCs plus outcome bits, see trace/chunk.go) — and
+// feeds any number of predictor arms from that buffer. Chunks are published
+// as they are sealed, so arms replay concurrently *with* the capture, not
+// after it; a bounded worker pool caps how many replays decode at once.
+//
+// Memory is bounded: once the engine's budget of in-memory encoded bytes is
+// exhausted, further chunks spill to a temp file in internal/trace's
+// version-2 file format, and replay cursors read them back with ReadAt.
+// Because every chunk is self-contained, a spill file (or a full export via
+// Trace.WriteTo) is itself a valid trace file for trace.NewReader.
+//
+// The resilience semantics of the experiment pipeline are preserved: every
+// capture and replay runs under the caller's context, a panicking arm fails
+// alone (a panic during capture fails the trace, waiting arms rebuild their
+// recorders and recapture), and cancellation drains cleanly.
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"branchsim/internal/trace"
+)
+
+// chunkTarget is the seal threshold for one encoded chunk. At roughly two
+// to three bytes per event this is ~16k–32k branches — the same order as
+// the simulator's cancellation cadence, so a cancelled replay stops fast,
+// while the per-chunk synchronization stays invisible in the event loop.
+const chunkTarget = 64 << 10
+
+// ErrCaptureFailed reports that the goroutine recording a shared trace
+// failed before sealing it. Replayers receiving it (wrapped around the
+// capture's own error) rebuild their recorder and recapture; Engine.Run
+// does this automatically.
+var ErrCaptureFailed = errors.New("replay: capture failed")
+
+// chunk is one sealed span of the encoded stream.
+type chunk struct {
+	data []byte // encoded records; nil once spilled
+	off  int64  // offset of the records in the spill file, when spilled
+	size int
+}
+
+// Trace is one captured branch stream: a sequence of self-contained encoded
+// chunks plus the stream totals. Chunks appear while the capture is still
+// running, so replays overlap it.
+type Trace struct {
+	e   *Engine
+	key string
+
+	// capture-side state, touched only by the capturing goroutine
+	spill       *os.File
+	spillSize   int64
+	spillBroken bool
+
+	mu       sync.Mutex
+	notify   chan struct{} // closed and replaced on every state change
+	chunks   []chunk
+	done     bool
+	err      error        // capture failure, wrapped in ErrCaptureFailed
+	counts   trace.Counts // stream totals, valid once done with nil err
+	memBytes int64        // in-memory chunk bytes, counted against e.mem
+	readers  int
+	dropped  bool
+}
+
+func newTrace(e *Engine) *Trace {
+	return &Trace{e: e, notify: make(chan struct{})}
+}
+
+// broadcastLocked wakes every goroutine waiting for a state change.
+func (t *Trace) broadcastLocked() {
+	close(t.notify)
+	t.notify = make(chan struct{})
+}
+
+// captureRec is the Recorder the capture drives: it counts the stream and
+// encodes it into sealed chunks.
+type captureRec struct {
+	trace.Counts
+	t *Trace
+	w trace.ChunkWriter
+}
+
+// Branch implements trace.Recorder.
+func (c *captureRec) Branch(pc uint64, taken bool) {
+	c.Counts.Branch(pc, taken)
+	c.w.Branch(pc, taken)
+	if c.w.Len() >= chunkTarget {
+		c.t.seal(c.w.Cut())
+	}
+}
+
+// Ops implements trace.Recorder.
+func (c *captureRec) Ops(n uint64) {
+	c.Counts.Ops(n)
+	c.w.Ops(n)
+}
+
+// seal publishes one finished chunk, spilling it to disk when the engine's
+// in-memory budget is exhausted. A failed spill write degrades to keeping
+// the chunk in memory — correctness over the budget.
+func (t *Trace) seal(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	ck := chunk{size: len(data)}
+	spilled := false
+	if t.e.wantSpill(int64(len(data))) && !t.spillBroken {
+		if off, err := t.writeSpill(data); err != nil {
+			t.spillBroken = true
+		} else {
+			ck.off = off
+			spilled = true
+		}
+	}
+	if !spilled {
+		ck.data = data
+	}
+	t.mu.Lock()
+	if ck.data != nil && !t.dropped {
+		t.memBytes += int64(len(ck.data))
+		t.e.mem.Add(int64(len(ck.data)))
+	}
+	t.chunks = append(t.chunks, ck)
+	t.broadcastLocked()
+	t.mu.Unlock()
+}
+
+// writeSpill appends one chunk to the spill file, creating it (with the
+// version-2 trace header) on first use, and returns the chunk's offset.
+func (t *Trace) writeSpill(data []byte) (int64, error) {
+	if t.spill == nil {
+		if err := os.MkdirAll(t.e.spillDir, 0o755); err != nil {
+			return 0, err
+		}
+		f, err := os.CreateTemp(t.e.spillDir, "bpreplay-*.btrc")
+		if err != nil {
+			return 0, err
+		}
+		hdr := trace.ChunkFileHeader()
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return 0, err
+		}
+		t.spill, t.spillSize = f, int64(len(hdr))
+	}
+	off := t.spillSize
+	if _, err := t.spill.Write(data); err != nil {
+		return 0, err
+	}
+	t.spillSize += int64(len(data))
+	return off, nil
+}
+
+// finish seals the final chunk and marks the capture complete.
+func (t *Trace) finish(cr *captureRec) {
+	t.seal(cr.w.Cut())
+	t.mu.Lock()
+	t.counts = cr.Counts
+	t.done = true
+	t.broadcastLocked()
+	t.mu.Unlock()
+}
+
+// fail marks the capture failed, wakes every waiter with the wrapped cause,
+// and unregisters the trace so the next caller recaptures.
+func (t *Trace) fail(cause error) {
+	t.mu.Lock()
+	t.done = true
+	t.err = fmt.Errorf("%w: %w", ErrCaptureFailed, cause)
+	t.broadcastLocked()
+	t.mu.Unlock()
+	t.e.drop(t)
+}
+
+// capture runs produce once, teeing its stream into sealed chunks and —
+// when rec is non-nil — into the capturing arm's own recorder, so the
+// capturer simulates while it records. On any failure, including a panic
+// unwinding through produce, the trace is failed first so no waiter hangs.
+func (t *Trace) capture(produce func(trace.Recorder) error, rec trace.Recorder) (c trace.Counts, err error) {
+	cr := &captureRec{t: t}
+	defer func() {
+		if r := recover(); r != nil {
+			t.fail(fmt.Errorf("capture panicked: %v", r))
+			panic(r)
+		}
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.finish(cr)
+	}()
+	var target trace.Recorder = cr
+	if rec != nil {
+		target = trace.Tee(cr, rec)
+	}
+	err = produce(target)
+	return cr.Counts, err
+}
+
+// retain registers a replay cursor; the spill file stays alive until every
+// cursor released.
+func (t *Trace) retain() {
+	t.mu.Lock()
+	t.readers++
+	t.mu.Unlock()
+}
+
+func (t *Trace) release() {
+	t.mu.Lock()
+	t.readers--
+	if t.dropped && t.readers == 0 {
+		t.closeSpillLocked()
+	}
+	t.mu.Unlock()
+}
+
+// markDropped detaches the trace from the engine's accounting and removes
+// its spill file once the last cursor is done.
+func (t *Trace) markDropped() {
+	t.mu.Lock()
+	if !t.dropped {
+		t.dropped = true
+		t.e.mem.Add(-t.memBytes)
+		t.memBytes = 0
+	}
+	if t.readers == 0 {
+		t.closeSpillLocked()
+	}
+	t.mu.Unlock()
+}
+
+func (t *Trace) closeSpillLocked() {
+	if t.spill != nil {
+		name := t.spill.Name()
+		t.spill.Close()
+		os.Remove(name)
+		t.spill = nil
+	}
+}
+
+// chunkAt returns chunk i's encoded bytes, waiting until the capture seals
+// it. Spilled chunks are read into *buf, which is reused across calls. The
+// second result is true when the stream ended before chunk i.
+func (t *Trace) chunkAt(done <-chan struct{}, i int, buf *[]byte) ([]byte, bool, error) {
+	for {
+		t.mu.Lock()
+		if t.err != nil {
+			err := t.err
+			t.mu.Unlock()
+			return nil, true, err
+		}
+		if i < len(t.chunks) {
+			ck := t.chunks[i]
+			t.mu.Unlock()
+			if ck.data != nil {
+				return ck.data, false, nil
+			}
+			if cap(*buf) < ck.size {
+				*buf = make([]byte, ck.size)
+			}
+			b := (*buf)[:ck.size]
+			if _, err := t.spill.ReadAt(b, ck.off); err != nil {
+				return nil, false, fmt.Errorf("replay: reading spilled chunk: %w", err)
+			}
+			return b, false, nil
+		}
+		if t.done {
+			t.mu.Unlock()
+			return nil, true, nil
+		}
+		ch := t.notify
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-done:
+			return nil, false, errCancelled
+		}
+	}
+}
+
+// errCancelled is an internal marker: chunkAt observed the caller's context
+// expire. Replay converts it to the context's error.
+var errCancelled = errors.New("replay: cancelled")
+
+// Counts returns the captured stream's totals; valid once the capture
+// finished successfully.
+func (t *Trace) Counts() trace.Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts
+}
+
+// Replay feeds the captured stream into rec, chunk by chunk, waiting for
+// the capture to seal chunks it has not reached yet. It holds one of the
+// engine's worker slots for its whole duration. A Stop panic raised by rec
+// (cooperative cancellation, e.g. a sim.Runner built WithContext) is
+// recovered and returned as its error; other panics propagate to the
+// caller's guard.
+func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts, err error) {
+	if err := t.e.acquireSlot(ctx); err != nil {
+		return trace.Counts{}, err
+	}
+	defer t.e.releaseSlot()
+	t.retain()
+	defer t.release()
+	defer func() {
+		if r := recover(); r != nil {
+			if stopErr, ok := trace.AsStop(r); ok {
+				err = stopErr
+				return
+			}
+			panic(r)
+		}
+	}()
+	var buf []byte
+	for i := 0; ; i++ {
+		data, ended, err := t.chunkAt(ctx.Done(), i, &buf)
+		if err != nil {
+			if errors.Is(err, errCancelled) {
+				err = ctx.Err()
+			}
+			return trace.Counts{}, err
+		}
+		if ended {
+			// The capture finished cleanly, so the stream this replay fed
+			// is the full one and the shared totals are its totals.
+			return t.Counts(), nil
+		}
+		if err := trace.DecodeChunk(data, rec); err != nil {
+			return trace.Counts{}, err
+		}
+		// Chunks are a few tens of thousands of events, the same order as
+		// the simulator's own cancellation cadence — checking here keeps a
+		// recorder without its own context responsive to the caller's.
+		if err := ctx.Err(); err != nil {
+			return trace.Counts{}, err
+		}
+	}
+}
+
+// WriteTo exports the captured stream as a version-2 trace file readable
+// by trace.NewReader, waiting for the capture to finish if it is still
+// running. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	t.retain()
+	defer t.release()
+	var n int64
+	k, err := w.Write(trace.ChunkFileHeader())
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	var buf []byte
+	for i := 0; ; i++ {
+		data, ended, err := t.chunkAt(nil, i, &buf)
+		if err != nil {
+			return n, err
+		}
+		if ended {
+			return n, nil
+		}
+		k, err := w.Write(data)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"branchsim/internal/predictor"
 	"branchsim/internal/profile"
@@ -58,6 +59,31 @@ func (m *Metrics) Accuracy() float64 {
 		return 0
 	}
 	return 1 - float64(m.Mispredicts)/float64(m.Branches)
+}
+
+// Diff describes every field in which o differs from m, one "field: got …,
+// want …" clause per difference, or "" when the metrics are identical. It
+// exists for equivalence tests, where a bare != on the struct says nothing
+// about which of the counters diverged.
+func (m Metrics) Diff(o Metrics) string {
+	var parts []string
+	add := func(field string, got, want any) {
+		if got != want {
+			parts = append(parts, fmt.Sprintf("%s: got %v, want %v", field, got, want))
+		}
+	}
+	add("predictor", o.Predictor, m.Predictor)
+	add("workload", o.Workload, m.Workload)
+	add("input", o.Input, m.Input)
+	add("instructions", o.Instructions, m.Instructions)
+	add("branches", o.Branches, m.Branches)
+	add("taken", o.TakenCount, m.TakenCount)
+	add("mispredicts", o.Mispredicts, m.Mispredicts)
+	add("collisionsTracked", o.CollisionsTracked, m.CollisionsTracked)
+	add("collisions.total", o.Collisions.Total, m.Collisions.Total)
+	add("collisions.constructive", o.Collisions.Constructive, m.Collisions.Constructive)
+	add("collisions.destructive", o.Collisions.Destructive, m.Collisions.Destructive)
+	return strings.Join(parts, "; ")
 }
 
 // String summarizes the run.

@@ -128,3 +128,23 @@ func TestMetricsString(t *testing.T) {
 		}
 	}
 }
+
+func TestMetricsDiff(t *testing.T) {
+	a := Metrics{Predictor: "gshare", Workload: "gcc", Input: "ref", Mispredicts: 10}
+	a.Instructions, a.Branches, a.TakenCount = 1000, 100, 60
+	if d := a.Diff(a); d != "" {
+		t.Fatalf("Diff of identical metrics = %q, want empty", d)
+	}
+	b := a
+	b.Mispredicts = 12
+	b.Collisions.Destructive = 3
+	d := a.Diff(b)
+	for _, want := range []string{"mispredicts", "got 12", "want 10", "collisions.destructive"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Diff = %q missing %q", d, want)
+		}
+	}
+	if strings.Contains(d, "branches") {
+		t.Fatalf("Diff = %q mentions an equal field", d)
+	}
+}

@@ -23,8 +23,22 @@ import (
 // Branch addresses are stored modulo 2^60 so that the zig-zag delta, the
 // taken bit and the ops/branch discriminator all fit one 64-bit varint
 // without overflow. Real address spaces are far below 60 bits.
+//
+// Version 2 ("BTRC2\n") carries the chunk records documented in chunk.go:
+// self-contained chunks whose first branch is absolute, lossless over the
+// full 64-bit address space. The replay engine's spilled and exported
+// traces use it. Reader understands both versions; Writer still emits
+// version 1, whose single-varint records are smaller for the address
+// ranges real workloads produce.
 
 var traceMagic = []byte("BTRC1\n")
+
+var traceMagic2 = []byte("BTRC2\n")
+
+// ChunkFileHeader returns the header bytes of a version-2 (chunk-encoded)
+// trace file. A valid file is this header followed by any concatenation of
+// ChunkWriter chunks; NewReader decodes it like any other trace.
+func ChunkFileHeader() []byte { return append([]byte(nil), traceMagic2...) }
 
 // ErrBadMagic is returned by NewReader when the input is not a trace file.
 var ErrBadMagic = errors.New("trace: bad magic, not a branch trace file")
@@ -88,10 +102,12 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader decodes a trace file and replays it into a Recorder.
+// Reader decodes a trace file (either format version) and replays it into
+// a Recorder.
 type Reader struct {
-	r      *bufio.Reader
-	lastPC uint64
+	r       *bufio.Reader
+	lastPC  uint64
+	version int
 }
 
 // NewReader validates the header and returns a Reader.
@@ -101,16 +117,22 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(head) != string(traceMagic) {
-		return nil, ErrBadMagic
+	switch string(head) {
+	case string(traceMagic):
+		return &Reader{r: br, version: 1}, nil
+	case string(traceMagic2):
+		return &Reader{r: br, version: 2}, nil
 	}
-	return &Reader{r: br}, nil
+	return nil, ErrBadMagic
 }
 
 // Next returns the next record. Exactly one of the following holds:
 // isBranch is true and (pc, taken) are valid; isBranch is false and ops is
 // valid; or err is non-nil (io.EOF at a clean end of stream).
 func (r *Reader) Next() (pc uint64, taken bool, ops uint64, isBranch bool, err error) {
+	if r.version == 2 {
+		return r.next2()
+	}
 	v, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		return 0, false, 0, false, err
@@ -129,6 +151,44 @@ func (r *Reader) Next() (pc uint64, taken bool, ops uint64, isBranch bool, err e
 	delta := unzigzag(v >> 1)
 	r.lastPC = uint64(int64(r.lastPC)+delta) & pcMask
 	return r.lastPC, v&1 == 1, 0, true, nil
+}
+
+// next2 decodes one version-2 (chunk) record.
+func (r *Reader) next2() (pc uint64, taken bool, ops uint64, isBranch bool, err error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, false, 0, false, err
+	}
+	switch v {
+	case chunkOps:
+		n, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, false, 0, false, fmt.Errorf("trace: truncated ops record: %w", err)
+		}
+		return 0, false, n, false, nil
+	case chunkAbs:
+		pc, err := binary.ReadUvarint(r.r)
+		if err == nil {
+			var t uint64
+			if t, err = binary.ReadUvarint(r.r); err == nil && t > 1 {
+				err = fmt.Errorf("%w: absolute branch outcome %d", ErrMalformedChunk, t)
+			} else if err == nil {
+				r.lastPC = pc
+				return pc, t == 1, 0, true, nil
+			}
+		}
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, false, 0, false, fmt.Errorf("trace: truncated branch record: %w", err)
+	default:
+		w := v - chunkDelta
+		r.lastPC += uint64(unzigzag(w >> 1))
+		return r.lastPC, w&1 == 1, 0, true, nil
+	}
 }
 
 // Replay streams the whole remaining trace into rec. It returns the totals

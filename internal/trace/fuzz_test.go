@@ -20,6 +20,13 @@ func FuzzReaderRobustness(f *testing.F) {
 	f.Add([]byte("BTRC1\n"))
 	f.Add([]byte("BTRC1\n\x00"))
 	f.Add([]byte("garbage"))
+	// version-2 (chunk-encoded) headers, valid and truncated
+	var cw ChunkWriter
+	cw.Branch(0x1200_0000, true)
+	cw.Ops(3)
+	f.Add(append(ChunkFileHeader(), cw.Cut()...))
+	f.Add([]byte("BTRC2\n"))
+	f.Add([]byte("BTRC2\n\x01"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
