@@ -21,6 +21,7 @@ import (
 
 	"branchsim"
 	"branchsim/internal/experiment"
+	"branchsim/internal/obs"
 	"branchsim/internal/replay"
 	"branchsim/internal/sim"
 	"branchsim/internal/trace"
@@ -183,13 +184,14 @@ func sweepSpecs() []string {
 	return specs
 }
 
-func newSweepRunner(b *testing.B, spec string) *sim.Runner {
+func newSweepRunner(b *testing.B, spec string, sink *obs.Observer) *sim.Runner {
 	b.Helper()
 	p, err := branchsim.NewPredictor(spec)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return sim.NewRunner(p, sim.WithCollisions(), sim.WithLabels(sweepWorkload, workload.InputTrain))
+	return sim.NewRunner(p, sim.WithCollisions(), sim.WithLabels(sweepWorkload, workload.InputTrain),
+		sim.WithObserver(sink))
 }
 
 func BenchmarkSweepDirect(b *testing.B) {
@@ -202,7 +204,7 @@ func BenchmarkSweepDirect(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range sweepSpecs() {
-			r := newSweepRunner(b, spec)
+			r := newSweepRunner(b, spec, nil)
 			if err := workload.RunProgram(ctx, prog, workload.InputTrain, r); err != nil {
 				b.Fatal(err)
 			}
@@ -212,7 +214,7 @@ func BenchmarkSweepDirect(b *testing.B) {
 	b.ReportMetric(float64(branches), "branches/arm")
 }
 
-func BenchmarkSweepReplay(b *testing.B) {
+func benchSweepReplay(b *testing.B, sink *obs.Observer) {
 	prog, err := workload.Get(sweepWorkload)
 	if err != nil {
 		b.Fatal(err)
@@ -222,7 +224,7 @@ func BenchmarkSweepReplay(b *testing.B) {
 	for _, spec := range sweepSpecs() {
 		spec := spec
 		arms = append(arms, replay.Arm{Label: spec, New: func() (trace.Recorder, error) {
-			return newSweepRunner(b, spec), nil
+			return newSweepRunner(b, spec, sink), nil
 		}})
 	}
 	var branches uint64
@@ -231,6 +233,7 @@ func BenchmarkSweepReplay(b *testing.B) {
 		// A fresh engine per iteration so every iteration pays for its own
 		// capture — the steady-state cached case would measure nothing.
 		e := replay.New(0, 0, "")
+		e.SetObserver(sink)
 		for _, res := range e.Sweep(ctx, prog, workload.InputTrain, arms) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
@@ -242,6 +245,14 @@ func BenchmarkSweepReplay(b *testing.B) {
 	b.ReportMetric(float64(branches), "branches/arm")
 }
 
+func BenchmarkSweepReplay(b *testing.B) { benchSweepReplay(b, nil) }
+
+// BenchmarkSweepReplayObserved is BenchmarkSweepReplay with a live observer
+// attached to the engine and every runner. Comparing the two bounds the
+// enabled-observability overhead; the disabled (nil-sink) case is the one
+// BenchmarkSweepReplay itself guards.
+func BenchmarkSweepReplayObserved(b *testing.B) { benchSweepReplay(b, obs.New()) }
+
 // ---- end-to-end simulation throughput ----
 
 func BenchmarkSimulation(b *testing.B) {
@@ -249,13 +260,16 @@ func BenchmarkSimulation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ReportAllocs()
 	var last branchsim.Metrics
 	for i := 0; i < b.N; i++ {
-		last, err = branchsim.Run(branchsim.RunConfig{
-			Workload: "compress", Input: branchsim.InputTest,
-			Predictor: p, TrackCollisions: true,
-		})
+		last, err = branchsim.Simulate(ctx,
+			branchsim.Workload("compress"),
+			branchsim.Input(branchsim.InputTest),
+			branchsim.WithPredictor(p),
+			branchsim.WithCollisions(),
+		)
 		if err != nil {
 			b.Fatal(err)
 		}

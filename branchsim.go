@@ -109,6 +109,9 @@ func Combine(dyn Predictor, hints *HintDB, shift ShiftPolicy) *Combined {
 func SelectHints(sel Selector, db *ProfileDB) (*HintDB, error) { return sel.Select(db) }
 
 // RunConfig describes one simulation run.
+//
+// Deprecated: use Simulate with options (Workload, Input, WithPredictor,
+// WithCollisions, WithProfileInto) instead of a config struct.
 type RunConfig struct {
 	// Workload and Input name the branch stream ("gcc", "ref").
 	Workload, Input string
@@ -123,6 +126,10 @@ type RunConfig struct {
 }
 
 // Run executes one simulation and returns its metrics.
+//
+// Deprecated: use Simulate. Run(cfg) is Simulate(nil, Workload(cfg.Workload),
+// Input(cfg.Input), WithPredictor(cfg.Predictor), ...) and returns identical
+// metrics.
 func Run(cfg RunConfig) (Metrics, error) {
 	return RunContext(context.Background(), cfg)
 }
@@ -130,61 +137,46 @@ func Run(cfg RunConfig) (Metrics, error) {
 // RunContext executes one simulation under ctx: cancelling ctx stops the run
 // cooperatively, and a panicking predictor or workload is returned as a
 // *PanicError instead of crashing the process.
+//
+// Deprecated: use Simulate, which takes the same configuration as options
+// and returns identical metrics.
 func RunContext(ctx context.Context, cfg RunConfig) (Metrics, error) {
 	if cfg.Predictor == nil {
 		return Metrics{}, fmt.Errorf("branchsim: RunConfig.Predictor is nil")
 	}
-	prog, err := workload.Get(cfg.Workload)
-	if err != nil {
-		return Metrics{}, err
-	}
-	opts := []sim.Option{sim.WithLabels(cfg.Workload, cfg.Input)}
+	opts := []SimOption{Workload(cfg.Workload), Input(cfg.Input), WithPredictor(cfg.Predictor)}
 	if cfg.TrackCollisions {
-		opts = append(opts, sim.WithCollisions())
+		opts = append(opts, WithCollisions())
 	}
 	if cfg.Profile != nil {
-		opts = append(opts, sim.WithProfile(cfg.Profile))
+		opts = append(opts, WithProfileInto(cfg.Profile))
 	}
-	runner := sim.NewRunner(cfg.Predictor, opts...)
-	if err := workload.RunProgram(ctx, prog, cfg.Input, runner); err != nil {
-		return Metrics{}, err
-	}
-	return runner.Metrics(), nil
+	return Simulate(ctx, opts...)
 }
 
 // Profile runs the paper's phase 1: simulate predictorSpec over the
 // workload/input and collect a profile with per-branch bias, per-branch
 // accuracy and destructive-collision counts. Pass an empty predictorSpec to
 // collect a bias-only profile (sufficient for Static95).
+//
+// Deprecated: use Simulate with WithProfileInto (plus WithPredictorSpec and
+// WithCollisions for predictor-accuracy profiles); it returns identical
+// profiles and metrics.
 func Profile(workloadName, input, predictorSpec string) (*ProfileDB, Metrics, error) {
 	return ProfileContext(context.Background(), workloadName, input, predictorSpec)
 }
 
 // ProfileContext is Profile with cooperative cancellation and panic
 // isolation, like RunContext.
+//
+// Deprecated: use Simulate with WithProfileInto, as with Profile.
 func ProfileContext(ctx context.Context, workloadName, input, predictorSpec string) (*ProfileDB, Metrics, error) {
 	db := profile.NewDB(workloadName, input)
-	if predictorSpec == "" {
-		prog, err := workload.Get(workloadName)
-		if err != nil {
-			return nil, Metrics{}, err
-		}
-		rec := &biasRecorder{db: db}
-		if err := workload.RunProgram(ctx, prog, input, rec); err != nil {
-			return nil, Metrics{}, err
-		}
-		db.Instructions = rec.counts.Instructions
-		m := Metrics{Workload: workloadName, Input: input, Counts: rec.counts}
-		return db, m, nil
+	opts := []SimOption{Workload(workloadName), Input(input), WithProfileInto(db)}
+	if predictorSpec != "" {
+		opts = append(opts, WithPredictorSpec(predictorSpec), WithCollisions())
 	}
-	p, err := predictor.New(predictorSpec)
-	if err != nil {
-		return nil, Metrics{}, err
-	}
-	m, err := RunContext(ctx, RunConfig{
-		Workload: workloadName, Input: input,
-		Predictor: p, TrackCollisions: true, Profile: db,
-	})
+	m, err := Simulate(ctx, opts...)
 	if err != nil {
 		return nil, Metrics{}, err
 	}

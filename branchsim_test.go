@@ -1,4 +1,8 @@
+// Regression tests for the deprecated Run/Profile wrappers, kept running
+// until the wrappers are removed — facade_test.go proves Simulate equivalent.
 package branchsim_test
+
+//lint:file-ignore SA1019 this file pins the behaviour of the deprecated wrappers on purpose
 
 import (
 	"strings"

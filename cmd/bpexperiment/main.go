@@ -15,6 +15,13 @@
 //	bpexperiment -run all -csv out/
 //	bpexperiment -run fig13 -quick          # reduced inputs, seconds not minutes
 //	bpexperiment -run all -keep-going -checkpoint sweep.ckpt
+//
+// Sweeps are observable: -journal writes one JSONL record per simulated arm
+// (key, phase timings, provenance, final metrics), -metrics serves live
+// expvar-style metrics plus pprof over HTTP while the sweep runs, and
+// -progress prints a periodic one-line status to stderr.
+//
+//	bpexperiment -run all -journal run.jsonl -metrics 127.0.0.1:8080 -progress
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"branchsim/internal/experiment"
+	"branchsim/internal/obs"
 	"branchsim/internal/replay"
 )
 
@@ -50,6 +58,9 @@ type options struct {
 	noReplay      bool
 	replayMemMB   int
 	replaySpill   string
+	journalPath   string
+	metricsAddr   string
+	progress      bool
 }
 
 func main() {
@@ -71,6 +82,9 @@ func main() {
 	flag.BoolVar(&opt.noReplay, "no-replay", false, "execute the workload for every arm instead of capturing its branch stream once and replaying it")
 	flag.IntVar(&opt.replayMemMB, "replay-mem", 512, "in-memory budget for captured traces, in MiB; beyond it chunks spill to disk (0 = unlimited)")
 	flag.StringVar(&opt.replaySpill, "replay-spill", "", "directory for spilled trace chunks (default: the system temp directory)")
+	flag.StringVar(&opt.journalPath, "journal", "", "write one JSONL record per simulated arm to this file")
+	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
+	flag.BoolVar(&opt.progress, "progress", false, "print a periodic one-line sweep status to stderr")
 	flag.Parse()
 
 	if list {
@@ -95,34 +109,64 @@ func run(ctx context.Context, opt options) error {
 	if opt.parallel < 1 {
 		opt.parallel = 1
 	}
-	var h *experiment.Harness
-	if opt.quick {
-		h = experiment.NewQuickHarness()
-	} else {
-		h = experiment.NewHarness()
+	// Observability: one sink shared by the journal, the HTTP endpoint and
+	// the progress reporter. No flag, no sink — the zero-cost default.
+	var sink *obs.Observer
+	if opt.journalPath != "" || opt.metricsAddr != "" || opt.progress {
+		var obsOpts []obs.Option
+		if opt.journalPath != "" {
+			j, err := obs.OpenJournal(opt.journalPath)
+			if err != nil {
+				return err
+			}
+			obsOpts = append(obsOpts, obs.WithJournal(j))
+		}
+		sink = obs.New(obsOpts...)
+		defer sink.Close()
+	}
+	if opt.metricsAddr != "" {
+		srv, err := sink.Serve(opt.metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bpexperiment: serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
+	}
+	if opt.progress {
+		defer sink.StartProgress(os.Stderr, 2*time.Second)()
+	}
+
+	hopts := []experiment.HarnessOption{
+		experiment.WithArmTimeout(opt.armTimeout),
+		experiment.WithObserver(sink),
 	}
 	if opt.verbose {
-		h.Log = os.Stderr
+		hopts = append(hopts, experiment.WithLogger(os.Stderr))
 	}
-	h.ArmTimeout = opt.armTimeout
 	if !opt.noReplay {
 		eng := replay.New(opt.workers, int64(opt.replayMemMB)<<20, opt.replaySpill)
 		defer eng.Close()
-		h.Replay = eng
+		hopts = append(hopts, experiment.WithReplay(eng))
 	}
 	if opt.retries > 1 {
-		h.Retry = experiment.RetryPolicy{Attempts: opt.retries, Backoff: 250 * time.Millisecond}
+		hopts = append(hopts, experiment.WithRetry(experiment.RetryPolicy{Attempts: opt.retries, Backoff: 250 * time.Millisecond}))
 	}
 	if opt.checkpointDir != "" {
 		cp, err := experiment.OpenCheckpoint(opt.checkpointDir)
 		if err != nil {
 			return err
 		}
-		h.Checkpoint = cp
+		hopts = append(hopts, experiment.WithCheckpoint(cp))
 		if runs, profiles := cp.Len(); runs > 0 || profiles > 0 {
 			fmt.Fprintf(os.Stderr, "bpexperiment: resuming from %s (%d runs, %d profiles journaled)\n",
 				opt.checkpointDir, runs, profiles)
 		}
+	}
+	var h *experiment.Harness
+	if opt.quick {
+		h = experiment.NewQuickHarness(hopts...)
+	} else {
+		h = experiment.NewHarness(hopts...)
 	}
 
 	var exps []experiment.Experiment

@@ -1,0 +1,120 @@
+// Command bpjournal validates and summarizes the JSONL run journals written
+// by bpexperiment -journal (and any obs.Journal). It parses every record,
+// exits non-zero on malformed input, and — unless -q is given — prints a
+// sweep summary: arm counts by kind and provenance, failures, simulated
+// events, and the slowest arms.
+//
+// Examples:
+//
+//	bpexperiment -run table3 -journal run.jsonl && bpjournal run.jsonl
+//	bpjournal -q run.jsonl          # validate only, no output on success
+//	bpjournal -top 5 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"branchsim/internal/obs"
+)
+
+func main() {
+	var (
+		quiet = flag.Bool("q", false, "validate only: no output unless the journal is malformed")
+		top   = flag.Int("top", 3, "number of slowest arms to list")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bpjournal [-q] [-top N] JOURNAL.jsonl")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *quiet, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "bpjournal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, quiet bool, top int) error {
+	recs, err := obs.ReadJournalFile(path)
+	if err != nil {
+		return err
+	}
+	if quiet {
+		return nil
+	}
+	if len(recs) == 0 {
+		fmt.Printf("%s: empty journal\n", path)
+		return nil
+	}
+
+	byKind := map[string]int{}
+	bySource := map[string]int{}
+	var events uint64
+	var wall time.Duration
+	var retries, failures int
+	for _, r := range recs {
+		byKind[r.Kind]++
+		bySource[r.Source]++
+		events += r.Events
+		wall += time.Duration(r.WallNanos)
+		retries += r.Retries
+		if r.Error != "" {
+			failures++
+		}
+	}
+
+	fmt.Printf("%s: %d arms (", path, len(recs))
+	printCounts(byKind)
+	fmt.Print("), sources: ")
+	printCounts(bySource)
+	fmt.Println()
+	fmt.Printf("  %d branch events simulated, %v arm wall time", events, wall.Round(time.Millisecond))
+	if retries > 0 {
+		fmt.Printf(", %d retries", retries)
+	}
+	fmt.Println()
+	if failures > 0 {
+		fmt.Printf("  %d arms failed:\n", failures)
+		for _, r := range recs {
+			if r.Error != "" {
+				fmt.Printf("    %-8s %s: %s\n", r.Kind, r.Key, r.Error)
+			}
+		}
+	}
+
+	if top > 0 {
+		slow := make([]obs.ArmRecord, len(recs))
+		copy(slow, recs)
+		sort.Slice(slow, func(i, j int) bool { return slow[i].WallNanos > slow[j].WallNanos })
+		if len(slow) > top {
+			slow = slow[:top]
+		}
+		fmt.Println("  slowest arms:")
+		for _, r := range slow {
+			fmt.Printf("    %8v %-8s %s", time.Duration(r.WallNanos).Round(time.Millisecond), r.Kind, r.Key)
+			if r.EventsPerSec > 0 {
+				fmt.Printf(" (%.1fM events/s)", r.EventsPerSec/1e6)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// printCounts prints "k1 n1, k2 n2" with keys sorted for stable output.
+func printCounts(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %d", k, m[k])
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"branchsim/internal/obs"
+)
+
+func writeJournal(t *testing.T, recs ...obs.ArmRecord) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := j.Record(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeJournal(t *testing.T) {
+	path := writeJournal(t,
+		obs.ArmRecord{
+			Time: time.Now(), Kind: "run", Key: "r|compress|...",
+			Workload: "compress", Input: "train", Predictor: "gshare:8KB",
+			Source: obs.SourceComputed, Events: 1000, WallNanos: int64(50 * time.Millisecond),
+			EventsPerSec: 2e6,
+		},
+		obs.ArmRecord{
+			Time: time.Now(), Kind: "profile", Key: "p|compress|...",
+			Workload: "compress", Input: "train",
+			Source: obs.SourceCheckpoint, Events: 1000, WallNanos: int64(time.Millisecond),
+		},
+		obs.ArmRecord{
+			Time: time.Now(), Kind: "run", Key: "r|gcc|...",
+			Source: obs.SourceComputed, WallNanos: int64(time.Millisecond),
+			Retries: 2, Error: "boom",
+		},
+	)
+	for _, quiet := range []bool{false, true} {
+		if err := run(path, quiet, 2); err != nil {
+			t.Fatalf("run(quiet=%v): %v", quiet, err)
+		}
+	}
+}
+
+func TestEmptyJournal(t *testing.T) {
+	if err := run(writeJournal(t), false, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedJournalFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"kind\":\"run\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, 0); err == nil {
+		t.Fatal("malformed journal accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.jsonl"), true, 0); err == nil {
+		t.Fatal("missing journal accepted")
+	}
+}

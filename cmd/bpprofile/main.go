@@ -34,10 +34,11 @@ func (s *stringList) Set(v string) error {
 func main() {
 	var merges stringList
 	var (
-		wl    = flag.String("workload", "gcc", "workload name")
-		input = flag.String("input", "train", "workload input: test, train or ref")
-		pred  = flag.String("predictor", "", "optional predictor spec for per-branch accuracy (needed by staticacc selection)")
-		out   = flag.String("o", "", "output profile path (default stdout)")
+		wl          = flag.String("workload", "gcc", "workload name")
+		input       = flag.String("input", "train", "workload input: test, train or ref")
+		pred        = flag.String("predictor", "", "optional predictor spec for per-branch accuracy (needed by staticacc selection)")
+		out         = flag.String("o", "", "output profile path (default stdout)")
+		metricsAddr = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address during profiling")
 	)
 	flag.Var(&merges, "merge", "merge existing profile databases instead of profiling (repeatable)")
 	flag.Parse()
@@ -45,13 +46,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *wl, *input, *pred, *out, merges); err != nil {
+	if err := run(ctx, *wl, *input, *pred, *out, *metricsAddr, merges); err != nil {
 		fmt.Fprintln(os.Stderr, "bpprofile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, wl, input, pred, out string, merges []string) error {
+func run(ctx context.Context, wl, input, pred, out, metricsAddr string, merges []string) error {
 	var db *profile.DB
 	switch {
 	case len(merges) == 1:
@@ -73,9 +74,27 @@ func run(ctx context.Context, wl, input, pred, out string, merges []string) erro
 			db.Merge(other)
 		}
 	default:
-		var m branchsim.Metrics
-		var err error
-		db, m, err = branchsim.ProfileContext(ctx, wl, input, pred)
+		var sink *branchsim.Observer
+		if metricsAddr != "" {
+			sink = branchsim.NewObserver()
+			srv, err := sink.Serve(metricsAddr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "bpprofile: serving metrics on http://%s/debug/vars\n", srv.Addr())
+		}
+		db = profile.NewDB(wl, input)
+		simOpts := []branchsim.SimOption{
+			branchsim.Workload(wl),
+			branchsim.Input(input),
+			branchsim.WithProfileInto(db),
+			branchsim.WithObserver(sink),
+		}
+		if pred != "" {
+			simOpts = append(simOpts, branchsim.WithPredictorSpec(pred), branchsim.WithCollisions())
+		}
+		m, err := branchsim.Simulate(ctx, simOpts...)
 		if err != nil {
 			return err
 		}

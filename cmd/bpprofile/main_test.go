@@ -14,13 +14,13 @@ func TestProfileAndMergeFlow(t *testing.T) {
 	b := filepath.Join(dir, "b.json")
 	merged := filepath.Join(dir, "m.json")
 
-	if err := run(context.Background(), "compress", "test", "", a, nil); err != nil {
+	if err := run(context.Background(), "compress", "test", "", a, "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "compress", "test", "gshare:1KB", b, nil); err != nil {
+	if err := run(context.Background(), "compress", "test", "gshare:1KB", b, "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "", "", "", merged, []string{a, b}); err != nil {
+	if err := run(context.Background(), "", "", "", merged, "", []string{a, b}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -45,7 +45,7 @@ func TestProfileAndMergeFlow(t *testing.T) {
 }
 
 func TestMergeNeedsTwo(t *testing.T) {
-	if err := run(context.Background(), "", "", "", "", []string{"only.json"}); err == nil {
+	if err := run(context.Background(), "", "", "", "", "", []string{"only.json"}); err == nil {
 		t.Fatal("single -merge accepted")
 	}
 }
@@ -54,19 +54,19 @@ func TestMergeRejectsDifferentWorkloads(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "a.json")
 	b := filepath.Join(dir, "b.json")
-	if err := run(context.Background(), "compress", "test", "", a, nil); err != nil {
+	if err := run(context.Background(), "compress", "test", "", a, "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "ijpeg", "test", "", b, nil); err != nil {
+	if err := run(context.Background(), "ijpeg", "test", "", b, "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "", "", "", "", []string{a, b}); err == nil {
+	if err := run(context.Background(), "", "", "", "", "", []string{a, b}); err == nil {
 		t.Fatal("cross-workload merge accepted")
 	}
 }
 
 func TestUnknownWorkload(t *testing.T) {
-	if err := run(context.Background(), "nosuch", "test", "", "", nil); err == nil {
+	if err := run(context.Background(), "nosuch", "test", "", "", "", nil); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

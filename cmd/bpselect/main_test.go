@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -10,8 +11,16 @@ import (
 
 func writeProfile(t *testing.T, path, workload, input, pred string) {
 	t.Helper()
-	db, _, err := branchsim.Profile(workload, input, pred)
-	if err != nil {
+	db := branchsim.NewProfileDB(workload, input)
+	opts := []branchsim.SimOption{
+		branchsim.Workload(workload),
+		branchsim.Input(input),
+		branchsim.WithProfileInto(db),
+	}
+	if pred != "" {
+		opts = append(opts, branchsim.WithPredictorSpec(pred), branchsim.WithCollisions())
+	}
+	if _, err := branchsim.Simulate(context.Background(), opts...); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.SaveFile(path); err != nil {

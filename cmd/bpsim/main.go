@@ -6,9 +6,11 @@
 //	bpsim -workload gcc -input ref -predictor gshare:16KB
 //	bpsim -workload gcc -predictor 2bcgskew:8KB -hints gcc.hints.json -shift
 //	bpsim -workload go -predictor ghist:4KB -collisions
+//	bpsim -workload gcc -predictor gshare:16KB -metrics 127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,13 +21,14 @@ import (
 
 func main() {
 	var (
-		wl         = flag.String("workload", "gcc", "workload name (see -list)")
-		input      = flag.String("input", "ref", "workload input: test, train or ref")
-		pred       = flag.String("predictor", "gshare:16KB", "dynamic predictor spec, e.g. 2bcgskew:8KB")
-		hintsPath  = flag.String("hints", "", "static hint database (JSON) produced by bpselect")
-		shift      = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
-		collisions = flag.Bool("collisions", true, "track predictor-table collisions")
-		list       = flag.Bool("list", false, "list workloads and predictor schemes, then exit")
+		wl          = flag.String("workload", "gcc", "workload name (see -list)")
+		input       = flag.String("input", "ref", "workload input: test, train or ref")
+		pred        = flag.String("predictor", "gshare:16KB", "dynamic predictor spec, e.g. 2bcgskew:8KB")
+		hintsPath   = flag.String("hints", "", "static hint database (JSON) produced by bpselect")
+		shift       = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
+		collisions  = flag.Bool("collisions", true, "track predictor-table collisions")
+		metricsAddr = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address during the run")
+		list        = flag.Bool("list", false, "list workloads and predictor schemes, then exit")
 	)
 	flag.Parse()
 
@@ -39,13 +42,13 @@ func main() {
 		return
 	}
 
-	if err := run(*wl, *input, *pred, *hintsPath, *shift, *collisions); err != nil {
+	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *shift, *collisions); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, input, pred, hintsPath string, shift, collisions bool) error {
+func run(wl, input, pred, hintsPath, metricsAddr string, shift, collisions bool) error {
 	dyn, err := branchsim.NewPredictor(pred)
 	if err != nil {
 		return err
@@ -67,10 +70,27 @@ func run(wl, input, pred, hintsPath string, shift, collisions bool) error {
 	}
 	combined := branchsim.Combine(dyn, hints, policy)
 
-	m, err := branchsim.Run(branchsim.RunConfig{
-		Workload: wl, Input: input,
-		Predictor: combined, TrackCollisions: collisions,
-	})
+	var sink *branchsim.Observer
+	if metricsAddr != "" {
+		sink = branchsim.NewObserver()
+		srv, err := sink.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bpsim: serving metrics on http://%s/debug/vars\n", srv.Addr())
+	}
+
+	simOpts := []branchsim.SimOption{
+		branchsim.Workload(wl),
+		branchsim.Input(input),
+		branchsim.WithPredictor(combined),
+		branchsim.WithObserver(sink),
+	}
+	if collisions {
+		simOpts = append(simOpts, branchsim.WithCollisions())
+	}
+	m, err := branchsim.Simulate(context.Background(), simOpts...)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestRunPlain(t *testing.T) {
-	if err := run("compress", "test", "gshare:1KB", "", false, true); err != nil {
+	if err := run("compress", "test", "gshare:1KB", "", "", false, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -16,8 +17,12 @@ func TestRunPlain(t *testing.T) {
 func TestRunWithHints(t *testing.T) {
 	dir := t.TempDir()
 	hintsPath := filepath.Join(dir, "h.json")
-	db, _, err := branchsim.Profile("compress", "test", "")
-	if err != nil {
+	db := branchsim.NewProfileDB("compress", "test")
+	if _, err := branchsim.Simulate(context.Background(),
+		branchsim.Workload("compress"),
+		branchsim.Input("test"),
+		branchsim.WithProfileInto(db),
+	); err != nil {
 		t.Fatal(err)
 	}
 	hints, err := branchsim.SelectHints(branchsim.Static95{}, db)
@@ -28,23 +33,23 @@ func TestRunWithHints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := run("compress", "test", "gshare:1KB", hintsPath, true, true); err != nil {
+	if err := run("compress", "test", "gshare:1KB", hintsPath, "", true, true); err != nil {
 		t.Fatal(err)
 	}
 	// hints for the wrong workload must be rejected
-	if err := run("ijpeg", "test", "gshare:1KB", hintsPath, false, false); err == nil {
+	if err := run("ijpeg", "test", "gshare:1KB", hintsPath, "", false, false); err == nil {
 		t.Fatal("wrong-workload hints accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("compress", "test", "nosuch", "", false, false); err == nil {
+	if err := run("compress", "test", "nosuch", "", "", false, false); err == nil {
 		t.Fatal("bad predictor accepted")
 	}
-	if err := run("nosuch", "test", "gshare:1KB", "", false, false); err == nil {
+	if err := run("nosuch", "test", "gshare:1KB", "", "", false, false); err == nil {
 		t.Fatal("bad workload accepted")
 	}
-	if err := run("compress", "test", "gshare:1KB", "/nonexistent/h.json", false, false); err == nil {
+	if err := run("compress", "test", "gshare:1KB", "/nonexistent/h.json", "", false, false); err == nil {
 		t.Fatal("missing hints file accepted")
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,7 +66,16 @@ func update(args []string) error {
 	if err != nil {
 		return err
 	}
-	db, m, err := branchsim.Profile(*wl, *input, *pred)
+	db := branchsim.NewProfileDB(*wl, *input)
+	simOpts := []branchsim.SimOption{
+		branchsim.Workload(*wl),
+		branchsim.Input(*input),
+		branchsim.WithProfileInto(db),
+	}
+	if *pred != "" {
+		simOpts = append(simOpts, branchsim.WithPredictorSpec(*pred), branchsim.WithCollisions())
+	}
+	m, err := branchsim.Simulate(context.Background(), simOpts...)
 	if err != nil {
 		return err
 	}

@@ -9,9 +9,9 @@
 //     related designs, all behind one Predict/Update interface with optional
 //     collision instrumentation.
 //
-//   - Workloads (internal/workload, run via [Run] or [Profile]): six
-//     instrumented benchmark programs standing in for the paper's SPECINT95
-//     suite, with deterministic train/ref inputs.
+//   - Workloads (internal/workload, run via [Simulate]): six instrumented
+//     benchmark programs standing in for the paper's SPECINT95 suite, with
+//     deterministic train/ref inputs.
 //
 //   - The paper's contribution (internal/core): profile-guided selection of
 //     statically predicted branches ([Static95], [StaticAcc], …) and the
@@ -24,19 +24,30 @@
 //
 // # Quick start
 //
-//	p, _ := branchsim.NewPredictor("gshare:16KB")
-//	m, _ := branchsim.Run(branchsim.RunConfig{
-//		Workload: "gcc", Input: "ref", Predictor: p,
-//	})
+//	m, _ := branchsim.Simulate(ctx,
+//		branchsim.Workload("gcc"),
+//		branchsim.Input(branchsim.InputRef),
+//		branchsim.WithPredictorSpec("gshare:16KB"),
+//	)
 //	fmt.Printf("%.2f mispredicts/KI\n", m.MISPKI())
 //
 // To reproduce the paper's combined scheme:
 //
-//	db, _, _ := branchsim.Profile("gcc", "train", "gshare:16KB")
+//	db := branchsim.NewProfileDB("gcc", "train")
+//	branchsim.Simulate(ctx,
+//		branchsim.Workload("gcc"), branchsim.Input("train"),
+//		branchsim.WithPredictorSpec("gshare:16KB"),
+//		branchsim.WithCollisions(), branchsim.WithProfileInto(db))
 //	hints, _ := branchsim.SelectHints(branchsim.StaticAcc{}, db)
-//	p, _ = branchsim.NewPredictor("gshare:16KB")
-//	m, _ = branchsim.Run(branchsim.RunConfig{
-//		Workload: "gcc", Input: "ref",
-//		Predictor: branchsim.Combine(p, hints, branchsim.NoShift),
-//	})
+//	p, _ := branchsim.NewPredictor("gshare:16KB")
+//	m, _ = branchsim.Simulate(ctx,
+//		branchsim.Workload("gcc"), branchsim.Input(branchsim.InputRef),
+//		branchsim.WithPredictor(branchsim.Combine(p, hints, branchsim.NoShift)),
+//	)
+//
+// Runs are observable: attach a sink built with [NewObserver] via
+// [WithObserver] to stream live counters (optionally over HTTP with
+// Observer.Serve) and journal one [ArmRecord] per completed run. The
+// deprecated [Run], [RunContext], [Profile] and [ProfileContext] wrappers
+// remain and produce results identical to the equivalent [Simulate] call.
 package branchsim

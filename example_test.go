@@ -1,6 +1,7 @@
 package branchsim_test
 
 import (
+	"context"
 	"fmt"
 
 	"branchsim"
@@ -8,14 +9,12 @@ import (
 
 // The simplest use: one predictor over one workload. All workloads and
 // predictors are deterministic, so the output is stable.
-func ExampleRun() {
-	p, err := branchsim.NewPredictor("gshare:2KB")
-	if err != nil {
-		panic(err)
-	}
-	m, err := branchsim.Run(branchsim.RunConfig{
-		Workload: "compress", Input: branchsim.InputTest, Predictor: p,
-	})
+func ExampleSimulate() {
+	m, err := branchsim.Simulate(context.Background(),
+		branchsim.Workload("compress"),
+		branchsim.Input(branchsim.InputTest),
+		branchsim.WithPredictorSpec("gshare:2KB"),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -27,8 +26,15 @@ func ExampleRun() {
 // The paper's two-phase flow: profile, select, combine, measure.
 func ExampleCombine() {
 	const spec = "ghist:2KB"
-	db, _, err := branchsim.Profile("compress", branchsim.InputTest, spec)
-	if err != nil {
+	ctx := context.Background()
+	db := branchsim.NewProfileDB("compress", branchsim.InputTest)
+	if _, err := branchsim.Simulate(ctx,
+		branchsim.Workload("compress"),
+		branchsim.Input(branchsim.InputTest),
+		branchsim.WithPredictorSpec(spec),
+		branchsim.WithCollisions(),
+		branchsim.WithProfileInto(db),
+	); err != nil {
 		panic(err)
 	}
 	hints, err := branchsim.SelectHints(branchsim.StaticAcc{}, db)
@@ -39,10 +45,11 @@ func ExampleCombine() {
 	if err != nil {
 		panic(err)
 	}
-	m, err := branchsim.Run(branchsim.RunConfig{
-		Workload: "compress", Input: branchsim.InputTest,
-		Predictor: branchsim.Combine(dyn, hints, branchsim.NoShift),
-	})
+	m, err := branchsim.Simulate(ctx,
+		branchsim.Workload("compress"),
+		branchsim.Input(branchsim.InputTest),
+		branchsim.WithPredictor(branchsim.Combine(dyn, hints, branchsim.NoShift)),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -52,10 +59,15 @@ func ExampleCombine() {
 }
 
 // Profiles expose per-branch bias and the highly-biased fraction the
-// paper's Table 2 reports.
-func ExampleProfile() {
-	db, _, err := branchsim.Profile("m88ksim", branchsim.InputTest, "")
-	if err != nil {
+// paper's Table 2 reports. With no predictor configured, WithProfileInto
+// collects the paper's bias-only profile.
+func ExampleWithProfileInto() {
+	db := branchsim.NewProfileDB("m88ksim", branchsim.InputTest)
+	if _, err := branchsim.Simulate(context.Background(),
+		branchsim.Workload("m88ksim"),
+		branchsim.Input(branchsim.InputTest),
+		branchsim.WithProfileInto(db),
+	); err != nil {
 		panic(err)
 	}
 	fmt.Printf("%d static branches, %.0f%% of executions highly biased\n",

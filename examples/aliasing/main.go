@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,11 +22,16 @@ func main() {
 		workload = os.Args[1]
 	}
 	const input = branchsim.InputTrain
+	ctx := context.Background()
 
 	// Bias-only profile: Static_95 does not depend on the dynamic
 	// predictor, so one profile serves the whole sweep.
-	db, _, err := branchsim.Profile(workload, input, "")
-	if err != nil {
+	db := branchsim.NewProfileDB(workload, input)
+	if _, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload),
+		branchsim.Input(input),
+		branchsim.WithProfileInto(db),
+	); err != nil {
 		log.Fatal(err)
 	}
 	hints, err := branchsim.SelectHints(branchsim.Static95{}, db)
@@ -46,11 +52,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			row[i], err = branchsim.Run(branchsim.RunConfig{
-				Workload: workload, Input: input,
-				Predictor:       branchsim.Combine(dyn, h, branchsim.NoShift),
-				TrackCollisions: true,
-			})
+			row[i], err = branchsim.Simulate(ctx,
+				branchsim.Workload(workload),
+				branchsim.Input(input),
+				branchsim.WithPredictor(branchsim.Combine(dyn, h, branchsim.NoShift)),
+				branchsim.WithCollisions(),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,15 +22,21 @@ func main() {
 		workload = os.Args[1]
 	}
 	const spec = "gshare:16KB"
+	ctx := context.Background()
 
-	trainDB, _, err := branchsim.Profile(workload, branchsim.InputTrain, "")
-	if err != nil {
-		log.Fatal(err)
+	biasProfile := func(input string) *branchsim.ProfileDB {
+		db := branchsim.NewProfileDB(workload, input)
+		if _, err := branchsim.Simulate(ctx,
+			branchsim.Workload(workload),
+			branchsim.Input(input),
+			branchsim.WithProfileInto(db),
+		); err != nil {
+			log.Fatal(err)
+		}
+		return db
 	}
-	refDB, _, err := branchsim.Profile(workload, branchsim.InputRef, "")
-	if err != nil {
-		log.Fatal(err)
-	}
+	trainDB := biasProfile(branchsim.InputTrain)
+	refDB := biasProfile(branchsim.InputRef)
 
 	// Table 5's question: how much does branch behaviour drift?
 	d := branchsim.Diverge(trainDB, refDB)
@@ -69,10 +76,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := branchsim.Run(branchsim.RunConfig{
-			Workload: workload, Input: branchsim.InputRef,
-			Predictor: branchsim.Combine(dyn, arm.hints, branchsim.NoShift),
-		})
+		m, err := branchsim.Simulate(ctx,
+			branchsim.Workload(workload),
+			branchsim.Input(branchsim.InputRef),
+			branchsim.WithPredictor(branchsim.Combine(dyn, arm.hints, branchsim.NoShift)),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

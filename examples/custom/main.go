@@ -4,10 +4,11 @@
 //
 // This example implements gselect (concatenating address and history bits
 // rather than xoring them, per McFarling 1993), wires it through
-// branchsim.Run, and combines it with Static_95 hints.
+// branchsim.Simulate, and combines it with Static_95 hints.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,12 +81,14 @@ func (g *GSelect) Reset() {
 func main() {
 	const workload = "compress"
 	const input = branchsim.InputTrain
+	ctx := context.Background()
 
 	mine := NewGSelect(9, 6) // 2^15 counters = 8KB
 	mine.Reset()
-	m1, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: input, Predictor: mine,
-	})
+	m1, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(input),
+		branchsim.WithPredictor(mine),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,9 +97,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: input, Predictor: ref,
-	})
+	m2, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(input),
+		branchsim.WithPredictor(ref),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,8 +108,11 @@ func main() {
 	fmt.Printf("%-18s %8.3f MISP/KI (%d bits)\n", "gshare:8KB", m2.MISPKI(), ref.SizeBits())
 
 	// The custom predictor composes with the paper's machinery unchanged.
-	db, _, err := branchsim.Profile(workload, input, "")
-	if err != nil {
+	db := branchsim.NewProfileDB(workload, input)
+	if _, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(input),
+		branchsim.WithProfileInto(db),
+	); err != nil {
 		log.Fatal(err)
 	}
 	hints, err := branchsim.SelectHints(branchsim.Static95{}, db)
@@ -114,10 +121,10 @@ func main() {
 	}
 	mine2 := NewGSelect(9, 6)
 	mine2.Reset()
-	m3, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: input,
-		Predictor: branchsim.Combine(mine2, hints, branchsim.ShiftOutcome),
-	})
+	m3, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(input),
+		branchsim.WithPredictor(branchsim.Combine(mine2, hints, branchsim.ShiftOutcome)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +21,7 @@ func main() {
 		workload = os.Args[1]
 	}
 	const spec = "gshare:16KB"
+	ctx := context.Background()
 
 	dir, err := os.MkdirTemp("", "spike-store-*")
 	if err != nil {
@@ -36,7 +38,12 @@ func main() {
 	// "as a program runs with different inputs ... Spike collects execution
 	// profiles and updates the profile database").
 	for _, input := range []string{branchsim.InputTest, branchsim.InputTrain, branchsim.InputRef} {
-		db, m, err := branchsim.Profile(workload, input, "")
+		db := branchsim.NewProfileDB(workload, input)
+		m, err := branchsim.Simulate(ctx,
+			branchsim.Workload(workload),
+			branchsim.Input(input),
+			branchsim.WithProfileInto(db),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,8 +64,12 @@ func main() {
 
 	// 3. Deploy on the reference input. Compare against hints generated
 	// naively from the train profile alone (no store, no filter).
-	naiveDB, _, err := branchsim.Profile(workload, branchsim.InputTrain, "")
-	if err != nil {
+	naiveDB := branchsim.NewProfileDB(workload, branchsim.InputTrain)
+	if _, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload),
+		branchsim.Input(branchsim.InputTrain),
+		branchsim.WithProfileInto(naiveDB),
+	); err != nil {
 		log.Fatal(err)
 	}
 	naiveHints, err := branchsim.SelectHints(branchsim.Static95{}, naiveDB)
@@ -66,25 +77,26 @@ func main() {
 		log.Fatal(err)
 	}
 	baseDyn, _ := branchsim.NewPredictor(spec)
-	base, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: branchsim.InputRef, Predictor: baseDyn,
-	})
+	base, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(branchsim.InputRef),
+		branchsim.WithPredictor(baseDyn),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	dyn, _ := branchsim.NewPredictor(spec)
-	comb, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: branchsim.InputRef,
-		Predictor: branchsim.Combine(dyn, hints, branchsim.NoShift),
-	})
+	comb, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(branchsim.InputRef),
+		branchsim.WithPredictor(branchsim.Combine(dyn, hints, branchsim.NoShift)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	naiveDyn, _ := branchsim.NewPredictor(spec)
-	naive, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: branchsim.InputRef,
-		Predictor: branchsim.Combine(naiveDyn, naiveHints, branchsim.NoShift),
-	})
+	naive, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload), branchsim.Input(branchsim.InputRef),
+		branchsim.WithPredictor(branchsim.Combine(naiveDyn, naiveHints, branchsim.NoShift)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,16 +16,15 @@ func main() {
 		input    = branchsim.InputTrain // "train" keeps the example fast
 		spec     = "gshare:8KB"
 	)
+	ctx := context.Background()
 
 	// 1. Baseline: the dynamic predictor alone.
-	dyn, err := branchsim.NewPredictor(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	base, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: input,
-		Predictor: dyn, TrackCollisions: true,
-	})
+	base, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload),
+		branchsim.Input(input),
+		branchsim.WithPredictorSpec(spec),
+		branchsim.WithCollisions(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,8 +32,14 @@ func main() {
 
 	// 2. Phase 1 (the paper's selection phase): profile the same predictor
 	// to learn each branch's bias and per-branch accuracy.
-	db, _, err := branchsim.Profile(workload, input, spec)
-	if err != nil {
+	db := branchsim.NewProfileDB(workload, input)
+	if _, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload),
+		branchsim.Input(input),
+		branchsim.WithPredictorSpec(spec),
+		branchsim.WithCollisions(),
+		branchsim.WithProfileInto(db),
+	); err != nil {
 		log.Fatal(err)
 	}
 
@@ -50,11 +56,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	combined, err := branchsim.Run(branchsim.RunConfig{
-		Workload: workload, Input: input,
-		Predictor:       branchsim.Combine(dyn2, hints, branchsim.NoShift),
-		TrackCollisions: true,
-	})
+	combined, err := branchsim.Simulate(ctx,
+		branchsim.Workload(workload),
+		branchsim.Input(input),
+		branchsim.WithPredictor(branchsim.Combine(dyn2, hints, branchsim.NoShift)),
+		branchsim.WithCollisions(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package branchsim_test
 
 import (
+	"context"
 	"testing"
 
 	"branchsim"
@@ -15,7 +16,7 @@ import (
 //
 // When a change is intentional, regenerate with:
 //
-//	for each spec: Run(synth/test) and record Mispredicts, Collisions.Total
+//	for each spec: Simulate(synth/test) and record Mispredicts, Collisions.Total
 func TestGoldenSynthResults(t *testing.T) {
 	golden := []struct {
 		spec       string
@@ -36,14 +37,12 @@ func TestGoldenSynthResults(t *testing.T) {
 		{"perceptron:1KB", 10732, 30719},
 	}
 	for _, g := range golden {
-		p, err := branchsim.NewPredictor(g.spec)
-		if err != nil {
-			t.Fatal(err)
-		}
-		m, err := branchsim.Run(branchsim.RunConfig{
-			Workload: "synth", Input: branchsim.InputTest,
-			Predictor: p, TrackCollisions: true,
-		})
+		m, err := branchsim.Simulate(context.Background(),
+			branchsim.Workload("synth"),
+			branchsim.Input(branchsim.InputTest),
+			branchsim.WithPredictorSpec(g.spec),
+			branchsim.WithCollisions(),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,13 +60,11 @@ func TestGoldenSynthResults(t *testing.T) {
 func TestGoldenWorkloadStreams(t *testing.T) {
 	golden := map[string]struct{ instr, branches uint64 }{}
 	for _, name := range branchsim.Workloads() {
-		p, err := branchsim.NewPredictor("taken")
-		if err != nil {
-			t.Fatal(err)
-		}
-		m, err := branchsim.Run(branchsim.RunConfig{
-			Workload: name, Input: branchsim.InputTest, Predictor: p,
-		})
+		m, err := branchsim.Simulate(context.Background(),
+			branchsim.Workload(name),
+			branchsim.Input(branchsim.InputTest),
+			branchsim.WithPredictorSpec("taken"),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}

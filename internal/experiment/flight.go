@@ -48,6 +48,15 @@ type call[T any] struct {
 // abandons the wait with ctx's error; the computation itself keeps running
 // for the callers that still want it.
 func (f *flight[T]) do(ctx context.Context, key string, fn func() (T, error)) (T, error) {
+	v, _, err := f.doShared(ctx, key, fn)
+	return v, err
+}
+
+// doShared is do, additionally reporting whether the result was shared: true
+// when the call coalesced onto an already-memoized or in-flight computation
+// (fn did not run on behalf of this caller), false when this caller computed.
+// The flag feeds the observability layer's singleflight-hit counter.
+func (f *flight[T]) doShared(ctx context.Context, key string, fn func() (T, error)) (T, bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -59,10 +68,10 @@ func (f *flight[T]) do(ctx context.Context, key string, fn func() (T, error)) (T
 		f.mu.Unlock()
 		select {
 		case <-c.done:
-			return c.val, c.err
+			return c.val, true, c.err
 		case <-ctx.Done():
 			var zero T
-			return zero, ctx.Err()
+			return zero, true, ctx.Err()
 		}
 	}
 	c := &call[T]{done: make(chan struct{})}
@@ -78,7 +87,7 @@ func (f *flight[T]) do(ctx context.Context, key string, fn func() (T, error)) (T
 		f.mu.Unlock()
 	}
 	close(c.done)
-	return c.val, c.err
+	return c.val, false, c.err
 }
 
 // attempt runs fn under the retry policy: transient errors are re-attempted

@@ -5,6 +5,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"branchsim/internal/core"
+	"branchsim/internal/obs"
 	"branchsim/internal/predictor"
 	"branchsim/internal/profile"
 	"branchsim/internal/replay"
@@ -47,20 +49,32 @@ type Harness struct {
 	// (paper: "train").
 	TrainInput string
 	// Log, when non-nil, receives one line per uncached simulation.
+	//
+	// Deprecated: pass WithLogger to NewHarness.
 	Log io.Writer
 	// ArmTimeout, when positive, bounds each uncached simulation
 	// (profile or measurement run) with its own deadline.
+	//
+	// Deprecated: pass WithArmTimeout to NewHarness.
 	ArmTimeout time.Duration
 	// Retry bounds in-place re-attempts of transient arm failures.
+	//
+	// Deprecated: pass WithRetry to NewHarness.
 	Retry RetryPolicy
 	// Checkpoint, when non-nil, journals completed profiles and run
 	// metrics and consults the journal before simulating.
+	//
+	// Deprecated: pass WithCheckpoint to NewHarness.
 	Checkpoint *Checkpoint
 	// Lookup resolves workload names; nil means workload.Get. Tests
 	// substitute fault-injecting programs here.
+	//
+	// Deprecated: pass WithLookup to NewHarness.
 	Lookup func(name string) (workload.Program, error)
 	// NewPredictor builds predictors from specs; nil means predictor.New.
 	// Tests substitute fault-injecting predictors here.
+	//
+	// Deprecated: pass WithPredictorFactory to NewHarness.
 	NewPredictor func(spec string) (predictor.Predictor, error)
 	// Replay, when non-nil, shares one instrumented execution per
 	// (workload, input) across uncached arms: the first arm to need a
@@ -69,7 +83,21 @@ type Harness struct {
 	// bit-identical to direct execution, and singleflight and checkpoint
 	// keys are unchanged, so attaching an engine never changes results —
 	// only how often workloads execute.
+	//
+	// Deprecated: pass WithReplay (or WithWorkers) to NewHarness.
 	Replay *replay.Engine
+	// Obs is the observability layer: when non-nil, every arm gets a
+	// lifecycle span (phase timings, retries, cache-hit provenance, final
+	// metrics) journaled through it, and the harness's work counters are
+	// published to its registry. Nil disables observation at zero cost.
+	// Set it with WithObserver; observation never changes results.
+	Obs *obs.Observer
+
+	// workers / wantOwnedReplay / ownedReplay implement WithWorkers: a
+	// replay engine the harness creates and Close releases.
+	workers         int
+	wantOwnedReplay bool
+	ownedReplay     bool
 
 	logMu    sync.Mutex
 	once     sync.Once
@@ -132,20 +160,35 @@ func (h *Harness) newPredictor(spec string) (predictor.Predictor, error) {
 // by direct execution otherwise. newRec must build the arm's recorder from
 // scratch on every call (the engine re-invokes it when a shared capture
 // fails mid-stream and the partial feed must be discarded); feed leaves the
-// recorder of the final, successful attempt for the caller to read.
-func (h *Harness) feed(ctx context.Context, prog workload.Program, input string, newRec func() (trace.Recorder, error)) error {
+// recorder of the final, successful attempt for the caller to read. The
+// returned phase says how the stream was fed — direct execution
+// (PhaseSimulate), shared capture (PhaseCapture) or replay of one
+// (PhaseReplay) — for the arm's span.
+func (h *Harness) feed(ctx context.Context, prog workload.Program, input string, newRec func() (trace.Recorder, error)) (obs.Phase, error) {
 	if h.Replay == nil {
 		rec, err := newRec()
 		if err != nil {
-			return err
+			return obs.PhaseSimulate, err
 		}
-		return workload.RunProgram(ctx, prog, input, rec)
+		return obs.PhaseSimulate, workload.RunProgram(ctx, prog, input, rec)
 	}
 	produce := func(r trace.Recorder) error {
 		return workload.RunProgram(ctx, prog, input, r)
 	}
-	_, err := h.Replay.Run(ctx, replay.Key(prog.Name(), input), produce, newRec)
-	return err
+	_, src, err := h.Replay.RunSourced(ctx, replay.Key(prog.Name(), input), produce, newRec)
+	if src == replay.SourceCapture {
+		return obs.PhaseCapture, err
+	}
+	return obs.PhaseReplay, err
+}
+
+// countPanic bumps the observer's panic counter when err carries an
+// isolated arm panic.
+func (h *Harness) countPanic(err error) {
+	var pe *workload.PanicError
+	if errors.As(err, &pe) {
+		h.Obs.Counter(obs.MPanics).Add(1)
+	}
 }
 
 // armCtx derives the context one uncached simulation runs under.
@@ -176,16 +219,17 @@ func guard[T any](fn func() (T, error)) (val T, err error) {
 	return fn()
 }
 
-// NewHarness returns a full-scale harness (ref/train inputs).
-func NewHarness() *Harness {
-	return &Harness{RefInput: workload.InputRef, TrainInput: workload.InputTrain}
+// NewHarness returns a full-scale harness (ref/train inputs), configured by
+// the given options.
+func NewHarness(opts ...HarnessOption) *Harness {
+	return (&Harness{RefInput: workload.InputRef, TrainInput: workload.InputTrain}).apply(opts)
 }
 
 // NewQuickHarness returns a reduced harness for tests and -short benches:
 // measurements run on the train input, cross-training profiles on the test
 // input. Shapes shrink but every code path is exercised.
-func NewQuickHarness() *Harness {
-	return &Harness{RefInput: workload.InputTrain, TrainInput: workload.InputTest}
+func NewQuickHarness(opts ...HarnessOption) *Harness {
+	return (&Harness{RefInput: workload.InputTrain, TrainInput: workload.InputTest}).apply(opts)
 }
 
 func (h *Harness) logf(format string, args ...any) {
@@ -202,19 +246,38 @@ func (h *Harness) logf(format string, args ...any) {
 // *ArmError and are not memoized, so a later call retries.
 func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*profile.DB, error) {
 	h.setup()
-	key := "p|" + wl + "|" + input + "|" + predSpec
-	db, err := h.profiles.do(ctx, key, func() (*profile.DB, error) {
+	spec := predictor.Canonical(predSpec)
+	key := "p|" + wl + "|" + input + "|" + spec
+	var span *obs.Span
+	attempts := 0
+	db, shared, err := h.profiles.doShared(ctx, key, func() (*profile.DB, error) {
+		// The span is created inside the singleflight fn — it runs in the
+		// winning caller's goroutine — so one arm gets exactly one span no
+		// matter how many callers coalesce onto it. Retries re-enter fn and
+		// accumulate onto the same span.
+		if attempts++; attempts == 1 {
+			span = h.Obs.StartArm("profile", key)
+			span.SetLabels(wl, input, spec, "")
+		} else {
+			span.AddRetry()
+		}
 		if h.Checkpoint != nil {
-			if db, ok := h.Checkpoint.LookupProfile(key); ok {
+			endCk := span.Phase(obs.PhaseCheckpoint)
+			db, ok := h.Checkpoint.LookupProfile(key)
+			endCk()
+			if ok {
 				h.checkpointHits.Add(1)
-				h.logf("profile %-8s %-5s %-14s (checkpoint)", wl, input, predSpec)
+				h.Obs.Counter(obs.MCheckpointHits).Add(1)
+				span.SetSource(obs.SourceCheckpoint)
+				span.SetEvents(db.DynamicBranches())
+				h.logf("profile %-8s %-5s %-14s (checkpoint)", wl, input, spec)
 				return db, nil
 			}
 		}
 		armCtx, cancel := h.armCtx(ctx)
 		defer cancel()
 		db, err := guard(func() (*profile.DB, error) {
-			h.logf("profile %-8s %-5s %s", wl, input, predSpec)
+			h.logf("profile %-8s %-5s %s", wl, input, spec)
 			prog, err := h.lookup(wl)
 			if err != nil {
 				return nil, err
@@ -223,28 +286,32 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 			// the factory: a replay retry must not accumulate into a DB
 			// that already saw a partial stream.
 			var db *profile.DB
+			t0 := time.Now()
+			var phase obs.Phase
 			if predSpec == "" {
 				var rec *biasOnly
-				err := h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+				phase, err = h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
 					db = profile.NewDB(wl, input)
 					rec = &biasOnly{db: db}
 					return rec, nil
 				})
+				span.AddPhase(phase, time.Since(t0))
 				if err != nil {
 					return nil, err
 				}
 				db.Instructions = rec.instr
 			} else {
 				var r *sim.Runner
-				err := h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+				phase, err = h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
 					p, err := h.newPredictor(predSpec)
 					if err != nil {
 						return nil, err
 					}
 					db = profile.NewDB(wl, input)
-					r = sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db))
+					r = sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db), sim.WithObserver(h.Obs))
 					return r, nil
 				})
+				span.AddPhase(phase, time.Since(t0))
 				if err != nil {
 					return nil, err
 				}
@@ -257,12 +324,21 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 		}
 		h.profilesComputed.Add(1)
 		if h.Checkpoint != nil {
+			endCk := span.Phase(obs.PhaseCheckpoint)
 			if err := h.Checkpoint.SaveProfile(key, db); err != nil {
 				h.logf("checkpoint: %v", err)
 			}
+			endCk()
 		}
+		span.SetEvents(db.DynamicBranches())
 		return db, nil
 	})
+	if shared {
+		h.Obs.Counter(obs.MSingleflightHits).Add(1)
+	} else {
+		h.countPanic(err)
+		span.End(err)
+	}
 	return db, armError("profile", key, err)
 }
 
@@ -295,7 +371,15 @@ type Arm struct {
 }
 
 func (a Arm) key() string {
-	return fmt.Sprintf("r|%s|%s|%s|%s|%s|%g|%d", a.Workload, a.Input, a.Pred, a.Scheme, a.ProfileInput, a.FilterDrift, a.Shift)
+	return fmt.Sprintf("r|%s|%s|%s|%s|%s|%g|%d", a.Workload, a.Input, predictor.Canonical(a.Pred), a.Scheme, a.ProfileInput, a.FilterDrift, a.Shift)
+}
+
+// schemeLabel is the scheme for journal records: "none" when unset.
+func (a Arm) schemeLabel() string {
+	if a.Scheme == "" {
+		return "none"
+	}
+	return a.Scheme
 }
 
 // Hints returns the memoized hint set for an arm ("none" → nil).
@@ -308,7 +392,7 @@ func (h *Harness) Hints(ctx context.Context, a Arm) (*core.HintDB, error) {
 	if profInput == "" {
 		profInput = a.input(h)
 	}
-	key := fmt.Sprintf("h|%s|%s|%s|%s|%g|%s", a.Workload, profInput, a.Pred, a.Scheme, a.FilterDrift, a.input(h))
+	key := fmt.Sprintf("h|%s|%s|%s|%s|%g|%s", a.Workload, profInput, predictor.Canonical(a.Pred), a.Scheme, a.FilterDrift, a.input(h))
 	hd, err := h.hints.do(ctx, key, func() (*core.HintDB, error) {
 		return guard(func() (*core.HintDB, error) {
 			sel, err := core.SelectorByName(a.Scheme)
@@ -353,12 +437,28 @@ func (a Arm) input(h *Harness) string {
 // deadline; failures are reported as *ArmError and not memoized.
 func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 	h.setup()
+	spec := predictor.Canonical(a.Pred)
 	key := a.key() + "|" + a.input(h)
-	m, err := h.runs.do(ctx, key, func() (sim.Metrics, error) {
+	var span *obs.Span
+	attempts := 0
+	m, shared, err := h.runs.doShared(ctx, key, func() (sim.Metrics, error) {
+		if attempts++; attempts == 1 {
+			span = h.Obs.StartArm("run", key)
+			span.SetLabels(a.Workload, a.input(h), spec, a.schemeLabel())
+		} else {
+			span.AddRetry()
+		}
 		if h.Checkpoint != nil {
-			if m, ok := h.Checkpoint.LookupRun(key); ok {
+			endCk := span.Phase(obs.PhaseCheckpoint)
+			m, ok := h.Checkpoint.LookupRun(key)
+			endCk()
+			if ok {
 				h.checkpointHits.Add(1)
-				h.logf("run     %-8s %-5s %-14s %-10s (checkpoint)", a.Workload, a.input(h), a.Pred, a.Scheme)
+				h.Obs.Counter(obs.MCheckpointHits).Add(1)
+				span.SetSource(obs.SourceCheckpoint)
+				span.SetEvents(m.Branches)
+				span.SetMetrics(m)
+				h.logf("run     %-8s %-5s %-14s %-10s (checkpoint)", a.Workload, a.input(h), spec, a.schemeLabel())
 				return m, nil
 			}
 		}
@@ -367,8 +467,12 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 		m, err := guard(func() (sim.Metrics, error) {
 			// Hints are memoized and effectively read-only, so they are
 			// resolved once; the predictor stack is rebuilt inside the
-			// factory so a replay retry starts from pristine tables.
+			// factory so a replay retry starts from pristine tables. The
+			// select phase covers hint resolution, including any nested
+			// profile arms it triggers (those get their own spans too).
+			endSel := span.Phase(obs.PhaseSelect)
 			hints, err := h.Hints(armCtx, a)
+			endSel()
 			if err != nil {
 				return sim.Metrics{}, err
 			}
@@ -377,17 +481,19 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 				return sim.Metrics{}, err
 			}
 			input := a.input(h)
-			h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, a.Pred, a.Scheme, a.Shift, a.ProfileInput)
+			h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, spec, a.schemeLabel(), a.Shift, a.ProfileInput)
 			var r *sim.Runner
-			err = h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+			t0 := time.Now()
+			phase, err := h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
 				dyn, err := h.newPredictor(a.Pred)
 				if err != nil {
 					return nil, err
 				}
 				p := core.NewCombined(dyn, hints, a.Shift)
-				r = sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions())
+				r = sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions(), sim.WithObserver(h.Obs))
 				return r, nil
 			})
+			span.AddPhase(phase, time.Since(t0))
 			if err != nil {
 				return sim.Metrics{}, err
 			}
@@ -398,12 +504,22 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 		}
 		h.runsComputed.Add(1)
 		if h.Checkpoint != nil {
+			endCk := span.Phase(obs.PhaseCheckpoint)
 			if err := h.Checkpoint.SaveRun(key, m); err != nil {
 				h.logf("checkpoint: %v", err)
 			}
+			endCk()
 		}
+		span.SetEvents(m.Branches)
+		span.SetMetrics(m)
 		return m, nil
 	})
+	if shared {
+		h.Obs.Counter(obs.MSingleflightHits).Add(1)
+	} else {
+		h.countPanic(err)
+		span.End(err)
+	}
 	return m, armError("run", key, err)
 }
 
@@ -460,6 +576,7 @@ var paperOrder = []string{
 	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 	"table3", "table4", "table5", "fig13",
 	"abl-cutoff", "abl-shift", "abl-agree", "abl-staticcol", "abl-zoo", "abl-history", "abl-modern", "abl-pipeline", "abl-extra",
+	"smoke",
 }
 
 // All returns the registered experiments in paper order.

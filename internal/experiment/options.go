@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"io"
+	"time"
+
+	"branchsim/internal/obs"
+	"branchsim/internal/predictor"
+	"branchsim/internal/replay"
+	"branchsim/internal/workload"
+)
+
+// HarnessOption configures a Harness at construction. Options are the
+// supported configuration surface; the exported struct fields they set
+// remain for compatibility but are deprecated.
+type HarnessOption func(*Harness)
+
+// WithLogger sends one human-readable line per uncached simulation (and per
+// checkpoint event) to w. For structured, machine-readable output attach an
+// observer with a journal instead — see WithObserver.
+func WithLogger(w io.Writer) HarnessOption {
+	return func(h *Harness) { h.Log = w }
+}
+
+// WithArmTimeout bounds each uncached simulation with its own deadline.
+func WithArmTimeout(d time.Duration) HarnessOption {
+	return func(h *Harness) { h.ArmTimeout = d }
+}
+
+// WithRetry sets the in-place retry policy for transient arm failures.
+func WithRetry(p RetryPolicy) HarnessOption {
+	return func(h *Harness) { h.Retry = p }
+}
+
+// WithCheckpoint journals completed work into cp and consults it before
+// simulating, so a killed sweep resumes where it stopped.
+func WithCheckpoint(cp *Checkpoint) HarnessOption {
+	return func(h *Harness) { h.Checkpoint = cp }
+}
+
+// WithReplay attaches a capture-once replay engine: one instrumented
+// execution per (workload, input) is shared across uncached arms. The
+// caller keeps ownership of the engine (and closes it); to let the harness
+// own one, use WithWorkers instead.
+func WithReplay(e *replay.Engine) HarnessOption {
+	return func(h *Harness) { h.Replay = e }
+}
+
+// WithWorkers attaches a harness-owned capture-once replay engine whose
+// worker pool is bounded at n concurrent replay decodes (n <= 0 means
+// GOMAXPROCS). The engine is created with an unbounded memory budget;
+// sweeps that need spill-to-disk should build their own engine and pass it
+// with WithReplay, which takes precedence. Close the harness to release the
+// owned engine.
+func WithWorkers(n int) HarnessOption {
+	return func(h *Harness) { h.workers = n; h.wantOwnedReplay = true }
+}
+
+// WithObserver threads the observability layer through the harness: per-arm
+// lifecycle spans (with phase timings and cache-hit provenance) flow to o's
+// journal, and the harness's counters — arms, retries, checkpoint and
+// singleflight hits — to o's registry. The observer is also propagated to
+// the replay engine attached at construction time. A nil o leaves the
+// harness unobserved (the zero-cost default).
+func WithObserver(o *obs.Observer) HarnessOption {
+	return func(h *Harness) { h.Obs = o }
+}
+
+// WithLookup substitutes the workload resolver (nil means workload.Get).
+// Fault-injection tests use it to wrap programs with fault plans.
+func WithLookup(fn func(name string) (workload.Program, error)) HarnessOption {
+	return func(h *Harness) { h.Lookup = fn }
+}
+
+// WithPredictorFactory substitutes the predictor builder (nil means
+// predictor.New). Fault-injection tests use it to wrap predictors.
+func WithPredictorFactory(fn func(spec string) (predictor.Predictor, error)) HarnessOption {
+	return func(h *Harness) { h.NewPredictor = fn }
+}
+
+// apply runs opts and finalizes cross-option wiring: a WithWorkers-owned
+// replay engine is created only when WithReplay did not supply one, and the
+// observer is propagated to whichever engine ended up attached.
+func (h *Harness) apply(opts []HarnessOption) *Harness {
+	for _, opt := range opts {
+		opt(h)
+	}
+	if h.Replay == nil && h.wantOwnedReplay {
+		h.Replay = replay.New(h.workers, 0, "")
+		h.ownedReplay = true
+	}
+	if h.Replay != nil && h.Obs != nil {
+		h.Replay.SetObserver(h.Obs)
+	}
+	return h
+}
+
+// Close releases resources the harness owns — today, the replay engine
+// created by WithWorkers (WithReplay engines stay with their caller). Safe
+// to call on a harness without owned resources, and idempotent.
+func (h *Harness) Close() {
+	if h.ownedReplay && h.Replay != nil {
+		h.Replay.Close()
+		h.Replay = nil
+		h.ownedReplay = false
+	}
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"context"
+
+	"branchsim/internal/report"
+)
+
+// The smoke experiment is a deliberately tiny sweep — two arms on the
+// fastest workload — used by CI (and humans) to exercise the full pipeline
+// end to end: harness, replay engine, checkpointing, and the observability
+// journal, in seconds. It is registered like any other experiment but sits
+// last in the paper order, so "-run all" runs it after the real tables.
+func init() {
+	register(Experiment{
+		ID:          "smoke",
+		Title:       "Pipeline smoke test (two arms)",
+		Paper:       "none",
+		Description: "gshare:4KB and bimodal:4KB baselines on compress — a seconds-long sweep that touches every pipeline stage, for CI and quick health checks.",
+		Run:         runSmoke,
+	})
+}
+
+func runSmoke(ctx context.Context, h *Harness) (*Result, error) {
+	t := report.NewTable("smoke: baseline MISP/KI on compress", "Predictor", "MISP/KI", "Accuracy")
+	for _, pred := range []string{"gshare:4KB", "bimodal:4KB"} {
+		m, err := h.Run(ctx, Arm{Workload: "compress", Pred: pred, Scheme: "none"})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pred, report.F(m.MISPKI(), 3), report.Pct(m.Accuracy()))
+	}
+	return &Result{ID: "smoke", Title: t.Title, Tables: []*report.Table{t}}, nil
+}

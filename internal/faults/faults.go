@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"branchsim/internal/obs"
 )
 
 // Kind is the effect of one scheduled fault.
@@ -79,15 +81,25 @@ func (f Fault) matches(n uint64) bool {
 // Plan is a deterministic fault schedule shared by one wrapper. It is safe
 // for concurrent use; the operation counter is global across goroutines.
 type Plan struct {
-	mu     sync.Mutex
-	n      uint64
-	faults []Fault
-	fired  uint64
+	mu      sync.Mutex
+	n       uint64
+	faults  []Fault
+	fired   uint64
+	counter *obs.Counter
 }
 
 // NewPlan returns a plan firing the given faults.
 func NewPlan(faults ...Fault) *Plan {
 	return &Plan{faults: faults}
+}
+
+// SetObserver publishes every fired injection to o's registry under
+// obs.MFaultsInjected, so fault-test sweeps can see injections alongside
+// the arm spans they perturb. A nil observer leaves the plan unobserved.
+func (p *Plan) SetObserver(o *obs.Observer) {
+	p.mu.Lock()
+	p.counter = o.Counter(obs.MFaultsInjected)
+	p.mu.Unlock()
 }
 
 // Fired reports how many faults have fired so far.
@@ -112,6 +124,7 @@ func (p *Plan) tick() *Fault {
 	for i := range p.faults {
 		if p.faults[i].matches(p.n) {
 			p.fired++
+			p.counter.Add(1)
 			return &p.faults[i]
 		}
 	}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server is the observer's HTTP endpoint: /debug/vars serves an
+// expvar-style JSON dump of the metric registry plus process stats, and
+// /debug/pprof/* serves the standard Go profiles. It binds its own mux, so
+// nothing leaks into http.DefaultServeMux and several servers can coexist
+// in one process (tests, multi-sweep tools).
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the metrics endpoint on addr (e.g. ":8080", "127.0.0.1:0").
+// Pass a ":0" port to let the kernel pick; the bound address is available
+// from Server.Addr. Returns an error on a nil observer — callers gate the
+// flag, not the serve call.
+func (o *Observer) Serve(addr string) (*Server, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: Serve on a disabled (nil) observer")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", o.varsHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "branchsim metrics endpoint\n\n  /debug/vars\n  /debug/pprof/")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &Server{l: l, srv: srv}, nil
+}
+
+// varsHandler dumps the registry plus a small set of process stats in one
+// flat JSON object, expvar-style.
+func (o *Observer) varsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	snap := o.Registry().Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap["process.goroutines"] = int64(runtime.NumGoroutine())
+	snap["process.heap_bytes"] = int64(ms.HeapAlloc)
+	snap["process.total_alloc_bytes"] = int64(ms.TotalAlloc)
+	snap["process.num_gc"] = int64(ms.NumGC)
+	snap["process.uptime_ns"] = int64(o.Uptime())
+	// encoding/json sorts map keys on encode — exactly the stable order
+	// /debug/vars wants.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(snap)
+}
+
+// Addr returns the endpoint's bound address ("127.0.0.1:43121").
+func (s *Server) Addr() string {
+	if s == nil || s.l == nil {
+		return ""
+	}
+	return s.l.Addr().String()
+}
+
+// Close stops the endpoint. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

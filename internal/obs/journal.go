@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal writes the run journal: one ArmRecord per line, JSON-encoded
+// (JSONL). It serializes concurrent writers, so every line is one complete
+// record even when arms finish simultaneously. A nil *Journal is a no-op.
+type Journal struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+}
+
+// NewJournal wraps w. The caller keeps ownership of w; Close flushes but
+// does not close it.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w)}
+}
+
+// OpenJournal creates (or truncates) a journal file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	return &Journal{w: bufio.NewWriter(f), c: f}, nil
+}
+
+// Record appends one arm record as a single JSONL line and flushes, so a
+// killed run keeps every completed arm.
+func (j *Journal) Record(rec *ArmRecord) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: encoding journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(data); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes buffered records and closes the underlying file, when the
+// journal owns one. Safe on nil.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.w.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+		j.c = nil
+	}
+	return err
+}
+
+// ReadJournal parses a JSONL run journal. Blank lines are skipped; a
+// malformed line fails the whole read with its line number, since a journal
+// that doesn't parse is a bug, not a degradation.
+func ReadJournal(r io.Reader) ([]ArmRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // profiles can make fat records
+	var out []ArmRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		var rec ArmRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading journal: %w", err)
+	}
+	return out, nil
+}
+
+// ReadJournalFile is ReadJournal over a file.
+func ReadJournalFile(path string) ([]ArmRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

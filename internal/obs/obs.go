@@ -1,0 +1,174 @@
+// Package obs is the experiment pipeline's observability layer: an atomic
+// in-process metric registry (counters, gauges, timers), per-arm lifecycle
+// spans with phase timings, a structured JSONL run journal, a periodic
+// terminal progress reporter, and an optional HTTP endpoint serving
+// expvar-style metric dumps plus net/http/pprof.
+//
+// The layer is built around one rule: disabled observability costs nothing.
+// Every type in this package is nil-safe — a nil *Observer hands out nil
+// *Counter/*Gauge/*Timer/*Span handles, and every method on those nil
+// handles is a no-op — so instrumented code calls through unconditionally,
+// with no branching at the call sites and no allocation on the disabled
+// path. Hot loops (the simulator's per-branch path) additionally batch
+// their updates: they accumulate locally and flush deltas at a coarse
+// cadence, so even an enabled observer never puts an atomic operation on
+// the per-event path.
+//
+// Well-known metric names are declared as M* constants so the packages
+// emitting them and the consumers reading them (the progress reporter, the
+// /debug/vars endpoint, tests) agree without importing each other.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Well-known metric names. Counters unless noted.
+const (
+	// MSimEvents counts dynamic branch events simulated across all runners.
+	MSimEvents = "sim.events"
+	// MSimMispredicts counts mispredictions across all runners.
+	MSimMispredicts = "sim.mispredicts"
+
+	// MReplayCaptures counts shared-stream captures (one per distinct
+	// workload/input that executed).
+	MReplayCaptures = "replay.captures"
+	// MReplayReplays counts arms fed from a shared capture instead of
+	// executing the workload.
+	MReplayReplays = "replay.replays"
+	// MReplayChunksCaptured counts encoded chunks sealed by captures.
+	MReplayChunksCaptured = "replay.chunks_captured"
+	// MReplayChunksSpilled counts sealed chunks that went to the spill file.
+	MReplayChunksSpilled = "replay.chunks_spilled"
+	// MReplayChunksReplayed counts chunk decodes performed by replaying arms.
+	MReplayChunksReplayed = "replay.chunks_replayed"
+	// MReplayMemBytes (gauge) is the engine's current in-memory encoded
+	// trace occupancy, in bytes.
+	MReplayMemBytes = "replay.mem_bytes"
+	// MReplayPoolWaiting (gauge) is the number of replays currently blocked
+	// waiting for a worker-pool slot.
+	MReplayPoolWaiting = "replay.pool_waiting"
+
+	// MArmsStarted counts harness arms (profiles and runs) started.
+	MArmsStarted = "experiment.arms_started"
+	// MArmsDone counts harness arms finished successfully.
+	MArmsDone = "experiment.arms_done"
+	// MArmsFailed counts harness arms that ended in an error.
+	MArmsFailed = "experiment.arms_failed"
+	// MArmsRunning (gauge) is the number of arms currently in flight.
+	MArmsRunning = "experiment.arms_running"
+	// MRetries counts in-place re-attempts of transiently failed arms.
+	MRetries = "experiment.retries"
+	// MPanics counts arms that died of an isolated panic.
+	MPanics = "experiment.panics"
+	// MCheckpointHits counts arms satisfied from the on-disk checkpoint.
+	MCheckpointHits = "experiment.checkpoint_hits"
+	// MSingleflightHits counts arm requests coalesced onto an in-flight or
+	// memoized computation instead of simulating again.
+	MSingleflightHits = "experiment.singleflight_hits"
+
+	// MFaultsInjected counts injected faults fired (test pipelines only).
+	MFaultsInjected = "faults.injected"
+)
+
+// Observer is the top-level observability handle threaded through the
+// pipeline: a metric registry plus an optional JSONL journal. A nil
+// *Observer is the disabled layer — every method no-ops and every handle it
+// returns is itself a no-op. Observers are safe for concurrent use.
+type Observer struct {
+	reg     *Registry
+	journal *Journal
+	start   time.Time
+
+	// errw receives the one-shot journal-failure report; nil means stderr.
+	errw        io.Writer
+	journalOnce sync.Once
+}
+
+// Option configures an Observer at construction.
+type Option func(*Observer)
+
+// WithJournal attaches a run journal: every completed arm span is appended
+// to it as one JSONL record. The journal is closed by Observer.Close.
+func WithJournal(j *Journal) Option {
+	return func(o *Observer) { o.journal = j }
+}
+
+// WithErrorLog redirects the observer's own failure reports (journal write
+// errors) from stderr to w.
+func WithErrorLog(w io.Writer) Option {
+	return func(o *Observer) { o.errw = w }
+}
+
+// New returns an enabled Observer with a fresh registry.
+func New(opts ...Option) *Observer {
+	o := &Observer{reg: NewRegistry(), start: time.Now()}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Registry returns the observer's metric registry (nil for a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Journal returns the attached journal, if any (nil for a nil observer).
+func (o *Observer) Journal() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.journal
+}
+
+// Counter returns the named counter (nil, a no-op, for a nil observer).
+func (o *Observer) Counter(name string) *Counter { return o.Registry().Counter(name) }
+
+// Gauge returns the named gauge (nil, a no-op, for a nil observer).
+func (o *Observer) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
+
+// Timer returns the named timer (nil, a no-op, for a nil observer).
+func (o *Observer) Timer(name string) *Timer { return o.Registry().Timer(name) }
+
+// Uptime reports how long the observer has existed — the run's elapsed wall
+// time for reporters. Zero for a nil observer.
+func (o *Observer) Uptime() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.start)
+}
+
+// Close flushes and closes the attached journal, if any. Safe on nil.
+func (o *Observer) Close() error {
+	if o == nil || o.journal == nil {
+		return nil
+	}
+	return o.journal.Close()
+}
+
+// record appends one finished arm record to the journal (if attached).
+// Journal write failures are reported once and then swallowed: observability
+// must never fail the sweep it observes.
+func (o *Observer) record(rec *ArmRecord) {
+	if o == nil || o.journal == nil {
+		return
+	}
+	if err := o.journal.Record(rec); err != nil {
+		o.journalOnce.Do(func() {
+			w := o.errw
+			if w == nil {
+				w = os.Stderr
+			}
+			fmt.Fprintf(w, "obs: journal write failed (further errors suppressed): %v\n", err)
+		})
+	}
+}

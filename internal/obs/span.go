@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Phase names one stage of an arm's lifecycle. The stream-feeding stage is
+// recorded under the name that says where the branch events actually came
+// from: "capture" (this arm executed the instrumented workload and recorded
+// it), "replay" (fed from a shared capture) or "simulate" (direct execution,
+// no replay engine attached).
+type Phase string
+
+// Arm lifecycle phases.
+const (
+	PhaseCapture    Phase = "capture"
+	PhaseReplay     Phase = "replay"
+	PhaseSimulate   Phase = "simulate"
+	PhaseSelect     Phase = "select"
+	PhaseCheckpoint Phase = "checkpoint"
+)
+
+// Arm-record Source values: where the arm's result came from.
+const (
+	SourceComputed     = "computed"     // simulated in this process
+	SourceCheckpoint   = "checkpoint"   // recalled from the on-disk journal
+	SourceSingleflight = "singleflight" // coalesced onto another arm's work
+)
+
+// PhaseTiming is one phase's wall time inside an arm record.
+type PhaseTiming struct {
+	Phase Phase `json:"phase"`
+	Nanos int64 `json:"ns"`
+}
+
+// ArmRecord is the journal's unit: one completed arm of a sweep. Records are
+// written as JSON Lines — one object per line — so journals stream, append
+// across resumed runs, and grep cleanly.
+type ArmRecord struct {
+	// Time is when the arm finished, RFC 3339 with nanoseconds.
+	Time time.Time `json:"time"`
+	// Kind is the harness stage: "profile", "run" or "simulate" (facade).
+	Kind string `json:"kind"`
+	// Key is the arm's memoization key — the same string the singleflight
+	// cache and the checkpoint journal use.
+	Key string `json:"key"`
+
+	Workload  string `json:"workload,omitempty"`
+	Input     string `json:"input,omitempty"`
+	Predictor string `json:"predictor,omitempty"` // canonical spec string
+	Scheme    string `json:"scheme,omitempty"`
+
+	// Source says where the result came from: computed, checkpoint or
+	// singleflight.
+	Source string `json:"source"`
+	// Phases are the wall times of the arm's lifecycle stages, in the order
+	// they ran.
+	Phases []PhaseTiming `json:"phases,omitempty"`
+	// Retries counts in-place re-attempts beyond the first (transient
+	// failures that were retried before the arm concluded).
+	Retries int `json:"retries,omitempty"`
+	// Faults counts injected faults that fired during the arm (fault-test
+	// pipelines only; approximate when arms overlap, exact when serial).
+	Faults uint64 `json:"faults,omitempty"`
+
+	// Events is the arm's dynamic branch count.
+	Events uint64 `json:"events,omitempty"`
+	// WallNanos is the arm's total wall time.
+	WallNanos int64 `json:"wall_ns"`
+	// EventsPerSec is Events divided by the stream phase's wall time (the
+	// capture/replay/simulate stage), the arm's simulation throughput.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+
+	// Metrics is the arm's final sim.Metrics, verbatim. It is kept as raw
+	// JSON here so this package stays import-free of the simulator; decode
+	// it into sim.Metrics to compare runs.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Error is the arm's failure, if it had one.
+	Error string `json:"error,omitempty"`
+}
+
+// Span tracks one arm while it runs and becomes an ArmRecord when it ends.
+// A span belongs to the single goroutine executing its arm; it is not safe
+// for concurrent use. A nil *Span (from a nil Observer) is a no-op.
+type Span struct {
+	o       *Observer
+	rec     ArmRecord
+	started time.Time
+	faults0 uint64
+}
+
+// StartArm opens a span for one arm. kind is the harness stage ("profile",
+// "run", "simulate"); key is the arm's memoization key.
+func (o *Observer) StartArm(kind, key string) *Span {
+	if o == nil {
+		return nil
+	}
+	o.Counter(MArmsStarted).Add(1)
+	o.Gauge(MArmsRunning).Add(1)
+	return &Span{
+		o:       o,
+		rec:     ArmRecord{Kind: kind, Key: key, Source: SourceComputed},
+		started: time.Now(),
+		faults0: o.Counter(MFaultsInjected).Value(),
+	}
+}
+
+// SetLabels records the arm's identity. Empty strings leave the previous
+// value (so callers can fill labels incrementally).
+func (s *Span) SetLabels(workload, input, predictor, scheme string) {
+	if s == nil {
+		return
+	}
+	if workload != "" {
+		s.rec.Workload = workload
+	}
+	if input != "" {
+		s.rec.Input = input
+	}
+	if predictor != "" {
+		s.rec.Predictor = predictor
+	}
+	if scheme != "" {
+		s.rec.Scheme = scheme
+	}
+}
+
+// SetSource records where the arm's result came from (SourceComputed is the
+// default).
+func (s *Span) SetSource(source string) {
+	if s != nil {
+		s.rec.Source = source
+	}
+}
+
+// AddPhase appends one phase timing.
+func (s *Span) AddPhase(p Phase, d time.Duration) {
+	if s != nil {
+		s.rec.Phases = append(s.rec.Phases, PhaseTiming{Phase: p, Nanos: int64(d)})
+	}
+}
+
+// Phase starts timing phase p and returns the function that ends it. Usage:
+//
+//	defer span.Phase(obs.PhaseSelect)()
+func (s *Span) Phase(p Phase) func() {
+	if s == nil {
+		return noop
+	}
+	t0 := time.Now()
+	return func() { s.AddPhase(p, time.Since(t0)) }
+}
+
+var noop = func() {}
+
+// AddRetry counts one in-place re-attempt, on the span and on the
+// registry's global retry counter.
+func (s *Span) AddRetry() {
+	if s == nil {
+		return
+	}
+	s.rec.Retries++
+	s.o.Counter(MRetries).Add(1)
+}
+
+// SetEvents records the arm's dynamic branch count.
+func (s *Span) SetEvents(n uint64) {
+	if s != nil {
+		s.rec.Events = n
+	}
+}
+
+// SetMetrics attaches the arm's final metrics (marshalled to JSON verbatim).
+func (s *Span) SetMetrics(v any) {
+	if s == nil {
+		return
+	}
+	if data, err := json.Marshal(v); err == nil {
+		s.rec.Metrics = data
+	}
+}
+
+// End closes the span: it computes wall time and throughput, stamps the
+// fault delta, updates the arm counters, and appends the record to the
+// journal. err is the arm's outcome (nil for success).
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.rec.Time = time.Now()
+	s.rec.WallNanos = int64(s.rec.Time.Sub(s.started))
+	s.rec.Faults = s.o.Counter(MFaultsInjected).Value() - s.faults0
+	if s.rec.Events > 0 {
+		if d := s.streamNanos(); d > 0 {
+			s.rec.EventsPerSec = float64(s.rec.Events) / (float64(d) / 1e9)
+		}
+	}
+	s.o.Gauge(MArmsRunning).Add(-1)
+	if err != nil {
+		s.rec.Error = err.Error()
+		s.o.Counter(MArmsFailed).Add(1)
+	} else {
+		s.o.Counter(MArmsDone).Add(1)
+	}
+	s.o.record(&s.rec)
+}
+
+// streamNanos returns the wall time of the arm's stream-feeding phase
+// (capture, replay or direct simulate), falling back to total wall time.
+func (s *Span) streamNanos() int64 {
+	for _, pt := range s.rec.Phases {
+		switch pt.Phase {
+		case PhaseCapture, PhaseReplay, PhaseSimulate:
+			return pt.Nanos
+		}
+	}
+	return s.rec.WallNanos
+}

@@ -7,25 +7,103 @@ import (
 	"strings"
 )
 
-// New builds a predictor from a spec string of the form
+// DefaultSize is the table budget a spec without an explicit size gets: the
+// 8KB point most of the paper's tables use.
+const DefaultSize = 8 * 1024
+
+// Spec is one predictor specification, parsed: a canonical scheme name (all
+// aliases resolved), a table budget in bytes, and scheme options. The zero
+// value is not a valid spec; build one with ParseSpec.
+type Spec struct {
+	// Name is the canonical scheme name ("gshare", "bimode", ...).
+	Name string
+	// Size is the table budget in bytes. Ignored by sizeless schemes
+	// (taken, nottaken).
+	Size int
+	// Opts are scheme options (today: "h", the gshare history length).
+	// Nil when the spec carries none.
+	Opts map[string]int
+}
+
+// scheme is one table entry: how to build the predictor, and whether the
+// scheme has a table budget at all.
+type scheme struct {
+	build    func(s Spec) Predictor
+	sizeless bool
+}
+
+var schemes = map[string]*scheme{
+	"bimodal": {build: func(s Spec) Predictor { return NewBimodal(s.Size) }},
+	"ghist":   {build: func(s Spec) Predictor { return NewGHist(s.Size) }},
+	"gshare": {build: func(s Spec) Predictor {
+		if h, ok := s.Opts["h"]; ok {
+			return NewGShareHist(s.Size, h)
+		}
+		return NewGShare(s.Size)
+	}},
+	"bimode":     {build: func(s Spec) Predictor { return NewBiMode(s.Size) }},
+	"2bcgskew":   {build: func(s Spec) Predictor { return NewTwoBcGskew(s.Size) }},
+	"agree":      {build: func(s Spec) Predictor { return NewAgree(s.Size) }},
+	"gskew":      {build: func(s Spec) Predictor { return NewGSkew(s.Size) }},
+	"yags":       {build: func(s Spec) Predictor { return NewYAGS(s.Size) }},
+	"local":      {build: func(s Spec) Predictor { return NewLocal(s.Size) }},
+	"mcfarling":  {build: func(s Spec) Predictor { return NewMcFarling(s.Size) }},
+	"tage":       {build: func(s Spec) Predictor { return NewTAGE(s.Size) }},
+	"perceptron": {build: func(s Spec) Predictor { return NewPerceptron(s.Size) }},
+	"taken":      {sizeless: true, build: func(Spec) Predictor { return AlwaysTaken{} }},
+	"nottaken":   {sizeless: true, build: func(Spec) Predictor { return AlwaysNotTaken{} }},
+}
+
+// aliases maps accepted spelling variants to canonical scheme names.
+var aliases = map[string]string{
+	"gag":       "ghist",
+	"bi-mode":   "bimode",
+	"2bc-gskew": "2bcgskew",
+	"egskew":    "gskew",
+	"e-gskew":   "gskew",
+	"pag":       "local",
+	"combining": "mcfarling",
+	"not-taken": "nottaken",
+}
+
+// acceptedOpts lists the option keys ParseSpec accepts, sorted.
+var acceptedOpts = []string{"h"}
+
+func optAccepted(k string) bool {
+	for _, a := range acceptedOpts {
+		if k == a {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSpec parses a spec string of the form
 //
 //	name[:size][:key=value,...]
 //
-// where size accepts a decimal byte count with an optional K/KB/M/MB suffix
-// (e.g. "gshare:16KB", "2bcgskew:8K", "bimodal:2048B"). Recognized names:
+// where size accepts a decimal byte count with an optional B/K/KB/M/MB
+// suffix (e.g. "gshare:16KB", "2bcgskew:8K", "bimodal:2048B") and defaults
+// to DefaultSize. Recognized names:
 //
 //	bimodal, ghist, gshare, bimode, 2bcgskew    (the paper's five)
 //	agree, gskew, yags, local, mcfarling        (contemporary extensions)
 //	tage, perceptron                            (modern successors)
 //	taken, nottaken                             (trivial static baselines)
 //
-// Options: h=<n> sets the gshare global history length.
-func New(spec string) (Predictor, error) {
+// Options: h=<n> sets the gshare global history length. Errors name the
+// offending token: an unknown scheme lists the accepted names, an unknown
+// option key lists the accepted keys.
+func ParseSpec(spec string) (Spec, error) {
 	parts := strings.Split(spec, ":")
 	name := strings.ToLower(strings.TrimSpace(parts[0]))
-
-	sizeBytes := 8 * 1024 // default: the 8KB point most paper tables use
-	opts := map[string]int{}
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	if _, ok := schemes[name]; !ok {
+		return Spec{}, fmt.Errorf("predictor: unknown scheme %q in spec %q (accepted: %s)", name, spec, strings.Join(Names(), ", "))
+	}
+	s := Spec{Name: name, Size: DefaultSize}
 	for _, part := range parts[1:] {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -35,58 +113,88 @@ func New(spec string) (Predictor, error) {
 			for _, kv := range strings.Split(part, ",") {
 				k, v, ok := strings.Cut(kv, "=")
 				if !ok {
-					return nil, fmt.Errorf("predictor: bad option %q in spec %q", kv, spec)
+					return Spec{}, fmt.Errorf("predictor: spec %q: bad option %q (want key=value)", spec, kv)
+				}
+				k = strings.ToLower(strings.TrimSpace(k))
+				if !optAccepted(k) {
+					return Spec{}, fmt.Errorf("predictor: spec %q: unknown option key %q (accepted: %s)", spec, k, strings.Join(acceptedOpts, ", "))
 				}
 				n, err := strconv.Atoi(strings.TrimSpace(v))
 				if err != nil {
-					return nil, fmt.Errorf("predictor: bad option value %q in spec %q", kv, spec)
+					return Spec{}, fmt.Errorf("predictor: spec %q: option %q: value %q is not an integer", spec, k, strings.TrimSpace(v))
 				}
-				opts[strings.ToLower(strings.TrimSpace(k))] = n
+				if s.Opts == nil {
+					s.Opts = map[string]int{}
+				}
+				s.Opts[k] = n
 			}
 			continue
 		}
 		n, err := ParseSize(part)
 		if err != nil {
-			return nil, fmt.Errorf("predictor: spec %q: %w", spec, err)
+			return Spec{}, fmt.Errorf("predictor: spec %q: %w", spec, err)
 		}
-		sizeBytes = n
+		s.Size = n
 	}
+	return s, nil
+}
 
-	switch name {
-	case "bimodal":
-		return NewBimodal(sizeBytes), nil
-	case "ghist", "gag":
-		return NewGHist(sizeBytes), nil
-	case "gshare":
-		if h, ok := opts["h"]; ok {
-			return NewGShareHist(sizeBytes, h), nil
-		}
-		return NewGShare(sizeBytes), nil
-	case "bimode", "bi-mode":
-		return NewBiMode(sizeBytes), nil
-	case "2bcgskew", "2bc-gskew":
-		return NewTwoBcGskew(sizeBytes), nil
-	case "agree":
-		return NewAgree(sizeBytes), nil
-	case "gskew", "egskew", "e-gskew":
-		return NewGSkew(sizeBytes), nil
-	case "yags":
-		return NewYAGS(sizeBytes), nil
-	case "local", "pag":
-		return NewLocal(sizeBytes), nil
-	case "mcfarling", "combining":
-		return NewMcFarling(sizeBytes), nil
-	case "tage":
-		return NewTAGE(sizeBytes), nil
-	case "perceptron":
-		return NewPerceptron(sizeBytes), nil
-	case "taken":
-		return AlwaysTaken{}, nil
-	case "nottaken", "not-taken":
-		return AlwaysNotTaken{}, nil
-	default:
-		return nil, fmt.Errorf("predictor: unknown scheme %q (known: %s)", name, strings.Join(Names(), ", "))
+// String renders the spec in canonical form — lowercase canonical name,
+// explicit size (paper-style "16KB" units), options sorted by key — e.g.
+// "gshare:16KB:h=8". ParseSpec(s.String()) round-trips to an equal Spec, so
+// canonical strings are stable memoization and checkpoint keys. Sizeless
+// schemes render as the bare name.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if sc := schemes[s.Name]; sc == nil || !sc.sizeless {
+		b.WriteByte(':')
+		b.WriteString(FormatSize(s.Size))
 	}
+	keys := make([]string, 0, len(s.Opts))
+	for k := range s.Opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ":%s=%d", k, s.Opts[k])
+	}
+	return b.String()
+}
+
+// Build constructs the predictor the spec describes.
+func (s Spec) Build() (Predictor, error) {
+	sc, ok := schemes[s.Name]
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown scheme %q (accepted: %s)", s.Name, strings.Join(Names(), ", "))
+	}
+	return sc.build(s), nil
+}
+
+// Canonical normalizes a spec string to its canonical form ("gshare" →
+// "gshare:8KB", "GShare:16k : h=8" → "gshare:16KB:h=8"). Invalid specs are
+// returned unchanged so the parse error surfaces where the spec is actually
+// used (with its proper message) rather than here; empty stays empty (the
+// harness's bias-only profile marker).
+func Canonical(spec string) string {
+	if strings.TrimSpace(spec) == "" {
+		return ""
+	}
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return spec
+	}
+	return s.String()
+}
+
+// New builds a predictor from a spec string — ParseSpec followed by Build.
+// See ParseSpec for the accepted grammar.
+func New(spec string) (Predictor, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
 }
 
 // MustNew is New for known-good literal specs in tests and examples.
@@ -98,12 +206,11 @@ func MustNew(spec string) Predictor {
 	return p
 }
 
-// Names lists the scheme names New accepts, sorted.
+// Names lists the scheme names New accepts (canonical spellings), sorted.
 func Names() []string {
-	names := []string{
-		"bimodal", "ghist", "gshare", "bimode", "2bcgskew",
-		"agree", "gskew", "yags", "local", "mcfarling",
-		"tage", "perceptron", "taken", "nottaken",
+	names := make([]string, 0, len(schemes))
+	for name := range schemes {
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names

@@ -121,6 +121,80 @@ func TestNamesSortedAndComplete(t *testing.T) {
 	}
 }
 
+func TestSpecStringRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"gshare":          "gshare:8KB", // default size made explicit
+		"gshare:16KB":     "gshare:16KB",
+		"GSHARE:16kb":     "gshare:16KB", // case normalized
+		"gshare:16384":    "gshare:16KB", // bytes rendered human-readable
+		"gshare:16KB:h=8": "gshare:16KB:h=8",
+		"gag:1K":          "ghist:1KB", // alias resolved
+		"bi-mode:4K":      "bimode:4KB",
+		"2bc-gskew:8KB":   "2bcgskew:8KB",
+		"taken":           "taken", // sizeless schemes render bare
+		"not-taken":       "nottaken",
+		"combining:2KB":   "mcfarling:2KB",
+		" gshare : 2KB ":  "gshare:2KB", // whitespace tolerated
+		"gshare:1536":     "gshare:1536B",
+	}
+	for in, want := range cases {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		if got := spec.String(); got != want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", in, got, want)
+		}
+		// The canonical form must be a fixed point: parsing it again yields
+		// the same string, so journal records and checkpoint keys are stable.
+		again, err := ParseSpec(want)
+		if err != nil {
+			t.Errorf("canonical form %q does not reparse: %v", want, err)
+			continue
+		}
+		if again.String() != want {
+			t.Errorf("canonical form not a fixed point: %q -> %q", want, again.String())
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if got := Canonical("gshare:16kb:h=8"); got != "gshare:16KB:h=8" {
+		t.Errorf("Canonical = %q", got)
+	}
+	// Unparseable and empty specs pass through unchanged — Canonical is a
+	// labelling helper, not a validator.
+	if got := Canonical("nosuch:1KB"); got != "nosuch:1KB" {
+		t.Errorf("Canonical(bad) = %q", got)
+	}
+	if got := Canonical(""); got != "" {
+		t.Errorf("Canonical(\"\") = %q", got)
+	}
+}
+
+func TestSpecErrorsNameOffendingToken(t *testing.T) {
+	cases := map[string][]string{
+		"nosuch:1KB":       {`"nosuch"`, "accepted"},
+		"gshare:8KB:h":     {`"h"`}, // bare token parses as a size and fails as one
+		"gshare:8KB:h=4,x": {`"x"`, "key=value"},
+		"gshare:8KB:q=3":   {`"q"`, "accepted"},
+		"gshare:8KB:h=x":   {`"h"`},
+	}
+	for spec, wants := range cases {
+		_, err := ParseSpec(spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+			continue
+		}
+		for _, w := range wants {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("ParseSpec(%q) error %q does not mention %s", spec, err, w)
+			}
+		}
+	}
+}
+
 func TestEntriesForBytes(t *testing.T) {
 	cases := map[int]int{
 		1:    4,

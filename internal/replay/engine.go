@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"branchsim/internal/obs"
 	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 )
@@ -26,6 +27,16 @@ type Engine struct {
 
 	sem chan struct{}
 	mem atomic.Int64
+
+	// Observability handles (nil when unobserved; all are nil-safe no-ops
+	// then). Set once via SetObserver before the engine is used.
+	obsCaptures       *obs.Counter
+	obsReplays        *obs.Counter
+	obsChunksCaptured *obs.Counter
+	obsChunksSpilled  *obs.Counter
+	obsChunksReplayed *obs.Counter
+	obsMem            *obs.Gauge
+	obsWaiting        *obs.Gauge
 
 	mu     sync.Mutex
 	traces map[string]*Trace
@@ -51,6 +62,25 @@ func New(workers int, memBudget int64, spillDir string) *Engine {
 		sem:      make(chan struct{}, workers),
 		traces:   map[string]*Trace{},
 	}
+}
+
+// SetObserver publishes the engine's cache efficiency to o's registry:
+// captures vs replays (obs.MReplayCaptures / obs.MReplayReplays, counting
+// successful stream feeds), chunk flow (obs.MReplayChunksCaptured /
+// ...Spilled / ...Replayed), in-memory occupancy (obs.MReplayMemBytes) and
+// worker-pool queue depth (obs.MReplayPoolWaiting). Call it once, before
+// the engine feeds arms; a nil observer leaves the engine unobserved.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	e.obsCaptures = o.Counter(obs.MReplayCaptures)
+	e.obsReplays = o.Counter(obs.MReplayReplays)
+	e.obsChunksCaptured = o.Counter(obs.MReplayChunksCaptured)
+	e.obsChunksSpilled = o.Counter(obs.MReplayChunksSpilled)
+	e.obsChunksReplayed = o.Counter(obs.MReplayChunksReplayed)
+	e.obsMem = o.Gauge(obs.MReplayMemBytes)
+	e.obsWaiting = o.Gauge(obs.MReplayPoolWaiting)
 }
 
 // Key names the shared capture of one (workload, input) pair. The harness
@@ -96,6 +126,8 @@ func (e *Engine) wantSpill(n int64) bool {
 
 // acquireSlot takes one replay-decode slot from the worker pool.
 func (e *Engine) acquireSlot(ctx context.Context) error {
+	e.obsWaiting.Add(1)
+	defer e.obsWaiting.Add(-1)
 	select {
 	case e.sem <- struct{}{}:
 		return nil
@@ -132,6 +164,33 @@ func (e *Engine) Close() {
 	}
 }
 
+// Source says how an arm's branch stream was fed: by executing the
+// instrumented workload while recording it (SourceCapture) or by replaying
+// another arm's capture (SourceReplay). SourceDirect is reported only by
+// the harness for engineless execution.
+type Source int
+
+// Stream sources.
+const (
+	SourceDirect Source = iota
+	SourceCapture
+	SourceReplay
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceDirect:
+		return "direct"
+	case SourceCapture:
+		return "capture"
+	case SourceReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
 // Run feeds one arm with the branch stream of key: the first caller
 // executes produce (the instrumented workload) while teeing the stream
 // into its own recorder and the shared chunk buffer; every other caller
@@ -142,20 +201,33 @@ func (e *Engine) Close() {
 // the error of this arm alone; panics from the arm's recorder propagate
 // (callers isolate them — the harness with its guard, Sweep per arm).
 func (e *Engine) Run(ctx context.Context, key string, produce func(trace.Recorder) error, newRec func() (trace.Recorder, error)) (trace.Counts, error) {
+	c, _, err := e.RunSourced(ctx, key, produce, newRec)
+	return c, err
+}
+
+// RunSourced is Run, additionally reporting whether this arm captured the
+// stream or replayed a shared capture — the provenance the run journal
+// records per arm. When a failed capture forces a restart, the source of
+// the final attempt is reported.
+func (e *Engine) RunSourced(ctx context.Context, key string, produce func(trace.Recorder) error, newRec func() (trace.Recorder, error)) (trace.Counts, Source, error) {
 	for {
 		if err := ctx.Err(); err != nil {
-			return trace.Counts{}, err
+			return trace.Counts{}, SourceReplay, err
 		}
 		rec, err := newRec()
 		if err != nil {
-			return trace.Counts{}, err
+			return trace.Counts{}, SourceReplay, err
 		}
 		t, capturer, err := e.acquire(key)
 		if err != nil {
-			return trace.Counts{}, err
+			return trace.Counts{}, SourceReplay, err
 		}
 		if capturer {
-			return t.capture(produce, rec)
+			c, err := t.capture(produce, rec)
+			if err == nil {
+				e.obsCaptures.Add(1)
+			}
+			return c, SourceCapture, err
 		}
 		c, err := t.Replay(ctx, rec)
 		if err != nil && errors.Is(err, ErrCaptureFailed) {
@@ -164,7 +236,10 @@ func (e *Engine) Run(ctx context.Context, key string, produce func(trace.Recorde
 			// the new capturer and reports the definitive error.
 			continue
 		}
-		return c, err
+		if err == nil {
+			e.obsReplays.Add(1)
+		}
+		return c, SourceReplay, err
 	}
 }
 

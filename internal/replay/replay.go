@@ -127,10 +127,15 @@ func (t *Trace) seal(data []byte) {
 	if !spilled {
 		ck.data = data
 	}
+	t.e.obsChunksCaptured.Add(1)
+	if spilled {
+		t.e.obsChunksSpilled.Add(1)
+	}
 	t.mu.Lock()
 	if ck.data != nil && !t.dropped {
 		t.memBytes += int64(len(ck.data))
 		t.e.mem.Add(int64(len(ck.data)))
+		t.e.obsMem.Set(t.e.mem.Load())
 	}
 	t.chunks = append(t.chunks, ck)
 	t.broadcastLocked()
@@ -234,6 +239,7 @@ func (t *Trace) markDropped() {
 	if !t.dropped {
 		t.dropped = true
 		t.e.mem.Add(-t.memBytes)
+		t.e.obsMem.Set(t.e.mem.Load())
 		t.memBytes = 0
 	}
 	if t.readers == 0 {
@@ -342,6 +348,7 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 		if err := trace.DecodeChunk(data, rec); err != nil {
 			return trace.Counts{}, err
 		}
+		t.e.obsChunksReplayed.Add(1)
 		// Chunks are a few tens of thousands of events, the same order as
 		// the simulator's own cancellation cadence — checking here keeps a
 		// recorder without its own context responsive to the caller's.

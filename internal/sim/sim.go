@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"branchsim/internal/obs"
 	"branchsim/internal/predictor"
 	"branchsim/internal/profile"
 	"branchsim/internal/trace"
@@ -106,6 +107,15 @@ type Runner struct {
 	ctx     context.Context
 	events  uint64
 	metrics Metrics
+
+	// Observability (nil when disabled). Updates are batched: the event
+	// loop accumulates into the local counters above and flushes deltas at
+	// the cancelEvery cadence, so an attached observer costs two atomic
+	// adds per 16k branches and a detached one costs nothing.
+	obsEvents   *obs.Counter
+	obsMisp     *obs.Counter
+	flushedEv   uint64
+	flushedMisp uint64
 }
 
 // cancelEvery is the branch cadence of the Runner's own context check, used
@@ -147,6 +157,21 @@ func WithContext(ctx context.Context) Option {
 	return func(r *Runner) {
 		if ctx != nil && ctx.Done() != nil {
 			r.ctx = ctx
+		}
+	}
+}
+
+// WithObserver publishes the runner's throughput to o's registry: dynamic
+// branch events under obs.MSimEvents and mispredictions under
+// obs.MSimMispredicts. Counts flow in batched deltas (every cancelEvery
+// events and at Metrics time), so live readers — the progress reporter, the
+// /debug/vars endpoint — see events/sec without the per-branch path ever
+// touching an atomic. A nil observer leaves the runner unobserved.
+func WithObserver(o *obs.Observer) Option {
+	return func(r *Runner) {
+		if o != nil {
+			r.obsEvents = o.Counter(obs.MSimEvents)
+			r.obsMisp = o.Counter(obs.MSimMispredicts)
 		}
 	}
 }
@@ -194,11 +219,25 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 	}
 	r.p.Update(pc, taken)
 	r.metrics.Counts.Branch(pc, taken)
-	if r.events++; r.events%cancelEvery == 0 && r.ctx != nil {
-		if err := r.ctx.Err(); err != nil {
-			panic(trace.Stop{Err: err})
+	if r.events++; r.events%cancelEvery == 0 {
+		if r.obsEvents != nil {
+			r.flushObs()
+		}
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				panic(trace.Stop{Err: err})
+			}
 		}
 	}
+}
+
+// flushObs publishes the event/mispredict deltas accumulated since the last
+// flush. Delta-based, so it is safe to call at any cadence and again from
+// Metrics.
+func (r *Runner) flushObs() {
+	r.obsEvents.Add(r.events - r.flushedEv)
+	r.obsMisp.Add(r.metrics.Mispredicts - r.flushedMisp)
+	r.flushedEv, r.flushedMisp = r.events, r.metrics.Mispredicts
 }
 
 // Ops implements trace.Recorder.
@@ -211,6 +250,9 @@ func (r *Runner) Ops(n uint64) {
 func (r *Runner) Metrics() Metrics {
 	if r.prof != nil {
 		r.prof.Instructions = r.metrics.Instructions
+	}
+	if r.obsEvents != nil {
+		r.flushObs()
 	}
 	return r.metrics
 }

@@ -1,0 +1,50 @@
+package branchsim
+
+import (
+	"io"
+
+	"branchsim/internal/obs"
+)
+
+// Observability re-exports. The observability layer lives in internal/obs
+// and is threaded through the simulator, the replay engine and the
+// experiment harness; these aliases expose the pieces external callers
+// need: building a sink (NewObserver), journaling runs (Journal), and
+// reading journals back (ReadJournal).
+type (
+	// Observer is an in-process observability sink: an atomic metrics
+	// registry, per-arm lifecycle journaling, and optional HTTP exposure
+	// (Serve) of expvar-style metrics plus pprof. A nil *Observer is a
+	// valid no-op sink: every operation on it does nothing, at zero cost.
+	Observer = obs.Observer
+	// ObserverOption configures NewObserver.
+	ObserverOption = obs.Option
+	// ArmRecord is one journaled unit of work: a simulation arm with its
+	// phase timings, provenance and final metrics.
+	ArmRecord = obs.ArmRecord
+	// Journal is an append-only JSONL sink for ArmRecords.
+	Journal = obs.Journal
+)
+
+// NewObserver builds an observability sink. Attach it to runs with
+// WithObserver (see Simulate), or serve it over HTTP with its Serve method.
+func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
+
+// WithJournal routes every completed arm's record to j.
+func WithJournal(j *Journal) ObserverOption { return obs.WithJournal(j) }
+
+// WithErrorLog reports journal write failures to w (default: stderr, once).
+func WithErrorLog(w io.Writer) ObserverOption { return obs.WithErrorLog(w) }
+
+// NewJournal wraps w in a journal. The caller keeps ownership of w;
+// Journal.Close flushes but does not close it.
+func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
+
+// OpenJournal creates (truncating) the journal file at path.
+func OpenJournal(path string) (*Journal, error) { return obs.OpenJournal(path) }
+
+// ReadJournal parses a JSONL journal stream into its records.
+func ReadJournal(r io.Reader) ([]ArmRecord, error) { return obs.ReadJournal(r) }
+
+// ReadJournalFile reads the journal file at path.
+func ReadJournalFile(path string) ([]ArmRecord, error) { return obs.ReadJournalFile(path) }
