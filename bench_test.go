@@ -24,6 +24,7 @@ import (
 	"branchsim/internal/obs"
 	"branchsim/internal/replay"
 	"branchsim/internal/sim"
+	"branchsim/internal/telemetry"
 	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 	"branchsim/internal/xrand"
@@ -184,14 +185,14 @@ func sweepSpecs() []string {
 	return specs
 }
 
-func newSweepRunner(b *testing.B, spec string, sink *obs.Observer) *sim.Runner {
+func newSweepRunner(b *testing.B, spec string, sink *obs.Observer, tel telemetry.Config) *sim.Runner {
 	b.Helper()
 	p, err := branchsim.NewPredictor(spec)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return sim.NewRunner(p, sim.WithCollisions(), sim.WithLabels(sweepWorkload, workload.InputTrain),
-		sim.WithObserver(sink))
+		sim.WithObserver(sink), sim.WithTelemetry(telemetry.New(tel, sink)))
 }
 
 func BenchmarkSweepDirect(b *testing.B) {
@@ -204,7 +205,7 @@ func BenchmarkSweepDirect(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range sweepSpecs() {
-			r := newSweepRunner(b, spec, nil)
+			r := newSweepRunner(b, spec, nil, telemetry.Config{})
 			if err := workload.RunProgram(ctx, prog, workload.InputTrain, r); err != nil {
 				b.Fatal(err)
 			}
@@ -214,7 +215,7 @@ func BenchmarkSweepDirect(b *testing.B) {
 	b.ReportMetric(float64(branches), "branches/arm")
 }
 
-func benchSweepReplay(b *testing.B, sink *obs.Observer) {
+func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config) {
 	prog, err := workload.Get(sweepWorkload)
 	if err != nil {
 		b.Fatal(err)
@@ -224,7 +225,7 @@ func benchSweepReplay(b *testing.B, sink *obs.Observer) {
 	for _, spec := range sweepSpecs() {
 		spec := spec
 		arms = append(arms, replay.Arm{Label: spec, New: func() (trace.Recorder, error) {
-			return newSweepRunner(b, spec, sink), nil
+			return newSweepRunner(b, spec, sink, tel), nil
 		}})
 	}
 	var branches uint64
@@ -245,13 +246,23 @@ func benchSweepReplay(b *testing.B, sink *obs.Observer) {
 	b.ReportMetric(float64(branches), "branches/arm")
 }
 
-func BenchmarkSweepReplay(b *testing.B) { benchSweepReplay(b, nil) }
+func BenchmarkSweepReplay(b *testing.B) { benchSweepReplay(b, nil, telemetry.Config{}) }
 
 // BenchmarkSweepReplayObserved is BenchmarkSweepReplay with a live observer
 // attached to the engine and every runner. Comparing the two bounds the
 // enabled-observability overhead; the disabled (nil-sink) case is the one
 // BenchmarkSweepReplay itself guards.
-func BenchmarkSweepReplayObserved(b *testing.B) { benchSweepReplay(b, obs.New()) }
+func BenchmarkSweepReplayObserved(b *testing.B) { benchSweepReplay(b, obs.New(), telemetry.Config{}) }
+
+// BenchmarkSweepReplayTelemetry is BenchmarkSweepReplayObserved with full
+// simulation-domain telemetry on every arm: interval time-series at the
+// default cadence, predictor-table introspection at boundaries, and top-K
+// per-branch tracking. The delta against BenchmarkSweepReplayObserved is the
+// enabled-telemetry cost; against BenchmarkSweepReplay, the whole
+// observability stack's. Recorded in BENCH_telemetry.json.
+func BenchmarkSweepReplayTelemetry(b *testing.B) {
+	benchSweepReplay(b, obs.New(), telemetry.Config{Interval: 100_000, TableStats: true, TopK: 16})
+}
 
 // ---- end-to-end simulation throughput ----
 

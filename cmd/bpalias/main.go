@@ -3,9 +3,10 @@
 // suffer most destructive sharing, and the overall constructive/destructive
 // split — the pair-level view behind the paper's collision counts.
 //
-// Example:
+// Examples:
 //
 //	bpalias -workload gcc -input train -scheme gshare -size 4KB -top 15
+//	bpalias -workload gcc -scheme gshare -size 4KB -heatmap gcc_alias.svg
 package main
 
 import (
@@ -17,28 +18,30 @@ import (
 	"syscall"
 
 	"branchsim/internal/alias"
+	"branchsim/internal/plot"
 	"branchsim/internal/predictor"
 	"branchsim/internal/workload"
 )
 
 func main() {
 	var (
-		wl     = flag.String("workload", "gcc", "workload name")
-		input  = flag.String("input", "train", "workload input")
-		scheme = flag.String("scheme", "gshare", "indexing scheme: bimodal, ghist or gshare")
-		size   = flag.String("size", "4KB", "table size")
-		top    = flag.Int("top", 15, "number of pairs/victims to print")
+		wl      = flag.String("workload", "gcc", "workload name")
+		input   = flag.String("input", "train", "workload input")
+		scheme  = flag.String("scheme", "gshare", "indexing scheme: bimodal, ghist or gshare")
+		size    = flag.String("size", "4KB", "table size")
+		top     = flag.Int("top", 15, "number of pairs/victims to print (also the heatmap dimension)")
+		heatmap = flag.String("heatmap", "", "also render the victims×aggressors conflict matrix as an SVG heatmap to this file")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *wl, *input, *scheme, *size, *top); err != nil {
+	if err := run(ctx, *wl, *input, *scheme, *size, *top, *heatmap); err != nil {
 		fmt.Fprintln(os.Stderr, "bpalias:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, wl, input, scheme, size string, top int) error {
+func run(ctx context.Context, wl, input, scheme, size string, top int, heatmapPath string) error {
 	bytes, err := predictor.ParseSize(size)
 	if err != nil {
 		return err
@@ -74,6 +77,29 @@ func run(ctx context.Context, wl, input, scheme, size string, top int) error {
 	}
 	for _, v := range victims {
 		fmt.Printf("%#-14x %10d %10d %6.1f%%\n", v.Victim, v.Count, v.Opposed, 100*a.Bias(v.Victim))
+	}
+
+	if heatmapPath != "" {
+		m := a.Matrix(top)
+		labels := m.Labels()
+		h := plot.NewHeatmap(fmt.Sprintf("Aliasing conflicts: %s on %s/%s", a.Scheme(), wl, input), labels, labels)
+		h.XLabel = "aggressor"
+		h.YLabel = "victim"
+		for vi := range m.Counts {
+			for ai, n := range m.Counts[vi] {
+				if err := h.Set(vi, ai, float64(n)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := os.WriteFile(heatmapPath, []byte(h.SVG()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nheatmap: %s (%dx%d branches", heatmapPath, len(labels), len(labels))
+		if m.Dropped > 0 {
+			fmt.Printf(", %d conflicts outside the top set", m.Dropped)
+		}
+		fmt.Println(")")
 	}
 	return nil
 }

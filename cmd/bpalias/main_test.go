@@ -2,26 +2,45 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestAliasReport(t *testing.T) {
-	if err := run(context.Background(), "gcc", "test", "gshare", "1KB", 5); err != nil {
+	if err := run(context.Background(), "gcc", "test", "gshare", "1KB", 5, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "compress", "test", "bimodal", "64B", 3); err != nil {
+	if err := run(context.Background(), "compress", "test", "bimodal", "64B", 3, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestAliasHeatmap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "alias.svg")
+	if err := run(context.Background(), "compress", "test", "gshare", "64B", 4, out); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "Aliasing conflicts", "aggressor", "victim"} {
+		if !strings.Contains(string(svg), want) {
+			t.Errorf("heatmap svg missing %q", want)
+		}
+	}
+}
+
 func TestAliasErrors(t *testing.T) {
-	if err := run(context.Background(), "gcc", "test", "tage", "1KB", 5); err == nil {
+	if err := run(context.Background(), "gcc", "test", "tage", "1KB", 5, ""); err == nil {
 		t.Fatal("unsupported scheme accepted")
 	}
-	if err := run(context.Background(), "nosuch", "test", "gshare", "1KB", 5); err == nil {
+	if err := run(context.Background(), "nosuch", "test", "gshare", "1KB", 5, ""); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if err := run(context.Background(), "gcc", "test", "gshare", "1QB", 5); err == nil {
+	if err := run(context.Background(), "gcc", "test", "gshare", "1QB", 5, ""); err == nil {
 		t.Fatal("bad size accepted")
 	}
 }

@@ -22,6 +22,14 @@
 // -progress prints a periodic one-line status to stderr.
 //
 //	bpexperiment -run all -journal run.jsonl -metrics 127.0.0.1:8080 -progress
+//
+// Simulation-domain telemetry rides the same journal: -interval N appends an
+// interval time-series record (MISPs/KI, accuracy, collision deltas) every N
+// instructions, -table-stats samples predictor-table introspection at the
+// interval boundaries, and -topk K tracks each arm's K worst-offender
+// branches with bounded memory. Inspect the result with bpjournal.
+//
+//	bpexperiment -run table3 -journal run.jsonl -interval 100000 -table-stats -topk 16
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"branchsim/internal/experiment"
 	"branchsim/internal/obs"
 	"branchsim/internal/replay"
+	"branchsim/internal/telemetry"
 )
 
 // options collects the flags of one invocation.
@@ -61,6 +70,9 @@ type options struct {
 	journalPath   string
 	metricsAddr   string
 	progress      bool
+	interval      uint64
+	tableStats    bool
+	topK          int
 }
 
 func main() {
@@ -85,6 +97,9 @@ func main() {
 	flag.StringVar(&opt.journalPath, "journal", "", "write one JSONL record per simulated arm to this file")
 	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
 	flag.BoolVar(&opt.progress, "progress", false, "print a periodic one-line sweep status to stderr")
+	flag.Uint64Var(&opt.interval, "interval", 0, "journal an interval telemetry record every N instructions (0 = off; requires -journal to persist)")
+	flag.BoolVar(&opt.tableStats, "table-stats", false, "sample predictor-table introspection (occupancy, counter states, entropy, sharing) at interval boundaries")
+	flag.IntVar(&opt.topK, "topk", 0, "track the K worst-offender branches per arm with bounded per-branch stats (0 = off)")
 	flag.Parse()
 
 	if list {
@@ -140,6 +155,13 @@ func run(ctx context.Context, opt options) error {
 		experiment.WithArmTimeout(opt.armTimeout),
 		experiment.WithObserver(sink),
 	}
+	if opt.interval > 0 || opt.tableStats || opt.topK != 0 {
+		hopts = append(hopts, experiment.WithTelemetry(telemetry.Config{
+			Interval:   opt.interval,
+			TableStats: opt.tableStats,
+			TopK:       opt.topK,
+		}))
+	}
 	if opt.verbose {
 		hopts = append(hopts, experiment.WithLogger(os.Stderr))
 	}
@@ -168,6 +190,9 @@ func run(ctx context.Context, opt options) error {
 	} else {
 		h = experiment.NewHarness(hopts...)
 	}
+	// Quiesce on every exit path: stop progress reporting and flush (fsync)
+	// the journal so partial sweeps still leave a readable journal behind.
+	defer h.Close()
 
 	var exps []experiment.Experiment
 	if opt.runID == "all" {

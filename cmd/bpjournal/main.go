@@ -1,14 +1,17 @@
 // Command bpjournal validates and summarizes the JSONL run journals written
-// by bpexperiment -journal (and any obs.Journal). It parses every record,
-// exits non-zero on malformed input, and — unless -q is given — prints a
-// sweep summary: arm counts by kind and provenance, failures, simulated
-// events, and the slowest arms.
+// by bpexperiment -journal (and any obs.Journal). It parses every record —
+// arm lifecycle records plus the telemetry types (interval time-series,
+// predictor-table samples, top-K branch summaries) — exits non-zero on
+// malformed input or an unknown schema version, and — unless -q is given —
+// prints a sweep summary: arm counts by kind and provenance, failures,
+// simulated events, the slowest arms, and, when telemetry records are
+// present, an interval digest and the worst-offender branch table.
 //
 // Examples:
 //
 //	bpexperiment -run table3 -journal run.jsonl && bpjournal run.jsonl
 //	bpjournal -q run.jsonl          # validate only, no output on success
-//	bpjournal -top 5 run.jsonl
+//	bpjournal -top 5 run.jsonl      # longer slowest-arm and worst-offender lists
 package main
 
 import (
@@ -19,12 +22,13 @@ import (
 	"time"
 
 	"branchsim/internal/obs"
+	"branchsim/internal/report"
 )
 
 func main() {
 	var (
 		quiet = flag.Bool("q", false, "validate only: no output unless the journal is malformed")
-		top   = flag.Int("top", 3, "number of slowest arms to list")
+		top   = flag.Int("top", 3, "number of slowest arms and worst-offender branches to list")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -38,67 +42,88 @@ func main() {
 }
 
 func run(path string, quiet bool, top int) error {
-	recs, err := obs.ReadJournalFile(path)
+	all, err := obs.ReadRecordsFile(path)
 	if err != nil {
 		return err
 	}
 	if quiet {
 		return nil
 	}
-	if len(recs) == 0 {
+	if all.Len() == 0 {
 		fmt.Printf("%s: empty journal\n", path)
 		return nil
 	}
+	recs := all.Arms
 
-	byKind := map[string]int{}
-	bySource := map[string]int{}
-	var events uint64
-	var wall time.Duration
-	var retries, failures int
-	for _, r := range recs {
-		byKind[r.Kind]++
-		bySource[r.Source]++
-		events += r.Events
-		wall += time.Duration(r.WallNanos)
-		retries += r.Retries
-		if r.Error != "" {
-			failures++
-		}
-	}
-
-	fmt.Printf("%s: %d arms (", path, len(recs))
-	printCounts(byKind)
-	fmt.Print("), sources: ")
-	printCounts(bySource)
-	fmt.Println()
-	fmt.Printf("  %d branch events simulated, %v arm wall time", events, wall.Round(time.Millisecond))
-	if retries > 0 {
-		fmt.Printf(", %d retries", retries)
-	}
-	fmt.Println()
-	if failures > 0 {
-		fmt.Printf("  %d arms failed:\n", failures)
+	if len(recs) > 0 {
+		byKind := map[string]int{}
+		bySource := map[string]int{}
+		var events uint64
+		var wall time.Duration
+		var retries, failures int
 		for _, r := range recs {
+			byKind[r.Kind]++
+			bySource[r.Source]++
+			events += r.Events
+			wall += time.Duration(r.WallNanos)
+			retries += r.Retries
 			if r.Error != "" {
-				fmt.Printf("    %-8s %s: %s\n", r.Kind, r.Key, r.Error)
+				failures++
 			}
 		}
+
+		fmt.Printf("%s: %d arms (", path, len(recs))
+		printCounts(byKind)
+		fmt.Print("), sources: ")
+		printCounts(bySource)
+		fmt.Println()
+		fmt.Printf("  %d branch events simulated, %v arm wall time", events, wall.Round(time.Millisecond))
+		if retries > 0 {
+			fmt.Printf(", %d retries", retries)
+		}
+		fmt.Println()
+		if failures > 0 {
+			fmt.Printf("  %d arms failed:\n", failures)
+			for _, r := range recs {
+				if r.Error != "" {
+					fmt.Printf("    %-8s %s: %s\n", r.Kind, r.Key, r.Error)
+				}
+			}
+		}
+
+		if top > 0 {
+			slow := make([]obs.ArmRecord, len(recs))
+			copy(slow, recs)
+			sort.Slice(slow, func(i, j int) bool { return slow[i].WallNanos > slow[j].WallNanos })
+			if len(slow) > top {
+				slow = slow[:top]
+			}
+			fmt.Println("  slowest arms:")
+			for _, r := range slow {
+				fmt.Printf("    %8v %-8s %s", time.Duration(r.WallNanos).Round(time.Millisecond), r.Kind, r.Key)
+				if r.EventsPerSec > 0 {
+					fmt.Printf(" (%.1fM events/s)", r.EventsPerSec/1e6)
+				}
+				fmt.Println()
+			}
+		}
+	} else {
+		fmt.Printf("%s: no arm records\n", path)
 	}
 
-	if top > 0 {
-		slow := make([]obs.ArmRecord, len(recs))
-		copy(slow, recs)
-		sort.Slice(slow, func(i, j int) bool { return slow[i].WallNanos > slow[j].WallNanos })
-		if len(slow) > top {
-			slow = slow[:top]
+	if len(all.Intervals) > 0 || len(all.TableStats) > 0 || len(all.TopK) > 0 {
+		fmt.Printf("  telemetry: %d interval records, %d table samples, %d top-K summaries\n",
+			len(all.Intervals), len(all.TableStats), len(all.TopK))
+	}
+	if len(all.Intervals) > 0 {
+		fmt.Println()
+		if err := report.IntervalSummary(all.Intervals).Render(os.Stdout); err != nil {
+			return err
 		}
-		fmt.Println("  slowest arms:")
-		for _, r := range slow {
-			fmt.Printf("    %8v %-8s %s", time.Duration(r.WallNanos).Round(time.Millisecond), r.Kind, r.Key)
-			if r.EventsPerSec > 0 {
-				fmt.Printf(" (%.1fM events/s)", r.EventsPerSec/1e6)
-			}
-			fmt.Println()
+	}
+	if top > 0 && len(all.TopK) > 0 {
+		if err := report.TopOffenders(all.TopK, top).Render(os.Stdout); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -69,5 +70,50 @@ func TestMalformedJournalFails(t *testing.T) {
 	}
 	if err := run(filepath.Join(t.TempDir(), "missing.jsonl"), true, 0); err == nil {
 		t.Fatal("missing journal accepted")
+	}
+}
+
+func TestTelemetryJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tel.jsonl")
+	j, err := obs.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []obs.JournalRecord{
+		&obs.ArmRecord{Time: time.Now(), Kind: "run", Key: "r|compress|...",
+			Source: obs.SourceComputed, Events: 500, WallNanos: int64(time.Millisecond)},
+		&obs.IntervalRecord{Workload: "compress", Input: "test", Predictor: "gshare:1KB",
+			Seq: 0, Instructions: 1000, DInstructions: 1000, DBranches: 200, DMispredicts: 40},
+		&obs.TopKRecord{Workload: "compress", Input: "test", Predictor: "gshare:1KB",
+			K: 2, Sites: 10,
+			TopMispredicted: []obs.BranchCount{{PC: 0x40, Count: 9, Execs: 10, Bias: 0.5, MispRate: 0.9}}},
+	}
+	for _, r := range recs {
+		if err := j.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, top := range []int{2, 0} {
+		if err := run(path, false, top); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnknownSchemaVersionFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.jsonl")
+	if err := os.WriteFile(path, []byte(`{"type":"interval","v":99}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(path, true, 0)
+	if err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	var se *obs.SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *obs.SchemaError", err)
 	}
 }

@@ -1,12 +1,14 @@
 // Command bpplot renders experiment CSVs (as written by `bpexperiment
 // -csv`) into standalone SVG charts — the pictures behind the paper's
-// figures.
+// figures — and telemetry journals (as written by `bpexperiment -journal
+// -interval N`) into interval time-series curves.
 //
 // Examples:
 //
 //	bpplot -csv results/fig2.csv -type line -x Size \
 //	    -series "MISP/KI none,MISP/KI static_acc" -o fig2.svg
 //	bpplot -csv results/fig8.csv -type bars -x Predictor -o fig8.svg
+//	bpplot -journal run.jsonl -metric mispki -o intervals.svg
 package main
 
 import (
@@ -15,30 +17,42 @@ import (
 	"os"
 	"strings"
 
+	"branchsim/internal/obs"
 	"branchsim/internal/plot"
 )
 
 func main() {
 	var (
-		csvPath = flag.String("csv", "", "input CSV (required)")
-		out     = flag.String("o", "", "output SVG path (default stdout)")
-		kindStr = flag.String("type", "line", "chart type: line or bars")
-		xCol    = flag.String("x", "", "category column (default: first column)")
-		series  = flag.String("series", "", "comma-separated series columns (default: all numeric)")
-		title   = flag.String("title", "", "chart title (default: CSV filename)")
-		yLabel  = flag.String("ylabel", "MISP/KI", "y-axis label")
-		xLabel  = flag.String("xlabel", "", "x-axis label")
+		csvPath     = flag.String("csv", "", "input CSV (this or -journal is required)")
+		journalPath = flag.String("journal", "", "input JSONL journal with interval telemetry records")
+		out         = flag.String("o", "", "output SVG path (default stdout)")
+		kindStr     = flag.String("type", "line", "chart type for -csv: line or bars")
+		xCol        = flag.String("x", "", "category column (default: first column)")
+		series      = flag.String("series", "", "comma-separated series columns (default: all numeric)")
+		title       = flag.String("title", "", "chart title (default: input filename)")
+		yLabel      = flag.String("ylabel", "MISP/KI", "y-axis label for -csv charts")
+		xLabel      = flag.String("xlabel", "", "x-axis label for -csv charts")
+		metricStr   = flag.String("metric", "mispki", "interval metric for -journal: mispki, accuracy or destructive")
 	)
 	flag.Parse()
-	if err := run(*csvPath, *out, *kindStr, *xCol, *series, *title, *xLabel, *yLabel); err != nil {
+	var err error
+	switch {
+	case *csvPath != "" && *journalPath != "":
+		err = fmt.Errorf("-csv and -journal are mutually exclusive")
+	case *journalPath != "":
+		err = runJournal(*journalPath, *out, *title, *metricStr)
+	default:
+		err = runCSV(*csvPath, *out, *kindStr, *xCol, *series, *title, *xLabel, *yLabel)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpplot:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, out, kindStr, xCol, seriesList, title, xLabel, yLabel string) error {
+func runCSV(csvPath, out, kindStr, xCol, seriesList, title, xLabel, yLabel string) error {
 	if csvPath == "" {
-		return fmt.Errorf("-csv is required")
+		return fmt.Errorf("-csv or -journal is required")
 	}
 	var kind plot.Kind
 	switch kindStr {
@@ -70,10 +84,43 @@ func run(csvPath, out, kindStr, xCol, seriesList, title, xLabel, yLabel string) 
 	}
 	c.XLabel = xLabel
 	c.YLabel = yLabel
+	return emit(c.SVG(), out)
+}
 
-	svg := c.SVG()
+// runJournal charts the interval telemetry of a run journal: one series per
+// arm, one point per interval.
+func runJournal(path, out, title, metricStr string) error {
+	var metric plot.IntervalMetric
+	switch metricStr {
+	case "mispki":
+		metric = plot.MetricMISPKI
+	case "accuracy":
+		metric = plot.MetricAccuracy
+	case "destructive":
+		metric = plot.MetricDestructiveKI
+	default:
+		return fmt.Errorf("unknown interval metric %q (want mispki, accuracy or destructive)", metricStr)
+	}
+	recs, err := obs.ReadRecordsFile(path)
+	if err != nil {
+		return err
+	}
+	if len(recs.Intervals) == 0 {
+		return fmt.Errorf("%s: no interval records (run with -interval N to collect them)", path)
+	}
+	if title == "" {
+		title = path
+	}
+	c, err := plot.IntervalCurves(title, recs.Intervals, metric)
+	if err != nil {
+		return err
+	}
+	return emit(c.SVG(), out)
+}
+
+func emit(svg, out string) error {
 	if out == "" {
-		_, err = os.Stdout.WriteString(svg)
+		_, err := os.Stdout.WriteString(svg)
 		return err
 	}
 	return os.WriteFile(out, []byte(svg), 0o644)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"branchsim/internal/obs"
 )
 
 func writeCSV(t *testing.T, dir string) string {
@@ -21,7 +23,7 @@ func TestPlotLine(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := writeCSV(t, dir)
 	out := filepath.Join(dir, "fig.svg")
-	if err := run(csvPath, out, "line", "Size", "", "My Figure", "size", "MISP/KI"); err != nil {
+	if err := runCSV(csvPath, out, "line", "Size", "", "My Figure", "size", "MISP/KI"); err != nil {
 		t.Fatal(err)
 	}
 	svg, err := os.ReadFile(out)
@@ -39,7 +41,7 @@ func TestPlotBarsWithExplicitSeries(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := writeCSV(t, dir)
 	out := filepath.Join(dir, "bars.svg")
-	if err := run(csvPath, out, "bars", "Size", "MISP/KI static", "", "", "y"); err != nil {
+	if err := runCSV(csvPath, out, "bars", "Size", "MISP/KI static", "", "", "y"); err != nil {
 		t.Fatal(err)
 	}
 	svg, _ := os.ReadFile(out)
@@ -54,16 +56,73 @@ func TestPlotBarsWithExplicitSeries(t *testing.T) {
 func TestPlotErrors(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := writeCSV(t, dir)
-	if err := run("", "", "line", "", "", "", "", ""); err == nil {
+	if err := runCSV("", "", "line", "", "", "", "", ""); err == nil {
 		t.Fatal("missing csv accepted")
 	}
-	if err := run(csvPath, "", "pie", "", "", "", "", ""); err == nil {
+	if err := runCSV(csvPath, "", "pie", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown chart type accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.csv"), "", "line", "", "", "", "", ""); err == nil {
+	if err := runCSV(filepath.Join(dir, "missing.csv"), "", "line", "", "", "", "", ""); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run(csvPath, "", "line", "NoSuchColumn", "", "", "", ""); err == nil {
+	if err := runCSV(csvPath, "", "line", "NoSuchColumn", "", "", "", ""); err == nil {
 		t.Fatal("bad x column accepted")
+	}
+}
+
+func writeIntervalJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, misp := range []uint64{40, 10} {
+		rec := &obs.IntervalRecord{
+			Workload: "compress", Input: "test", Predictor: "gshare:1KB",
+			Seq: seq, Instructions: uint64(seq+1) * 1000,
+			DInstructions: 1000, DBranches: 200, DMispredicts: misp,
+		}
+		if err := j.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlotJournalIntervals(t *testing.T) {
+	path := writeIntervalJournal(t)
+	out := filepath.Join(t.TempDir(), "intervals.svg")
+	if err := runJournal(path, out, "", "mispki"); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "gshare:1KB", "MISPs/KI", "polyline"} {
+		if !strings.Contains(string(svg), want) {
+			t.Errorf("interval svg missing %q", want)
+		}
+	}
+}
+
+func TestPlotJournalErrors(t *testing.T) {
+	path := writeIntervalJournal(t)
+	if err := runJournal(path, "", "", "nosuch"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if err := runJournal(filepath.Join(t.TempDir(), "missing.jsonl"), "", "", "mispki"); err == nil {
+		t.Fatal("missing journal accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runJournal(empty, "", "", "mispki"); err == nil {
+		t.Fatal("journal without interval records accepted")
 	}
 }

@@ -7,6 +7,12 @@
 //	bpsim -workload gcc -predictor 2bcgskew:8KB -hints gcc.hints.json -shift
 //	bpsim -workload go -predictor ghist:4KB -collisions
 //	bpsim -workload gcc -predictor gshare:16KB -metrics 127.0.0.1:8080
+//
+// Telemetry: -journal writes the run's records as JSONL; adding -interval N,
+// -table-stats or -topk K enriches it with an interval time-series,
+// predictor-table samples and worst-offender branch lists (see bpjournal).
+//
+//	bpsim -workload gcc -predictor gshare:16KB -journal run.jsonl -interval 100000 -topk 16
 package main
 
 import (
@@ -28,6 +34,10 @@ func main() {
 		shift       = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
 		collisions  = flag.Bool("collisions", true, "track predictor-table collisions")
 		metricsAddr = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address during the run")
+		journalPath = flag.String("journal", "", "write the run's JSONL records (arm + telemetry) to this file")
+		interval    = flag.Uint64("interval", 0, "journal an interval telemetry record every N instructions (0 = off)")
+		tableStats  = flag.Bool("table-stats", false, "sample predictor-table introspection at interval boundaries")
+		topK        = flag.Int("topk", 0, "track the K worst-offender branches with bounded per-branch stats (0 = off)")
 		list        = flag.Bool("list", false, "list workloads and predictor schemes, then exit")
 	)
 	flag.Parse()
@@ -42,13 +52,14 @@ func main() {
 		return
 	}
 
-	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *shift, *collisions); err != nil {
+	tel := branchsim.TelemetryConfig{Interval: *interval, TableStats: *tableStats, TopK: *topK}
+	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *journalPath, *shift, *collisions, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, input, pred, hintsPath, metricsAddr string, shift, collisions bool) error {
+func run(wl, input, pred, hintsPath, metricsAddr, journalPath string, shift, collisions bool, tel branchsim.TelemetryConfig) error {
 	dyn, err := branchsim.NewPredictor(pred)
 	if err != nil {
 		return err
@@ -70,9 +81,21 @@ func run(wl, input, pred, hintsPath, metricsAddr string, shift, collisions bool)
 	}
 	combined := branchsim.Combine(dyn, hints, policy)
 
+	telemetryOn := tel.Interval > 0 || tel.TableStats || tel.TopK != 0
 	var sink *branchsim.Observer
+	if metricsAddr != "" || journalPath != "" {
+		var obsOpts []branchsim.ObserverOption
+		if journalPath != "" {
+			j, err := branchsim.OpenJournal(journalPath)
+			if err != nil {
+				return err
+			}
+			obsOpts = append(obsOpts, branchsim.WithJournal(j))
+		}
+		sink = branchsim.NewObserver(obsOpts...)
+		defer sink.Close()
+	}
 	if metricsAddr != "" {
-		sink = branchsim.NewObserver()
 		srv, err := sink.Serve(metricsAddr)
 		if err != nil {
 			return err
@@ -80,12 +103,18 @@ func run(wl, input, pred, hintsPath, metricsAddr string, shift, collisions bool)
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bpsim: serving metrics on http://%s/debug/vars\n", srv.Addr())
 	}
+	if telemetryOn && journalPath == "" {
+		fmt.Fprintln(os.Stderr, "bpsim: telemetry enabled without -journal; records will be collected and discarded")
+	}
 
 	simOpts := []branchsim.SimOption{
 		branchsim.Workload(wl),
 		branchsim.Input(input),
 		branchsim.WithPredictor(combined),
 		branchsim.WithObserver(sink),
+	}
+	if telemetryOn {
+		simOpts = append(simOpts, branchsim.WithTelemetry(tel))
 	}
 	if collisions {
 		simOpts = append(simOpts, branchsim.WithCollisions())

@@ -171,3 +171,21 @@ func (c *Combined) ShiftHistory(outcome bool) {
 		c.shiftr.ShiftHistory(outcome)
 	}
 }
+
+// EnableTableStats implements predictor.Introspector if the dynamic
+// component does; otherwise it is a no-op. Static hints keep no tables, so
+// introspection passes straight through.
+func (c *Combined) EnableTableStats() {
+	if in, ok := c.dyn.(predictor.Introspector); ok {
+		in.EnableTableStats()
+	}
+}
+
+// Introspect implements predictor.Introspector, returning the dynamic
+// component's table snapshots (nil when it has none).
+func (c *Combined) Introspect() []predictor.TableStats {
+	if in, ok := c.dyn.(predictor.Introspector); ok {
+		return in.Introspect()
+	}
+	return nil
+}

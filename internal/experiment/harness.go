@@ -21,6 +21,7 @@ import (
 	"branchsim/internal/replay"
 	"branchsim/internal/report"
 	"branchsim/internal/sim"
+	"branchsim/internal/telemetry"
 	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 )
@@ -98,6 +99,12 @@ type Harness struct {
 	workers         int
 	wantOwnedReplay bool
 	ownedReplay     bool
+
+	// telemetry configures per-arm simulation-domain telemetry (interval
+	// time-series, table samples, top-K); the zero config disables it. Each
+	// uncached arm builds a fresh collector inside its recorder factory, so
+	// replay retries never journal a partial stream's records.
+	telemetry telemetry.Config
 
 	logMu    sync.Mutex
 	once     sync.Once
@@ -308,7 +315,8 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 						return nil, err
 					}
 					db = profile.NewDB(wl, input)
-					r = sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db), sim.WithObserver(h.Obs))
+					r = sim.NewRunner(p, sim.WithLabels(wl, input), sim.WithCollisions(), sim.WithProfile(db), sim.WithObserver(h.Obs),
+						sim.WithTelemetry(telemetry.New(h.telemetry, h.Obs)))
 					return r, nil
 				})
 				span.AddPhase(phase, time.Since(t0))
@@ -490,7 +498,8 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 					return nil, err
 				}
 				p := core.NewCombined(dyn, hints, a.Shift)
-				r = sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions(), sim.WithObserver(h.Obs))
+				r = sim.NewRunner(p, sim.WithLabels(a.Workload, input), sim.WithCollisions(), sim.WithObserver(h.Obs),
+					sim.WithTelemetry(telemetry.New(h.telemetry, h.Obs)))
 				return r, nil
 			})
 			span.AddPhase(phase, time.Since(t0))

@@ -7,6 +7,7 @@ import (
 	"branchsim/internal/obs"
 	"branchsim/internal/predictor"
 	"branchsim/internal/replay"
+	"branchsim/internal/telemetry"
 	"branchsim/internal/workload"
 )
 
@@ -66,6 +67,15 @@ func WithObserver(o *obs.Observer) HarnessOption {
 	return func(h *Harness) { h.Obs = o }
 }
 
+// WithTelemetry enables simulation-domain telemetry on every uncached arm:
+// interval time-series, predictor-table samples and per-branch top-K
+// statistics per cfg, journaled through the harness's observer (attach one
+// with WithObserver — without a journal the records have nowhere to go). The
+// zero config disables telemetry entirely.
+func WithTelemetry(cfg telemetry.Config) HarnessOption {
+	return func(h *Harness) { h.telemetry = cfg }
+}
+
 // WithLookup substitutes the workload resolver (nil means workload.Get).
 // Fault-injection tests use it to wrap programs with fault plans.
 func WithLookup(fn func(name string) (workload.Program, error)) HarnessOption {
@@ -95,13 +105,21 @@ func (h *Harness) apply(opts []HarnessOption) *Harness {
 	return h
 }
 
-// Close releases resources the harness owns — today, the replay engine
-// created by WithWorkers (WithReplay engines stay with their caller). Safe
-// to call on a harness without owned resources, and idempotent.
+// Close releases resources the harness owns — the replay engine created by
+// WithWorkers (WithReplay engines stay with their caller) — then quiesces
+// the attached observer: progress-reporter goroutines are stopped and the
+// journal is flushed (and fsynced, when file-backed) so every record written
+// so far is durable when Close returns. The observer itself stays open — it
+// belongs to the caller, who may share it across harnesses. Safe to call on
+// a harness without owned resources, and idempotent.
 func (h *Harness) Close() {
 	if h.ownedReplay && h.Replay != nil {
 		h.Replay.Close()
 		h.Replay = nil
 		h.ownedReplay = false
+	}
+	h.Obs.StopProgress()
+	if err := h.Obs.Flush(); err != nil {
+		h.logf("journal flush: %v", err)
 	}
 }

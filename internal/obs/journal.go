@@ -2,7 +2,6 @@ package obs
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,9 +36,17 @@ func OpenJournal(path string) (*Journal, error) {
 // Record appends one arm record as a single JSONL line and flushes, so a
 // killed run keeps every completed arm.
 func (j *Journal) Record(rec *ArmRecord) error {
+	return j.Write(rec)
+}
+
+// Write appends one journal record of any registered type as a single JSONL
+// line and flushes. The record's type and schema-version envelope fields are
+// stamped before encoding.
+func (j *Journal) Write(rec JournalRecord) error {
 	if j == nil {
 		return nil
 	}
+	rec.stamp()
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("obs: encoding journal record: %w", err)
@@ -53,6 +60,23 @@ func (j *Journal) Record(rec *ArmRecord) error {
 		return err
 	}
 	return j.w.Flush()
+}
+
+// Sync flushes buffered records and, when the journal owns a file, fsyncs it
+// to stable storage. Unlike Close, the journal stays usable. Safe on nil.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if s, ok := j.c.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
 }
 
 // Close flushes buffered records and closes the underlying file, when the
@@ -73,30 +97,17 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// ReadJournal parses a JSONL run journal. Blank lines are skipped; a
-// malformed line fails the whole read with its line number, since a journal
-// that doesn't parse is a bug, not a degradation.
+// ReadJournal parses a JSONL run journal and returns its arm records,
+// skipping telemetry record types. Blank lines are skipped; a malformed line
+// or an unsupported schema fails the whole read with its line number, since
+// a journal that doesn't parse is a bug, not a degradation. Callers that
+// want the telemetry records too should use ReadRecords.
 func ReadJournal(r io.Reader) ([]ArmRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // profiles can make fat records
-	var out []ArmRecord
-	line := 0
-	for sc.Scan() {
-		line++
-		data := bytes.TrimSpace(sc.Bytes())
-		if len(data) == 0 {
-			continue
-		}
-		var rec ArmRecord
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
-		}
-		out = append(out, rec)
+	recs, err := ReadRecords(r)
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: reading journal: %w", err)
-	}
-	return out, nil
+	return recs.Arms, nil
 }
 
 // ReadJournalFile is ReadJournal over a file.

@@ -1,0 +1,147 @@
+package obs
+
+// This file is the single registry of every name the observability layer
+// puts on the wire: metric names (the M* constants published to the
+// registry and served at /debug/vars) and journal record types (the Rec*
+// constants stamped into JSONL records). Every constant declared here MUST
+// also appear in the registered-names block below — names_test.go parses
+// this package's source and fails on any M*/Rec* constant that is missing
+// from the block, and on any duplicate name value. Keeping declaration and
+// registration in one file makes a collision a compile-adjacent test
+// failure instead of a silent journal ambiguity.
+
+// Well-known metric names. Counters unless noted.
+const (
+	// MSimEvents counts dynamic branch events simulated across all runners.
+	MSimEvents = "sim.events"
+	// MSimMispredicts counts mispredictions across all runners.
+	MSimMispredicts = "sim.mispredicts"
+
+	// MReplayCaptures counts shared-stream captures (one per distinct
+	// workload/input that executed).
+	MReplayCaptures = "replay.captures"
+	// MReplayReplays counts arms fed from a shared capture instead of
+	// executing the workload.
+	MReplayReplays = "replay.replays"
+	// MReplayChunksCaptured counts encoded chunks sealed by captures.
+	MReplayChunksCaptured = "replay.chunks_captured"
+	// MReplayChunksSpilled counts sealed chunks that went to the spill file.
+	MReplayChunksSpilled = "replay.chunks_spilled"
+	// MReplayChunksReplayed counts chunk decodes performed by replaying arms.
+	MReplayChunksReplayed = "replay.chunks_replayed"
+	// MReplayMemBytes (gauge) is the engine's current in-memory encoded
+	// trace occupancy, in bytes.
+	MReplayMemBytes = "replay.mem_bytes"
+	// MReplayPoolWaiting (gauge) is the number of replays currently blocked
+	// waiting for a worker-pool slot.
+	MReplayPoolWaiting = "replay.pool_waiting"
+
+	// MArmsStarted counts harness arms (profiles and runs) started.
+	MArmsStarted = "experiment.arms_started"
+	// MArmsDone counts harness arms finished successfully.
+	MArmsDone = "experiment.arms_done"
+	// MArmsFailed counts harness arms that ended in an error.
+	MArmsFailed = "experiment.arms_failed"
+	// MArmsRunning (gauge) is the number of arms currently in flight.
+	MArmsRunning = "experiment.arms_running"
+	// MRetries counts in-place re-attempts of transiently failed arms.
+	MRetries = "experiment.retries"
+	// MPanics counts arms that died of an isolated panic.
+	MPanics = "experiment.panics"
+	// MCheckpointHits counts arms satisfied from the on-disk checkpoint.
+	MCheckpointHits = "experiment.checkpoint_hits"
+	// MSingleflightHits counts arm requests coalesced onto an in-flight or
+	// memoized computation instead of simulating again.
+	MSingleflightHits = "experiment.singleflight_hits"
+
+	// MFaultsInjected counts injected faults fired (test pipelines only).
+	MFaultsInjected = "faults.injected"
+
+	// MTelemetryIntervals counts interval time-series records sealed by
+	// telemetry collectors across all arms.
+	MTelemetryIntervals = "telemetry.intervals"
+	// MTelemetryTableSamples counts predictor-table introspection samples
+	// taken at interval boundaries.
+	MTelemetryTableSamples = "telemetry.table_samples"
+	// MTelemetryTopK counts per-branch top-K records emitted at arm end.
+	MTelemetryTopK = "telemetry.topk_records"
+	// MTelemetrySites (gauge) is the number of distinct static branches the
+	// most recently sealed collector was tracking.
+	MTelemetrySites = "telemetry.sites"
+	// MTelemetrySitesDropped counts static branches that fell off the
+	// bounded per-branch tracker (the site cap was reached).
+	MTelemetrySitesDropped = "telemetry.sites_dropped"
+)
+
+// Journal record types. Every JSONL line carries a "type" field holding one
+// of these (a missing field means RecArm, for journals written before the
+// telemetry schema) plus a "v" schema version; see records.go.
+const (
+	// RecArm is one completed sweep arm (ArmRecord).
+	RecArm = "arm"
+	// RecInterval is one interval of an arm's simulation-domain time series
+	// (IntervalRecord).
+	RecInterval = "interval"
+	// RecTableStats is one predictor-table introspection sample
+	// (TableStatsRecord).
+	RecTableStats = "table_stats"
+	// RecTopK is one arm's per-branch summary: histograms plus the top-K
+	// worst offenders (TopKRecord).
+	RecTopK = "topk"
+)
+
+// NameKind classifies a registered name.
+type NameKind string
+
+// Registered name kinds.
+const (
+	KindCounter NameKind = "counter"
+	KindGauge   NameKind = "gauge"
+	KindRecord  NameKind = "record"
+)
+
+// RegisteredName is one entry of the name registry.
+type RegisteredName struct {
+	Name string
+	Kind NameKind
+}
+
+// registeredNames is the single authoritative list. Order groups by
+// subsystem; names_test.go enforces completeness and uniqueness.
+var registeredNames = []RegisteredName{
+	{MSimEvents, KindCounter},
+	{MSimMispredicts, KindCounter},
+	{MReplayCaptures, KindCounter},
+	{MReplayReplays, KindCounter},
+	{MReplayChunksCaptured, KindCounter},
+	{MReplayChunksSpilled, KindCounter},
+	{MReplayChunksReplayed, KindCounter},
+	{MReplayMemBytes, KindGauge},
+	{MReplayPoolWaiting, KindGauge},
+	{MArmsStarted, KindCounter},
+	{MArmsDone, KindCounter},
+	{MArmsFailed, KindCounter},
+	{MArmsRunning, KindGauge},
+	{MRetries, KindCounter},
+	{MPanics, KindCounter},
+	{MCheckpointHits, KindCounter},
+	{MSingleflightHits, KindCounter},
+	{MFaultsInjected, KindCounter},
+	{MTelemetryIntervals, KindCounter},
+	{MTelemetryTableSamples, KindCounter},
+	{MTelemetryTopK, KindCounter},
+	{MTelemetrySites, KindGauge},
+	{MTelemetrySitesDropped, KindCounter},
+	{RecArm, KindRecord},
+	{RecInterval, KindRecord},
+	{RecTableStats, KindRecord},
+	{RecTopK, KindRecord},
+}
+
+// RegisteredNames returns a copy of the registry: every well-known metric
+// name and journal record type this package emits.
+func RegisteredNames() []RegisteredName {
+	out := make([]RegisteredName, len(registeredNames))
+	copy(out, registeredNames)
+	return out
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredWireNames parses this package's source and returns every M* metric
+// constant and Rec* record-type constant (name → string value).
+func declaredWireNames(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing package source: %v", err)
+	}
+	out := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if !isWireConstName(name.Name) || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						val, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							t.Fatalf("const %s: unquoting %s: %v", name.Name, lit.Value, err)
+						}
+						out[name.Name] = val
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isWireConstName reports whether a constant name follows the M*/Rec* wire
+// naming convention ("MSimEvents", "RecArm") as opposed to incidental
+// constants that merely start with those letters.
+func isWireConstName(name string) bool {
+	if rest, ok := strings.CutPrefix(name, "Rec"); ok {
+		return rest != "" && rest[0] >= 'A' && rest[0] <= 'Z'
+	}
+	if len(name) >= 2 && name[0] == 'M' && name[1] >= 'A' && name[1] <= 'Z' {
+		return true
+	}
+	return false
+}
+
+// TestRegisteredNamesComplete fails when an M*/Rec* constant exists in the
+// package source but is missing from the registered-names block in names.go,
+// or when the block registers a value no constant declares. This is what
+// keeps names.go the single source of truth.
+func TestRegisteredNamesComplete(t *testing.T) {
+	declared := declaredWireNames(t)
+	if len(declared) == 0 {
+		t.Fatal("found no M*/Rec* constants — parser broken?")
+	}
+	registered := map[string]bool{}
+	for _, rn := range RegisteredNames() {
+		registered[rn.Name] = true
+	}
+	for constName, val := range declared {
+		if !registered[val] {
+			t.Errorf("constant %s = %q is not in the registered-names block in names.go", constName, val)
+		}
+	}
+	declaredVals := map[string]bool{}
+	for _, val := range declared {
+		declaredVals[val] = true
+	}
+	for _, rn := range RegisteredNames() {
+		if !declaredVals[rn.Name] {
+			t.Errorf("registered name %q has no corresponding M*/Rec* constant", rn.Name)
+		}
+	}
+}
+
+// TestRegisteredNamesUnique rejects duplicate name values: two constants
+// aliasing one wire name would make journals and /debug/vars ambiguous.
+func TestRegisteredNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, rn := range RegisteredNames() {
+		if rn.Name == "" {
+			t.Error("registered name with empty value")
+		}
+		if seen[rn.Name] {
+			t.Errorf("name %q registered twice", rn.Name)
+		}
+		seen[rn.Name] = true
+		switch rn.Kind {
+		case KindCounter, KindGauge, KindRecord:
+		default:
+			t.Errorf("name %q has unknown kind %q", rn.Name, rn.Kind)
+		}
+	}
+}

@@ -27,53 +27,8 @@ import (
 	"time"
 )
 
-// Well-known metric names. Counters unless noted.
-const (
-	// MSimEvents counts dynamic branch events simulated across all runners.
-	MSimEvents = "sim.events"
-	// MSimMispredicts counts mispredictions across all runners.
-	MSimMispredicts = "sim.mispredicts"
-
-	// MReplayCaptures counts shared-stream captures (one per distinct
-	// workload/input that executed).
-	MReplayCaptures = "replay.captures"
-	// MReplayReplays counts arms fed from a shared capture instead of
-	// executing the workload.
-	MReplayReplays = "replay.replays"
-	// MReplayChunksCaptured counts encoded chunks sealed by captures.
-	MReplayChunksCaptured = "replay.chunks_captured"
-	// MReplayChunksSpilled counts sealed chunks that went to the spill file.
-	MReplayChunksSpilled = "replay.chunks_spilled"
-	// MReplayChunksReplayed counts chunk decodes performed by replaying arms.
-	MReplayChunksReplayed = "replay.chunks_replayed"
-	// MReplayMemBytes (gauge) is the engine's current in-memory encoded
-	// trace occupancy, in bytes.
-	MReplayMemBytes = "replay.mem_bytes"
-	// MReplayPoolWaiting (gauge) is the number of replays currently blocked
-	// waiting for a worker-pool slot.
-	MReplayPoolWaiting = "replay.pool_waiting"
-
-	// MArmsStarted counts harness arms (profiles and runs) started.
-	MArmsStarted = "experiment.arms_started"
-	// MArmsDone counts harness arms finished successfully.
-	MArmsDone = "experiment.arms_done"
-	// MArmsFailed counts harness arms that ended in an error.
-	MArmsFailed = "experiment.arms_failed"
-	// MArmsRunning (gauge) is the number of arms currently in flight.
-	MArmsRunning = "experiment.arms_running"
-	// MRetries counts in-place re-attempts of transiently failed arms.
-	MRetries = "experiment.retries"
-	// MPanics counts arms that died of an isolated panic.
-	MPanics = "experiment.panics"
-	// MCheckpointHits counts arms satisfied from the on-disk checkpoint.
-	MCheckpointHits = "experiment.checkpoint_hits"
-	// MSingleflightHits counts arm requests coalesced onto an in-flight or
-	// memoized computation instead of simulating again.
-	MSingleflightHits = "experiment.singleflight_hits"
-
-	// MFaultsInjected counts injected faults fired (test pipelines only).
-	MFaultsInjected = "faults.injected"
-)
+// Well-known metric names (the M* constants) and journal record types (the
+// Rec* constants) are declared and registered together in names.go.
 
 // Observer is the top-level observability handle threaded through the
 // pipeline: a metric registry plus an optional JSONL journal. A nil
@@ -87,6 +42,12 @@ type Observer struct {
 	// errw receives the one-shot journal-failure report; nil means stderr.
 	errw        io.Writer
 	journalOnce sync.Once
+
+	// stopsMu/stops track the stop functions of progress reporters started
+	// from this observer, so Close (and Harness.Close, via StopProgress) can
+	// terminate their goroutines without holding every stop handle.
+	stopsMu sync.Mutex
+	stops   []func()
 }
 
 // Option configures an Observer at construction.
@@ -147,22 +108,67 @@ func (o *Observer) Uptime() time.Duration {
 	return time.Since(o.start)
 }
 
-// Close flushes and closes the attached journal, if any. Safe on nil.
+// Close stops any progress reporters started from this observer, then
+// flushes and closes the attached journal, if any. Safe on nil, idempotent.
 func (o *Observer) Close() error {
-	if o == nil || o.journal == nil {
+	if o == nil {
+		return nil
+	}
+	o.StopProgress()
+	if o.journal == nil {
 		return nil
 	}
 	return o.journal.Close()
 }
 
+// StopProgress stops every progress reporter started from this observer
+// (StartProgress registers its stop function here). Each stop is idempotent,
+// so StopProgress composes with callers that also hold the individual stop
+// handles. Safe on nil.
+func (o *Observer) StopProgress() {
+	if o == nil {
+		return
+	}
+	o.stopsMu.Lock()
+	stops := o.stops
+	o.stops = nil
+	o.stopsMu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// registerStop remembers a progress reporter's stop function for
+// StopProgress/Close.
+func (o *Observer) registerStop(stop func()) {
+	o.stopsMu.Lock()
+	o.stops = append(o.stops, stop)
+	o.stopsMu.Unlock()
+}
+
+// Flush forces buffered journal records to the underlying writer and, when
+// the journal owns a file, syncs it to stable storage. Safe on nil; the
+// observer stays usable afterwards (unlike Close).
+func (o *Observer) Flush() error {
+	if o == nil {
+		return nil
+	}
+	return o.journal.Sync()
+}
+
 // record appends one finished arm record to the journal (if attached).
+func (o *Observer) record(rec *ArmRecord) { o.Emit(rec) }
+
+// Emit appends one journal record — an *ArmRecord, *IntervalRecord,
+// *TableStatsRecord or *TopKRecord — stamping its type and schema version.
 // Journal write failures are reported once and then swallowed: observability
-// must never fail the sweep it observes.
-func (o *Observer) record(rec *ArmRecord) {
+// must never fail the sweep it observes. Safe on nil (and with no journal
+// attached), at the cost of one branch.
+func (o *Observer) Emit(rec JournalRecord) {
 	if o == nil || o.journal == nil {
 		return
 	}
-	if err := o.journal.Record(rec); err != nil {
+	if err := o.journal.Write(rec); err != nil {
 		o.journalOnce.Do(func() {
 			w := o.errw
 			if w == nil {

@@ -63,12 +63,16 @@ func (o *Observer) StartProgress(w io.Writer, interval time.Duration) (stop func
 			}
 		}
 	}()
-	return func() {
+	stop = func() {
 		once.Do(func() {
 			close(done)
 			emit(true)
 		})
 	}
+	// Registered so Observer.Close / StopProgress can terminate the reporter
+	// even when the caller drops the stop handle.
+	o.registerStop(stop)
+	return stop
 }
 
 // siCount renders a rate with an SI suffix: "182.4M", "3.1k", "87".

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaV1 is the current journal record schema version. Every record line
+// carries its type and version; readers reject versions they do not know
+// instead of misparsing them (see SchemaError).
+const SchemaV1 = 1
+
+// JournalRecord is implemented by every record type this package journals.
+// stamp fills the record's type and schema-version fields before encoding;
+// it is unexported because the set of wire types is closed — a new record
+// type means a new schema entry in names.go and a reader case below.
+type JournalRecord interface {
+	stamp()
+}
+
+func (r *ArmRecord) stamp()        { r.Type, r.V = RecArm, SchemaV1 }
+func (r *IntervalRecord) stamp()   { r.Type, r.V = RecInterval, SchemaV1 }
+func (r *TableStatsRecord) stamp() { r.Type, r.V = RecTableStats, SchemaV1 }
+func (r *TopKRecord) stamp()       { r.Type, r.V = RecTopK, SchemaV1 }
+
+// IntervalRecord is one interval of an arm's simulation-domain time series:
+// the counter deltas accumulated between two interval boundaries, emitted
+// every N instructions (sim.WithTelemetry). Records deliberately carry no
+// wall-clock fields — the series is a function of the branch stream alone,
+// so the same (workload, input, predictor) triple journals byte-identical
+// records on every run, whatever the worker count.
+//
+// Intervals close at the first stream event at or after each N-instruction
+// boundary (a bulk instruction count can overshoot), plus one final partial
+// interval when the run ends; summing any delta field over an arm's records
+// therefore reconstructs the corresponding sim.Metrics total exactly.
+type IntervalRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	Workload  string `json:"workload"`
+	Input     string `json:"input"`
+	Predictor string `json:"predictor"`
+
+	// Seq numbers the arm's intervals from zero; Instructions is the
+	// cumulative instruction count at which the interval closed.
+	Seq          int    `json:"seq"`
+	Instructions uint64 `json:"instructions"`
+
+	// Deltas since the previous interval boundary.
+	DInstructions uint64 `json:"d_instructions"`
+	DBranches     uint64 `json:"d_branches"`
+	DTaken        uint64 `json:"d_taken"`
+	DMispredicts  uint64 `json:"d_mispredicts"`
+
+	// Collision deltas, populated when the arm tracked collisions.
+	CollisionsTracked bool   `json:"collisions_tracked,omitempty"`
+	DCollisions       uint64 `json:"d_collisions,omitempty"`
+	DConstructive     uint64 `json:"d_constructive,omitempty"`
+	DDestructive      uint64 `json:"d_destructive,omitempty"`
+}
+
+// MISPKI returns the interval's mispredictions per thousand instructions.
+func (r *IntervalRecord) MISPKI() float64 {
+	if r.DInstructions == 0 {
+		return 0
+	}
+	return 1000 * float64(r.DMispredicts) / float64(r.DInstructions)
+}
+
+// Accuracy returns the interval's prediction accuracy.
+func (r *IntervalRecord) Accuracy() float64 {
+	if r.DBranches == 0 {
+		return 0
+	}
+	return 1 - float64(r.DMispredicts)/float64(r.DBranches)
+}
+
+// TableStat is one counter table's state at a sampling instant, as
+// introspected by the predictor (predictor.TableStats mirrors this shape;
+// the obs package stays import-free of the predictor layer).
+type TableStat struct {
+	// Name identifies the table within its predictor ("pht", "choice",
+	// "bim", "g0", "g1", "meta", ...).
+	Name string `json:"name"`
+	// Entries is the table's capacity in counters.
+	Entries int `json:"entries"`
+	// Occupied counts entries that have been read at least once (known via
+	// the collision-instrumentation tags).
+	Occupied int `json:"occupied"`
+	// Counters is the 2-bit counter state distribution: how many entries
+	// currently hold 0 (strong not-taken) through 3 (strong taken).
+	Counters [4]uint64 `json:"counters"`
+	// Entropy is the Shannon entropy of the Counters distribution in bits
+	// (0 = every counter in one state, 2 = uniform across the four).
+	Entropy float64 `json:"entropy"`
+	// SharingHist is a log₂-bucketed histogram of per-entry ownership
+	// switches — bucket 0 counts entries never re-claimed by a different
+	// branch, bucket k entries switched between 2^(k-1) and 2^k−1 times —
+	// the per-entry sharing degree behind the paper's collision counts.
+	// Trailing zero buckets are trimmed.
+	SharingHist []uint64 `json:"sharing_hist,omitempty"`
+}
+
+// TableStatsRecord is one predictor-table introspection sample, taken at an
+// interval boundary when table statistics are enabled. Like IntervalRecord
+// it is wall-clock-free and byte-stable across runs.
+type TableStatsRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	Workload  string `json:"workload"`
+	Input     string `json:"input"`
+	Predictor string `json:"predictor"`
+
+	// Seq and Instructions match the interval at whose boundary the sample
+	// was taken.
+	Seq          int    `json:"seq"`
+	Instructions uint64 `json:"instructions"`
+
+	Tables []TableStat `json:"tables"`
+}
+
+// BranchCount is one entry of a top-K worst-offender list.
+type BranchCount struct {
+	// PC is the static branch address.
+	PC uint64 `json:"pc"`
+	// Count is the offending-event count attributed to the branch
+	// (destructive collisions or mispredictions, per list). Space-saving
+	// semantics: Count may overestimate by at most MaxError.
+	Count uint64 `json:"count"`
+	// MaxError bounds the overestimation inherited from evicted sketch
+	// slots; 0 means the count is exact.
+	MaxError uint64 `json:"max_error,omitempty"`
+	// Execs, Bias and MispRate are the branch's profile from the bounded
+	// site tracker (zero when the site fell off the tracker).
+	Execs    uint64  `json:"execs,omitempty"`
+	Bias     float64 `json:"bias,omitempty"`
+	MispRate float64 `json:"misp_rate,omitempty"`
+}
+
+// TopKRecord is one arm's streaming per-branch summary, emitted once at the
+// end of the run: log-bucketed histograms of per-branch bias and
+// misprediction rate over the tracked sites, plus bounded worst-offender
+// lists from two space-saving sketches — the static branches causing the
+// most destructive aliasing and the most mispredictions. Wall-clock-free
+// and byte-stable, like the other telemetry records.
+type TopKRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	Workload  string `json:"workload"`
+	Input     string `json:"input"`
+	Predictor string `json:"predictor"`
+
+	// K is the sketch capacity the lists were tracked with.
+	K int `json:"k"`
+	// Sites is the number of distinct static branches tracked;
+	// SitesDropped counts branches seen beyond the tracker's bound.
+	Sites        int    `json:"sites"`
+	SitesDropped uint64 `json:"sites_dropped,omitempty"`
+
+	// BiasHist buckets tracked branches by how far their taken-bias falls
+	// from perfect: bucket 0 holds perfectly biased branches (bias = 1),
+	// bucket k branches with 2^−k ≤ 1−bias < 2^−(k−1). MispHist buckets
+	// the per-branch misprediction rate the same way (bucket 0 = never
+	// mispredicted). Trailing zero buckets are trimmed.
+	BiasHist []uint64 `json:"bias_hist,omitempty"`
+	MispHist []uint64 `json:"misp_hist,omitempty"`
+
+	// TopDestructive ranks branches by destructive collisions caused while
+	// they were predicted (empty unless the arm tracked collisions);
+	// TopMispredicted ranks by mispredictions.
+	TopDestructive  []BranchCount `json:"top_destructive,omitempty"`
+	TopMispredicted []BranchCount `json:"top_mispredicted,omitempty"`
+}
+
+// Key returns the record's (workload, input, predictor) identity, shared by
+// the three telemetry record types for grouping.
+func (r *IntervalRecord) Key() string   { return r.Workload + "/" + r.Input + "/" + r.Predictor }
+func (r *TableStatsRecord) Key() string { return r.Workload + "/" + r.Input + "/" + r.Predictor }
+func (r *TopKRecord) Key() string       { return r.Workload + "/" + r.Input + "/" + r.Predictor }
+
+// SchemaError reports a journal line whose record type or schema version
+// this reader does not understand. The fields name exactly what was found;
+// readers fail loudly rather than misparse foreign records.
+type SchemaError struct {
+	// Line is the 1-based journal line number.
+	Line int
+	// Type is the record's declared type ("" when the field was absent).
+	Type string
+	// Version is the record's declared schema version.
+	Version int
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s; version %d)",
+		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, SchemaV1)
+}
+
+// Records is a parsed journal, split by record type.
+type Records struct {
+	Arms       []ArmRecord
+	Intervals  []IntervalRecord
+	TableStats []TableStatsRecord
+	TopK       []TopKRecord
+}
+
+// Len returns the total record count.
+func (r *Records) Len() int {
+	return len(r.Arms) + len(r.Intervals) + len(r.TableStats) + len(r.TopK)
+}
+
+// recordHead is the envelope every line is peeked through before decoding.
+type recordHead struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+}
+
+// ReadRecords parses a JSONL journal containing any mix of record types.
+// Lines without a "type" field are arm records (the pre-telemetry schema).
+// Blank lines are skipped; a malformed line, an unknown record type, or an
+// unsupported schema version fails the whole read with its line number — a
+// journal that doesn't parse is a bug, not a degradation.
+func ReadRecords(r io.Reader) (*Records, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // profiles can make fat records
+	out := &Records{}
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		var head recordHead
+		if err := json.Unmarshal(data, &head); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		// Version 0 is only legal on the implicit pre-telemetry arm schema.
+		if head.V != SchemaV1 && !(head.Type == "" && head.V == 0) {
+			return nil, &SchemaError{Line: line, Type: head.Type, Version: head.V}
+		}
+		var err error
+		switch head.Type {
+		case "", RecArm:
+			var rec ArmRecord
+			if err = json.Unmarshal(data, &rec); err == nil {
+				out.Arms = append(out.Arms, rec)
+			}
+		case RecInterval:
+			var rec IntervalRecord
+			if err = json.Unmarshal(data, &rec); err == nil {
+				out.Intervals = append(out.Intervals, rec)
+			}
+		case RecTableStats:
+			var rec TableStatsRecord
+			if err = json.Unmarshal(data, &rec); err == nil {
+				out.TableStats = append(out.TableStats, rec)
+			}
+		case RecTopK:
+			var rec TopKRecord
+			if err = json.Unmarshal(data, &rec); err == nil {
+				out.TopK = append(out.TopK, rec)
+			}
+		default:
+			return nil, &SchemaError{Line: line, Type: head.Type, Version: head.V}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading journal: %w", err)
+	}
+	return out, nil
+}
+
+// ReadRecordsFile is ReadRecords over a file.
+func ReadRecordsFile(path string) (*Records, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}

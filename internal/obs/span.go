@@ -38,6 +38,11 @@ type PhaseTiming struct {
 // written as JSON Lines — one object per line — so journals stream, append
 // across resumed runs, and grep cleanly.
 type ArmRecord struct {
+	// Type and V are the record envelope: RecArm and the schema version,
+	// stamped on write. Absent on journals from before the telemetry schema.
+	Type string `json:"type,omitempty"`
+	V    int    `json:"v,omitempty"`
+
 	// Time is when the arm finished, RFC 3339 with nanoseconds.
 	Time time.Time `json:"time"`
 	// Kind is the harness stage: "profile", "run" or "simulate" (facade).

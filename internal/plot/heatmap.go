@@ -1,0 +1,145 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HeatmapChart renders a dense matrix as a colored cell grid — the natural
+// picture for the aliasing question the paper asks: which (victim, aggressor)
+// branch pairs fight over predictor entries, and how hard. Rows and columns
+// are categorical labels; cell intensity is linear in the value, white at
+// zero and deep red at the matrix maximum.
+type HeatmapChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+
+	rows, cols []string
+	cells      [][]float64
+}
+
+// heatmap geometry (pixels)
+const (
+	heatMarginL = 110
+	heatMarginR = 70
+	heatMarginT = 48
+	heatMarginB = 92
+)
+
+// NewHeatmap creates a rows×cols heatmap with all cells zero.
+func NewHeatmap(title string, rows, cols []string) *HeatmapChart {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &HeatmapChart{
+		Title: title,
+		rows:  append([]string(nil), rows...),
+		cols:  append([]string(nil), cols...),
+		cells: cells,
+	}
+}
+
+// Set assigns the value of one cell.
+func (h *HeatmapChart) Set(row, col int, v float64) error {
+	if row < 0 || row >= len(h.rows) || col < 0 || col >= len(h.cols) {
+		return fmt.Errorf("plot: heatmap cell (%d,%d) outside %dx%d matrix", row, col, len(h.rows), len(h.cols))
+	}
+	h.cells[row][col] = v
+	return nil
+}
+
+// heatColor maps t in [0,1] to a white→deep-red ramp.
+func heatColor(t float64) string {
+	if math.IsNaN(t) || t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	lerp := func(a, b float64) int { return int(a + t*(b-a) + 0.5) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(255, 165), lerp(255, 15), lerp(255, 21))
+}
+
+// SVG renders the heatmap.
+func (h *HeatmapChart) SVG() string {
+	nR, nC := len(h.rows), len(h.cols)
+	plotW := chartW - heatMarginL - heatMarginR
+	plotH := chartH - heatMarginT - heatMarginB
+
+	maxV := 0.0
+	for _, row := range h.cells {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		chartW, chartH, chartW, chartH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", heatMarginL, esc(h.Title))
+	if nR == 0 || nC == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	cellW := float64(plotW) / float64(nC)
+	cellH := float64(plotH) / float64(nR)
+	for r := 0; r < nR; r++ {
+		for c := 0; c < nC; c++ {
+			v := h.cells[r][c]
+			t := 0.0
+			if maxV > 0 {
+				t = v / maxV
+			}
+			x := float64(heatMarginL) + float64(c)*cellW
+			y := float64(heatMarginT) + float64(r)*cellH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#eee"><title>%s × %s: %s</title></rect>`+"\n",
+				x, y, cellW, cellH, heatColor(t), esc(h.rows[r]), esc(h.cols[c]), trimFloat(v))
+		}
+	}
+
+	// row labels (left, vertically centered on the cell)
+	for r, lab := range h.rows {
+		y := float64(heatMarginT) + (float64(r)+0.5)*cellH
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			heatMarginL-6, y+3, esc(lab))
+	}
+	// column labels (bottom, rotated so dense matrices stay readable)
+	for c, lab := range h.cols {
+		x := float64(heatMarginL) + (float64(c)+0.5)*cellW
+		y := heatMarginT + plotH + 12
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-55 %.1f %d)">%s</text>`+"\n",
+			x, y, x, y, esc(lab))
+	}
+	// axis titles
+	if h.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			heatMarginL+plotW/2, chartH-10, esc(h.XLabel))
+	}
+	if h.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			heatMarginT+plotH/2, heatMarginT+plotH/2, esc(h.YLabel))
+	}
+
+	// color scale: a five-step swatch column with the data maximum at the top
+	steps := 5
+	swatchH := 18.0
+	sx := heatMarginL + plotW + 16
+	for i := 0; i < steps; i++ {
+		t := float64(steps-i) / float64(steps)
+		y := float64(heatMarginT) + float64(i)*swatchH
+		fmt.Fprintf(&b, `<rect x="%d" y="%.1f" width="14" height="%.1f" fill="%s" stroke="#ccc"/>`+"\n",
+			sx, y, swatchH, heatColor(t))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="9">%s</text>`+"\n",
+			sx+18, y+5, trimFloat(maxV*t))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}

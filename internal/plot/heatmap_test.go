@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"branchsim/internal/obs"
+)
+
+func TestHeatmapSVG(t *testing.T) {
+	h := NewHeatmap("Aliasing", []string{"0x100", "0x200"}, []string{"0x100", "0x200", "0x300"})
+	h.XLabel = "aggressor"
+	h.YLabel = "victim"
+	if err := h.Set(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Set(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	svg := h.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "Aliasing", "aggressor", "victim", "0x300",
+		heatColor(1), // the max cell is full intensity
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// background + 2x3 cells + 5 scale swatches
+	if got := strings.Count(svg, "<rect"); got != 1+6+5 {
+		t.Errorf("%d rects, want 12", got)
+	}
+}
+
+func TestHeatmapSetBounds(t *testing.T) {
+	h := NewHeatmap("t", []string{"r"}, []string{"c"})
+	for _, rc := range [][2]int{{-1, 0}, {0, -1}, {1, 0}, {0, 1}} {
+		if err := h.Set(rc[0], rc[1], 1); err == nil {
+			t.Errorf("Set(%d,%d) accepted out of bounds", rc[0], rc[1])
+		}
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	h := NewHeatmap("empty", nil, nil)
+	svg := h.SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty heatmap must still close the document")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if got := heatColor(0); got != "#ffffff" {
+		t.Errorf("heatColor(0) = %s, want white", got)
+	}
+	if got := heatColor(1); got != "#a50f15" {
+		t.Errorf("heatColor(1) = %s, want deep red", got)
+	}
+	if heatColor(-1) != heatColor(0) || heatColor(2) != heatColor(1) {
+		t.Error("heatColor must clamp to [0,1]")
+	}
+}
+
+func interval(pred string, seq int, instr, dInstr, dMisp uint64) obs.IntervalRecord {
+	return obs.IntervalRecord{
+		Workload: "w", Input: "test", Predictor: pred,
+		Seq: seq, Instructions: instr,
+		DInstructions: dInstr, DBranches: dInstr / 5, DMispredicts: dMisp,
+	}
+}
+
+func TestIntervalCurves(t *testing.T) {
+	recs := []obs.IntervalRecord{
+		interval("bimodal:8KB", 0, 1000, 1000, 10),
+		interval("bimodal:8KB", 1, 2000, 1000, 5),
+		interval("gshare:8KB", 0, 1000, 1000, 8),
+		interval("gshare:8KB", 1, 2000, 1000, 2),
+	}
+	c, err := IntervalCurves("MISP/KI over time", recs, MetricMISPKI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	for _, want := range []string{"bimodal:8KB", "gshare:8KB", "MISPs/KI", "instructions", "1K", "2K"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d series, want 2", got)
+	}
+}
+
+func TestIntervalCurvesMultiWorkloadKeys(t *testing.T) {
+	recs := []obs.IntervalRecord{
+		interval("bimodal:8KB", 0, 1000, 1000, 10),
+		{Workload: "other", Input: "test", Predictor: "bimodal:8KB", Seq: 0, Instructions: 1000, DInstructions: 1000, DMispredicts: 3},
+	}
+	c, err := IntervalCurves("mixed", recs, IntervalMetric{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	if !strings.Contains(svg, "w/test/bimodal:8KB") || !strings.Contains(svg, "other/test/bimodal:8KB") {
+		t.Error("mixed-workload journals must use full arm keys as series names")
+	}
+}
+
+func TestIntervalCurvesEmpty(t *testing.T) {
+	if _, err := IntervalCurves("t", nil, MetricMISPKI); err == nil {
+		t.Fatal("empty record set accepted")
+	}
+}
+
+func TestFormatInstr(t *testing.T) {
+	cases := map[uint64]string{
+		0:         "0",
+		999:       "999",
+		1000:      "1K",
+		100_000:   "100K",
+		1_000_000: "1M",
+		1_500_000: "1.5M",
+		2_345_678: "2.35M",
+	}
+	for in, want := range cases {
+		if got := formatInstr(in); got != want {
+			t.Errorf("formatInstr(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

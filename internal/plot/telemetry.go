@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"fmt"
+	"sort"
+
+	"branchsim/internal/obs"
+)
+
+// IntervalMetric selects the y quantity an interval curve plots.
+type IntervalMetric struct {
+	// Name labels the y axis.
+	Name string
+	// Of extracts the value from one interval record.
+	Of func(*obs.IntervalRecord) float64
+}
+
+// Built-in interval metrics. MetricMISPKI is the paper's primary metric;
+// MetricDestructiveKI isolates the aliasing cost the paper's combined schemes
+// attack.
+var (
+	MetricMISPKI = IntervalMetric{Name: "MISPs/KI", Of: func(r *obs.IntervalRecord) float64 { return r.MISPKI() }}
+
+	MetricAccuracy = IntervalMetric{Name: "accuracy", Of: func(r *obs.IntervalRecord) float64 { return r.Accuracy() }}
+
+	MetricDestructiveKI = IntervalMetric{Name: "destructive collisions/KI", Of: func(r *obs.IntervalRecord) float64 {
+		if r.DInstructions == 0 {
+			return 0
+		}
+		return 1000 * float64(r.DDestructive) / float64(r.DInstructions)
+	}}
+)
+
+// IntervalCurves builds a line chart from interval telemetry records: one
+// series per arm (keyed by predictor, or by the full workload|input|predictor
+// key when the records span several workloads), one x category per interval
+// boundary, labeled with the cumulative instruction count. Interval
+// boundaries are a property of the instruction stream alone, so arms replayed
+// from the same capture share them; an arm missing a boundary (a shorter
+// run) plots zero there. A nil metric.Of defaults to MetricMISPKI.
+func IntervalCurves(title string, recs []obs.IntervalRecord, metric IntervalMetric) (*Chart, error) {
+	if metric.Of == nil {
+		metric = MetricMISPKI
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("plot: no interval records to chart")
+	}
+
+	sameStream := true
+	for i := range recs {
+		if recs[i].Workload != recs[0].Workload || recs[i].Input != recs[0].Input {
+			sameStream = false
+			break
+		}
+	}
+	name := func(r *obs.IntervalRecord) string {
+		if sameStream {
+			return r.Predictor
+		}
+		return r.Key()
+	}
+
+	bySeries := map[string]map[int]float64{}
+	var order []string
+	boundary := map[int]uint64{} // seq → cumulative instructions at the seal
+	for i := range recs {
+		r := &recs[i]
+		key := name(r)
+		m := bySeries[key]
+		if m == nil {
+			m = map[int]float64{}
+			bySeries[key] = m
+			order = append(order, key)
+		}
+		m[r.Seq] = metric.Of(r)
+		if r.Instructions > boundary[r.Seq] {
+			boundary[r.Seq] = r.Instructions
+		}
+	}
+
+	seqs := make([]int, 0, len(boundary))
+	for s := range boundary {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	cats := make([]string, len(seqs))
+	for i, s := range seqs {
+		cats[i] = formatInstr(boundary[s])
+	}
+	c := New(title, Line, cats)
+	c.XLabel = "instructions"
+	c.YLabel = metric.Name
+	for _, key := range order {
+		vals := make([]float64, len(seqs))
+		for i, s := range seqs {
+			vals[i] = bySeries[key][s]
+		}
+		if err := c.AddSeries(key, vals); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// formatInstr renders an instruction count compactly for axis labels.
+func formatInstr(n uint64) string {
+	switch {
+	case n >= 1_000_000 && n%100_000 == 0:
+		if n%1_000_000 == 0 {
+			return fmt.Sprintf("%dM", n/1_000_000)
+		}
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dK", n/1_000)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

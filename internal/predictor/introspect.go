@@ -1,0 +1,143 @@
+package predictor
+
+import (
+	"math"
+	"math/bits"
+)
+
+// TableStats is one counter table's state snapshot, produced by Introspect.
+// The obs layer's TableStat mirrors this shape field-for-field so the two
+// packages need not import each other.
+type TableStats struct {
+	// Name identifies the table within its predictor ("pht", "choice",
+	// "dir_nt", "dir_t", "bim", "g0", "g1", "meta").
+	Name string
+	// Entries is the table's capacity in counters.
+	Entries int
+	// Occupied counts entries read at least once (known via the collision
+	// tags; EnableTableStats turns those on).
+	Occupied int
+	// Counters is the 2-bit counter state distribution: Counters[s] entries
+	// currently hold state s (0 strong not-taken … 3 strong taken).
+	Counters [4]uint64
+	// Entropy is the Shannon entropy of Counters in bits: 0 when every
+	// counter sits in one state, 2 at the uniform distribution. A trained
+	// biased table drifts toward low entropy; aliasing pressure keeps it up.
+	Entropy float64
+	// SharingHist is a log₂-bucketed histogram of per-entry ownership
+	// switches: bucket 0 counts entries never re-claimed by a different
+	// branch, bucket k entries with 2^(k-1) ≤ switches < 2^k. Buckets sum to
+	// Entries; the per-entry sharing degree behind the paper's collision
+	// counts.
+	SharingHist []uint64
+}
+
+// Introspector is implemented by predictors whose counter tables can be
+// sampled. EnableTableStats turns on the per-entry instrumentation the
+// snapshot needs (collision tags plus ownership-switch counts); Introspect
+// then snapshots every table. Sampling is O(entries) — callers take it at
+// interval boundaries, never per branch.
+type Introspector interface {
+	EnableTableStats()
+	Introspect() []TableStats
+}
+
+// stats snapshots one table.
+func (t *table) stats(name string) TableStats {
+	s := TableStats{Name: name, Entries: len(t.ctr)}
+	for _, c := range t.ctr {
+		s.Counters[c&ctrMax]++
+	}
+	for _, tag := range t.tags {
+		if tag != 0 {
+			s.Occupied++
+		}
+	}
+	s.Entropy = counterEntropy(s.Counters)
+	if t.switches != nil {
+		hist := make([]uint64, 33)
+		maxBucket := 0
+		for _, sw := range t.switches {
+			b := bits.Len32(sw)
+			hist[b]++
+			if b > maxBucket {
+				maxBucket = b
+			}
+		}
+		s.SharingHist = hist[:maxBucket+1]
+	}
+	return s
+}
+
+// counterEntropy is the Shannon entropy, in bits, of a counter-state count
+// vector.
+func counterEntropy(counts [4]uint64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EnableTableStats implements Introspector.
+func (p *Bimodal) EnableTableStats() { p.t.enableStats() }
+
+// Introspect implements Introspector.
+func (p *Bimodal) Introspect() []TableStats { return []TableStats{p.t.stats("pht")} }
+
+// EnableTableStats implements Introspector.
+func (p *GHist) EnableTableStats() { p.t.enableStats() }
+
+// Introspect implements Introspector.
+func (p *GHist) Introspect() []TableStats { return []TableStats{p.t.stats("pht")} }
+
+// EnableTableStats implements Introspector.
+func (p *GShare) EnableTableStats() { p.t.enableStats() }
+
+// Introspect implements Introspector.
+func (p *GShare) Introspect() []TableStats { return []TableStats{p.t.stats("pht")} }
+
+// EnableTableStats implements Introspector.
+func (p *BiMode) EnableTableStats() {
+	p.choice.enableStats()
+	p.direction[0].enableStats()
+	p.direction[1].enableStats()
+}
+
+// Introspect implements Introspector.
+func (p *BiMode) Introspect() []TableStats {
+	return []TableStats{
+		p.choice.stats("choice"),
+		p.direction[0].stats("dir_nt"),
+		p.direction[1].stats("dir_t"),
+	}
+}
+
+// EnableTableStats implements Introspector.
+func (p *TwoBcGskew) EnableTableStats() {
+	p.bim.enableStats()
+	p.g0.enableStats()
+	p.g1.enableStats()
+	p.meta.enableStats()
+}
+
+// Introspect implements Introspector.
+func (p *TwoBcGskew) Introspect() []TableStats {
+	return []TableStats{
+		p.bim.stats("bim"),
+		p.g0.stats("g0"),
+		p.g1.stats("g1"),
+		p.meta.stats("meta"),
+	}
+}

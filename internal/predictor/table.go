@@ -18,7 +18,11 @@ const (
 type table struct {
 	ctr  []uint8
 	tags []uint64 // nil unless collision tracking enabled; tag = pc+1 (0 = never used)
-	mask uint64
+	// switches counts per-entry ownership changes (reads whose PC mismatched
+	// the tag) for the table-introspection sharing histogram; nil unless
+	// enableStats was called, so collision-only runs pay one nil check.
+	switches []uint32
+	mask     uint64
 }
 
 func newTable(entries int) *table {
@@ -37,6 +41,9 @@ func (t *table) reset() {
 	if t.tags != nil {
 		t.tags = make([]uint64, len(t.ctr))
 	}
+	if t.switches != nil {
+		t.switches = make([]uint32, len(t.ctr))
+	}
 }
 
 func (t *table) entries() int { return len(t.ctr) }
@@ -52,6 +59,15 @@ func (t *table) enableTags() {
 	}
 }
 
+// enableStats turns on everything table introspection needs: tags (for
+// occupancy and switch detection) plus the per-entry switch counters.
+func (t *table) enableStats() {
+	t.enableTags()
+	if t.switches == nil {
+		t.switches = make([]uint32, len(t.ctr))
+	}
+}
+
 // read returns the counter at idx and whether the access collided (the entry
 // was last used by a different PC). It installs pc as the entry's tag.
 func (t *table) read(idx, pc uint64) (ctr uint8, collided bool) {
@@ -61,6 +77,9 @@ func (t *table) read(idx, pc uint64) (ctr uint8, collided bool) {
 		old := t.tags[idx]
 		collided = old != 0 && old != pc+1
 		t.tags[idx] = pc + 1
+		if collided && t.switches != nil {
+			t.switches[idx]++
+		}
 	}
 	return ctr, collided
 }

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+
+	"branchsim/internal/obs"
+)
+
+// TopOffenders renders the worst-offender lists from top-K telemetry records
+// as one table: for each arm, the n most-mispredicted branch sites with their
+// execution profile and the sketch's error bound on the count. MaxError is
+// the space-saving overestimate bound — the true count lies in
+// [Count-MaxError, Count].
+func TopOffenders(recs []obs.TopKRecord, n int) *Table {
+	t := NewTable("Worst-offender branches",
+		"ARM", "PC", "EXECS", "BIAS", "MISP RATE", "MISPREDICTS", "MAX ERR")
+	for i := range recs {
+		r := &recs[i]
+		rows := r.TopMispredicted
+		if n > 0 && len(rows) > n {
+			rows = rows[:n]
+		}
+		for _, bc := range rows {
+			t.AddRow(r.Key(),
+				fmt.Sprintf("0x%x", bc.PC),
+				fmt.Sprintf("%d", bc.Execs),
+				F(bc.Bias, 3),
+				Pct(bc.MispRate),
+				fmt.Sprintf("%d", bc.Count),
+				fmt.Sprintf("%d", bc.MaxError))
+		}
+		if r.SitesDropped > 0 {
+			t.AddNote("%s: %d branch sites beyond the %d-site cap were not profiled",
+				r.Key(), r.SitesDropped, r.Sites)
+		}
+	}
+	t.AddNote("mispredict counts are space-saving sketch estimates; true count >= MISPREDICTS - MAX ERR")
+	return t
+}
+
+// IntervalSummary condenses interval telemetry into one row per arm: how
+// many intervals the run spanned, the totals reconstructed from the interval
+// deltas, and the worst interval (peak MISPs/KI and where it happened).
+func IntervalSummary(recs []obs.IntervalRecord) *Table {
+	type arm struct {
+		key       string
+		intervals int
+		instr     uint64
+		branches  uint64
+		misp      uint64
+		peak      float64
+		peakAt    uint64 // instruction boundary of the worst interval
+	}
+	byKey := map[string]*arm{}
+	var order []*arm
+	for i := range recs {
+		r := &recs[i]
+		a := byKey[r.Key()]
+		if a == nil {
+			a = &arm{key: r.Key()}
+			byKey[r.Key()] = a
+			order = append(order, a)
+		}
+		a.intervals++
+		a.branches += r.DBranches
+		a.misp += r.DMispredicts
+		if r.Instructions > a.instr {
+			a.instr = r.Instructions
+		}
+		if ki := r.MISPKI(); ki > a.peak {
+			a.peak = ki
+			a.peakAt = r.Instructions
+		}
+	}
+
+	t := NewTable("Interval telemetry summary",
+		"ARM", "INTERVALS", "INSTRUCTIONS", "BRANCHES", "MISP/KI", "PEAK MISP/KI", "PEAK AT")
+	for _, a := range order {
+		mispki := 0.0
+		if a.instr > 0 {
+			mispki = 1000 * float64(a.misp) / float64(a.instr)
+		}
+		t.AddRow(a.key,
+			fmt.Sprintf("%d", a.intervals),
+			fmt.Sprintf("%d", a.instr),
+			fmt.Sprintf("%d", a.branches),
+			F(mispki, 3),
+			F(a.peak, 3),
+			fmt.Sprintf("%d", a.peakAt))
+	}
+	return t
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"branchsim/internal/predictor"
+	"branchsim/internal/telemetry"
+	"branchsim/internal/xrand"
+)
+
+// TestDisabledTelemetryOverheadGuard asserts the zero-cost-when-disabled
+// contract: a Runner built with WithTelemetry(telemetry.New(zeroConfig, nil))
+// — which yields a nil collector, the same state every telemetry-free caller
+// gets — must not be measurably slower than one built without the option at
+// all. The per-branch cost of disabled telemetry is a single nil check, so
+// the ratio bound is generous only to absorb shared-CI timing noise.
+func TestDisabledTelemetryOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+
+	// A synthetic stream: 512 sites, mixed bias, fixed seed.
+	const streamLen = 1 << 16
+	rng := xrand.New(7)
+	pcs := make([]uint64, streamLen)
+	outs := make([]bool, streamLen)
+	for i := range pcs {
+		pcs[i] = 0x1_0000 + uint64(rng.Intn(512))*4
+		outs[i] = rng.Bool(0.7)
+	}
+
+	drive := func(opts ...Option) func(b *testing.B) {
+		return func(b *testing.B) {
+			p, err := predictor.New("gshare:8KB")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := NewRunner(p, append([]Option{WithCollisions()}, opts...)...)
+			for i := 0; i < b.N; i++ {
+				k := i & (streamLen - 1)
+				r.Branch(pcs[k], outs[k])
+			}
+			_ = r.Metrics()
+		}
+	}
+	best := func(f func(b *testing.B)) float64 {
+		min := math.MaxFloat64
+		for i := 0; i < 3; i++ {
+			if v := float64(testing.Benchmark(f).NsPerOp()); v < min {
+				min = v
+			}
+		}
+		return min
+	}
+
+	base := best(drive())
+	disabled := best(drive(WithTelemetry(telemetry.New(telemetry.Config{}, nil))))
+	if ratio := disabled / base; ratio > 1.30 {
+		t.Errorf("disabled telemetry is %.2fx the untelemetered runner (%.1f vs %.1f ns/branch); want <= 1.30x",
+			ratio, disabled, base)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"branchsim/internal/obs"
 	"branchsim/internal/predictor"
 	"branchsim/internal/profile"
+	"branchsim/internal/telemetry"
 	"branchsim/internal/trace"
 )
 
@@ -116,6 +117,12 @@ type Runner struct {
 	obsMisp     *obs.Counter
 	flushedEv   uint64
 	flushedMisp uint64
+
+	// tel is the simulation-domain telemetry collector (nil when disabled:
+	// one nil check per branch). Bound to this runner's labels and predictor
+	// by NewRunner; finished — final interval sealed, records journaled — by
+	// the first Metrics call.
+	tel *telemetry.Collector
 }
 
 // cancelEvery is the branch cadence of the Runner's own context check, used
@@ -176,6 +183,17 @@ func WithObserver(o *obs.Observer) Option {
 	}
 }
 
+// WithTelemetry attaches a simulation-domain telemetry collector: interval
+// time-series, predictor-table samples and per-branch statistics, per
+// telemetry.Config. The collector must be fresh (one collector per runner);
+// NewRunner binds it to the runner's labels and predictor, and the runner's
+// first Metrics call finishes it, flushing its records to the observer it
+// was built with. A nil collector — what telemetry.New returns for a
+// disabled config — leaves the runner untelemetered.
+func WithTelemetry(tel *telemetry.Collector) Option {
+	return func(r *Runner) { r.tel = tel }
+}
+
 // WithLabels sets the workload/input labels recorded in the metrics.
 func WithLabels(workload, input string) Option {
 	return func(r *Runner) {
@@ -191,6 +209,9 @@ func NewRunner(p predictor.Predictor, opts ...Option) *Runner {
 	for _, o := range opts {
 		o(r)
 	}
+	// Bind after the option loop so the collector sees the final labels and
+	// the collision-tracking decision, whatever order the options came in.
+	r.tel.Bind(p, r.metrics.Workload, r.metrics.Input, r.metrics.Predictor, r.metrics.CollisionsTracked)
 	return r
 }
 
@@ -201,8 +222,9 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 	if !correct {
 		r.metrics.Mispredicts++
 	}
+	collided := r.col != nil && r.col.LastCollision()
 	destructive := false
-	if r.col != nil && r.col.LastCollision() {
+	if collided {
 		r.metrics.Collisions.Total++
 		if correct {
 			r.metrics.Collisions.Constructive++
@@ -219,6 +241,11 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 	}
 	r.p.Update(pc, taken)
 	r.metrics.Counts.Branch(pc, taken)
+	if r.tel != nil {
+		// After Update, so an interval boundary here introspects tables that
+		// already absorbed this branch's training.
+		r.tel.Branch(pc, taken, correct, collided)
+	}
 	if r.events++; r.events%cancelEvery == 0 {
 		if r.obsEvents != nil {
 			r.flushObs()
@@ -243,6 +270,9 @@ func (r *Runner) flushObs() {
 // Ops implements trace.Recorder.
 func (r *Runner) Ops(n uint64) {
 	r.metrics.Counts.Ops(n)
+	if r.tel != nil {
+		r.tel.Ops(n)
+	}
 }
 
 // Metrics returns a snapshot of the accumulated results. When profiling is
@@ -254,6 +284,9 @@ func (r *Runner) Metrics() Metrics {
 	if r.obsEvents != nil {
 		r.flushObs()
 	}
+	// Finish telemetry: seal the final partial interval and journal the
+	// buffered records. Idempotent, so repeated Metrics calls are fine.
+	r.tel.Finish()
 	return r.metrics
 }
 

@@ -1,0 +1,132 @@
+package telemetry
+
+import "sort"
+
+// spaceSaving is the stream-summary (space-saving) heavy-hitters sketch of
+// Metwally, Agrawal and El Abbadi: it tracks at most k keys in O(k) memory
+// and guarantees that any key whose true count exceeds N/k (N = total
+// increments) is present, with each reported count overestimating the truth
+// by at most the item's err field. Updates are O(log k) via a min-heap over
+// counts.
+//
+// The sketch is fully deterministic for a given increment sequence — the
+// telemetry golden tests rely on that.
+type spaceSaving struct {
+	k     int
+	items map[uint64]*ssItem
+	heap  []*ssItem // min-heap ordered by (count, pc)
+}
+
+type ssItem struct {
+	pc    uint64
+	count uint64
+	err   uint64 // max overestimation inherited at takeover
+	idx   int    // heap index
+}
+
+func newSpaceSaving(k int) *spaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &spaceSaving{k: k, items: make(map[uint64]*ssItem, k)}
+}
+
+// Add credits key pc with one occurrence.
+func (s *spaceSaving) Add(pc uint64) {
+	if it, ok := s.items[pc]; ok {
+		it.count++
+		s.down(it.idx)
+		return
+	}
+	if len(s.heap) < s.k {
+		it := &ssItem{pc: pc, count: 1, idx: len(s.heap)}
+		s.items[pc] = it
+		s.heap = append(s.heap, it)
+		s.up(it.idx)
+		return
+	}
+	// Full: the minimum-count item hands its slot (and its count, as the
+	// new item's error bound) to the newcomer.
+	it := s.heap[0]
+	delete(s.items, it.pc)
+	it.pc = pc
+	it.err = it.count
+	it.count++
+	s.items[pc] = it
+	s.down(0)
+}
+
+// Counted is one reported heavy hitter.
+type Counted struct {
+	PC       uint64
+	Count    uint64
+	MaxError uint64
+}
+
+// Top returns up to n tracked keys ordered by count descending, ties broken
+// by ascending PC so the order is reproducible.
+func (s *spaceSaving) Top(n int) []Counted {
+	out := make([]Counted, 0, len(s.heap))
+	for _, it := range s.heap {
+		out = append(out, Counted{PC: it.pc, Count: it.count, MaxError: it.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns the number of keys currently tracked.
+func (s *spaceSaving) Len() int { return len(s.heap) }
+
+// less orders heap items by (count, pc): a total order, so sift behaviour —
+// and therefore which item is evicted on ties — is deterministic.
+func (s *spaceSaving) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.pc < b.pc
+}
+
+func (s *spaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].idx = i
+	s.heap[j].idx = j
+}
+
+func (s *spaceSaving) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *spaceSaving) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,398 @@
+// Package telemetry collects simulation-domain observability: interval
+// time-series of the simulator's metrics, predictor-table introspection
+// samples, and streaming per-branch statistics with bounded worst-offender
+// sketches. It is the layer that turns the paper's in-predictor analyses —
+// destructive vs constructive aliasing, per-branch bias vs accuracy, PHT
+// pressure — into journal records.
+//
+// A Collector is bound to exactly one simulation arm (one runner). It is
+// fed per-event by the sim loop, seals an interval record every
+// Config.Interval instructions, and buffers everything until Finish, when
+// the records flow out through the obs journal in one deterministic batch.
+// Records carry no wall-clock fields, so a given (workload, input,
+// predictor) triple journals byte-identical telemetry on every run, at any
+// replay worker count.
+package telemetry
+
+import (
+	"math"
+
+	"branchsim/internal/obs"
+	"branchsim/internal/predictor"
+)
+
+// Default configuration values.
+const (
+	// DefaultInterval is the interval length in instructions (the tentpole's
+	// "every N instructions", N defaulting to 100K).
+	DefaultInterval = 100_000
+	// DefaultTopK is the worst-offender list capacity.
+	DefaultTopK = 16
+	// DefaultSiteCap bounds the per-branch site tracker.
+	DefaultSiteCap = 1 << 15
+	// maxHistBucket caps the log-bucketed rate histograms.
+	maxHistBucket = 32
+)
+
+// Config selects what a Collector gathers. The zero Config is fully
+// disabled; see Enabled.
+type Config struct {
+	// Interval is the time-series interval length in instructions. 0 means
+	// disabled unless another feature is on, in which case DefaultInterval
+	// applies (table samples and top-K both piggyback on interval
+	// boundaries).
+	Interval uint64
+	// TableStats samples predictor-table introspection (occupancy, counter
+	// distribution, entropy, sharing degree) at interval boundaries.
+	TableStats bool
+	// TopK is the worst-offender list capacity; 0 disables the per-branch
+	// tracker, negative means DefaultTopK.
+	TopK int
+	// SiteCap bounds the per-branch site map (0 means DefaultSiteCap). The
+	// cap trades per-branch histogram completeness for bounded memory;
+	// branches beyond it are counted in SitesDropped.
+	SiteCap int
+}
+
+// Enabled reports whether the configuration collects anything at all.
+func (c Config) Enabled() bool {
+	return c.Interval > 0 || c.TableStats || c.TopK != 0
+}
+
+// withDefaults resolves the zero values of an enabled configuration.
+func (c Config) withDefaults() Config {
+	if !c.Enabled() {
+		return c
+	}
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.TopK < 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.SiteCap <= 0 {
+		c.SiteCap = DefaultSiteCap
+	}
+	return c
+}
+
+// site is one static branch's running profile.
+type site struct {
+	execs uint64
+	taken uint64
+	misp  uint64
+}
+
+// Collector accumulates one arm's telemetry. Not safe for concurrent use —
+// it belongs to the single goroutine driving the runner, like the runner
+// itself. A nil *Collector is fully disabled; every method no-ops.
+type Collector struct {
+	cfg Config
+	o   *obs.Observer
+
+	workload, input, pred string
+	tracked               bool // collision tracking on
+	in                    predictor.Introspector
+
+	// Cumulative stream counters (instructions includes branches).
+	instr, branches, taken uint64
+	misp, col, cons, dest  uint64
+	next                   uint64 // next interval boundary
+	seq                    int
+
+	// prev* snapshot the cumulative counters at the last sealed boundary.
+	pInstr, pBranches, pTaken uint64
+	pMisp, pCol, pCons, pDest uint64
+
+	// Per-branch tracking (TopK != 0).
+	sites        map[uint64]*site
+	sitesDropped uint64
+	topDest      *spaceSaving
+	topMisp      *spaceSaving
+
+	// Buffered records, emitted at Finish.
+	intervals  []obs.IntervalRecord
+	tableStats []obs.TableStatsRecord
+	topk       []obs.TopKRecord // 0 or 1 entries, built by Finish
+
+	finished bool
+}
+
+// New builds a Collector for one arm. Returns nil — the disabled collector —
+// when cfg collects nothing, so callers thread the result unconditionally.
+// o receives the records at Finish and live counter updates at each interval
+// seal; a nil observer keeps the collector counting (the records are still
+// retrievable from Finish's return) but journals nothing.
+func New(cfg Config, o *obs.Observer) *Collector {
+	cfg = cfg.withDefaults()
+	if !cfg.Enabled() {
+		return nil
+	}
+	c := &Collector{cfg: cfg, o: o, next: cfg.Interval}
+	if cfg.TopK != 0 {
+		c.sites = make(map[uint64]*site)
+		c.topDest = newSpaceSaving(cfg.TopK)
+		c.topMisp = newSpaceSaving(cfg.TopK)
+	}
+	return c
+}
+
+// Config returns the collector's resolved configuration (zero for nil).
+func (c *Collector) Config() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// Bind attaches the collector to its arm: labels for the records, the
+// predictor (introspected at interval boundaries when the configuration asks
+// for table stats and the predictor supports it), and whether the arm
+// tracks collisions. Call once, before the stream starts. Safe on nil.
+func (c *Collector) Bind(p predictor.Predictor, workload, input, pred string, tracked bool) {
+	if c == nil {
+		return
+	}
+	c.workload, c.input, c.pred, c.tracked = workload, input, pred, tracked
+	if c.cfg.TableStats {
+		if in, ok := p.(predictor.Introspector); ok {
+			in.EnableTableStats()
+			c.in = in
+		}
+	}
+}
+
+// Branch feeds one dynamic branch: its resolved direction, whether the
+// prediction was correct, and whether the lookup collided (false when the
+// arm does not track collisions). Safe on nil.
+func (c *Collector) Branch(pc uint64, taken, correct, collided bool) {
+	if c == nil {
+		return
+	}
+	c.instr++
+	c.branches++
+	if taken {
+		c.taken++
+	}
+	destructive := false
+	if !correct {
+		c.misp++
+	}
+	if collided {
+		c.col++
+		if correct {
+			c.cons++
+		} else {
+			c.dest++
+			destructive = true
+		}
+	}
+	if c.sites != nil {
+		s := c.sites[pc]
+		if s == nil {
+			if len(c.sites) >= c.cfg.SiteCap {
+				c.sitesDropped++
+			} else {
+				s = &site{}
+				c.sites[pc] = s
+			}
+		}
+		if s != nil {
+			s.execs++
+			if taken {
+				s.taken++
+			}
+			if !correct {
+				s.misp++
+				c.topMisp.Add(pc)
+			}
+		}
+		if destructive {
+			c.topDest.Add(pc)
+		}
+	}
+	if c.instr >= c.next {
+		c.seal()
+	}
+}
+
+// Ops charges n straight-line instructions. Safe on nil.
+func (c *Collector) Ops(n uint64) {
+	if c == nil {
+		return
+	}
+	c.instr += n
+	if c.instr >= c.next {
+		c.seal()
+	}
+}
+
+// seal closes the current interval: one IntervalRecord with the deltas since
+// the previous boundary and, when enabled, one table-introspection sample.
+// A bulk Ops jump that crosses several boundaries seals a single interval
+// spanning them — delta sums still reconstruct the totals exactly.
+func (c *Collector) seal() {
+	rec := obs.IntervalRecord{
+		Workload: c.workload, Input: c.input, Predictor: c.pred,
+		Seq: c.seq, Instructions: c.instr,
+		DInstructions: c.instr - c.pInstr,
+		DBranches:     c.branches - c.pBranches,
+		DTaken:        c.taken - c.pTaken,
+		DMispredicts:  c.misp - c.pMisp,
+	}
+	if c.tracked {
+		rec.CollisionsTracked = true
+		rec.DCollisions = c.col - c.pCol
+		rec.DConstructive = c.cons - c.pCons
+		rec.DDestructive = c.dest - c.pDest
+	}
+	c.intervals = append(c.intervals, rec)
+	c.o.Counter(obs.MTelemetryIntervals).Add(1)
+
+	if c.in != nil {
+		tables := c.in.Introspect()
+		ts := obs.TableStatsRecord{
+			Workload: c.workload, Input: c.input, Predictor: c.pred,
+			Seq: c.seq, Instructions: c.instr,
+			Tables: make([]obs.TableStat, 0, len(tables)),
+		}
+		for _, t := range tables {
+			ts.Tables = append(ts.Tables, obs.TableStat{
+				Name:        t.Name,
+				Entries:     t.Entries,
+				Occupied:    t.Occupied,
+				Counters:    t.Counters,
+				Entropy:     t.Entropy,
+				SharingHist: t.SharingHist,
+			})
+		}
+		c.tableStats = append(c.tableStats, ts)
+		c.o.Counter(obs.MTelemetryTableSamples).Add(1)
+	}
+
+	c.pInstr, c.pBranches, c.pTaken = c.instr, c.branches, c.taken
+	c.pMisp, c.pCol, c.pCons, c.pDest = c.misp, c.col, c.cons, c.dest
+	c.seq++
+	c.next = (c.instr/c.cfg.Interval + 1) * c.cfg.Interval
+}
+
+// Records is everything a collector gathered, as returned by Finish.
+type Records struct {
+	Intervals  []obs.IntervalRecord
+	TableStats []obs.TableStatsRecord
+	TopK       *obs.TopKRecord // nil when per-branch tracking is off
+}
+
+// Finish seals the final partial interval, builds the per-branch top-K
+// record, emits everything to the bound observer's journal, and returns the
+// records. Idempotent — later calls return the same records without
+// re-emitting — and safe on nil (returns the zero Records).
+func (c *Collector) Finish() Records {
+	if c == nil {
+		return Records{}
+	}
+	if !c.finished {
+		c.finished = true
+		if c.instr > c.pInstr || c.seq == 0 {
+			c.seal()
+		}
+		for i := range c.intervals {
+			c.o.Emit(&c.intervals[i])
+		}
+		for i := range c.tableStats {
+			c.o.Emit(&c.tableStats[i])
+		}
+		if c.sites != nil {
+			c.buildTopK()
+		}
+	}
+	var top *obs.TopKRecord
+	if len(c.topk) == 1 {
+		top = &c.topk[0]
+	}
+	return Records{Intervals: c.intervals, TableStats: c.tableStats, TopK: top}
+}
+
+// buildTopK assembles and emits the TopKRecord.
+func (c *Collector) buildTopK() {
+	rec := obs.TopKRecord{
+		Workload: c.workload, Input: c.input, Predictor: c.pred,
+		K:            c.cfg.TopK,
+		Sites:        len(c.sites),
+		SitesDropped: c.sitesDropped,
+	}
+	biasHist := make([]uint64, maxHistBucket+1)
+	mispHist := make([]uint64, maxHistBucket+1)
+	maxBias, maxMisp := 0, 0
+	for _, s := range c.sites {
+		if s.execs == 0 {
+			continue
+		}
+		bias := float64(s.taken) / float64(s.execs)
+		if bias < 0.5 {
+			bias = 1 - bias
+		}
+		b := rateBucket(1 - bias)
+		biasHist[b]++
+		if b > maxBias {
+			maxBias = b
+		}
+		m := rateBucket(float64(s.misp) / float64(s.execs))
+		mispHist[m]++
+		if m > maxMisp {
+			maxMisp = m
+		}
+	}
+	if len(c.sites) > 0 {
+		rec.BiasHist = biasHist[:maxBias+1]
+		rec.MispHist = mispHist[:maxMisp+1]
+	}
+	rec.TopDestructive = c.branchCounts(c.topDest)
+	rec.TopMispredicted = c.branchCounts(c.topMisp)
+	c.topk = append(c.topk, rec)
+	c.o.Emit(&c.topk[0])
+	c.o.Counter(obs.MTelemetryTopK).Add(1)
+	c.o.Gauge(obs.MTelemetrySites).Set(int64(len(c.sites)))
+	c.o.Counter(obs.MTelemetrySitesDropped).Add(c.sitesDropped)
+}
+
+// branchCounts converts a sketch's top list, joining each entry with its
+// site profile when the site tracker still holds it.
+func (c *Collector) branchCounts(s *spaceSaving) []obs.BranchCount {
+	top := s.Top(c.cfg.TopK)
+	if len(top) == 0 {
+		return nil
+	}
+	out := make([]obs.BranchCount, 0, len(top))
+	for _, t := range top {
+		bc := obs.BranchCount{PC: t.PC, Count: t.Count, MaxError: t.MaxError}
+		if st := c.sites[t.PC]; st != nil && st.execs > 0 {
+			bc.Execs = st.execs
+			bias := float64(st.taken) / float64(st.execs)
+			if bias < 0.5 {
+				bias = 1 - bias
+			}
+			bc.Bias = bias
+			bc.MispRate = float64(st.misp) / float64(st.execs)
+		}
+		out = append(out, bc)
+	}
+	return out
+}
+
+// rateBucket maps a rate f ∈ [0,1] to its log₂ bucket: 0 for f = 0 (the
+// perfect case), otherwise the bucket b ≥ 1 with 2⁻ᵇ ≤ f < 2⁻⁽ᵇ⁻¹⁾, capped
+// at maxHistBucket.
+func rateBucket(f float64) int {
+	if f <= 0 {
+		return 0
+	}
+	b := int(math.Ceil(-math.Log2(f)))
+	if b < 1 {
+		b = 1
+	}
+	if b > maxHistBucket {
+		b = maxHistBucket
+	}
+	return b
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"branchsim/internal/obs"
+	"branchsim/internal/telemetry"
 )
 
 // Observability re-exports. The observability layer lives in internal/obs
@@ -24,6 +25,24 @@ type (
 	ArmRecord = obs.ArmRecord
 	// Journal is an append-only JSONL sink for ArmRecords.
 	Journal = obs.Journal
+
+	// TelemetryConfig selects what simulation-domain telemetry a run
+	// gathers: interval time-series (Interval, in instructions), predictor
+	// table introspection (TableStats), and per-branch top-K offender
+	// tracking (TopK / SiteCap). The zero value disables everything.
+	TelemetryConfig = telemetry.Config
+
+	// IntervalRecord is one interval of a run's simulation-domain time
+	// series (journal record type "interval").
+	IntervalRecord = obs.IntervalRecord
+	// TableStatsRecord is one predictor-table introspection sample (journal
+	// record type "table_stats").
+	TableStatsRecord = obs.TableStatsRecord
+	// TopKRecord is one run's per-branch summary: bias/misprediction
+	// histograms plus worst-offender lists (journal record type "topk").
+	TopKRecord = obs.TopKRecord
+	// JournalRecords is a parsed journal, split by record type.
+	JournalRecords = obs.Records
 )
 
 // NewObserver builds an observability sink. Attach it to runs with
@@ -43,8 +62,17 @@ func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
 // OpenJournal creates (truncating) the journal file at path.
 func OpenJournal(path string) (*Journal, error) { return obs.OpenJournal(path) }
 
-// ReadJournal parses a JSONL journal stream into its records.
+// ReadJournal parses a JSONL journal stream into its arm records, skipping
+// telemetry record types; use ReadJournalRecords for everything.
 func ReadJournal(r io.Reader) ([]ArmRecord, error) { return obs.ReadJournal(r) }
 
-// ReadJournalFile reads the journal file at path.
+// ReadJournalFile reads the journal file at path (arm records only).
 func ReadJournalFile(path string) ([]ArmRecord, error) { return obs.ReadJournalFile(path) }
+
+// ReadJournalRecords parses a JSONL journal stream into all of its record
+// types — arms, intervals, table samples and top-K summaries. Unknown record
+// types or schema versions fail with an *obs.SchemaError naming the line.
+func ReadJournalRecords(r io.Reader) (*JournalRecords, error) { return obs.ReadRecords(r) }
+
+// ReadJournalRecordsFile reads all record types from the journal at path.
+func ReadJournalRecordsFile(path string) (*JournalRecords, error) { return obs.ReadRecordsFile(path) }

@@ -7,6 +7,7 @@ import (
 	"branchsim/internal/obs"
 	"branchsim/internal/predictor"
 	"branchsim/internal/sim"
+	"branchsim/internal/telemetry"
 	"branchsim/internal/workload"
 )
 
@@ -23,6 +24,7 @@ type simConfig struct {
 	collisions bool
 	profile    *ProfileDB
 	obs        *obs.Observer
+	telemetry  telemetry.Config
 }
 
 // Workload names the instrumented program to simulate ("gcc", "compress").
@@ -69,6 +71,16 @@ func WithProfileInto(db *ProfileDB) SimOption {
 // disables observation at zero cost. Observation never changes results.
 func WithObserver(o *Observer) SimOption {
 	return func(c *simConfig) { c.obs = o }
+}
+
+// WithTelemetry enables simulation-domain telemetry for the run: an interval
+// time-series of the paper's metrics, predictor-table introspection samples,
+// and per-branch bias/misprediction statistics with bounded top-K
+// worst-offender lists, per cfg (see TelemetryConfig). The records are
+// journaled through the observer attached with WithObserver; without one
+// they are collected and discarded. The zero config disables telemetry.
+func WithTelemetry(cfg TelemetryConfig) SimOption {
+	return func(c *simConfig) { c.telemetry = cfg }
 }
 
 // Simulate executes one simulation described by options and returns its
@@ -139,7 +151,8 @@ func (cfg *simConfig) simulate(ctx context.Context, pred Predictor, span *obs.Sp
 		cfg.profile.Instructions = rec.counts.Instructions
 		return Metrics{Workload: cfg.workload, Input: cfg.input, Counts: rec.counts}, nil
 	}
-	sopts := []sim.Option{sim.WithLabels(cfg.workload, cfg.input), sim.WithObserver(cfg.obs)}
+	sopts := []sim.Option{sim.WithLabels(cfg.workload, cfg.input), sim.WithObserver(cfg.obs),
+		sim.WithTelemetry(telemetry.New(cfg.telemetry, cfg.obs))}
 	if cfg.collisions {
 		sopts = append(sopts, sim.WithCollisions())
 	}
