@@ -1,0 +1,96 @@
+// Command bpdash serves the live experiment dashboard off a journal file,
+// so finished or in-flight runs on disk are browsable without rerunning
+// anything. It reads the journal's JSONL records into the dashboard state
+// and re-streams every line onto the observer's event bus, which makes the
+// full endpoint set behave exactly as it does under bpexperiment -serve:
+// the web UI at /, /events replaying the record stream over SSE, /metrics
+// in Prometheus text format, and the /debug routes.
+//
+// With -follow the journal is polled for growth (reopening from the start
+// if it is truncated or replaced by a new run), so bpdash can watch a sweep
+// that is journaling in another process.
+//
+// Examples:
+//
+//	bpdash -journal run.jsonl -addr 127.0.0.1:8080
+//	bpdash -journal run.jsonl -follow        # watch a sweep still running
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"branchsim/internal/dashboard"
+	"branchsim/internal/obs"
+)
+
+func main() {
+	var (
+		journal = flag.String("journal", "", "journal file to serve (required)")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (:0 for an ephemeral port)")
+		follow  = flag.Bool("follow", false, "keep tailing the journal for new records (reopens on truncate)")
+		poll    = flag.Duration("poll", 250*time.Millisecond, "journal poll interval with -follow")
+	)
+	flag.Parse()
+	if *journal == "" {
+		fmt.Fprintln(os.Stderr, "usage: bpdash -journal RUN.jsonl [-addr HOST:PORT] [-follow [-poll D]]")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *journal, *addr, *follow, *poll); err != nil {
+		fmt.Fprintln(os.Stderr, "bpdash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, journal, addr string, follow bool, poll time.Duration) error {
+	return serve(ctx, journal, addr, follow, poll, nil)
+}
+
+// serve is run with a test seam: onReady receives the bound address once
+// the endpoint is listening.
+func serve(ctx context.Context, journal, addr string, follow bool, poll time.Duration, onReady func(addr string)) error {
+	// The observer exists for its bus and registry — bpdash journals nothing.
+	sink := obs.New()
+	defer sink.Close()
+	state, stopFeed := dashboard.Attach(sink)
+	defer stopFeed()
+	srv, err := sink.Serve(addr, obs.WithRootHandler(dashboard.Handler(state)))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "bpdash: serving %s on http://%s/\n", journal, srv.Addr())
+	if onReady != nil {
+		onReady(srv.Addr())
+	}
+
+	// Re-stream the journal onto the bus verbatim: the dashboard state and
+	// every /events subscriber see the same frames a live sweep would
+	// publish (the bus ring replays recent history to late subscribers).
+	feed := func(fnCtx context.Context, doFollow bool) error {
+		return obs.TailJournal(fnCtx, journal, poll, doFollow, func(line []byte) error {
+			sink.PublishRaw(line)
+			return nil
+		})
+	}
+	if follow {
+		err = feed(ctx, true)
+		if err == context.Canceled {
+			err = nil
+		}
+		return err
+	}
+	if err := feed(ctx, false); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bpdash: journal loaded; Ctrl-C to exit")
+	<-ctx.Done()
+	return nil
+}

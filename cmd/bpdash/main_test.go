@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchsim/internal/dashboard"
+	"branchsim/internal/obs"
+)
+
+func writeJournal(t *testing.T, path string) {
+	t.Helper()
+	j, err := obs.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []obs.JournalRecord{
+		&obs.ArmRecord{Time: time.Now(), Kind: "run", Key: "r|compress",
+			Workload: "compress", Input: "test", Predictor: "gshare:12",
+			Source: obs.SourceComputed, Events: 1000, WallNanos: int64(5 * time.Millisecond)},
+		&obs.IntervalRecord{Workload: "compress", Input: "test", Predictor: "gshare:12",
+			Seq: 0, Instructions: 1000, DInstructions: 1000, DBranches: 200, DMispredicts: 40},
+	}
+	for _, r := range recs {
+		if err := j.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeJournal(t, path)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, path, "127.0.0.1:0", false, time.Millisecond,
+			func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never came up")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The journal loads asynchronously; wait for the state to fill.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := get("/api/state")
+		if code != 200 {
+			t.Fatalf("/api/state -> %d", code)
+		}
+		var snap dashboard.Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Arms) == 1 && snap.Intervals == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state never loaded: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "branchsim dashboard") {
+		t.Fatalf("/ -> %d", code)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "# TYPE branchsim_bus_published counter") {
+		t.Fatalf("/metrics -> %d: %.200s", code, body)
+	}
+	if code, body := get("/plot/intervals.svg"); code != 200 || !strings.Contains(body, "<svg") {
+		t.Fatalf("/plot/intervals.svg -> %d", code)
+	}
+
+	// /events replays the journal lines from the bus ring to a late
+	// subscriber: the first data frame must be a valid {type,v} record.
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var frame string
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			frame = strings.TrimPrefix(line, "data: ")
+			break
+		}
+	}
+	if frame == "" {
+		t.Fatalf("no SSE data frame: %v", sc.Err())
+	}
+	rec, err := obs.DecodeRecord([]byte(frame))
+	if err != nil {
+		t.Fatalf("SSE frame does not decode: %v (%s)", err, frame)
+	}
+	if arm, ok := rec.(*obs.ArmRecord); !ok || arm.Key != "r|compress" {
+		t.Fatalf("first replayed frame = %#v", rec)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not stop on cancel")
+	}
+}
+
+func TestServeFollowPicksUpAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeJournal(t, path)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, path, "127.0.0.1:0", true, time.Millisecond,
+			func(addr string) { ready <- addr })
+	}()
+	base := "http://" + <-ready
+
+	// Append a second arm while serving (a bare record without the type
+	// envelope is the legacy arm schema, still valid).
+	line, err := json.Marshal(&obs.ArmRecord{Time: time.Now(), Kind: "run", Key: "r|go",
+		Source: obs.SourceComputed, WallNanos: int64(time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/api/state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap dashboard.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Arms) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("appended arm never appeared: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestServeMissingJournalFails(t *testing.T) {
+	err := run(context.Background(), filepath.Join(t.TempDir(), "missing.jsonl"), "127.0.0.1:0", false, time.Millisecond)
+	if err == nil {
+		t.Fatal("missing journal accepted")
+	}
+	fmt.Println(err)
+}

@@ -30,6 +30,15 @@
 // branches with bounded memory. Inspect the result with bpjournal.
 //
 //	bpexperiment -run table3 -journal run.jsonl -interval 100000 -table-stats -topk 16
+//
+// -serve upgrades the endpoint to the live dashboard: an embedded web UI at
+// / (arm grid, interval curves, alias heatmap, journal tail), Prometheus
+// text-format metrics at /metrics, and the record stream over SSE at
+// /events, alongside the /debug routes. Watching it never perturbs the run:
+// the journal stays byte-identical and slow dashboard consumers only drop
+// their own frames.
+//
+//	bpexperiment -run all -serve 127.0.0.1:8080 -interval 100000 -topk 16
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"branchsim/internal/dashboard"
 	"branchsim/internal/experiment"
 	"branchsim/internal/obs"
 	"branchsim/internal/replay"
@@ -69,6 +79,7 @@ type options struct {
 	replaySpill   string
 	journalPath   string
 	metricsAddr   string
+	serveAddr     string
 	progress      bool
 	interval      uint64
 	tableStats    bool
@@ -96,6 +107,7 @@ func main() {
 	flag.StringVar(&opt.replaySpill, "replay-spill", "", "directory for spilled trace chunks (default: the system temp directory)")
 	flag.StringVar(&opt.journalPath, "journal", "", "write one JSONL record per simulated arm to this file")
 	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
+	flag.StringVar(&opt.serveAddr, "serve", "", "serve the live dashboard at / plus /metrics (Prometheus), /events (SSE), /debug/vars and /debug/pprof on this address while the sweep runs")
 	flag.BoolVar(&opt.progress, "progress", false, "print a periodic one-line sweep status to stderr")
 	flag.Uint64Var(&opt.interval, "interval", 0, "journal an interval telemetry record every N instructions (0 = off; requires -journal to persist)")
 	flag.BoolVar(&opt.tableStats, "table-stats", false, "sample predictor-table introspection (occupancy, counter states, entropy, sharing) at interval boundaries")
@@ -127,7 +139,7 @@ func run(ctx context.Context, opt options) error {
 	// Observability: one sink shared by the journal, the HTTP endpoint and
 	// the progress reporter. No flag, no sink — the zero-cost default.
 	var sink *obs.Observer
-	if opt.journalPath != "" || opt.metricsAddr != "" || opt.progress {
+	if opt.journalPath != "" || opt.metricsAddr != "" || opt.serveAddr != "" || opt.progress {
 		var obsOpts []obs.Option
 		if opt.journalPath != "" {
 			j, err := obs.OpenJournal(opt.journalPath)
@@ -146,6 +158,16 @@ func run(ctx context.Context, opt options) error {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bpexperiment: serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
+	}
+	if opt.serveAddr != "" {
+		state, stopFeed := dashboard.Attach(sink)
+		defer stopFeed()
+		srv, err := sink.Serve(opt.serveAddr, obs.WithRootHandler(dashboard.Handler(state)))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bpexperiment: dashboard on http://%s/ (/metrics, /events, /debug/vars, /debug/pprof/)\n", srv.Addr())
 	}
 	if opt.progress {
 		defer sink.StartProgress(os.Stderr, 2*time.Second)()

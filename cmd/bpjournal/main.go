@@ -7,18 +7,30 @@
 // simulated events, the slowest arms, and, when telemetry records are
 // present, an interval digest and the worst-offender branch table.
 //
+// With -follow it tails an in-flight journal instead: each arm record prints
+// as a live one-liner as the sweep appends it (polling for growth, reopening
+// from the start when the file is truncated or replaced by a new run), and
+// the usual summary — including the interval digest and worst-offender
+// tables — renders from everything accumulated when the tail is interrupted
+// (Ctrl-C).
+//
 // Examples:
 //
 //	bpexperiment -run table3 -journal run.jsonl && bpjournal run.jsonl
 //	bpjournal -q run.jsonl          # validate only, no output on success
 //	bpjournal -top 5 run.jsonl      # longer slowest-arm and worst-offender lists
+//	bpjournal -follow run.jsonl     # tail a sweep that is still running
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"branchsim/internal/obs"
@@ -27,15 +39,25 @@ import (
 
 func main() {
 	var (
-		quiet = flag.Bool("q", false, "validate only: no output unless the journal is malformed")
-		top   = flag.Int("top", 3, "number of slowest arms and worst-offender branches to list")
+		quiet  = flag.Bool("q", false, "validate only: no output unless the journal is malformed")
+		top    = flag.Int("top", 3, "number of slowest arms and worst-offender branches to list")
+		follow = flag.Bool("follow", false, "tail an in-flight journal; Ctrl-C prints the summary")
+		poll   = flag.Duration("poll", 250*time.Millisecond, "journal poll interval with -follow")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bpjournal [-q] [-top N] JOURNAL.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: bpjournal [-q] [-top N] [-follow [-poll D]] JOURNAL.jsonl")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *quiet, *top); err != nil {
+	var err error
+	if *follow {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err = runFollow(ctx, flag.Arg(0), *poll, *quiet, *top)
+	} else {
+		err = run(flag.Arg(0), *quiet, *top)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpjournal:", err)
 		os.Exit(1)
 	}
@@ -49,6 +71,54 @@ func run(path string, quiet bool, top int) error {
 	if quiet {
 		return nil
 	}
+	return summarize(path, all, top)
+}
+
+// runFollow tails path until ctx is done, echoing arm lifecycle records as
+// they land, then renders the summary over everything read. A journal that
+// stops parsing mid-tail is an error, exactly as in batch mode.
+func runFollow(ctx context.Context, path string, poll time.Duration, quiet bool, top int) error {
+	all := &obs.Records{}
+	err := obs.TailJournal(ctx, path, poll, true, func(line []byte) error {
+		rec, err := obs.DecodeRecord(line)
+		if err != nil {
+			return err
+		}
+		all.Add(rec)
+		if quiet {
+			return nil
+		}
+		if r, ok := rec.(*obs.ArmRecord); ok {
+			status := "done"
+			if r.Error != "" {
+				status = "FAIL"
+			}
+			fmt.Printf("%s %-8s %-12s %s  %v", status, r.Kind, r.Source, r.Key,
+				time.Duration(r.WallNanos).Round(time.Millisecond))
+			if r.EventsPerSec > 0 {
+				fmt.Printf(" (%.1fM events/s)", r.EventsPerSec/1e6)
+			}
+			if r.Error != "" {
+				fmt.Printf(": %s", r.Error)
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	// The tail only ends by cancellation (Ctrl-C: time to summarize) or a
+	// real read/parse failure.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	if quiet {
+		return nil
+	}
+	fmt.Println()
+	return summarize(path, all, top)
+}
+
+// summarize renders the sweep summary over a parsed journal.
+func summarize(path string, all *obs.Records, top int) error {
 	if all.Len() == 0 {
 		fmt.Printf("%s: empty journal\n", path)
 		return nil

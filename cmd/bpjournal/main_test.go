@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -100,6 +101,57 @@ func TestTelemetryJournal(t *testing.T) {
 		if err := run(path, false, top); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestFollowJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(&obs.ArmRecord{Time: time.Now(), Kind: "run", Key: "r|a",
+		Source: obs.SourceComputed, Events: 10, WallNanos: int64(time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runFollow(ctx, path, time.Millisecond, false, 2) }()
+
+	// Append while the tail runs, including a failure and telemetry.
+	if err := j.Record(&obs.ArmRecord{Time: time.Now(), Kind: "run", Key: "r|b",
+		Source: obs.SourceComputed, WallNanos: int64(time.Millisecond), Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Write(&obs.IntervalRecord{Workload: "w", Input: "i", Predictor: "gshare:10",
+		Seq: 0, Instructions: 1000, DInstructions: 1000, DBranches: 100, DMispredicts: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the tailer drain the appends
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runFollow: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runFollow did not stop on cancel")
+	}
+}
+
+func TestFollowMalformedJournalFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := runFollow(ctx, path, time.Millisecond, true, 0); err == nil || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("runFollow on malformed journal: %v, want parse error", err)
 	}
 }
 

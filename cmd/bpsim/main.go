@@ -13,6 +13,11 @@
 // predictor-table samples and worst-offender branch lists (see bpjournal).
 //
 //	bpsim -workload gcc -predictor gshare:16KB -journal run.jsonl -interval 100000 -topk 16
+//
+// -serve hosts the live dashboard while the run executes: the web UI at /,
+// Prometheus metrics at /metrics and the SSE record stream at /events.
+//
+//	bpsim -workload gcc -predictor gshare:16KB -serve 127.0.0.1:8080 -interval 100000
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 
 	"branchsim"
 	"branchsim/internal/core"
+	"branchsim/internal/dashboard"
+	"branchsim/internal/obs"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func main() {
 		shift       = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
 		collisions  = flag.Bool("collisions", true, "track predictor-table collisions")
 		metricsAddr = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address during the run")
+		serveAddr   = flag.String("serve", "", "serve the live dashboard at / plus /metrics (Prometheus), /events (SSE) and the /debug routes on this address during the run")
 		journalPath = flag.String("journal", "", "write the run's JSONL records (arm + telemetry) to this file")
 		interval    = flag.Uint64("interval", 0, "journal an interval telemetry record every N instructions (0 = off)")
 		tableStats  = flag.Bool("table-stats", false, "sample predictor-table introspection at interval boundaries")
@@ -53,13 +61,13 @@ func main() {
 	}
 
 	tel := branchsim.TelemetryConfig{Interval: *interval, TableStats: *tableStats, TopK: *topK}
-	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *journalPath, *shift, *collisions, tel); err != nil {
+	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *serveAddr, *journalPath, *shift, *collisions, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, input, pred, hintsPath, metricsAddr, journalPath string, shift, collisions bool, tel branchsim.TelemetryConfig) error {
+func run(wl, input, pred, hintsPath, metricsAddr, serveAddr, journalPath string, shift, collisions bool, tel branchsim.TelemetryConfig) error {
 	dyn, err := branchsim.NewPredictor(pred)
 	if err != nil {
 		return err
@@ -83,7 +91,7 @@ func run(wl, input, pred, hintsPath, metricsAddr, journalPath string, shift, col
 
 	telemetryOn := tel.Interval > 0 || tel.TableStats || tel.TopK != 0
 	var sink *branchsim.Observer
-	if metricsAddr != "" || journalPath != "" {
+	if metricsAddr != "" || serveAddr != "" || journalPath != "" {
 		var obsOpts []branchsim.ObserverOption
 		if journalPath != "" {
 			j, err := branchsim.OpenJournal(journalPath)
@@ -102,6 +110,16 @@ func run(wl, input, pred, hintsPath, metricsAddr, journalPath string, shift, col
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bpsim: serving metrics on http://%s/debug/vars\n", srv.Addr())
+	}
+	if serveAddr != "" {
+		state, stopFeed := dashboard.Attach(sink)
+		defer stopFeed()
+		srv, err := sink.Serve(serveAddr, obs.WithRootHandler(dashboard.Handler(state)))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bpsim: dashboard on http://%s/\n", srv.Addr())
 	}
 	if telemetryOn && journalPath == "" {
 		fmt.Fprintln(os.Stderr, "bpsim: telemetry enabled without -journal; records will be collected and discarded")

@@ -1,0 +1,234 @@
+// Package dashboard is the live experiment UI: a server-side state model
+// fed by the obs event bus (or a journal tail), HTTP handlers exposing that
+// state as JSON, SVG charts rendered by internal/plot, and an embedded
+// single-page front end. It consumes only the versioned {type,v} JSONL
+// envelope — the same schema the journal uses — so it works identically
+// over a live sweep (bpexperiment -serve), a finished journal (bpdash) and
+// an in-flight journal (bpdash -follow).
+package dashboard
+
+import (
+	"sync"
+
+	"branchsim/internal/obs"
+)
+
+// Bounds on the in-memory state: the dashboard must stay O(1) in stream
+// length no matter how long the sweep runs.
+const (
+	// maxIntervals caps the interval-record store behind the charts; the
+	// oldest records are evicted (and counted) past it.
+	maxIntervals = 8192
+	// tailLines is the journal-tail pane depth.
+	tailLines = 200
+)
+
+// Arm is one sweep arm's live status row.
+type Arm struct {
+	Kind      string `json:"kind"`
+	Key       string `json:"key"`
+	Workload  string `json:"workload,omitempty"`
+	Input     string `json:"input,omitempty"`
+	Predictor string `json:"predictor,omitempty"`
+	Scheme    string `json:"scheme,omitempty"`
+
+	// Status is "running", "done" or "failed".
+	Status string `json:"status"`
+	// Source is where the result came from once the arm ended (computed,
+	// checkpoint, singleflight).
+	Source  string            `json:"source,omitempty"`
+	Retries int               `json:"retries,omitempty"`
+	Phases  []obs.PhaseTiming `json:"phases,omitempty"`
+
+	Events       uint64  `json:"events,omitempty"`
+	WallNanos    int64   `json:"wall_ns,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// State is the dashboard's server-side model. Feed it record frames with
+// Ingest; read it through the Handler routes. Safe for concurrent use.
+type State struct {
+	mu sync.Mutex
+
+	arms  map[string]*Arm
+	order []string // arm keys in first-seen order
+
+	progress obs.ProgressRecord
+	hasProg  bool
+
+	intervals        []obs.IntervalRecord
+	intervalsEvicted uint64
+
+	tail  [][]byte // ring of the newest raw JSONL lines
+	tailN uint64   // total lines ever ingested
+
+	malformed uint64
+	drops     uint64 // cumulative upstream frame drops (DropsRecord)
+
+	// liveDrops reports this consumer's own bus-queue drops (set by Attach).
+	liveDrops func() uint64
+}
+
+// NewState returns an empty model.
+func NewState() *State {
+	return &State{arms: map[string]*Arm{}}
+}
+
+// Ingest feeds one JSONL record frame (no trailing newline). Unparseable
+// frames are counted, not fatal — the stream may be from a newer schema.
+func (st *State) Ingest(line []byte) {
+	rec, err := obs.DecodeRecord(line)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pushTail(line)
+	if err != nil {
+		st.malformed++
+		return
+	}
+	switch r := rec.(type) {
+	case *obs.ArmStartRecord:
+		a := st.arm(r.Key)
+		a.Kind = r.Kind
+		a.Status = "running"
+	case *obs.ArmRecord:
+		a := st.arm(r.Key)
+		a.Kind = r.Kind
+		if r.Error != "" {
+			a.Status, a.Error = "failed", r.Error
+		} else {
+			a.Status = "done"
+		}
+		a.Workload, a.Input = r.Workload, r.Input
+		a.Predictor, a.Scheme = r.Predictor, r.Scheme
+		a.Source, a.Retries, a.Phases = r.Source, r.Retries, r.Phases
+		a.Events, a.WallNanos, a.EventsPerSec = r.Events, r.WallNanos, r.EventsPerSec
+	case *obs.IntervalRecord:
+		if len(st.intervals) >= maxIntervals {
+			n := copy(st.intervals, st.intervals[1:])
+			st.intervals = st.intervals[:n]
+			st.intervalsEvicted++
+		}
+		st.intervals = append(st.intervals, *r)
+	case *obs.ProgressRecord:
+		st.progress, st.hasProg = *r, true
+	case *obs.DropsRecord:
+		if r.Dropped > st.drops {
+			st.drops = r.Dropped
+		}
+	}
+}
+
+// arm returns the status row for key, creating it in arrival order.
+// Caller holds st.mu.
+func (st *State) arm(key string) *Arm {
+	a := st.arms[key]
+	if a == nil {
+		a = &Arm{Key: key, Status: "running"}
+		st.arms[key] = a
+		st.order = append(st.order, key)
+	}
+	return a
+}
+
+// pushTail appends one raw line to the tail ring. Caller holds st.mu.
+func (st *State) pushTail(line []byte) {
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	if len(st.tail) >= tailLines {
+		n := copy(st.tail, st.tail[1:])
+		st.tail = st.tail[:n]
+	}
+	st.tail = append(st.tail, cp)
+	st.tailN++
+}
+
+// Snapshot is the /api/state payload.
+type Snapshot struct {
+	Arms     []Arm               `json:"arms"`
+	Progress *obs.ProgressRecord `json:"progress,omitempty"`
+	// Intervals is how many interval records the charts currently cover;
+	// IntervalsEvicted how many older ones the bounded store let go.
+	Intervals        int    `json:"intervals"`
+	IntervalsEvicted uint64 `json:"intervals_evicted,omitempty"`
+	// Drops is the upstream subscriber drop count reported in the stream;
+	// LiveDrops this dashboard's own bus-queue drops. Either being nonzero
+	// means the view is lossy (the journal is still complete).
+	Drops     uint64 `json:"drops,omitempty"`
+	LiveDrops uint64 `json:"live_drops,omitempty"`
+	Malformed uint64 `json:"malformed,omitempty"`
+	Lines     uint64 `json:"lines"`
+}
+
+// Snapshot returns a copy of the current state for JSON rendering.
+func (st *State) Snapshot() Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Snapshot{
+		Arms:             make([]Arm, 0, len(st.order)),
+		Intervals:        len(st.intervals),
+		IntervalsEvicted: st.intervalsEvicted,
+		Drops:            st.drops,
+		Malformed:        st.malformed,
+		Lines:            st.tailN,
+	}
+	for _, key := range st.order {
+		out.Arms = append(out.Arms, *st.arms[key])
+	}
+	if st.hasProg {
+		p := st.progress
+		out.Progress = &p
+	}
+	if st.liveDrops != nil {
+		out.LiveDrops = st.liveDrops()
+	}
+	return out
+}
+
+// Intervals returns a copy of the retained interval records (charts render
+// from this).
+func (st *State) Intervals() []obs.IntervalRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]obs.IntervalRecord, len(st.intervals))
+	copy(out, st.intervals)
+	return out
+}
+
+// Tail returns up to n of the newest ingested lines, oldest first.
+func (st *State) Tail(n int) [][]byte {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n <= 0 || n > len(st.tail) {
+		n = len(st.tail)
+	}
+	out := make([][]byte, n)
+	copy(out, st.tail[len(st.tail)-n:])
+	return out
+}
+
+// Attach wires a dashboard to an observer's live bus: it subscribes,
+// feeds a State from the stream in a goroutine, and returns the HTTP
+// handler plus a stop function that detaches and waits for the feeder to
+// drain. Pass the handler to obs.Serve via obs.WithRootHandler.
+func Attach(o *obs.Observer) (*State, func()) {
+	st := NewState()
+	sub := o.Subscribe(1024)
+	done := make(chan struct{})
+	if sub == nil { // nil (disabled) observer: an empty, static dashboard
+		close(done)
+		return st, func() {}
+	}
+	st.liveDrops = sub.Dropped
+	go func() {
+		defer close(done)
+		for line := range sub.C() {
+			st.Ingest(line)
+		}
+	}()
+	stop := func() {
+		sub.Close()
+		<-done
+	}
+	return st, stop
+}

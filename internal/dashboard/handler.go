@@ -1,0 +1,78 @@
+package dashboard
+
+import (
+	_ "embed"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"branchsim/internal/plot"
+)
+
+//go:embed ui.html
+var uiHTML []byte
+
+// Handler serves the dashboard over st:
+//
+//	/                   the embedded single-page UI
+//	/api/state          JSON Snapshot (arm grid, progress, drop counters)
+//	/api/tail?n=50      newest ingested JSONL lines, plain text
+//	/plot/intervals.svg?metric=mispki|accuracy|destructive
+//	/plot/heatmap.svg   destructive-aliasing heatmap (arms × intervals)
+//
+// Mount it at "/" (obs.WithRootHandler); chart SVGs are rendered
+// server-side by internal/plot from the state's retained intervals.
+func Handler(st *State) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(uiHTML)
+	})
+	mux.HandleFunc("/api/state", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(st.Snapshot())
+	})
+	mux.HandleFunc("/api/tail", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		for _, line := range st.Tail(n) {
+			_, _ = w.Write(line)
+			_, _ = w.Write([]byte{'\n'})
+		}
+	})
+	mux.HandleFunc("/plot/intervals.svg", func(w http.ResponseWriter, r *http.Request) {
+		metric := plot.MetricMISPKI
+		switch r.URL.Query().Get("metric") {
+		case "", "mispki":
+		case "accuracy":
+			metric = plot.MetricAccuracy
+		case "destructive":
+			metric = plot.MetricDestructiveKI
+		default:
+			http.Error(w, "unknown metric (want mispki, accuracy or destructive)", http.StatusBadRequest)
+			return
+		}
+		recs := st.Intervals()
+		c, err := plot.IntervalCurves(metric.Name+" by interval", recs, metric)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml; charset=utf-8")
+		_, _ = w.Write([]byte(c.SVG()))
+	})
+	mux.HandleFunc("/plot/heatmap.svg", func(w http.ResponseWriter, _ *http.Request) {
+		h, err := aliasHeatmap(st.Intervals())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml; charset=utf-8")
+		_, _ = w.Write([]byte(h.SVG()))
+	})
+	return mux
+}

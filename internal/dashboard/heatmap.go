@@ -1,0 +1,81 @@
+package dashboard
+
+import (
+	"fmt"
+	"sort"
+
+	"branchsim/internal/obs"
+	"branchsim/internal/plot"
+)
+
+// aliasHeatmap renders the retained intervals as an arms × intervals matrix.
+// When the stream tracks collisions the cell value is destructive
+// collisions/KI — the paper's aliasing cost — otherwise it falls back to
+// MISPs/KI so untracked runs still get a pressure map. Row keys follow the
+// interval-curve convention: the predictor when every record shares one
+// instruction stream, the full workload|input|predictor key otherwise.
+func aliasHeatmap(recs []obs.IntervalRecord) (*plot.HeatmapChart, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("dashboard: no interval records yet")
+	}
+	sameStream, tracked := true, false
+	for i := range recs {
+		if recs[i].Workload != recs[0].Workload || recs[i].Input != recs[0].Input {
+			sameStream = false
+		}
+		if recs[i].CollisionsTracked {
+			tracked = true
+		}
+	}
+	name := func(r *obs.IntervalRecord) string {
+		if sameStream {
+			return r.Predictor
+		}
+		return r.Key()
+	}
+	value := func(r *obs.IntervalRecord) float64 {
+		if r.DInstructions == 0 {
+			return 0
+		}
+		if tracked {
+			return 1000 * float64(r.DDestructive) / float64(r.DInstructions)
+		}
+		return 1000 * float64(r.DMispredicts) / float64(r.DInstructions)
+	}
+
+	rowIdx := map[string]int{}
+	var rows []string
+	seqSet := map[int]struct{}{}
+	for i := range recs {
+		key := name(&recs[i])
+		if _, ok := rowIdx[key]; !ok {
+			rowIdx[key] = len(rows)
+			rows = append(rows, key)
+		}
+		seqSet[recs[i].Seq] = struct{}{}
+	}
+	seqs := make([]int, 0, len(seqSet))
+	for s := range seqSet {
+		seqs = append(seqs, s)
+	}
+	sort.Ints(seqs)
+	colIdx := map[int]int{}
+	cols := make([]string, len(seqs))
+	for i, s := range seqs {
+		colIdx[s] = i
+		cols[i] = fmt.Sprintf("#%d", s)
+	}
+
+	title := "destructive collisions/KI"
+	if !tracked {
+		title = "MISPs/KI"
+	}
+	h := plot.NewHeatmap(title+" (arms × intervals)", rows, cols)
+	for i := range recs {
+		r := &recs[i]
+		if err := h.Set(rowIdx[name(r)], colIdx[r.Seq], value(r)); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -121,10 +124,10 @@ func TestHarnessJournalsSweep(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpointDuringSweep serves /debug/vars from the observer while
-// a sweep runs and hammers it from a polling goroutine — under -race this
-// proves the registry's read path never tears against the hot simulation
-// path.
+// TestMetricsEndpointDuringSweep serves /debug/vars, /metrics and /events
+// from the observer while a sweep runs and hammers them from polling
+// goroutines — under -race this proves the registry's read path and the bus
+// fan-out never tear against the hot simulation path.
 func TestMetricsEndpointDuringSweep(t *testing.T) {
 	sink := obs.New()
 	srv, err := sink.Serve("127.0.0.1:0")
@@ -149,6 +152,24 @@ func TestMetricsEndpointDuringSweep(t *testing.T) {
 		}
 		return vars, nil
 	}
+	fetchMetrics := func() error {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /metrics: %s", resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if !bytes.Contains(body, []byte("# TYPE branchsim_sim_events counter")) {
+			return fmt.Errorf("/metrics missing sim.events series")
+		}
+		return nil
+	}
 
 	done := make(chan struct{})
 	pollErr := make(chan error, 1)
@@ -164,9 +185,46 @@ func TestMetricsEndpointDuringSweep(t *testing.T) {
 				pollErr <- err
 				return
 			}
+			if err := fetchMetrics(); err != nil {
+				pollErr <- err
+				return
+			}
 			time.Sleep(time.Millisecond)
 		}
 	}()
+
+	// An SSE consumer races the sweep too: it must stream every arm's
+	// records without ever stalling the publishers.
+	sseCtx, sseCancel := context.WithCancel(context.Background())
+	defer sseCancel()
+	sseFrames := make(chan int, 1)
+	sseErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(sseCtx, "GET", "http://"+srv.Addr()+"/events", nil)
+		if err != nil {
+			sseErr <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			sseErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		close(sseErr)
+		n := 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				n++
+			}
+		}
+		sseFrames <- n
+	}()
+	if err := <-sseErr; err != nil {
+		t.Fatal(err)
+	}
 
 	h := NewQuickHarness(WithObserver(sink), WithWorkers(2))
 	defer h.Close()
@@ -179,6 +237,16 @@ func TestMetricsEndpointDuringSweep(t *testing.T) {
 	close(done)
 	if err := <-pollErr; err != nil {
 		t.Fatal(err)
+	}
+	sseCancel()
+	select {
+	case n := <-sseFrames:
+		// 3 arms × (arm_start + arm record) at minimum.
+		if n < 6 {
+			t.Errorf("SSE saw %d frames, want >= 6", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not terminate")
 	}
 
 	vars, err := fetch()

@@ -3,7 +3,10 @@ package experiment
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -13,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"branchsim/internal/dashboard"
 	"branchsim/internal/obs"
 	"branchsim/internal/telemetry"
 )
@@ -21,9 +25,19 @@ import (
 // telemetry-enabled harness with the given replay worker count and returns
 // the parsed journal plus the raw journal bytes.
 func telemetrySweep(t *testing.T, workers int, concurrent bool) (*obs.Records, []byte) {
+	return telemetrySweepWith(t, workers, concurrent, nil)
+}
+
+// telemetrySweepWith is telemetrySweep with a tap hook: tap runs against the
+// observer before the sweep starts (to attach dashboards, subscribers, …) and
+// its returned stop func runs after the journal is sealed.
+func telemetrySweepWith(t *testing.T, workers int, concurrent bool, tap func(sink *obs.Observer) (stop func())) (*obs.Records, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	sink := obs.New(obs.WithJournal(obs.NewJournal(&buf)))
+	if tap != nil {
+		defer tap(sink)()
+	}
 	h := NewQuickHarness(
 		WithObserver(sink),
 		WithWorkers(workers),
@@ -227,6 +241,163 @@ func TestTelemetryGoldenByteStable(t *testing.T) {
 	}
 	if sorted(raw1) != sorted(raw8) {
 		t.Error("telemetry record sets differ between workers=1 and workers=8")
+	}
+}
+
+// TestJournalByteStableWithDashboard extends the golden determinism guarantee
+// to the live-dashboard path: attaching the dashboard feeder plus a
+// deliberately stalled bus subscriber must leave the journaled telemetry
+// stream byte-identical to a dashboard-off run — the bus taps publish copies
+// and never touch the buffered journal records — and the stalled subscriber
+// must shed frames (counted in bus.dropped) instead of stalling the sweep.
+func TestJournalByteStableWithDashboard(t *testing.T) {
+	recsOff, rawOff := telemetrySweep(t, 1, false)
+
+	var (
+		sink    *obs.Observer
+		state   *dashboard.State
+		stalled *obs.BusSub
+	)
+	recsOn, rawOn := telemetrySweepWith(t, 1, false, func(o *obs.Observer) func() {
+		sink = o
+		var stopFeed func()
+		state, stopFeed = dashboard.Attach(o)
+		stalled = o.Subscribe(4) // never drained: must drop-oldest, never block
+		return stopFeed
+	})
+
+	// Same telemetry record set, byte for byte.
+	names := map[string]bool{}
+	for i := range recsOff.Intervals {
+		names[recsOff.Intervals[i].Predictor] = true
+	}
+	collect := func(raw []byte) string {
+		var all []string
+		for name := range names {
+			all = append(all, telemetryLines(raw, name)...)
+		}
+		sort.Strings(all)
+		return strings.Join(all, "\n")
+	}
+	off, on := collect(rawOff), collect(rawOn)
+	if off == "" {
+		t.Fatal("no telemetry lines in the dashboard-off journal")
+	}
+	if off != on {
+		t.Error("journaled telemetry differs between dashboard-off and dashboard-on runs")
+	}
+	if len(recsOn.Arms) != len(recsOff.Arms) {
+		t.Errorf("arm records: %d with dashboard, %d without", len(recsOn.Arms), len(recsOff.Arms))
+	}
+
+	// The sweep finished (we are here), the dashboard saw it live, and the
+	// stalled subscriber's losses are accounted for.
+	snap := state.Snapshot()
+	if len(snap.Arms) != len(FivePredictors) || snap.Intervals == 0 {
+		t.Errorf("dashboard state: %d arms, %d intervals; want %d arms and >0 intervals",
+			len(snap.Arms), snap.Intervals, len(FivePredictors))
+	}
+	if stalled.Dropped() == 0 {
+		t.Error("stalled subscriber dropped nothing; drop-oldest path never exercised")
+	}
+	if got := sink.Counter(obs.MBusDropped).Value(); got < stalled.Dropped() {
+		t.Errorf("%s = %d, below the stalled subscriber's own count %d",
+			obs.MBusDropped, got, stalled.Dropped())
+	}
+}
+
+// TestServeSweepSmoke runs a sweep with the full -serve stack attached —
+// event bus, Prometheus exposition, SSE, embedded dashboard — then tears
+// everything down and asserts no goroutine outlives the stack.
+func TestServeSweepSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var buf bytes.Buffer
+	sink := obs.New(obs.WithJournal(obs.NewJournal(&buf)))
+	state, stopFeed := dashboard.Attach(sink)
+	srv, err := sink.Serve("127.0.0.1:0", obs.WithRootHandler(dashboard.Handler(state)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	h := NewQuickHarness(WithObserver(sink), WithWorkers(2),
+		WithTelemetry(telemetry.Config{Interval: 50_000}))
+	ctx := context.Background()
+	for _, pred := range []string{"gshare:1KB", "bimodal:1KB"} {
+		if _, err := h.Run(ctx, Arm{Workload: "compress", Input: "test", Pred: pred, Scheme: "none"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The dashboard is fed from the bus asynchronously; wait for it to catch
+	// up, then check every surface answers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := state.Snapshot()
+		if len(snap.Arms) == 2 && snap.Intervals > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dashboard never caught up: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+	if body := get("/"); !strings.Contains(body, "branchsim dashboard") {
+		t.Error("/ is not the embedded dashboard")
+	}
+	if body := get("/metrics"); !strings.Contains(body, "branchsim_experiment_arms_done 2") {
+		t.Errorf("/metrics missing arms_done series:\n%.300s", body)
+	}
+	var snap dashboard.Snapshot
+	if err := json.Unmarshal([]byte(get("/api/state")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Arms) != 2 {
+		t.Errorf("/api/state arms = %d, want 2", len(snap.Arms))
+	}
+
+	// Tear down in -serve order and verify nothing leaks.
+	h.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stopFeed()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before serve stack, %d after teardown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The journal written alongside all of this is intact.
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs.Arms) != 2 || len(recs.Intervals) == 0 {
+		t.Fatalf("journal: %d arms, %d intervals", len(recs.Arms), len(recs.Intervals))
 	}
 }
 

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// busRing is how many recently published frames the bus retains and replays
+// to new subscribers, so a dashboard attaching mid-run (or to a finished
+// bpdash journal) sees recent history instead of an empty stream.
+const busRing = 256
+
+// Bus is the live event fan-out hub: every record published through the
+// observer — sealed telemetry intervals, table samples, top-K summaries,
+// arm lifecycle events, progress snapshots — is JSON-encoded once and
+// mirrored to every subscriber's bounded queue. Publishing never blocks:
+// a full queue drops its oldest frame (counted per subscriber and on the
+// MBusDropped counter), so a slow or stalled consumer can never stall the
+// sweep that feeds it. The journal path is entirely separate — the bus
+// carries copies, journals stay byte-identical with or without it.
+type Bus struct {
+	published *Counter
+	dropped   *Counter
+	subs      *Gauge
+
+	mu     sync.Mutex
+	set    map[*BusSub]struct{}
+	ring   [][]byte
+	closed bool
+}
+
+// newBus builds a bus whose counters live in reg.
+func newBus(reg *Registry) *Bus {
+	return &Bus{
+		published: reg.Counter(MBusPublished),
+		dropped:   reg.Counter(MBusDropped),
+		subs:      reg.Gauge(MBusSubscribers),
+		set:       map[*BusSub]struct{}{},
+	}
+}
+
+// Publish encodes rec (stamping its type/version envelope) and fans the
+// frame out. Safe on nil.
+func (b *Bus) Publish(rec JournalRecord) {
+	if b == nil {
+		return
+	}
+	rec.stamp()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return // observability must never fail the pipeline it observes
+	}
+	b.publishRaw(data)
+}
+
+// publishRaw fans out one pre-encoded JSONL frame (no trailing newline).
+func (b *Bus) publishRaw(line []byte) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if len(b.ring) >= busRing {
+		copy(b.ring, b.ring[1:])
+		b.ring = b.ring[:len(b.ring)-1]
+	}
+	b.ring = append(b.ring, line)
+	subs := make([]*BusSub, 0, len(b.set))
+	for s := range b.set {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	b.published.Add(1)
+	for _, s := range subs {
+		s.offer(line)
+	}
+}
+
+// Subscribe attaches a subscriber with a queue bound of buf frames (minimum
+// 1). The bus's retained ring of recent frames is replayed into the fresh
+// queue first — at most buf of them, newest preferred. Safe on nil (returns
+// a nil, drained subscription).
+func (b *Bus) Subscribe(buf int) *BusSub {
+	if b == nil {
+		return nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	s := &BusSub{bus: b, ch: make(chan []byte, buf)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(s.ch)
+		s.closed = true
+		return s
+	}
+	replay := b.ring
+	if len(replay) > buf {
+		replay = replay[len(replay)-buf:]
+	}
+	for _, line := range replay {
+		s.ch <- line
+	}
+	b.set[s] = struct{}{}
+	b.mu.Unlock()
+	b.subs.Add(1)
+	return s
+}
+
+// Close detaches every subscriber (closing their channels) and rejects
+// further publishes. Idempotent, safe on nil.
+func (b *Bus) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*BusSub, 0, len(b.set))
+	for s := range b.set {
+		subs = append(subs, s)
+	}
+	b.set = map[*BusSub]struct{}{}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// unsubscribe removes s; reports whether it was still attached.
+func (b *Bus) unsubscribe(s *BusSub) bool {
+	b.mu.Lock()
+	_, ok := b.set[s]
+	delete(b.set, s)
+	b.mu.Unlock()
+	if ok {
+		b.subs.Add(-1)
+	}
+	return ok
+}
+
+// BusSub is one subscriber's bounded view of the bus. Read frames from C;
+// when the queue overflows, the oldest unread frame is discarded and
+// Dropped grows. A nil *BusSub (from a disabled bus) is a drained no-op.
+type BusSub struct {
+	bus     *Bus
+	dropped atomic.Uint64
+
+	mu     sync.Mutex // serializes offer vs Close
+	ch     chan []byte
+	closed bool
+}
+
+// C returns the frame channel. It is closed when the subscription (or the
+// whole bus) closes. Nil for a nil subscription — a receive blocks forever,
+// so select on it alongside a done channel.
+func (s *BusSub) C() <-chan []byte {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped returns the cumulative frames discarded because this subscriber's
+// queue was full. Zero for nil.
+func (s *BusSub) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close detaches the subscription and closes its channel. Idempotent, safe
+// on nil.
+func (s *BusSub) Close() {
+	if s == nil {
+		return
+	}
+	s.bus.unsubscribe(s)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// offer enqueues one frame, dropping the oldest queued frame when full.
+// It never blocks the publisher: the offer lock is only ever contended by
+// Close and other publishers, and the drop-then-send loop terminates because
+// this goroutine holds the only send right while it retries.
+func (s *BusSub) offer(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- line:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			s.bus.dropped.Add(1)
+		default:
+		}
+	}
+}

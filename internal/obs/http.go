@@ -7,31 +7,66 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 )
 
+// sseHeartbeat is how often an idle /events stream writes a comment frame so
+// intermediaries don't time the connection out.
+const sseHeartbeat = 15 * time.Second
+
+// serveProgressEvery is the cadence at which a serving observer publishes
+// ProgressRecord frames to the bus, so /events always carries a pulse even
+// between journal-worthy records.
+const serveProgressEvery = 2 * time.Second
+
 // Server is the observer's HTTP endpoint: /debug/vars serves an
-// expvar-style JSON dump of the metric registry plus process stats, and
-// /debug/pprof/* serves the standard Go profiles. It binds its own mux, so
-// nothing leaks into http.DefaultServeMux and several servers can coexist
-// in one process (tests, multi-sweep tools).
+// expvar-style JSON dump of the metric registry plus process stats,
+// /debug/pprof/* serves the standard Go profiles, /metrics serves the
+// registry in Prometheus text exposition format, and /events streams the
+// live record bus over SSE. It binds its own mux, so nothing leaks into
+// http.DefaultServeMux and several servers can coexist in one process
+// (tests, multi-sweep tools).
 type Server struct {
-	l   net.Listener
-	srv *http.Server
+	l    net.Listener
+	srv  *http.Server
+	done chan struct{}
+	once sync.Once
+	stop func() // progress-pulse ticker stop
 }
 
-// Serve starts the metrics endpoint on addr (e.g. ":8080", "127.0.0.1:0").
+// ServeOption configures a Server at start.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	root http.Handler
+}
+
+// WithRootHandler mounts h at "/" in place of the default plain-text
+// endpoint listing — this is how the dashboard UI attaches. The /debug,
+// /metrics and /events routes keep their paths either way.
+func WithRootHandler(h http.Handler) ServeOption {
+	return func(c *serveConfig) { c.root = h }
+}
+
+// Serve starts the HTTP endpoint on addr (e.g. ":8080", "127.0.0.1:0").
 // Pass a ":0" port to let the kernel pick; the bound address is available
-// from Server.Addr. Returns an error on a nil observer — callers gate the
-// flag, not the serve call.
-func (o *Observer) Serve(addr string) (*Server, error) {
+// from Server.Addr. While serving, the observer publishes a ProgressRecord
+// pulse to the live bus every couple of seconds. Returns an error on a nil
+// observer — callers gate the flag, not the serve call.
+func (o *Observer) Serve(addr string, opts ...ServeOption) (*Server, error) {
 	if o == nil {
 		return nil, fmt.Errorf("obs: Serve on a disabled (nil) observer")
+	}
+	var cfg serveConfig
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics endpoint: %w", err)
 	}
+	s := &Server{l: l, done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", o.varsHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -39,16 +74,55 @@ func (o *Observer) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprintln(w, "branchsim metrics endpoint\n\n  /debug/vars\n  /debug/pprof/")
+	mux.HandleFunc("/metrics", o.metricsHandler)
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		o.eventsHandler(w, r, s.done)
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(l) //nolint:errcheck // Serve returns ErrServerClosed on Close
-	return &Server{l: l, srv: srv}, nil
+	if cfg.root != nil {
+		mux.Handle("/", cfg.root)
+	} else {
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintln(w, "branchsim metrics endpoint\n\n  /debug/vars\n  /debug/pprof/\n  /metrics\n  /events")
+		})
+	}
+	// No WriteTimeout: /events streams indefinitely. Slow-client risk is
+	// bounded by the bus's drop-oldest queues, not by a deadline.
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(l) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	s.stop = o.startServePulse(s.done)
+	return s, nil
+}
+
+// startServePulse publishes a ProgressRecord to the bus every
+// serveProgressEvery until done closes, computing events/sec over each tick.
+func (o *Observer) startServePulse(done chan struct{}) (stop func()) {
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(serveProgressEvery)
+		defer t.Stop()
+		lastEvents := o.Counter(MSimEvents).Value()
+		lastT := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				events := o.Counter(MSimEvents).Value()
+				var rate float64
+				if dt := now.Sub(lastT).Seconds(); dt > 0 {
+					rate = float64(events-lastEvents) / dt
+				}
+				lastEvents, lastT = events, now
+				o.Publish(o.progressRecord(rate))
+			}
+		}
+	}()
+	return func() { <-stopped }
 }
 
 // varsHandler dumps the registry plus a small set of process stats in one
@@ -70,6 +144,68 @@ func (o *Observer) varsHandler(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(snap)
 }
 
+// metricsHandler serves the registry in Prometheus text exposition format.
+func (o *Observer) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, o.Registry())
+}
+
+// eventsHandler streams the live record bus as server-sent events: each bus
+// frame becomes one "data: {type,v,...}" event — the exact journal JSONL
+// envelope. When this subscriber's bounded queue overflowed since the last
+// frame, a DropsRecord event is interleaved so consumers can tell the
+// stream is lossy. The stream ends when the client goes away or the server
+// closes; a stalled client only ever loses its own frames.
+func (o *Observer) eventsHandler(w http.ResponseWriter, r *http.Request, done <-chan struct{}) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := o.Subscribe(256)
+	defer sub.Close()
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	var reported uint64
+	for {
+		select {
+		case line, ok := <-sub.C():
+			if !ok {
+				return // bus closed (observer shutting down)
+			}
+			if d := sub.Dropped(); d > reported {
+				reported = d
+				drops := &DropsRecord{Dropped: d}
+				drops.stamp()
+				if data, err := json.Marshal(drops); err == nil {
+					if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+						return
+					}
+				}
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-done:
+			return
+		}
+	}
+}
+
 // Addr returns the endpoint's bound address ("127.0.0.1:43121").
 func (s *Server) Addr() string {
 	if s == nil || s.l == nil {
@@ -78,10 +214,19 @@ func (s *Server) Addr() string {
 	return s.l.Addr().String()
 }
 
-// Close stops the endpoint. Safe on nil.
+// Close stops the endpoint: in-flight SSE streams and the progress pulse
+// terminate, then the listener closes. Safe on nil, idempotent.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	var err error
+	s.once.Do(func() {
+		close(s.done)
+		if s.stop != nil {
+			s.stop()
+		}
+		err = s.srv.Close()
+	})
+	return err
 }

@@ -71,6 +71,14 @@ const (
 	// MTelemetrySitesDropped counts static branches that fell off the
 	// bounded per-branch tracker (the site cap was reached).
 	MTelemetrySitesDropped = "telemetry.sites_dropped"
+
+	// MBusPublished counts records published to the live event bus.
+	MBusPublished = "bus.published"
+	// MBusDropped counts frames discarded across all bus subscribers by the
+	// drop-oldest backpressure policy (slow or stalled consumers).
+	MBusDropped = "bus.dropped"
+	// MBusSubscribers (gauge) is the number of live bus subscribers.
+	MBusSubscribers = "bus.subscribers"
 )
 
 // Journal record types. Every JSONL line carries a "type" field holding one
@@ -88,6 +96,15 @@ const (
 	// RecTopK is one arm's per-branch summary: histograms plus the top-K
 	// worst offenders (TopKRecord).
 	RecTopK = "topk"
+	// RecArmStart announces a span opening (ArmStartRecord). Live-only:
+	// published to the event bus, never journaled.
+	RecArmStart = "arm_start"
+	// RecProgress is a periodic pipeline status snapshot (ProgressRecord).
+	// Live-only.
+	RecProgress = "progress"
+	// RecDrops reports a subscriber's cumulative dropped-frame count
+	// (DropsRecord). Live-only.
+	RecDrops = "drops"
 )
 
 // NameKind classifies a registered name.
@@ -132,10 +149,16 @@ var registeredNames = []RegisteredName{
 	{MTelemetryTopK, KindCounter},
 	{MTelemetrySites, KindGauge},
 	{MTelemetrySitesDropped, KindCounter},
+	{MBusPublished, KindCounter},
+	{MBusDropped, KindCounter},
+	{MBusSubscribers, KindGauge},
 	{RecArm, KindRecord},
 	{RecInterval, KindRecord},
 	{RecTableStats, KindRecord},
 	{RecTopK, KindRecord},
+	{RecArmStart, KindRecord},
+	{RecProgress, KindRecord},
+	{RecDrops, KindRecord},
 }
 
 // RegisteredNames returns a copy of the registry: every well-known metric

@@ -37,6 +37,7 @@ import (
 type Observer struct {
 	reg     *Registry
 	journal *Journal
+	bus     *Bus
 	start   time.Time
 
 	// errw receives the one-shot journal-failure report; nil means stderr.
@@ -65,9 +66,10 @@ func WithErrorLog(w io.Writer) Option {
 	return func(o *Observer) { o.errw = w }
 }
 
-// New returns an enabled Observer with a fresh registry.
+// New returns an enabled Observer with a fresh registry and live event bus.
 func New(opts ...Option) *Observer {
-	o := &Observer{reg: NewRegistry(), start: time.Now()}
+	reg := NewRegistry()
+	o := &Observer{reg: reg, bus: newBus(reg), start: time.Now()}
 	for _, opt := range opts {
 		opt(o)
 	}
@@ -108,13 +110,15 @@ func (o *Observer) Uptime() time.Duration {
 	return time.Since(o.start)
 }
 
-// Close stops any progress reporters started from this observer, then
-// flushes and closes the attached journal, if any. Safe on nil, idempotent.
+// Close stops any progress reporters started from this observer, shuts the
+// live event bus (closing every subscriber's channel), then flushes and
+// closes the attached journal, if any. Safe on nil, idempotent.
 func (o *Observer) Close() error {
 	if o == nil {
 		return nil
 	}
 	o.StopProgress()
+	o.bus.Close()
 	if o.journal == nil {
 		return nil
 	}
@@ -156,8 +160,42 @@ func (o *Observer) Flush() error {
 	return o.journal.Sync()
 }
 
-// record appends one finished arm record to the journal (if attached).
-func (o *Observer) record(rec *ArmRecord) { o.Emit(rec) }
+// record routes one finished arm record: journaled (if a journal is
+// attached) and mirrored to the live bus.
+func (o *Observer) record(rec *ArmRecord) {
+	o.Emit(rec)
+	o.Publish(rec)
+}
+
+// Publish mirrors one record to the live event bus only — it never touches
+// the journal, so live streaming cannot perturb journal bytes. Use Emit for
+// the durable path; span completion goes through both. Safe on nil.
+func (o *Observer) Publish(rec JournalRecord) {
+	if o == nil {
+		return
+	}
+	o.bus.Publish(rec)
+}
+
+// PublishRaw fans one pre-encoded JSONL frame (no trailing newline) out to
+// bus subscribers — the replay path for tools like bpdash that re-stream an
+// existing journal without re-encoding it. Safe on nil.
+func (o *Observer) PublishRaw(line []byte) {
+	if o == nil {
+		return
+	}
+	o.bus.publishRaw(line)
+}
+
+// Subscribe attaches a live-bus subscriber with a queue bound of buf frames.
+// Returns a drained nil subscription for a nil observer, so consumers can
+// select on sub.C() unconditionally (pair it with a done channel).
+func (o *Observer) Subscribe(buf int) *BusSub {
+	if o == nil {
+		return nil
+	}
+	return o.bus.Subscribe(buf)
+}
 
 // Emit appends one journal record — an *ArmRecord, *IntervalRecord,
 // *TableStatsRecord or *TopKRecord — stamping its type and schema version.

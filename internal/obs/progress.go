@@ -33,6 +33,7 @@ func (o *Observer) StartProgress(w io.Writer, interval time.Duration) (stop func
 			rate = float64(events-lastEvents) / dt
 		}
 		lastEvents, lastT = events, now
+		o.Publish(o.progressRecord(rate))
 		tag := "progress"
 		if final {
 			tag = "done    "
@@ -73,6 +74,23 @@ func (o *Observer) StartProgress(w io.Writer, interval time.Duration) (stop func
 	// even when the caller drops the stop handle.
 	o.registerStop(stop)
 	return stop
+}
+
+// progressRecord snapshots the registry into a live ProgressRecord. rate is
+// the caller's events/sec estimate over its own measurement window.
+func (o *Observer) progressRecord(rate float64) *ProgressRecord {
+	return &ProgressRecord{
+		UptimeNanos:      int64(o.Uptime()),
+		ArmsDone:         uint64(o.Counter(MArmsDone).Value()),
+		ArmsFailed:       uint64(o.Counter(MArmsFailed).Value()),
+		ArmsRunning:      o.Gauge(MArmsRunning).Value(),
+		Events:           uint64(o.Counter(MSimEvents).Value()),
+		EventsPerSec:     rate,
+		ReplayCaptures:   uint64(o.Counter(MReplayCaptures).Value()),
+		ReplayReplays:    uint64(o.Counter(MReplayReplays).Value()),
+		CheckpointHits:   uint64(o.Counter(MCheckpointHits).Value()),
+		SingleflightHits: uint64(o.Counter(MSingleflightHits).Value()),
+	}
 }
 
 // siCount renders a rate with an SI suffix: "182.4M", "3.1k", "87".

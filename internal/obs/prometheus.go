@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promNamespace prefixes every exposition metric, so scraped series are
+// unmistakably this simulator's.
+const promNamespace = "branchsim"
+
+// PromName mangles a registered metric name into Prometheus form:
+// "sim.events" → "branchsim_sim_events". Dots and any other character
+// outside [a-zA-Z0-9_:] become underscores.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + 1 + len(name))
+	b.WriteString(promNamespace)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4). The series set is exactly the registered-name block in
+// names.go — counters and gauges, in registration order, zero-valued series
+// included — so the scrape schema is as stable as the registry itself. Safe
+// on a nil registry (writes the same series, all zero).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	for _, rn := range registeredNames {
+		var typ string
+		switch rn.Kind {
+		case KindCounter:
+			typ = "counter"
+		case KindGauge:
+			typ = "gauge"
+		default:
+			continue // record types are journal schema, not metrics
+		}
+		name := PromName(rn.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, snap[rn.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

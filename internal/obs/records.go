@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // SchemaV1 is the current journal record schema version. Every record line
@@ -26,6 +28,60 @@ func (r *ArmRecord) stamp()        { r.Type, r.V = RecArm, SchemaV1 }
 func (r *IntervalRecord) stamp()   { r.Type, r.V = RecInterval, SchemaV1 }
 func (r *TableStatsRecord) stamp() { r.Type, r.V = RecTableStats, SchemaV1 }
 func (r *TopKRecord) stamp()       { r.Type, r.V = RecTopK, SchemaV1 }
+func (r *ArmStartRecord) stamp()   { r.Type, r.V = RecArmStart, SchemaV1 }
+func (r *ProgressRecord) stamp()   { r.Type, r.V = RecProgress, SchemaV1 }
+func (r *DropsRecord) stamp()      { r.Type, r.V = RecDrops, SchemaV1 }
+
+// ArmStartRecord announces that an arm's span opened. It is a live-only
+// record: published to the event bus when StartArm fires so dashboards can
+// show in-flight arms, never buffered and never written to the journal (the
+// journal's unit stays the completed ArmRecord, so journal bytes are
+// unchanged by the bus).
+type ArmStartRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// Time is when the arm started, RFC 3339 with nanoseconds.
+	Time time.Time `json:"time"`
+	// Kind is the harness stage: "profile", "run" or "simulate".
+	Kind string `json:"kind"`
+	// Key is the arm's memoization key, matching the eventual ArmRecord.
+	Key string `json:"key"`
+}
+
+// ProgressRecord is a periodic pipeline status snapshot, the streaming twin
+// of the terminal progress reporter's one-liner. Live-only: published to the
+// event bus by the progress reporter and by the HTTP server's ticker, never
+// journaled (it carries wall-clock state, and the journal must stay
+// byte-stable).
+type ProgressRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	UptimeNanos      int64   `json:"uptime_ns"`
+	ArmsDone         uint64  `json:"arms_done"`
+	ArmsFailed       uint64  `json:"arms_failed"`
+	ArmsRunning      int64   `json:"arms_running"`
+	Events           uint64  `json:"events"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	ReplayCaptures   uint64  `json:"replay_captures,omitempty"`
+	ReplayReplays    uint64  `json:"replay_replays,omitempty"`
+	CheckpointHits   uint64  `json:"checkpoint_hits,omitempty"`
+	SingleflightHits uint64  `json:"singleflight_hits,omitempty"`
+}
+
+// DropsRecord tells one event-bus subscriber how many frames its bounded
+// queue discarded (drop-oldest backpressure). The SSE endpoint interleaves
+// one into the stream whenever the cumulative count grew, so a slow consumer
+// knows its view has gaps instead of silently missing them. Live-only, never
+// journaled.
+type DropsRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// Dropped is the cumulative frame count discarded for this subscriber.
+	Dropped uint64 `json:"dropped"`
+}
 
 // IntervalRecord is one interval of an arm's simulation-domain time series:
 // the counter deltas accumulated between two interval boundaries, emitted
@@ -199,27 +255,98 @@ type SchemaError struct {
 
 // Error implements error.
 func (e *SchemaError) Error() string {
-	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s; version %d)",
-		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, SchemaV1)
+	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s; version %d)",
+		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecArmStart, RecProgress, RecDrops, SchemaV1)
 }
 
-// Records is a parsed journal, split by record type.
+// Records is a parsed journal, split by record type. The live-only types
+// (arm starts, progress, drops) never appear in journals this package
+// writes, but a capture of the /events stream parses into the same struct.
 type Records struct {
 	Arms       []ArmRecord
 	Intervals  []IntervalRecord
 	TableStats []TableStatsRecord
 	TopK       []TopKRecord
+	ArmStarts  []ArmStartRecord
+	Progress   []ProgressRecord
+	Drops      []DropsRecord
 }
 
 // Len returns the total record count.
 func (r *Records) Len() int {
-	return len(r.Arms) + len(r.Intervals) + len(r.TableStats) + len(r.TopK)
+	return len(r.Arms) + len(r.Intervals) + len(r.TableStats) + len(r.TopK) +
+		len(r.ArmStarts) + len(r.Progress) + len(r.Drops)
+}
+
+// Add appends one decoded record (a DecodeRecord result) to its slice;
+// unrecognized values are ignored. Streaming consumers — journal tailers,
+// /events captures — accumulate with this.
+func (r *Records) Add(rec any) { r.add(rec) }
+
+// add appends one decoded record to its slice.
+func (r *Records) add(rec any) {
+	switch rec := rec.(type) {
+	case *ArmRecord:
+		r.Arms = append(r.Arms, *rec)
+	case *IntervalRecord:
+		r.Intervals = append(r.Intervals, *rec)
+	case *TableStatsRecord:
+		r.TableStats = append(r.TableStats, *rec)
+	case *TopKRecord:
+		r.TopK = append(r.TopK, *rec)
+	case *ArmStartRecord:
+		r.ArmStarts = append(r.ArmStarts, *rec)
+	case *ProgressRecord:
+		r.Progress = append(r.Progress, *rec)
+	case *DropsRecord:
+		r.Drops = append(r.Drops, *rec)
+	}
 }
 
 // recordHead is the envelope every line is peeked through before decoding.
 type recordHead struct {
 	Type string `json:"type"`
 	V    int    `json:"v"`
+}
+
+// DecodeRecord decodes one JSONL record line into its typed record — one of
+// *ArmRecord, *IntervalRecord, *TableStatsRecord, *TopKRecord,
+// *ArmStartRecord, *ProgressRecord or *DropsRecord. A line without a "type"
+// field is an arm record (the pre-telemetry schema). An unknown record type
+// or schema version fails with a *SchemaError (Line 0; batch readers stamp
+// their own line numbers).
+func DecodeRecord(data []byte) (any, error) {
+	var head recordHead
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, err
+	}
+	// Version 0 is only legal on the implicit pre-telemetry arm schema.
+	if head.V != SchemaV1 && !(head.Type == "" && head.V == 0) {
+		return nil, &SchemaError{Type: head.Type, Version: head.V}
+	}
+	var rec any
+	switch head.Type {
+	case "", RecArm:
+		rec = &ArmRecord{}
+	case RecInterval:
+		rec = &IntervalRecord{}
+	case RecTableStats:
+		rec = &TableStatsRecord{}
+	case RecTopK:
+		rec = &TopKRecord{}
+	case RecArmStart:
+		rec = &ArmStartRecord{}
+	case RecProgress:
+		rec = &ProgressRecord{}
+	case RecDrops:
+		rec = &DropsRecord{}
+	default:
+		return nil, &SchemaError{Type: head.Type, Version: head.V}
+	}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // ReadRecords parses a JSONL journal containing any mix of record types.
@@ -238,42 +365,16 @@ func ReadRecords(r io.Reader) (*Records, error) {
 		if len(data) == 0 {
 			continue
 		}
-		var head recordHead
-		if err := json.Unmarshal(data, &head); err != nil {
-			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
-		}
-		// Version 0 is only legal on the implicit pre-telemetry arm schema.
-		if head.V != SchemaV1 && !(head.Type == "" && head.V == 0) {
-			return nil, &SchemaError{Line: line, Type: head.Type, Version: head.V}
-		}
-		var err error
-		switch head.Type {
-		case "", RecArm:
-			var rec ArmRecord
-			if err = json.Unmarshal(data, &rec); err == nil {
-				out.Arms = append(out.Arms, rec)
-			}
-		case RecInterval:
-			var rec IntervalRecord
-			if err = json.Unmarshal(data, &rec); err == nil {
-				out.Intervals = append(out.Intervals, rec)
-			}
-		case RecTableStats:
-			var rec TableStatsRecord
-			if err = json.Unmarshal(data, &rec); err == nil {
-				out.TableStats = append(out.TableStats, rec)
-			}
-		case RecTopK:
-			var rec TopKRecord
-			if err = json.Unmarshal(data, &rec); err == nil {
-				out.TopK = append(out.TopK, rec)
-			}
-		default:
-			return nil, &SchemaError{Line: line, Type: head.Type, Version: head.V}
-		}
+		rec, err := DecodeRecord(data)
 		if err != nil {
+			var se *SchemaError
+			if errors.As(err, &se) {
+				se.Line = line
+				return nil, se
+			}
 			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
 		}
+		out.add(rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("obs: reading journal: %w", err)

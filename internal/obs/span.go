@@ -103,6 +103,7 @@ func (o *Observer) StartArm(kind, key string) *Span {
 	}
 	o.Counter(MArmsStarted).Add(1)
 	o.Gauge(MArmsRunning).Add(1)
+	o.Publish(&ArmStartRecord{Time: time.Now(), Kind: kind, Key: key})
 	return &Span{
 		o:       o,
 		rec:     ArmRecord{Kind: kind, Key: key, Source: SourceComputed},

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"time"
+)
+
+// tailChunk bounds one read of journal growth.
+const tailChunk = 1 << 20
+
+// TailJournal streams a JSONL journal's complete lines to fn, in order.
+// With follow false it reads the file once to EOF and returns nil (a
+// trailing partial line — a writer caught mid-record — is skipped, matching
+// ReadRecords). With follow true it keeps polling for growth every poll
+// interval, reopening from the start when the file shrinks or is replaced
+// (a restarted run), and waiting for the file to appear if it does not
+// exist yet; it returns only when ctx is done (ctx.Err()) or fn errors.
+// fn receives a slice it may retain — each line is freshly allocated.
+func TailJournal(ctx context.Context, path string, poll time.Duration, follow bool, fn func(line []byte) error) error {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	var (
+		f    *os.File
+		off  int64
+		part []byte // carry for a line split across reads
+	)
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	reopen := func() {
+		f.Close()
+		f, off, part = nil, 0, nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if f == nil {
+			var err error
+			f, err = os.Open(path)
+			if err != nil {
+				if !follow {
+					return err
+				}
+				if err := sleepCtx(ctx, poll); err != nil {
+					return err
+				}
+				continue
+			}
+			off, part = 0, nil
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			if !follow {
+				return err
+			}
+			reopen()
+			continue
+		}
+		if fi.Size() < off {
+			// Truncated (or replaced by a smaller file): start over.
+			reopen()
+			continue
+		}
+		if fi.Size() == off {
+			if !follow {
+				return nil
+			}
+			// Same size could still be a replaced file (new run, same
+			// length so far): compare identity with what's at path now.
+			if cur, serr := os.Stat(path); serr == nil && !os.SameFile(fi, cur) {
+				reopen()
+				continue
+			}
+			if err := sleepCtx(ctx, poll); err != nil {
+				return err
+			}
+			continue
+		}
+		n := fi.Size() - off
+		if n > tailChunk {
+			n = tailChunk
+		}
+		chunk := make([]byte, n)
+		rn, rerr := f.ReadAt(chunk, off)
+		if rn > 0 {
+			off += int64(rn)
+			data := append(part, chunk[:rn]...)
+			for {
+				i := bytes.IndexByte(data, '\n')
+				if i < 0 {
+					break
+				}
+				line := data[:i:i]
+				data = data[i+1:]
+				if len(bytes.TrimSpace(line)) == 0 {
+					continue
+				}
+				if err := fn(line); err != nil {
+					return err
+				}
+			}
+			part = append([]byte(nil), data...)
+		}
+		if rerr != nil && !follow {
+			return nil // EOF race with a writer: non-follow mode is done
+		}
+	}
+}
+
+// sleepCtx waits for d or ctx, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

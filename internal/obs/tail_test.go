@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTailJournalBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := "{\"a\":1}\n\n{\"a\":2}\n{\"a\":3}" // blank line + partial tail
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err := TailJournal(context.Background(), path, 0, false, func(line []byte) error {
+		got = append(got, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("TailJournal: %v", err)
+	}
+	// Complete lines only: the unterminated {"a":3} is a writer mid-record.
+	if len(got) != 2 || got[0] != `{"a":1}` || got[1] != `{"a":2}` {
+		t.Fatalf("lines = %q", got)
+	}
+
+	if err := TailJournal(context.Background(), filepath.Join(t.TempDir(), "missing"), 0, false, nil); err == nil {
+		t.Fatal("missing file accepted in batch mode")
+	}
+}
+
+func TestTailJournalFnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Errorf("stop")
+	err := TailJournal(context.Background(), path, 0, false, func([]byte) error { return want })
+	if err != want {
+		t.Fatalf("err = %v, want fn error", err)
+	}
+}
+
+func TestTailJournalFollowSeesAppendsAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	// The file does not exist yet: follow mode must wait for it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	var got []string
+	done := make(chan error, 1)
+	go func() {
+		done <- TailJournal(ctx, path, 5*time.Millisecond, true, func(line []byte) error {
+			mu.Lock()
+			got = append(got, string(line))
+			mu.Unlock()
+			return nil
+		})
+	}()
+
+	wantLines := func(want ...string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			ok := len(got) == len(want)
+			if ok {
+				for i := range want {
+					if got[i] != want[i] {
+						mu.Unlock()
+						t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+					}
+				}
+			}
+			mu.Unlock()
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				mu.Lock()
+				defer mu.Unlock()
+				t.Fatalf("lines = %q, want %q", got, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	append1 := func(s string) {
+		t.Helper()
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	append1("{\"seq\":1}\n")
+	wantLines(`{"seq":1}`)
+	// A line split across two appends is delivered once, whole.
+	append1(`{"se`)
+	append1("q\":2}\n{\"seq\":3}\n")
+	wantLines(`{"seq":1}`, `{"seq":2}`, `{"seq":3}`)
+
+	// Truncation (a restarted run) makes the tailer start over.
+	if err := os.WriteFile(path, []byte("{\"seq\":4}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantLines(`{"seq":1}`, `{"seq":2}`, `{"seq":3}`, `{"seq":4}`)
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("follow returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow did not stop on cancel")
+	}
+}

@@ -248,6 +248,11 @@ func (c *Collector) seal() {
 	}
 	c.intervals = append(c.intervals, rec)
 	c.o.Counter(obs.MTelemetryIntervals).Add(1)
+	// Live tap: mirror a copy to the event bus now, at seal time. The
+	// buffered copy above still flows through the journal at Finish, so
+	// journal bytes are identical with or without live subscribers.
+	live := rec
+	c.o.Publish(&live)
 
 	if c.in != nil {
 		tables := c.in.Introspect()
@@ -268,6 +273,8 @@ func (c *Collector) seal() {
 		}
 		c.tableStats = append(c.tableStats, ts)
 		c.o.Counter(obs.MTelemetryTableSamples).Add(1)
+		liveTS := ts
+		c.o.Publish(&liveTS)
 	}
 
 	c.pInstr, c.pBranches, c.pTaken = c.instr, c.branches, c.taken
@@ -351,6 +358,8 @@ func (c *Collector) buildTopK() {
 	rec.TopMispredicted = c.branchCounts(c.topMisp)
 	c.topk = append(c.topk, rec)
 	c.o.Emit(&c.topk[0])
+	liveTop := rec
+	c.o.Publish(&liveTop)
 	c.o.Counter(obs.MTelemetryTopK).Add(1)
 	c.o.Gauge(obs.MTelemetrySites).Set(int64(len(c.sites)))
 	c.o.Counter(obs.MTelemetrySitesDropped).Add(c.sitesDropped)
