@@ -215,7 +215,7 @@ func BenchmarkSweepDirect(b *testing.B) {
 	b.ReportMetric(float64(branches), "branches/arm")
 }
 
-func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config) {
+func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config, eopts ...replay.Option) {
 	prog, err := workload.Get(sweepWorkload)
 	if err != nil {
 		b.Fatal(err)
@@ -233,7 +233,7 @@ func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config) {
 	for i := 0; i < b.N; i++ {
 		// A fresh engine per iteration so every iteration pays for its own
 		// capture — the steady-state cached case would measure nothing.
-		e := replay.New(0, 0, "")
+		e := replay.New(0, 0, "", eopts...)
 		e.SetObserver(sink)
 		for _, res := range e.Sweep(ctx, prog, workload.InputTrain, arms) {
 			if res.Err != nil {
@@ -247,6 +247,15 @@ func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config) {
 }
 
 func BenchmarkSweepReplay(b *testing.B) { benchSweepReplay(b, nil, telemetry.Config{}) }
+
+// BenchmarkSweepReplayNoVerify is BenchmarkSweepReplay with chunk checksum
+// verification disabled, the -verify-chunks=false configuration. The delta
+// against BenchmarkSweepReplay is the price of CRC32C-checking every chunk
+// before each of the five replays (capture-side checksumming happens in
+// both). Recorded in BENCH_durability.json.
+func BenchmarkSweepReplayNoVerify(b *testing.B) {
+	benchSweepReplay(b, nil, telemetry.Config{}, replay.WithVerify(false))
+}
 
 // BenchmarkSweepReplayObserved is BenchmarkSweepReplay with a live observer
 // attached to the engine and every runner. Comparing the two bounds the

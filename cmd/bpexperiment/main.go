@@ -39,6 +39,13 @@
 // their own frames.
 //
 //	bpexperiment -run all -serve 127.0.0.1:8080 -interval 100000 -topk 16
+//
+// Storage is durable by default: captured trace chunks carry CRC32C
+// checksums that are verified before every replay (-verify-chunks=false
+// turns this off for benchmarking), corrupt chunks are quarantined and the
+// capture retried (-quarantine-dir preserves the evidence), and checkpoint
+// records are fsynced through atomic renames so a crash never leaves a
+// torn record behind.
 package main
 
 import (
@@ -77,6 +84,8 @@ type options struct {
 	noReplay      bool
 	replayMemMB   int
 	replaySpill   string
+	verifyChunks  bool
+	quarantineDir string
 	journalPath   string
 	metricsAddr   string
 	serveAddr     string
@@ -105,6 +114,8 @@ func main() {
 	flag.BoolVar(&opt.noReplay, "no-replay", false, "execute the workload for every arm instead of capturing its branch stream once and replaying it")
 	flag.IntVar(&opt.replayMemMB, "replay-mem", 512, "in-memory budget for captured traces, in MiB; beyond it chunks spill to disk (0 = unlimited)")
 	flag.StringVar(&opt.replaySpill, "replay-spill", "", "directory for spilled trace chunks (default: the system temp directory)")
+	flag.BoolVar(&opt.verifyChunks, "verify-chunks", true, "CRC32C-verify every captured trace chunk before replaying it; corrupt chunks are quarantined and the capture retried")
+	flag.StringVar(&opt.quarantineDir, "quarantine-dir", "", "preserve corrupt trace chunks and spill files in this directory for post-mortem (default: discard them)")
 	flag.StringVar(&opt.journalPath, "journal", "", "write one JSONL record per simulated arm to this file")
 	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
 	flag.StringVar(&opt.serveAddr, "serve", "", "serve the live dashboard at / plus /metrics (Prometheus), /events (SSE), /debug/vars and /debug/pprof on this address while the sweep runs")
@@ -188,7 +199,16 @@ func run(ctx context.Context, opt options) error {
 		hopts = append(hopts, experiment.WithLogger(os.Stderr))
 	}
 	if !opt.noReplay {
-		eng := replay.New(opt.workers, int64(opt.replayMemMB)<<20, opt.replaySpill)
+		ropts := []replay.Option{
+			replay.WithVerify(opt.verifyChunks),
+			replay.WithLogf(func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "bpexperiment: "+format+"\n", args...)
+			}),
+		}
+		if opt.quarantineDir != "" {
+			ropts = append(ropts, replay.WithQuarantine(opt.quarantineDir))
+		}
+		eng := replay.New(opt.workers, int64(opt.replayMemMB)<<20, opt.replaySpill, ropts...)
 		defer eng.Close()
 		hopts = append(hopts, experiment.WithReplay(eng))
 	}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"branchsim/internal/fsx"
 	"branchsim/internal/profile"
 	"branchsim/internal/sim"
 )
@@ -21,11 +22,13 @@ import (
 //	dir/runs/<sha256(key)>.json     {"key": ..., "metrics": {...}}
 //	dir/profiles/<sha256(key)>.json {"key": ..., "profile": {...}}
 //
-// Every record is written to a temporary file in the same directory and
-// renamed into place, so a crash mid-write never leaves a partial record. A
-// record that is nevertheless unreadable — truncated by the filesystem,
-// corrupted, or written for a different key — is treated as absent and the
-// arm recomputes; resumption degrades, it never wedges.
+// Every record is written to a temporary file in the same directory —
+// fsynced before the atomic rename, with the parent directory fsynced after
+// it — so a crash or power loss mid-write never leaves a partial record and
+// a completed record survives the machine dying. A record that is
+// nevertheless unreadable — truncated by the filesystem, corrupted, or
+// written for a different key — is treated as absent and the arm
+// recomputes; resumption degrades, it never wedges.
 //
 // Hint sets are deliberately not checkpointed: they are derived from
 // profiles by a cheap selection pass, so persisting them would buy nothing.
@@ -34,17 +37,25 @@ import (
 // cross-process locking; give concurrent sweeps separate directories.
 type Checkpoint struct {
 	dir string
+	fs  fsx.FS
 	mu  sync.Mutex // serializes writers of the same key
 }
 
 // OpenCheckpoint opens (creating if needed) a checkpoint directory.
 func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	return OpenCheckpointFS(dir, fsx.OS)
+}
+
+// OpenCheckpointFS is OpenCheckpoint over an explicit filesystem — the seam
+// the disk-fault and crash-recovery tests inject through. Production code
+// uses OpenCheckpoint.
+func OpenCheckpointFS(dir string, fs fsx.FS) (*Checkpoint, error) {
 	for _, sub := range []string{"runs", "profiles"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fs.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("experiment: checkpoint: %w", err)
 		}
 	}
-	return &Checkpoint{dir: dir}, nil
+	return &Checkpoint{dir: dir, fs: fs}, nil
 }
 
 // Dir returns the checkpoint directory.
@@ -73,7 +84,7 @@ type profileRecord struct {
 
 // LookupRun returns the journaled metrics for key, if present and readable.
 func (c *Checkpoint) LookupRun(key string) (sim.Metrics, bool) {
-	data, err := os.ReadFile(c.path("runs", key))
+	data, err := c.fs.ReadFile(c.path("runs", key))
 	if err != nil {
 		return sim.Metrics{}, false
 	}
@@ -96,7 +107,7 @@ func (c *Checkpoint) SaveRun(key string, m sim.Metrics) error {
 // LookupProfile returns the journaled profile for key, if present, readable
 // and internally consistent.
 func (c *Checkpoint) LookupProfile(key string) (*profile.DB, bool) {
-	data, err := os.ReadFile(c.path("profiles", key))
+	data, err := c.fs.ReadFile(c.path("profiles", key))
 	if err != nil {
 		return nil, false
 	}
@@ -144,24 +155,34 @@ func (c *Checkpoint) count(sub string) int {
 	return n
 }
 
-// writeAtomic writes data to path via a same-directory temp file and rename,
-// so readers never observe a partial record.
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, so readers never observe a partial record — and fsyncs the temp
+// file before the rename and the parent directory after it, so the renamed
+// record (not just its bytes, its directory entry too) survives power loss.
 func (c *Checkpoint) writeAtomic(path string, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	dir := filepath.Dir(path)
+	tmp, err := c.fs.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer c.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := c.fs.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := c.fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("experiment: checkpoint: %w", err)
 	}
 	return nil

@@ -33,6 +33,16 @@ const (
 	// KindCorrupt silently corrupts data: a Program flips the branch
 	// outcome, a Writer flips the first byte of the write.
 	KindCorrupt
+	// KindShortWrite persists only a prefix of a write and reports
+	// io.ErrShortWrite — a torn write whose caller gets told (FS only).
+	KindShortWrite
+	// KindENOSPC fails the operation with syscall.ENOSPC, the disk-full
+	// model for graceful-degradation tests (FS only).
+	KindENOSPC
+	// KindCrash persists a torn prefix of the in-flight write and then
+	// freezes the filesystem: every later operation returns ErrCrashed,
+	// modelling the process dying at that write boundary (FS only).
+	KindCrash
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +56,12 @@ func (k Kind) String() string {
 		return "delay"
 	case KindCorrupt:
 		return "corrupt"
+	case KindShortWrite:
+		return "short-write"
+	case KindENOSPC:
+		return "enospc"
+	case KindCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -1,0 +1,292 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"branchsim/internal/fsx"
+)
+
+// ErrCrashed is returned by every operation of a crashed FS: once a
+// KindCrash fault fires, the filesystem freezes, modelling the process
+// dying at that write boundary. Whatever bytes reached the inner
+// filesystem before the crash stay there — exactly the torn state a real
+// crash leaves — and recovery code is exercised by reopening the same
+// directory with a fresh, healthy filesystem.
+var ErrCrashed = errors.New("faults: filesystem crashed")
+
+// FS wraps an fsx.FS with the plan's faults applied at every mutating
+// operation: file writes and syncs, creates, renames, removals, directory
+// syncs and whole-file writes. Reads are not counted — they are not write
+// boundaries — but they too freeze after a crash.
+//
+// Fault semantics on this surface:
+//
+//   - KindCrash: a file write persists only a prefix (a torn write), any
+//     other operation does not happen at all; then the FS freezes and every
+//     subsequent operation returns ErrCrashed. OnCrash runs once, so a
+//     pipeline under test can cancel itself the way a dying process would.
+//   - KindShortWrite: a file or whole-file write persists a prefix and
+//     returns io.ErrShortWrite; the FS stays alive.
+//   - KindENOSPC: the operation fails with syscall.ENOSPC (wrapped in an
+//     *os.PathError, as the kernel would) without touching the disk.
+//   - KindError, KindPanic, KindDelay, KindCorrupt: as for the other
+//     wrappers — return Err, panic with Msg, stall, flip the first byte.
+//
+// The plan's operation counter is the write-boundary count the crash
+// matrix iterates over: a run with a plain counting plan discovers how
+// many boundaries a pipeline has, then one run per boundary crashes at
+// each. Use Plan.Ops for the count.
+type FS struct {
+	Inner fsx.FS
+	Plan  *Plan
+	// OnCrash, when set, runs exactly once, at the moment a KindCrash
+	// fault fires.
+	OnCrash func()
+
+	mu      sync.Mutex
+	crashed bool
+}
+
+var _ fsx.FS = (*FS)(nil)
+
+// Crashed reports whether a KindCrash fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// crash freezes the filesystem and runs OnCrash once.
+func (f *FS) crash() {
+	f.mu.Lock()
+	first := !f.crashed
+	f.crashed = true
+	f.mu.Unlock()
+	if first && f.OnCrash != nil {
+		f.OnCrash()
+	}
+}
+
+// gate ticks the plan for one mutating operation. It returns the fault
+// scheduled for it (nil for none) or the frozen filesystem's error.
+func (f *FS) gate() (*Fault, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.Plan.tick(), nil
+}
+
+// enospc returns the fault's error, defaulting to ENOSPC dressed the way
+// the os package would report it.
+func enospc(fault *Fault, op string) error {
+	if fault.Err != nil {
+		return fault.Err
+	}
+	return &os.PathError{Op: op, Path: "faults", Err: syscall.ENOSPC}
+}
+
+// mutate handles the common non-write mutating operations: fire the fault
+// (if any) and report whether the inner operation should proceed.
+func (f *FS) mutate(op string) error {
+	fault, err := f.gate()
+	if err != nil {
+		return err
+	}
+	if fault == nil {
+		return nil
+	}
+	switch fault.Kind {
+	case KindCrash:
+		f.crash()
+		return ErrCrashed
+	case KindShortWrite:
+		return io.ErrShortWrite
+	case KindENOSPC:
+		return enospc(fault, op)
+	case KindError:
+		return fault.Err
+	case KindPanic:
+		panic(fault.Msg)
+	case KindDelay:
+		time.Sleep(fault.Delay)
+	}
+	return nil
+}
+
+// Create implements fsx.FS.
+func (f *FS) Create(name string) (fsx.File, error) {
+	if err := f.mutate("create"); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: inner, fs: f}, nil
+}
+
+// CreateTemp implements fsx.FS.
+func (f *FS) CreateTemp(dir, pattern string) (fsx.File, error) {
+	if err := f.mutate("createtemp"); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: inner, fs: f}, nil
+}
+
+// ReadFile implements fsx.FS. Reads are not write boundaries, so they do
+// not tick the plan; they only freeze after a crash.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.Inner.ReadFile(name)
+}
+
+// WriteFile implements fsx.FS.
+func (f *FS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	fault, err := f.gate()
+	if err != nil {
+		return err
+	}
+	if fault != nil {
+		switch fault.Kind {
+		case KindCrash:
+			f.Inner.WriteFile(name, data[:len(data)/2], perm) // torn write lands
+			f.crash()
+			return ErrCrashed
+		case KindShortWrite:
+			if err := f.Inner.WriteFile(name, data[:len(data)/2], perm); err != nil {
+				return err
+			}
+			return io.ErrShortWrite
+		case KindENOSPC:
+			return enospc(fault, "write")
+		case KindError:
+			return fault.Err
+		case KindPanic:
+			panic(fault.Msg)
+		case KindDelay:
+			time.Sleep(fault.Delay)
+		case KindCorrupt:
+			if len(data) > 0 {
+				q := append([]byte(nil), data...)
+				q[0] ^= 0xff
+				data = q
+			}
+		}
+	}
+	return f.Inner.WriteFile(name, data, perm)
+}
+
+// Rename implements fsx.FS. A crash fires before the rename, so the new
+// name never appears — the boundary a recovery path must treat as "record
+// absent".
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.mutate("rename"); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+// Remove implements fsx.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.mutate("remove"); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+// MkdirAll implements fsx.FS.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.mutate("mkdir"); err != nil {
+		return err
+	}
+	return f.Inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements fsx.FS.
+func (f *FS) SyncDir(path string) error {
+	if err := f.mutate("fsync"); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(path)
+}
+
+// file wraps an open file, routing writes and syncs through the plan.
+type file struct {
+	fsx.File
+	fs *FS
+}
+
+// Write implements fsx.File.
+func (w *file) Write(p []byte) (int, error) {
+	fault, err := w.fs.gate()
+	if err != nil {
+		return 0, err
+	}
+	if fault != nil {
+		switch fault.Kind {
+		case KindCrash:
+			n, _ := w.File.Write(p[:len(p)/2]) // torn write lands
+			w.fs.crash()
+			return n, ErrCrashed
+		case KindShortWrite:
+			n, err := w.File.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, io.ErrShortWrite
+		case KindENOSPC:
+			return 0, enospc(fault, "write")
+		case KindError:
+			return 0, fault.Err
+		case KindPanic:
+			panic(fault.Msg)
+		case KindDelay:
+			time.Sleep(fault.Delay)
+		case KindCorrupt:
+			if len(p) > 0 {
+				q := append([]byte(nil), p...)
+				q[0] ^= 0xff
+				p = q
+			}
+		}
+	}
+	return w.File.Write(p)
+}
+
+// ReadAt implements fsx.File; reads freeze after a crash but do not tick.
+func (w *file) ReadAt(p []byte, off int64) (int, error) {
+	if w.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return w.File.ReadAt(p, off)
+}
+
+// Sync implements fsx.File. A crash fires before the sync, leaving the
+// file's buffered bytes non-durable — the boundary fsync exists to close.
+func (w *file) Sync() error {
+	if err := w.fs.mutate("fsync"); err != nil {
+		return err
+	}
+	return w.File.Sync()
+}
+
+// Close implements fsx.File. The inner file is always closed (tests must
+// not leak descriptors), but a crashed filesystem still reports ErrCrashed.
+func (w *file) Close() error {
+	err := w.File.Close()
+	if w.fs.Crashed() {
+		return ErrCrashed
+	}
+	return err
+}

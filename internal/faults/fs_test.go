@@ -1,0 +1,156 @@
+package faults_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"branchsim/internal/faults"
+	"branchsim/internal/fsx"
+)
+
+func TestFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faults.FS{Inner: fsx.OS, Plan: faults.NewPlan(faults.Fault{
+		At: 2, Kind: faults.KindShortWrite, // op 1 is Create
+	})}
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n != 5 {
+		t.Errorf("short write persisted %d bytes, want 5", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Errorf("file holds %q, want the torn prefix %q", got, "01234")
+	}
+}
+
+func TestFSENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faults.FS{Inner: fsx.OS, Plan: faults.NewPlan(faults.Fault{
+		At: 1, Kind: faults.KindENOSPC,
+	})}
+	err := fs.WriteFile(filepath.Join(dir, "x"), []byte("data"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "x")); !os.IsNotExist(err) {
+		t.Error("ENOSPC fault still created the file")
+	}
+	// The filesystem stays alive after ENOSPC.
+	if err := fs.WriteFile(filepath.Join(dir, "y"), []byte("data"), 0o644); err != nil {
+		t.Fatalf("write after ENOSPC: %v", err)
+	}
+}
+
+func TestFSCrashFreezes(t *testing.T) {
+	dir := t.TempDir()
+	var crashes int
+	fs := &faults.FS{
+		Inner:   fsx.OS,
+		Plan:    faults.NewPlan(faults.Fault{At: 2, Kind: faults.KindCrash}),
+		OnCrash: func() { crashes++ },
+	}
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, faults.ErrCrashed) {
+		t.Fatalf("crashing write: err = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("FS not marked crashed")
+	}
+	if crashes != 1 {
+		t.Fatalf("OnCrash ran %d times, want 1", crashes)
+	}
+
+	// Every operation after the crash freezes.
+	if _, err := fs.Create(filepath.Join(dir, "y")); !errors.Is(err, faults.ErrCrashed) {
+		t.Errorf("Create after crash: %v, want ErrCrashed", err)
+	}
+	if _, err := fs.ReadFile(filepath.Join(dir, "x")); !errors.Is(err, faults.ErrCrashed) {
+		t.Errorf("ReadFile after crash: %v, want ErrCrashed", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "z")); !errors.Is(err, faults.ErrCrashed) {
+		t.Errorf("Rename after crash: %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, faults.ErrCrashed) {
+		t.Errorf("Sync after crash: %v, want ErrCrashed", err)
+	}
+	f.Close()
+
+	// The torn prefix is on disk — what a real crash leaves behind.
+	got, err := os.ReadFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Errorf("file holds %q, want the torn prefix %q", got, "01234")
+	}
+}
+
+// TestFSCrashBeforeRename proves a crash scheduled on a rename leaves the
+// destination absent: the atomic-rename recovery model (record missing →
+// recompute) is what the checkpoint relies on.
+func TestFSCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tmp"), []byte("record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := &faults.FS{Inner: fsx.OS, Plan: faults.NewPlan(faults.Fault{
+		At: 1, Kind: faults.KindCrash,
+	})}
+	err := fs.Rename(filepath.Join(dir, "tmp"), filepath.Join(dir, "final"))
+	if !errors.Is(err, faults.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "final")); !os.IsNotExist(err) {
+		t.Error("crashed rename still produced the destination")
+	}
+}
+
+// TestFSCountsWriteBoundaries pins which operations tick the plan — the
+// contract the crash matrix's boundary discovery depends on.
+func TestFSCountsWriteBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	plan := faults.NewPlan()
+	fs := &faults.FS{Inner: fsx.OS, Plan: plan}
+
+	f, err := fs.Create(filepath.Join(dir, "x")) // 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil { // 2
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // 3
+		t.Fatal(err)
+	}
+	f.Close() // not a boundary
+	if _, err := fs.ReadFile(filepath.Join(dir, "x")); err != nil {
+		t.Fatal(err) // reads don't tick
+	}
+	if err := fs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); err != nil { // 4
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil { // 5
+		t.Fatal(err)
+	}
+	if got := plan.Ops(); got != 5 {
+		t.Errorf("plan counted %d write boundaries, want 5", got)
+	}
+}

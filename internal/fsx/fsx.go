@@ -1,0 +1,97 @@
+// Package fsx is the pipeline's filesystem seam: a minimal os-shaped
+// interface over exactly the operations the durable artifacts need —
+// checkpoint records, run journals, trace spill files and quarantined
+// chunks. Production code uses OS, the passthrough implementation; the
+// faults package wraps any FS with deterministic disk-failure schedules
+// (short writes, bit flips, ENOSPC, crash-at-Nth-write), which is how the
+// crash-recovery kill matrix drives every write boundary of the pipeline
+// without touching a real disk's failure modes.
+//
+// The interface is deliberately small. It is not an abstract filesystem
+// (no directory iteration, no stat, no permissions model); anything a
+// durability test does not need to perturb keeps calling the os package
+// directly.
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the os.File surface the durable writers use. Write appends,
+// ReadAt serves replay cursors, Sync is the durability barrier.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// FS creates, renames and removes the files behind durable artifacts.
+// Implementations must be safe for concurrent use, like the os package.
+type FS interface {
+	// Create creates or truncates the named file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir, os.CreateTemp-style.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the named file whole.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to the named file, creating it if necessary.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making preceding renames and
+	// creates in it durable across power loss.
+	SyncDir(path string) error
+}
+
+// OS is the passthrough FS backed by the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(path string) error { return SyncDir(path) }
+
+// SyncDir fsyncs a directory through the real filesystem: after a rename
+// into dir, SyncDir(dir) makes the new directory entry durable. Filesystems
+// that cannot sync directories (some network mounts decline with EINVAL or
+// ENOTSUP) make it a no-op — the rename is still atomic, just not yet
+// durable, which matches the best the platform offers.
+func SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
+}

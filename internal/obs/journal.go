@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"branchsim/internal/fsx"
 )
 
 // Journal writes the run journal: one ArmRecord per line, JSON-encoded
@@ -26,7 +28,13 @@ func NewJournal(w io.Writer) *Journal {
 
 // OpenJournal creates (or truncates) a journal file at path.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.Create(path)
+	return OpenJournalFS(fsx.OS, path)
+}
+
+// OpenJournalFS is OpenJournal over an explicit filesystem — the seam the
+// disk-fault tests inject through. Production code uses OpenJournal.
+func OpenJournalFS(fs fsx.FS, path string) (*Journal, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: opening journal: %w", err)
 	}

@@ -29,6 +29,12 @@ const (
 	MReplayChunksSpilled = "replay.chunks_spilled"
 	// MReplayChunksReplayed counts chunk decodes performed by replaying arms.
 	MReplayChunksReplayed = "replay.chunks_replayed"
+	// MReplayChunksQuarantined counts chunks that failed checksum
+	// verification and were quarantined aside instead of replayed.
+	MReplayChunksQuarantined = "replay.chunks_quarantined"
+	// MReplaySpillErrors counts spill-file write failures (ENOSPC, I/O
+	// errors) that downgraded a capture to keeping chunks in memory.
+	MReplaySpillErrors = "replay.spill_errors"
 	// MReplayMemBytes (gauge) is the engine's current in-memory encoded
 	// trace occupancy, in bytes.
 	MReplayMemBytes = "replay.mem_bytes"
@@ -133,6 +139,8 @@ var registeredNames = []RegisteredName{
 	{MReplayChunksCaptured, KindCounter},
 	{MReplayChunksSpilled, KindCounter},
 	{MReplayChunksReplayed, KindCounter},
+	{MReplayChunksQuarantined, KindCounter},
+	{MReplaySpillErrors, KindCounter},
 	{MReplayMemBytes, KindGauge},
 	{MReplayPoolWaiting, KindGauge},
 	{MArmsStarted, KindCounter},

@@ -353,33 +353,43 @@ func DecodeRecord(data []byte) (any, error) {
 // Lines without a "type" field are arm records (the pre-telemetry schema).
 // Blank lines are skipped; a malformed line, an unknown record type, or an
 // unsupported schema version fails the whole read with its line number — a
-// journal that doesn't parse is a bug, not a degradation.
+// journal that doesn't parse is a bug, not a degradation. The one
+// exception is a torn tail: an undecodable final line with no trailing
+// newline is what a crashed writer leaves mid-record, so it is skipped and
+// every complete record before it is returned — crash recovery must not
+// wedge on the crash's own debris.
 func ReadRecords(r io.Reader) (*Records, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // profiles can make fat records
+	br := bufio.NewReaderSize(r, 64<<10)
 	out := &Records{}
 	line := 0
-	for sc.Scan() {
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, fmt.Errorf("obs: reading journal: %w", rerr)
+		}
 		line++
-		data := bytes.TrimSpace(sc.Bytes())
-		if len(data) == 0 {
-			continue
-		}
-		rec, err := DecodeRecord(data)
-		if err != nil {
-			var se *SchemaError
-			if errors.As(err, &se) {
-				se.Line = line
-				return nil, se
+		torn := rerr == io.EOF && len(raw) > 0 // final line, no newline
+		data := bytes.TrimSpace(raw)
+		if len(data) > 0 {
+			rec, err := DecodeRecord(data)
+			switch {
+			case err == nil:
+				out.add(rec)
+			case torn:
+				// Truncated by a crash mid-append: drop it.
+			default:
+				var se *SchemaError
+				if errors.As(err, &se) {
+					se.Line = line
+					return nil, se
+				}
+				return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
 			}
-			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
 		}
-		out.add(rec)
+		if rerr == io.EOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: reading journal: %w", err)
-	}
-	return out, nil
 }
 
 // ReadRecordsFile is ReadRecords over a file.

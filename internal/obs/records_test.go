@@ -160,3 +160,47 @@ func TestObserverEmit(t *testing.T) {
 	}
 	New().Emit(&IntervalRecord{})
 }
+
+// TestReadRecordsTornTail pins crash tolerance: a final line truncated
+// mid-record by a killed writer (no trailing newline) is skipped, every
+// complete record before it is returned, and the tolerance does NOT extend
+// to malformed lines that are complete — those still fail the read.
+func TestReadRecordsTornTail(t *testing.T) {
+	whole := `{"type":"arm","v":1,"kind":"run","key":"k1","source":"computed","time":"2026-08-05T00:00:00Z","wall_ns":1}` + "\n"
+
+	// Truncate a second record at every byte short of its newline: each
+	// torn journal must read back exactly the one complete record.
+	second := `{"type":"arm","v":1,"kind":"run","key":"k2","source":"computed","time":"2026-08-05T00:00:00Z","wall_ns":2}`
+	for cut := 1; cut < len(second); cut++ {
+		recs, err := ReadRecords(strings.NewReader(whole + second[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs.Arms) != 1 || recs.Arms[0].Key != "k1" {
+			t.Fatalf("cut %d: got %d arms, want the 1 complete record", cut, len(recs.Arms))
+		}
+	}
+
+	// The full second line (with newline) reads back both.
+	recs, err := ReadRecords(strings.NewReader(whole + second + "\n"))
+	if err != nil || len(recs.Arms) != 2 {
+		t.Fatalf("whole journal: %d arms, err %v", len(recs.Arms), err)
+	}
+
+	// A torn line that is the ONLY line still yields an empty, valid read.
+	recs, err = ReadRecords(strings.NewReader(second[:20]))
+	if err != nil || recs.Len() != 0 {
+		t.Fatalf("only-torn journal: len %d, err %v", recs.Len(), err)
+	}
+
+	// A malformed line terminated by a newline is corruption, not a torn
+	// tail — it still fails with its line number.
+	if _, err := ReadRecords(strings.NewReader(whole + "not json\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("complete malformed line: err = %v, want line-2 failure", err)
+	}
+	// Even mid-file: a torn-looking fragment followed by more records means
+	// real corruption, and must not be silently skipped.
+	if _, err := ReadRecords(strings.NewReader(second[:20] + "\n" + whole)); err == nil {
+		t.Fatal("mid-file truncated line skipped silently")
+	}
+}

@@ -109,8 +109,18 @@ func TailJournal(ctx context.Context, path string, poll time.Duration, follow bo
 			}
 			part = append([]byte(nil), data...)
 		}
-		if rerr != nil && !follow {
-			return nil // EOF race with a writer: non-follow mode is done
+		if rerr != nil {
+			if !follow {
+				return nil // EOF race with a writer: non-follow mode is done
+			}
+			if rn == 0 {
+				// A read that returned nothing (an I/O hiccup, a file
+				// swapped mid-read): back off one poll instead of
+				// busy-spinning, then let Stat decide whether to reopen.
+				if err := sleepCtx(ctx, poll); err != nil {
+					return err
+				}
+			}
 		}
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"branchsim/internal/fsx"
 )
 
 // fileFormat is the on-disk JSON shape. Branches are stored as a PC-sorted
@@ -66,9 +68,10 @@ func Load(r io.Reader) (*DB, error) {
 	return d, nil
 }
 
-// SaveFile writes the database to path atomically: the JSON is written to a
-// temporary file in the same directory and renamed into place, so a crash
-// mid-write (or a concurrent reader) never observes a truncated database.
+// SaveFile writes the database to path atomically and durably: the JSON is
+// written to a temporary file in the same directory, fsynced, renamed into
+// place, and the directory entry fsynced — so neither a crash mid-write nor
+// power loss right after the rename loses or truncates the database.
 func (d *DB) SaveFile(path string) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
@@ -82,10 +85,17 @@ func (d *DB) SaveFile(path string) error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("profile: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	if err := fsx.SyncDir(dir); err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
 	return nil

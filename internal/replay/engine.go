@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"branchsim/internal/fsx"
 	"branchsim/internal/obs"
 	"branchsim/internal/trace"
 	"branchsim/internal/workload"
@@ -25,42 +26,93 @@ type Engine struct {
 	budget   int64
 	spillDir string
 
-	sem chan struct{}
-	mem atomic.Int64
+	// Durability policy (see the Option constructors).
+	fs      fsx.FS
+	verify  bool
+	quarDir string
+	logf    func(format string, args ...any)
+
+	sem     chan struct{}
+	mem     atomic.Int64
+	quarSeq atomic.Uint64 // names quarantined chunk files uniquely
 
 	// Observability handles (nil when unobserved; all are nil-safe no-ops
 	// then). Set once via SetObserver before the engine is used.
-	obsCaptures       *obs.Counter
-	obsReplays        *obs.Counter
-	obsChunksCaptured *obs.Counter
-	obsChunksSpilled  *obs.Counter
-	obsChunksReplayed *obs.Counter
-	obsMem            *obs.Gauge
-	obsWaiting        *obs.Gauge
+	obsCaptures          *obs.Counter
+	obsReplays           *obs.Counter
+	obsChunksCaptured    *obs.Counter
+	obsChunksSpilled     *obs.Counter
+	obsChunksReplayed    *obs.Counter
+	obsChunksQuarantined *obs.Counter
+	obsSpillErrors       *obs.Counter
+	obsMem               *obs.Gauge
+	obsWaiting           *obs.Gauge
 
 	mu     sync.Mutex
 	traces map[string]*Trace
 	closed bool
 }
 
+// Option adjusts an Engine's durability policy at construction.
+type Option func(*Engine)
+
+// WithVerify toggles checksum verification of chunks on replay (the
+// default is on). Verification catches spill-file corruption — a flipped
+// bit, a torn write — before a single poisoned event reaches an arm; the
+// corrupt chunk is quarantined and the stream transparently recaptured.
+// Turning it off trades that safety for the (small) CRC cost per replayed
+// chunk; the durability benchmark measures the difference.
+func WithVerify(on bool) Option { return func(e *Engine) { e.verify = on } }
+
+// WithQuarantine sets the directory corrupt chunks are preserved in for
+// forensics: the offending chunk's bytes are written there as a standalone
+// framed trace file, and a corrupt spill file is renamed there instead of
+// deleted. An empty dir (the default) still detects, drops and recaptures
+// corrupt chunks — it just keeps no evidence.
+func WithQuarantine(dir string) Option { return func(e *Engine) { e.quarDir = dir } }
+
+// WithFS substitutes the filesystem behind spill and quarantine files —
+// the seam the disk-fault tests inject through. The default is fsx.OS.
+func WithFS(fs fsx.FS) Option { return func(e *Engine) { e.fs = fs } }
+
+// WithLogf sets the sink for the engine's rare, operator-facing events:
+// spill downgrades and chunk quarantines. The default discards them.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(e *Engine) { e.logf = logf }
+}
+
 // New returns an engine. workers bounds concurrent replay decodes (<= 0
 // means GOMAXPROCS); memBudget bounds the total bytes of encoded trace
 // held in memory across all captures, beyond which chunks spill to disk
 // (<= 0 means unlimited, nothing spills); spillDir is where spill files go
-// ("" means the system temp directory).
-func New(workers int, memBudget int64, spillDir string) *Engine {
+// ("" means the system temp directory). Chunk checksum verification is on
+// unless WithVerify(false) says otherwise.
+func New(workers int, memBudget int64, spillDir string, opts ...Option) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if spillDir == "" {
 		spillDir = os.TempDir()
 	}
-	return &Engine{
+	e := &Engine{
 		workers:  workers,
 		budget:   memBudget,
 		spillDir: spillDir,
+		fs:       fsx.OS,
+		verify:   true,
 		sem:      make(chan struct{}, workers),
 		traces:   map[string]*Trace{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// logef logs one operator-facing event, when a sink is configured.
+func (e *Engine) logef(format string, args ...any) {
+	if e.logf != nil {
+		e.logf(format, args...)
 	}
 }
 
@@ -79,6 +131,8 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 	e.obsChunksCaptured = o.Counter(obs.MReplayChunksCaptured)
 	e.obsChunksSpilled = o.Counter(obs.MReplayChunksSpilled)
 	e.obsChunksReplayed = o.Counter(obs.MReplayChunksReplayed)
+	e.obsChunksQuarantined = o.Counter(obs.MReplayChunksQuarantined)
+	e.obsSpillErrors = o.Counter(obs.MReplaySpillErrors)
 	e.obsMem = o.Gauge(obs.MReplayMemBytes)
 	e.obsWaiting = o.Gauge(obs.MReplayPoolWaiting)
 }

@@ -11,9 +11,20 @@
 //
 // Memory is bounded: once the engine's budget of in-memory encoded bytes is
 // exhausted, further chunks spill to a temp file in internal/trace's
-// version-2 file format, and replay cursors read them back with ReadAt.
-// Because every chunk is self-contained, a spill file (or a full export via
-// Trace.WriteTo) is itself a valid trace file for trace.NewReader.
+// version-3 (checksummed framed-chunk) file format, and replay cursors read
+// them back with ReadAt. Because every chunk is self-contained, a spill
+// file (or a full export via Trace.WriteTo) is itself a valid trace file
+// for trace.NewReader.
+//
+// Durability is policy, not best-effort: every sealed chunk carries its
+// capture-time CRC32C, verified (by default) on every replay. A chunk that
+// fails verification — or fails structurally during decode — is never
+// partially trusted: the engine quarantines the evidence, drops the trace,
+// and the waiting arms transparently recapture the stream from the
+// workload, exactly as they do when a capturer panics. A spill write that
+// fails (ENOSPC, I/O error) downgrades the capture to in-memory chunks:
+// correctness over the memory budget, with the downgrade counted and
+// logged.
 //
 // The resilience semantics of the experiment pipeline are preserved: every
 // capture and replay runs under the caller's context, a panicking arm fails
@@ -26,9 +37,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"path/filepath"
 	"sync"
 
+	"branchsim/internal/fsx"
 	"branchsim/internal/trace"
 )
 
@@ -49,6 +61,7 @@ type chunk struct {
 	data []byte // encoded records; nil once spilled
 	off  int64  // offset of the records in the spill file, when spilled
 	size int
+	crc  uint32 // capture-time CRC32C of the encoded records
 }
 
 // Trace is one captured branch stream: a sequence of self-contained encoded
@@ -59,19 +72,21 @@ type Trace struct {
 	key string
 
 	// capture-side state, touched only by the capturing goroutine
-	spill       *os.File
+	spill       fsx.File
 	spillSize   int64
 	spillBroken bool
 
-	mu       sync.Mutex
-	notify   chan struct{} // closed and replaced on every state change
-	chunks   []chunk
-	done     bool
-	err      error        // capture failure, wrapped in ErrCaptureFailed
-	counts   trace.Counts // stream totals, valid once done with nil err
-	memBytes int64        // in-memory chunk bytes, counted against e.mem
-	readers  int
-	dropped  bool
+	mu          sync.Mutex
+	notify      chan struct{} // closed and replaced on every state change
+	chunks      []chunk
+	done        bool
+	err         error        // capture failure, wrapped in ErrCaptureFailed
+	counts      trace.Counts // stream totals, valid once done with nil err
+	memBytes    int64        // in-memory chunk bytes, counted against e.mem
+	readers     int
+	dropped     bool
+	capturing   bool // the capture goroutine may still write the spill file
+	quarantined bool // a corrupt chunk was found; preserve the spill file
 }
 
 func newTrace(e *Engine) *Trace {
@@ -109,16 +124,19 @@ func (c *captureRec) Ops(n uint64) {
 
 // seal publishes one finished chunk, spilling it to disk when the engine's
 // in-memory budget is exhausted. A failed spill write degrades to keeping
-// the chunk in memory — correctness over the budget.
+// the chunk in memory — correctness over the budget — and is counted and
+// logged once per capture.
 func (t *Trace) seal(data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	ck := chunk{size: len(data)}
+	ck := chunk{size: len(data), crc: trace.Checksum(data)}
 	spilled := false
 	if t.e.wantSpill(int64(len(data))) && !t.spillBroken {
-		if off, err := t.writeSpill(data); err != nil {
+		if off, err := t.writeSpill(data, ck.crc); err != nil {
 			t.spillBroken = true
+			t.e.obsSpillErrors.Add(1)
+			t.e.logef("replay: spill write failed (%v); capture continues in memory over budget", err)
 		} else {
 			ck.off = off
 			spilled = true
@@ -142,30 +160,38 @@ func (t *Trace) seal(data []byte) {
 	t.mu.Unlock()
 }
 
-// writeSpill appends one chunk to the spill file, creating it (with the
-// version-2 trace header) on first use, and returns the chunk's offset.
-func (t *Trace) writeSpill(data []byte) (int64, error) {
+// writeSpill appends one framed chunk to the spill file, creating it (with
+// the version-3 trace header) on first use, and returns the offset of the
+// chunk's payload — the frame header before it makes the file a valid,
+// verifiable trace file end to end, while ReadAt cursors address the bare
+// payload.
+func (t *Trace) writeSpill(data []byte, crc uint32) (int64, error) {
+	fs := t.e.fs
 	if t.spill == nil {
-		if err := os.MkdirAll(t.e.spillDir, 0o755); err != nil {
+		if err := fs.MkdirAll(t.e.spillDir, 0o755); err != nil {
 			return 0, err
 		}
-		f, err := os.CreateTemp(t.e.spillDir, "bpreplay-*.btrc")
+		f, err := fs.CreateTemp(t.e.spillDir, "bpreplay-*.btrc")
 		if err != nil {
 			return 0, err
 		}
-		hdr := trace.ChunkFileHeader()
+		hdr := trace.FramedFileHeader()
 		if _, err := f.Write(hdr); err != nil {
 			f.Close()
-			os.Remove(f.Name())
+			fs.Remove(f.Name())
 			return 0, err
 		}
 		t.spill, t.spillSize = f, int64(len(hdr))
 	}
-	off := t.spillSize
+	frameHdr := trace.AppendFrameHeader(nil, len(data), crc)
+	if _, err := t.spill.Write(frameHdr); err != nil {
+		return 0, err
+	}
+	off := t.spillSize + int64(len(frameHdr))
 	if _, err := t.spill.Write(data); err != nil {
 		return 0, err
 	}
-	t.spillSize += int64(len(data))
+	t.spillSize = off + int64(len(data))
 	return off, nil
 }
 
@@ -175,6 +201,7 @@ func (t *Trace) finish(cr *captureRec) {
 	t.mu.Lock()
 	t.counts = cr.Counts
 	t.done = true
+	t.captureEndedLocked()
 	t.broadcastLocked()
 	t.mu.Unlock()
 }
@@ -184,10 +211,69 @@ func (t *Trace) finish(cr *captureRec) {
 func (t *Trace) fail(cause error) {
 	t.mu.Lock()
 	t.done = true
-	t.err = fmt.Errorf("%w: %w", ErrCaptureFailed, cause)
+	if t.err == nil {
+		t.err = fmt.Errorf("%w: %w", ErrCaptureFailed, cause)
+	}
+	t.captureEndedLocked()
 	t.broadcastLocked()
 	t.mu.Unlock()
 	t.e.drop(t)
+}
+
+// captureEndedLocked marks the spill file safe to close and performs any
+// close that was deferred because the capture goroutine could still be
+// writing (a reader quarantining a corrupt chunk mid-capture).
+func (t *Trace) captureEndedLocked() {
+	t.capturing = false
+	if t.dropped && t.readers == 0 {
+		t.closeSpillLocked()
+	}
+}
+
+// failCorrupt is the reader-side counterpart of fail: a replay found a
+// chunk whose bytes no longer match their capture-time checksum (or no
+// longer decode). The trace is failed with the corruption wrapped in
+// ErrCaptureFailed, so every arm — including the finder — rebuilds its
+// recorder and recaptures via the same path that recovers a dead capturer;
+// the spill file is preserved for quarantine instead of deleted.
+func (t *Trace) failCorrupt(cause error) error {
+	err := fmt.Errorf("%w: %w", ErrCaptureFailed, cause)
+	t.mu.Lock()
+	t.quarantined = true
+	if t.err == nil {
+		t.err = err
+	}
+	t.broadcastLocked()
+	t.mu.Unlock()
+	t.e.drop(t)
+	return err
+}
+
+// quarantine records one corrupt chunk: counts it, preserves its bytes as
+// a standalone framed trace file in the engine's quarantine directory (when
+// one is configured), and logs the event. data holds the corrupt bytes as
+// read; crc is the capture-time checksum they failed.
+func (t *Trace) quarantine(i int, data []byte, crc uint32, cause error) {
+	e := t.e
+	e.obsChunksQuarantined.Add(1)
+	e.logef("replay: chunk %d of %q corrupt (%v); quarantining and recapturing", i, t.key, cause)
+	if e.quarDir == "" {
+		return
+	}
+	if err := e.fs.MkdirAll(e.quarDir, 0o755); err != nil {
+		e.logef("replay: quarantine dir: %v", err)
+		return
+	}
+	// The evidence file is a valid version-3 trace file carrying the
+	// capture-time checksum over the corrupt bytes, so reading it back
+	// reproduces exactly the verification failure seen here.
+	body := trace.FramedFileHeader()
+	body = trace.AppendFrameHeader(body, len(data), crc)
+	body = append(body, data...)
+	name := filepath.Join(e.quarDir, fmt.Sprintf("chunk-%06d.btrc", e.quarSeq.Add(1)))
+	if err := e.fs.WriteFile(name, body, 0o644); err != nil {
+		e.logef("replay: writing quarantined chunk: %v", err)
+	}
 }
 
 // capture runs produce once, teeing its stream into sealed chunks and —
@@ -195,6 +281,9 @@ func (t *Trace) fail(cause error) {
 // capturer simulates while it records. On any failure, including a panic
 // unwinding through produce, the trace is failed first so no waiter hangs.
 func (t *Trace) capture(produce func(trace.Recorder) error, rec trace.Recorder) (c trace.Counts, err error) {
+	t.mu.Lock()
+	t.capturing = true
+	t.mu.Unlock()
 	cr := &captureRec{t: t}
 	defer func() {
 		if r := recover(); r != nil {
@@ -248,51 +337,67 @@ func (t *Trace) markDropped() {
 	t.mu.Unlock()
 }
 
+// closeSpillLocked releases the spill file: normally deleted, but renamed
+// into the quarantine directory when a corrupt chunk was found in it. While
+// the capture goroutine may still be appending (capturing), the close is
+// deferred to captureEndedLocked.
 func (t *Trace) closeSpillLocked() {
-	if t.spill != nil {
-		name := t.spill.Name()
-		t.spill.Close()
-		os.Remove(name)
-		t.spill = nil
+	if t.spill == nil || t.capturing {
+		return
 	}
+	fs := t.e.fs
+	name := t.spill.Name()
+	t.spill.Close()
+	t.spill = nil
+	if t.quarantined && t.e.quarDir != "" {
+		if err := fs.MkdirAll(t.e.quarDir, 0o755); err == nil {
+			dst := filepath.Join(t.e.quarDir, filepath.Base(name))
+			if err := fs.Rename(name, dst); err == nil {
+				t.e.logef("replay: spill file quarantined as %s", dst)
+				return
+			}
+		}
+	}
+	fs.Remove(name)
 }
 
-// chunkAt returns chunk i's encoded bytes, waiting until the capture seals
-// it. Spilled chunks are read into *buf, which is reused across calls. The
-// second result is true when the stream ended before chunk i.
-func (t *Trace) chunkAt(done <-chan struct{}, i int, buf *[]byte) ([]byte, bool, error) {
+// chunkAt returns chunk i's encoded bytes and capture-time checksum,
+// waiting until the capture seals it. Spilled chunks are read into *buf,
+// which is reused across calls. The second-to-last result is true when the
+// stream ended before chunk i.
+func (t *Trace) chunkAt(done <-chan struct{}, i int, buf *[]byte) ([]byte, uint32, bool, error) {
 	for {
 		t.mu.Lock()
 		if t.err != nil {
 			err := t.err
 			t.mu.Unlock()
-			return nil, true, err
+			return nil, 0, true, err
 		}
 		if i < len(t.chunks) {
 			ck := t.chunks[i]
 			t.mu.Unlock()
 			if ck.data != nil {
-				return ck.data, false, nil
+				return ck.data, ck.crc, false, nil
 			}
 			if cap(*buf) < ck.size {
 				*buf = make([]byte, ck.size)
 			}
 			b := (*buf)[:ck.size]
 			if _, err := t.spill.ReadAt(b, ck.off); err != nil {
-				return nil, false, fmt.Errorf("replay: reading spilled chunk: %w", err)
+				return nil, 0, false, fmt.Errorf("replay: reading spilled chunk: %w", err)
 			}
-			return b, false, nil
+			return b, ck.crc, false, nil
 		}
 		if t.done {
 			t.mu.Unlock()
-			return nil, true, nil
+			return nil, 0, true, nil
 		}
 		ch := t.notify
 		t.mu.Unlock()
 		select {
 		case <-ch:
 		case <-done:
-			return nil, false, errCancelled
+			return nil, 0, false, errCancelled
 		}
 	}
 }
@@ -333,7 +438,7 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 	}()
 	var buf []byte
 	for i := 0; ; i++ {
-		data, ended, err := t.chunkAt(ctx.Done(), i, &buf)
+		data, crc, ended, err := t.chunkAt(ctx.Done(), i, &buf)
 		if err != nil {
 			if errors.Is(err, errCancelled) {
 				err = ctx.Err()
@@ -345,7 +450,19 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 			// is the full one and the shared totals are its totals.
 			return t.Counts(), nil
 		}
+		if t.e.verify {
+			if verr := trace.Verify(data, crc); verr != nil {
+				t.quarantine(i, data, crc, verr)
+				return trace.Counts{}, t.failCorrupt(verr)
+			}
+		}
 		if err := trace.DecodeChunk(data, rec); err != nil {
+			if errors.Is(err, trace.ErrCorrupt) {
+				// The checksum passed (or was skipped) but the records no
+				// longer parse: same corruption policy, same recovery.
+				t.quarantine(i, data, crc, err)
+				return trace.Counts{}, t.failCorrupt(err)
+			}
 			return trace.Counts{}, err
 		}
 		t.e.obsChunksReplayed.Add(1)
@@ -358,28 +475,41 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 	}
 }
 
-// WriteTo exports the captured stream as a version-2 trace file readable
-// by trace.NewReader, waiting for the capture to finish if it is still
-// running. It implements io.WriterTo.
+// WriteTo exports the captured stream as a version-3 (checksummed framed
+// chunk) trace file readable by trace.NewReader, waiting for the capture to
+// finish if it is still running. Chunks are verified before export when the
+// engine verifies, so a corrupt spill surfaces here as an error, never as a
+// silently poisoned file. It implements io.WriterTo.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	t.retain()
 	defer t.release()
 	var n int64
-	k, err := w.Write(trace.ChunkFileHeader())
+	k, err := w.Write(trace.FramedFileHeader())
 	n += int64(k)
 	if err != nil {
 		return n, err
 	}
-	var buf []byte
+	var buf, hdr []byte
 	for i := 0; ; i++ {
-		data, ended, err := t.chunkAt(nil, i, &buf)
+		data, crc, ended, err := t.chunkAt(nil, i, &buf)
 		if err != nil {
 			return n, err
 		}
 		if ended {
 			return n, nil
 		}
-		k, err := w.Write(data)
+		if t.e.verify {
+			if verr := trace.Verify(data, crc); verr != nil {
+				return n, verr
+			}
+		}
+		hdr = trace.AppendFrameHeader(hdr[:0], len(data), crc)
+		k, err := w.Write(hdr)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		k, err = w.Write(data)
 		n += int64(k)
 		if err != nil {
 			return n, err

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 )
 
@@ -42,8 +41,10 @@ const (
 const maxDeltaZig = uint64(1)<<62 - 1
 
 // ErrMalformedChunk is returned by DecodeChunk for input that is not a
-// valid chunk: a truncated or overlong varint, or an impossible field.
-var ErrMalformedChunk = errors.New("trace: malformed chunk")
+// valid chunk: a truncated or overlong varint, or an impossible field. It
+// wraps ErrCorrupt, so callers handling corruption generically can match
+// either sentinel with errors.Is.
+var ErrMalformedChunk = fmt.Errorf("%w: malformed chunk", ErrCorrupt)
 
 // ChunkWriter encodes a branch stream into self-contained chunks. It
 // implements Recorder; call Cut to take the bytes encoded so far and start

@@ -273,18 +273,102 @@ func FuzzChunkRoundTrip(f *testing.F) {
 }
 
 // FuzzDecodeChunk feeds arbitrary bytes to the chunk decoder: it must
-// return an error or succeed, never panic.
+// return an error or succeed, never panic. The corpus seeds valid chunks
+// plus bit-flipped mutants of them — the raw decoder has no checksum, so a
+// mutant may decode into a different-but-valid stream; the invariant here
+// is purely "no panic, no hang" (FuzzDecodeFramedChunk holds the stronger
+// detect-or-decode-identically property the framed format adds).
 func FuzzDecodeChunk(f *testing.F) {
 	var w ChunkWriter
 	w.Branch(0x1_2000_0000, true)
 	w.Ops(9)
 	w.Branch(0x1_2000_0008, false)
-	f.Add(w.Cut())
+	valid := w.Cut()
+	f.Add(valid)
 	f.Add([]byte{chunkAbs, 0x10, 0x02})
 	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	// bit-flip corruption corpus: every single-bit mutant of the valid chunk
+	for bit := 0; bit < len(valid)*8; bit++ {
+		mutant := append([]byte(nil), valid...)
+		mutant[bit/8] ^= 1 << (bit % 8)
+		f.Add(mutant)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var c Counts
 		_ = DecodeChunk(data, &c)
+	})
+}
+
+// FuzzDecodeFramedChunk is the framed decoder's corruption contract: for an
+// arbitrary event stream, flipping any single bit of its encoded frame must
+// yield an error wrapping ErrCorrupt — never a panic, and never a silently
+// different record stream. With no flip, decode must reproduce the stream
+// exactly.
+func FuzzDecodeFramedChunk(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	seed := make([]byte, 0, 64)
+	for _, e := range []event{
+		{pc: 0x1_2000_0000, taken: true, br: true},
+		{ops: 42},
+		{pc: math.MaxUint64, taken: false, br: true},
+	} {
+		var b [9]byte
+		if e.br {
+			b[0] = 1
+			if !e.taken {
+				b[0] = 5
+			}
+			binary.LittleEndian.PutUint64(b[1:], e.pc)
+		} else {
+			binary.LittleEndian.PutUint64(b[1:], e.ops)
+		}
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed, uint32(17))
+	f.Add(seed, uint32(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, flip uint32) {
+		in := fuzzEvents(data)
+		var w ChunkWriter
+		for _, e := range in {
+			if e.br {
+				w.Branch(e.pc, e.taken)
+			} else {
+				w.Ops(e.ops)
+			}
+		}
+		payload := w.Cut()
+		frame := AppendFrame(nil, payload)
+
+		// Pristine decode reproduces the stream.
+		var got eventLog
+		if err := DecodeFramedChunk(frame, &got); err != nil {
+			t.Fatalf("pristine frame: %v", err)
+		}
+		want := &eventLog{events: in}
+		wantBr, gotBr := want.branches(), got.branches()
+		if len(wantBr) != len(gotBr) {
+			t.Fatalf("branch count: got %d, want %d", len(gotBr), len(wantBr))
+		}
+		for i := range wantBr {
+			if wantBr[i] != gotBr[i] {
+				t.Fatalf("branch %d: got %+v, want %+v", i, gotBr[i], wantBr[i])
+			}
+		}
+		if got.totals() != want.totals() {
+			t.Fatalf("totals: got %+v, want %+v", got.totals(), want.totals())
+		}
+
+		// Any single-bit flip is detected: CRC32C catches all 1-bit errors,
+		// and a flip inside the length varint either breaks the frame bound
+		// or the checksum.
+		bit := int(flip) % (len(frame) * 8)
+		mutated := append([]byte(nil), frame...)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		var rec Counts
+		if err := DecodeFramedChunk(mutated, &rec); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", bit, err)
+		}
 	})
 }

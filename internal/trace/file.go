@@ -26,19 +26,28 @@ import (
 //
 // Version 2 ("BTRC2\n") carries the chunk records documented in chunk.go:
 // self-contained chunks whose first branch is absolute, lossless over the
-// full 64-bit address space. The replay engine's spilled and exported
-// traces use it. Reader understands both versions; Writer still emits
-// version 1, whose single-varint records are smaller for the address
-// ranges real workloads produce.
+// full 64-bit address space. Version 3 ("BTRC3\n") wraps each of those
+// chunks in a length-prefixed CRC32C frame (frame.go), so disk corruption
+// and torn tails are detected instead of replayed; the replay engine's
+// spilled and exported traces use it. Reader understands all three
+// versions; Writer still emits version 1, whose single-varint records are
+// smaller for the address ranges real workloads produce.
 
 var traceMagic = []byte("BTRC1\n")
 
 var traceMagic2 = []byte("BTRC2\n")
 
+var traceMagic3 = []byte("BTRC3\n")
+
 // ChunkFileHeader returns the header bytes of a version-2 (chunk-encoded)
 // trace file. A valid file is this header followed by any concatenation of
 // ChunkWriter chunks; NewReader decodes it like any other trace.
 func ChunkFileHeader() []byte { return append([]byte(nil), traceMagic2...) }
+
+// FramedFileHeader returns the header bytes of a version-3 (checksummed
+// framed-chunk) trace file: this header followed by any concatenation of
+// AppendFrame frames is a trace file NewReader decodes and verifies.
+func FramedFileHeader() []byte { return append([]byte(nil), traceMagic3...) }
 
 // ErrBadMagic is returned by NewReader when the input is not a trace file.
 var ErrBadMagic = errors.New("trace: bad magic, not a branch trace file")
@@ -102,12 +111,18 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader decodes a trace file (either format version) and replays it into
-// a Recorder.
+// Reader decodes a trace file (any format version) and replays it into
+// a Recorder. Version-3 files have every chunk frame's checksum verified
+// before any of its records are surfaced.
 type Reader struct {
 	r       *bufio.Reader
 	lastPC  uint64
 	version int
+
+	// version-3 state: the current verified frame payload and the read
+	// cursor within it. The buffer is reused across frames.
+	frame    []byte
+	frameOff int
 }
 
 // NewReader validates the header and returns a Reader.
@@ -122,6 +137,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return &Reader{r: br, version: 1}, nil
 	case string(traceMagic2):
 		return &Reader{r: br, version: 2}, nil
+	case string(traceMagic3):
+		return &Reader{r: br, version: 3}, nil
 	}
 	return nil, ErrBadMagic
 }
@@ -130,8 +147,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 // isBranch is true and (pc, taken) are valid; isBranch is false and ops is
 // valid; or err is non-nil (io.EOF at a clean end of stream).
 func (r *Reader) Next() (pc uint64, taken bool, ops uint64, isBranch bool, err error) {
-	if r.version == 2 {
+	switch r.version {
+	case 2:
 		return r.next2()
+	case 3:
+		return r.next3()
 	}
 	v, err := binary.ReadUvarint(r.r)
 	if err != nil {
@@ -189,6 +209,84 @@ func (r *Reader) next2() (pc uint64, taken bool, ops uint64, isBranch bool, err 
 		r.lastPC += uint64(unzigzag(w >> 1))
 		return r.lastPC, w&1 == 1, 0, true, nil
 	}
+}
+
+// next3 decodes one record of a version-3 (framed chunk) file, loading and
+// verifying the next frame when the current one is exhausted. A frame's
+// records are surfaced only after its checksum passes, so a corrupt chunk
+// yields an error wrapping ErrCorrupt and zero of its events.
+func (r *Reader) next3() (pc uint64, taken bool, ops uint64, isBranch bool, err error) {
+	for r.frameOff >= len(r.frame) {
+		if err := r.loadFrame(); err != nil {
+			return 0, false, 0, false, err
+		}
+	}
+	data := r.frame[r.frameOff:]
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, false, 0, false, fmt.Errorf("%w: record header", ErrMalformedChunk)
+	}
+	r.frameOff += n
+	data = data[n:]
+	switch v {
+	case chunkOps:
+		c, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, false, 0, false, fmt.Errorf("%w: ops count", ErrMalformedChunk)
+		}
+		r.frameOff += n
+		return 0, false, c, false, nil
+	case chunkAbs:
+		pc, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, false, 0, false, fmt.Errorf("%w: absolute branch pc", ErrMalformedChunk)
+		}
+		r.frameOff += n
+		t, k := binary.Uvarint(data[n:])
+		if k <= 0 || t > 1 {
+			return 0, false, 0, false, fmt.Errorf("%w: absolute branch outcome", ErrMalformedChunk)
+		}
+		r.frameOff += k
+		r.lastPC = pc
+		return pc, t == 1, 0, true, nil
+	default:
+		w := v - chunkDelta
+		r.lastPC += uint64(unzigzag(w >> 1))
+		return r.lastPC, w&1 == 1, 0, true, nil
+	}
+}
+
+// loadFrame reads and verifies the next version-3 frame into r.frame. A
+// clean end of stream returns io.EOF; a frame torn by a crash mid-append or
+// failing its checksum returns an error wrapping ErrCorrupt. Empty frames
+// are legal and skipped by the caller's loop.
+func (r *Reader) loadFrame() error {
+	n, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return io.EOF // clean end between frames
+	}
+	if err != nil {
+		return fmt.Errorf("%w: frame length: %v", ErrCorrupt, err)
+	}
+	if n > maxFramePayload {
+		return fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, n)
+	}
+	var crcBuf [frameCRCLen]byte
+	if _, err := io.ReadFull(r.r, crcBuf[:]); err != nil {
+		return fmt.Errorf("%w: truncated frame checksum: %v", ErrCorrupt, err)
+	}
+	if cap(r.frame) < int(n) {
+		r.frame = make([]byte, n)
+	}
+	r.frame = r.frame[:n]
+	if _, err := io.ReadFull(r.r, r.frame); err != nil {
+		return fmt.Errorf("%w: truncated frame payload: %v", ErrCorrupt, err)
+	}
+	if err := Verify(r.frame, binary.LittleEndian.Uint32(crcBuf[:])); err != nil {
+		return err
+	}
+	r.frameOff = 0
+	return nil
 }
 
 // Replay streams the whole remaining trace into rec. It returns the totals
