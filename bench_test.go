@@ -213,6 +213,7 @@ func BenchmarkSweepDirect(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(branches), "branches/arm")
+	b.ReportMetric(float64(branches)*float64(len(sweepSpecs()))*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
 }
 
 func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config, eopts ...replay.Option) {
@@ -244,9 +245,22 @@ func benchSweepReplay(b *testing.B, sink *obs.Observer, tel telemetry.Config, eo
 		e.Close()
 	}
 	b.ReportMetric(float64(branches), "branches/arm")
+	b.ReportMetric(float64(branches)*float64(len(arms))*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
 }
 
 func BenchmarkSweepReplay(b *testing.B) { benchSweepReplay(b, nil, telemetry.Config{}) }
+
+// BenchmarkSweepReplayBatch pins the batched-kernel configuration
+// explicitly (it is also the default, so this matches BenchmarkSweepReplay)
+// and BenchmarkSweepReplayNoBatch is the same sweep on the scalar per-event
+// path — the before/after pair recorded in BENCH_kernel.json.
+func BenchmarkSweepReplayBatch(b *testing.B) {
+	benchSweepReplay(b, nil, telemetry.Config{}, replay.WithBatch(true))
+}
+
+func BenchmarkSweepReplayNoBatch(b *testing.B) {
+	benchSweepReplay(b, nil, telemetry.Config{}, replay.WithBatch(false))
+}
 
 // BenchmarkSweepReplayNoVerify is BenchmarkSweepReplay with chunk checksum
 // verification disabled, the -verify-chunks=false configuration. The delta

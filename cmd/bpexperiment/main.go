@@ -82,6 +82,7 @@ type options struct {
 	retries       int
 	workers       int
 	noReplay      bool
+	noBatch       bool
 	replayMemMB   int
 	replaySpill   string
 	verifyChunks  bool
@@ -112,6 +113,7 @@ func main() {
 	flag.IntVar(&opt.retries, "retries", 1, "attempts per simulation for transient failures")
 	flag.IntVar(&opt.workers, "workers", runtime.GOMAXPROCS(0), "concurrent trace replays in the capture-once engine")
 	flag.BoolVar(&opt.noReplay, "no-replay", false, "execute the workload for every arm instead of capturing its branch stream once and replaying it")
+	flag.BoolVar(&opt.noBatch, "no-batch", false, "replay per-event through the scalar Predict/Update protocol instead of the batched block kernel (results are bit-identical; this is an escape hatch and benchmarking baseline)")
 	flag.IntVar(&opt.replayMemMB, "replay-mem", 512, "in-memory budget for captured traces, in MiB; beyond it chunks spill to disk (0 = unlimited)")
 	flag.StringVar(&opt.replaySpill, "replay-spill", "", "directory for spilled trace chunks (default: the system temp directory)")
 	flag.BoolVar(&opt.verifyChunks, "verify-chunks", true, "CRC32C-verify every captured trace chunk before replaying it; corrupt chunks are quarantined and the capture retried")
@@ -201,6 +203,7 @@ func run(ctx context.Context, opt options) error {
 	if !opt.noReplay {
 		ropts := []replay.Option{
 			replay.WithVerify(opt.verifyChunks),
+			replay.WithBatch(!opt.noBatch),
 			replay.WithLogf(func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "bpexperiment: "+format+"\n", args...)
 			}),

@@ -40,6 +40,7 @@ func main() {
 		hintsPath   = flag.String("hints", "", "static hint database (JSON) produced by bpselect")
 		shift       = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
 		collisions  = flag.Bool("collisions", true, "track predictor-table collisions")
+		noBatch     = flag.Bool("no-batch", false, "simulate per-event through the scalar Predict/Update protocol instead of the batched block kernel (results are bit-identical; batch is faster)")
 		metricsAddr = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address during the run")
 		serveAddr   = flag.String("serve", "", "serve the live dashboard at / plus /metrics (Prometheus), /events (SSE) and the /debug routes on this address during the run")
 		journalPath = flag.String("journal", "", "write the run's JSONL records (arm + telemetry) to this file")
@@ -61,13 +62,13 @@ func main() {
 	}
 
 	tel := branchsim.TelemetryConfig{Interval: *interval, TableStats: *tableStats, TopK: *topK}
-	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *serveAddr, *journalPath, *shift, *collisions, tel); err != nil {
+	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *serveAddr, *journalPath, *shift, *collisions, *noBatch, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, input, pred, hintsPath, metricsAddr, serveAddr, journalPath string, shift, collisions bool, tel branchsim.TelemetryConfig) error {
+func run(wl, input, pred, hintsPath, metricsAddr, serveAddr, journalPath string, shift, collisions, noBatch bool, tel branchsim.TelemetryConfig) error {
 	dyn, err := branchsim.NewPredictor(pred)
 	if err != nil {
 		return err
@@ -136,6 +137,9 @@ func run(wl, input, pred, hintsPath, metricsAddr, serveAddr, journalPath string,
 	}
 	if collisions {
 		simOpts = append(simOpts, branchsim.WithCollisions())
+	}
+	if noBatch {
+		simOpts = append(simOpts, branchsim.WithBatch(false))
 	}
 	m, err := branchsim.Simulate(context.Background(), simOpts...)
 	if err != nil {

@@ -144,6 +144,36 @@ func (c *Combined) Reset() {
 	c.lastStatic = false
 }
 
+// Batched implements predictor.BatchProvider. A transparent wrapper — no
+// hints, so every branch flows to the dynamic component — delegates whole
+// blocks to the dynamic predictor's kernel, keeping the baseline arms of a
+// sweep on the fast path. With hints installed the static lookup must run
+// per branch, so the wrapper stays scalar.
+func (c *Combined) Batched() (predictor.BatchSim, bool) {
+	if c.hints != nil && c.hints.Len() > 0 {
+		return nil, false
+	}
+	k, native := predictor.Batch(c.dyn)
+	if !native {
+		return nil, false
+	}
+	return &combinedBatch{c: c, k: k}, true
+}
+
+// combinedBatch forwards blocks to the dynamic component's kernel while
+// keeping the wrapper's static/dynamic split statistics exact: with no
+// hints, the scalar path counts every branch as a dynamic execution.
+type combinedBatch struct {
+	c *Combined
+	k predictor.BatchSim
+}
+
+// RunBlock implements predictor.BatchSim.
+func (b *combinedBatch) RunBlock(pcs []uint64, taken []bool, out *predictor.BlockMetrics) {
+	b.c.stats.DynamicExecs += uint64(len(pcs))
+	b.k.RunBlock(pcs, taken, out)
+}
+
 // EnableCollisionTracking implements predictor.Collider if the dynamic
 // component does; otherwise it is a no-op.
 func (c *Combined) EnableCollisionTracking() {

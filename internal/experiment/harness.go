@@ -95,10 +95,13 @@ type Harness struct {
 	Obs *obs.Observer
 
 	// workers / wantOwnedReplay / ownedReplay implement WithWorkers: a
-	// replay engine the harness creates and Close releases.
+	// replay engine the harness creates and Close releases. noBatch
+	// (WithBatch(false)) builds that engine with the batched replay kernel
+	// disabled.
 	workers         int
 	wantOwnedReplay bool
 	ownedReplay     bool
+	noBatch         bool
 
 	// telemetry configures per-arm simulation-domain telemetry (interval
 	// time-series, table samples, top-K); the zero config disables it. Each

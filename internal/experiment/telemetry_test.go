@@ -24,25 +24,26 @@ import (
 // telemetrySweep runs the five paper predictors over compress/test through a
 // telemetry-enabled harness with the given replay worker count and returns
 // the parsed journal plus the raw journal bytes.
-func telemetrySweep(t *testing.T, workers int, concurrent bool) (*obs.Records, []byte) {
-	return telemetrySweepWith(t, workers, concurrent, nil)
+func telemetrySweep(t *testing.T, workers int, concurrent bool, opts ...HarnessOption) (*obs.Records, []byte) {
+	return telemetrySweepWith(t, workers, concurrent, nil, opts...)
 }
 
 // telemetrySweepWith is telemetrySweep with a tap hook: tap runs against the
 // observer before the sweep starts (to attach dashboards, subscribers, …) and
-// its returned stop func runs after the journal is sealed.
-func telemetrySweepWith(t *testing.T, workers int, concurrent bool, tap func(sink *obs.Observer) (stop func())) (*obs.Records, []byte) {
+// its returned stop func runs after the journal is sealed. Extra harness
+// options (WithBatch(false), …) append after the defaults.
+func telemetrySweepWith(t *testing.T, workers int, concurrent bool, tap func(sink *obs.Observer) (stop func()), opts ...HarnessOption) (*obs.Records, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	sink := obs.New(obs.WithJournal(obs.NewJournal(&buf)))
 	if tap != nil {
 		defer tap(sink)()
 	}
-	h := NewQuickHarness(
+	h := NewQuickHarness(append([]HarnessOption{
 		WithObserver(sink),
 		WithWorkers(workers),
 		WithTelemetry(telemetry.Config{Interval: 50_000, TableStats: true, TopK: 8}),
-	)
+	}, opts...)...)
 	defer h.Close()
 	ctx := context.Background()
 
@@ -192,13 +193,18 @@ func telemetryLines(raw []byte, predictor string) []string {
 
 // TestTelemetryGoldenByteStable is the golden determinism test: the
 // telemetry record stream of a fixed (workload, input, predictor) triple is
-// byte-identical across repeated runs and across replay worker counts
-// (sequential workers=1 vs concurrent workers=8). Telemetry records carry no
-// wall-clock fields, so any byte difference is a real nondeterminism bug.
+// byte-identical across repeated runs, across replay worker counts
+// (sequential workers=1 vs concurrent workers=8), and across the batched
+// kernel being on or off — the full batch-on/off × workers=1/8 matrix, so
+// the kernel cannot perturb interval sealing or record order. Telemetry
+// records carry no wall-clock fields, so any byte difference is a real
+// nondeterminism bug.
 func TestTelemetryGoldenByteStable(t *testing.T) {
 	recs1, raw1 := telemetrySweep(t, 1, false)
 	_, raw2 := telemetrySweep(t, 1, false)
 	_, raw8 := telemetrySweep(t, 8, true)
+	_, rawNB1 := telemetrySweep(t, 1, false, WithBatch(false))
+	_, rawNB8 := telemetrySweep(t, 8, true, WithBatch(false))
 
 	// Arm labels come from the combined predictor's Name(); discover them
 	// from the parsed journal rather than hard-coding the format.
@@ -228,6 +234,14 @@ func TestTelemetryGoldenByteStable(t *testing.T) {
 		t.Errorf("telemetry stream differs between workers=1 and workers=8:\nworkers=1:\n%s\nworkers=8:\n%s",
 			strings.Join(golden, "\n"), strings.Join(conc, "\n"))
 	}
+	if nb := telemetryLines(rawNB1, triple); strings.Join(golden, "\n") != strings.Join(nb, "\n") {
+		t.Errorf("telemetry stream differs between batch and -no-batch (workers=1):\nbatch:\n%s\nno-batch:\n%s",
+			strings.Join(golden, "\n"), strings.Join(nb, "\n"))
+	}
+	if nb8 := telemetryLines(rawNB8, triple); strings.Join(golden, "\n") != strings.Join(nb8, "\n") {
+		t.Errorf("telemetry stream differs between batch and -no-batch (workers=8):\nbatch:\n%s\nno-batch:\n%s",
+			strings.Join(golden, "\n"), strings.Join(nb8, "\n"))
+	}
 
 	// The full telemetry record *set* (all five arms) is also identical —
 	// only journal interleaving across arms may differ under concurrency.
@@ -239,8 +253,12 @@ func TestTelemetryGoldenByteStable(t *testing.T) {
 		sort.Strings(all)
 		return strings.Join(all, "\n")
 	}
-	if sorted(raw1) != sorted(raw8) {
-		t.Error("telemetry record sets differ between workers=1 and workers=8")
+	for label, raw := range map[string][]byte{
+		"workers=8": raw8, "no-batch workers=1": rawNB1, "no-batch workers=8": rawNB8,
+	} {
+		if sorted(raw1) != sorted(raw) {
+			t.Errorf("telemetry record sets differ between the golden run and %s", label)
+		}
 	}
 }
 

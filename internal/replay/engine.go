@@ -29,11 +29,13 @@ type Engine struct {
 	// Durability policy (see the Option constructors).
 	fs      fsx.FS
 	verify  bool
+	batch   bool
 	quarDir string
 	logf    func(format string, args ...any)
 
 	sem     chan struct{}
 	mem     atomic.Int64
+	decMem  atomic.Int64 // decoded-block cache bytes (see decodedCacheBudget)
 	quarSeq atomic.Uint64 // names quarantined chunk files uniquely
 
 	// Observability handles (nil when unobserved; all are nil-safe no-ops
@@ -63,6 +65,17 @@ type Option func(*Engine)
 // Turning it off trades that safety for the (small) CRC cost per replayed
 // chunk; the durability benchmark measures the difference.
 func WithVerify(on bool) Option { return func(e *Engine) { e.verify = on } }
+
+// WithBatch toggles the batched replay kernel (the default is on). When on,
+// a recorder that consumes blocks (trace.BlockSink — sim.Runner does) is
+// fed whole decoded blocks instead of per-event Branch calls, and a
+// capturing arm whose predictor has a native kernel records the stream
+// first and then block-replays its own capture, instead of simulating
+// per-event inside the instrumented execution. Results are bit-identical
+// either way — the differential tests prove it — so off is purely an
+// escape hatch (the CLIs expose it as -no-batch) and the scalar baseline
+// for benchmarks.
+func WithBatch(on bool) Option { return func(e *Engine) { e.batch = on } }
 
 // WithQuarantine sets the directory corrupt chunks are preserved in for
 // forensics: the offending chunk's bytes are written there as a standalone
@@ -100,6 +113,7 @@ func New(workers int, memBudget int64, spillDir string, opts ...Option) *Engine 
 		spillDir: spillDir,
 		fs:       fsx.OS,
 		verify:   true,
+		batch:    true,
 		sem:      make(chan struct{}, workers),
 		traces:   map[string]*Trace{},
 	}
@@ -245,6 +259,16 @@ func (s Source) String() string {
 	}
 }
 
+// batchRecorder is the recorder shape that makes capture self-replay
+// profitable: it consumes decoded blocks and reports (via BatchKernel)
+// that a devirtualized kernel actually backs them. sim.Runner implements
+// it; BatchKernel returns false when the predictor has no kernel, keeping
+// such arms on the cheaper direct tee.
+type batchRecorder interface {
+	trace.BlockSink
+	BatchKernel() bool
+}
+
 // Run feeds one arm with the branch stream of key: the first caller
 // executes produce (the instrumented workload) while teeing the stream
 // into its own recorder and the shared chunk buffer; every other caller
@@ -277,6 +301,20 @@ func (e *Engine) RunSourced(ctx context.Context, key string, produce func(trace.
 			return trace.Counts{}, SourceReplay, err
 		}
 		if capturer {
+			if br, ok := rec.(batchRecorder); e.batch && ok && br.BatchKernel() {
+				// Batched capture: record the stream without the per-event
+				// tee, feeding the arm's kernel whole decoded blocks as each
+				// chunk seals. The instrumented execution pays only array
+				// appends and the simulation runs devirtualized — cheaper
+				// than fusing them per-event, with no second decode pass.
+				// Provenance stays SourceCapture: this arm executed the
+				// workload.
+				c, err := t.captureBatch(produce, br)
+				if err == nil {
+					e.obsCaptures.Add(1)
+				}
+				return c, SourceCapture, err
+			}
 			c, err := t.capture(produce, rec)
 			if err == nil {
 				e.obsCaptures.Add(1)

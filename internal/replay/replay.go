@@ -61,8 +61,51 @@ type chunk struct {
 	data []byte // encoded records; nil once spilled
 	off  int64  // offset of the records in the spill file, when spilled
 	size int
-	crc  uint32 // capture-time CRC32C of the encoded records
+	crc  uint32   // capture-time CRC32C of the encoded records
+	dec  *decoded // decoded-block cache; nil when spilled or over budget
 }
+
+// decoded is one chunk's event stream in decoded block form: parallel
+// arrays ready for a BlockSink, populated by the capture as it encodes.
+// Replay cursors whose recorder consumes blocks feed straight from it,
+// skipping the per-replay chunk decode; the arrays are shared and read-only.
+// The encoded chunk stays the source of truth — spilled chunks (the engine
+// is under memory pressure) and streams past the cache budget carry no
+// decoded form and replay through the decoder as usual.
+type decoded struct {
+	pcs    []uint64
+	taken  []bool
+	ops    []uint64 // ops[i] straight-line instructions precede branch i
+	opsSum uint64   // sum(ops), accumulated as the capture appends
+	tail   uint64   // trailing straight-line run after the last branch
+}
+
+// bytes is the cache accounting size of the decoded form.
+func (d *decoded) bytes() int64 {
+	return int64(len(d.pcs))*17 + 8
+}
+
+// feed replays the decoded chunk into a block sink. Sinks that accept a
+// presummed block (sim.Runner) get the capture-time instruction total and
+// skip their own pass over the ops array.
+func (d *decoded) feed(sink trace.BlockSink) {
+	if len(d.pcs) > 0 {
+		if ss, ok := sink.(trace.SummedBlockSink); ok {
+			ss.RunBlockSummed(d.pcs, d.taken, d.ops, d.opsSum)
+		} else {
+			sink.RunBlock(d.pcs, d.taken, d.ops)
+		}
+	}
+	if d.tail > 0 {
+		sink.Ops(d.tail)
+	}
+}
+
+// decodedCacheBudget bounds the decoded-block bytes cached per engine.
+// Decoded form is ~7x the encoded size, so the cache is the first thing to
+// give up under pressure: streams past the budget replay through the chunk
+// decoder exactly as spilled ones do.
+const decodedCacheBudget = 256 << 20
 
 // Trace is one captured branch stream: a sequence of self-contained encoded
 // chunks plus the stream totals. Chunks appear while the capture is still
@@ -83,6 +126,7 @@ type Trace struct {
 	err         error        // capture failure, wrapped in ErrCaptureFailed
 	counts      trace.Counts // stream totals, valid once done with nil err
 	memBytes    int64        // in-memory chunk bytes, counted against e.mem
+	decBytes    int64        // decoded-cache bytes, counted against e.decMem
 	readers     int
 	dropped     bool
 	capturing   bool // the capture goroutine may still write the spill file
@@ -100,19 +144,33 @@ func (t *Trace) broadcastLocked() {
 }
 
 // captureRec is the Recorder the capture drives: it counts the stream and
-// encodes it into sealed chunks.
+// encodes it into sealed chunks. On the batch self-feed path (captureBatch)
+// it additionally accumulates each chunk's decoded form, hands it to the
+// capturing arm's kernel as the chunk seals, and offers it to the decoded
+// cache for the replaying arms.
 type captureRec struct {
 	trace.Counts
 	t *Trace
 	w trace.ChunkWriter
+
+	sink    trace.BlockSink // the capturing arm's kernel; nil on the tee path
+	dec     decoded         // decoded form of the chunk being collected
+	pending uint64          // straight-line run awaiting its branch
 }
 
 // Branch implements trace.Recorder.
 func (c *captureRec) Branch(pc uint64, taken bool) {
 	c.Counts.Branch(pc, taken)
 	c.w.Branch(pc, taken)
+	if c.sink != nil {
+		c.dec.pcs = append(c.dec.pcs, pc)
+		c.dec.taken = append(c.dec.taken, taken)
+		c.dec.ops = append(c.dec.ops, c.pending)
+		c.dec.opsSum += c.pending
+		c.pending = 0
+	}
 	if c.w.Len() >= chunkTarget {
-		c.t.seal(c.w.Cut())
+		c.cut()
 	}
 }
 
@@ -120,13 +178,109 @@ func (c *captureRec) Branch(pc uint64, taken bool) {
 func (c *captureRec) Ops(n uint64) {
 	c.Counts.Ops(n)
 	c.w.Ops(n)
+	if c.sink != nil {
+		c.pending += n
+	}
+}
+
+// RunBlock implements trace.BlockSink: the bulk form of Branch/Ops used when
+// the workload records through a trace.Batcher. The encoded bytes, the
+// counts, the chunk cut points and the decoded cache contents are identical
+// to per-event delivery — the decoded arrays are split at exactly the events
+// where the encoder crosses the chunk threshold — only the per-event call
+// overhead goes away.
+func (c *captureRec) RunBlock(pcs []uint64, taken []bool, ops []uint64) {
+	taken = taken[:len(pcs)]
+	ops = ops[:len(pcs)]
+	var ins, tk uint64
+	for i, o := range ops {
+		ins += o
+		if taken[i] {
+			tk++
+		}
+	}
+	c.Counts.Instructions += ins + uint64(len(pcs))
+	c.Counts.Branches += uint64(len(pcs))
+	c.Counts.TakenCount += tk
+	start := 0
+	for i, pc := range pcs {
+		if o := ops[i]; o != 0 {
+			c.w.Ops(o)
+		}
+		c.w.Branch(pc, taken[i])
+		if c.w.Len() >= chunkTarget {
+			c.bulkDecoded(pcs[start:i+1], taken[start:i+1], ops[start:i+1])
+			start = i + 1
+			c.cut()
+		}
+	}
+	c.bulkDecoded(pcs[start:], taken[start:], ops[start:])
+}
+
+// bulkDecoded appends one cut-aligned run of events to the chunk's decoded
+// form, folding any straight-line run delivered before it (c.pending) into
+// the first event's charge — exactly the arrays per-event Branch would have
+// built.
+func (c *captureRec) bulkDecoded(pcs []uint64, taken []bool, ops []uint64) {
+	if c.sink == nil || len(pcs) == 0 {
+		return
+	}
+	c.dec.pcs = append(c.dec.pcs, pcs...)
+	c.dec.taken = append(c.dec.taken, taken...)
+	n := len(c.dec.ops)
+	c.dec.ops = append(c.dec.ops, ops...)
+	c.dec.ops[n] += c.pending
+	var sum uint64
+	for _, o := range ops {
+		sum += o
+	}
+	c.dec.opsSum += sum + c.pending
+	c.pending = 0
+}
+
+// takeDecoded detaches the accumulated decoded form — nil on the tee path —
+// stamping the trailing straight-line run the encoder flushes on Cut. The
+// returned arrays are never touched again by the capture, so they are safe
+// to share with concurrent replay cursors.
+func (c *captureRec) takeDecoded() *decoded {
+	if c.sink == nil {
+		return nil
+	}
+	d := c.dec
+	d.tail = c.pending
+	c.pending = 0
+	c.dec = decoded{}
+	// Pre-size the next chunk's arrays from this one: chunks seal at a fixed
+	// encoded size, so consecutive event counts track closely and the appends
+	// above stop paying growth copies after the first chunk.
+	if n := len(d.pcs); n > 0 {
+		n += n / 8
+		c.dec.pcs = make([]uint64, 0, n)
+		c.dec.taken = make([]bool, 0, n)
+		c.dec.ops = make([]uint64, 0, n)
+	}
+	return &d
+}
+
+// cut seals the chunk collected so far; on the batch self-feed path the
+// decoded form goes to the cache and then straight to the capturing arm's
+// kernel.
+func (c *captureRec) cut() {
+	data := c.w.Cut()
+	d := c.takeDecoded()
+	c.t.seal(data, d)
+	if d != nil {
+		d.feed(c.sink)
+	}
 }
 
 // seal publishes one finished chunk, spilling it to disk when the engine's
 // in-memory budget is exhausted. A failed spill write degrades to keeping
 // the chunk in memory — correctness over the budget — and is counted and
-// logged once per capture.
-func (t *Trace) seal(data []byte) {
+// logged once per capture. d, when non-nil, is the chunk's decoded form; it
+// is cached for replay cursors while the chunk stays in memory and the
+// engine's decoded budget lasts.
+func (t *Trace) seal(data []byte, d *decoded) {
 	if len(data) == 0 {
 		return
 	}
@@ -154,6 +308,11 @@ func (t *Trace) seal(data []byte) {
 		t.memBytes += int64(len(ck.data))
 		t.e.mem.Add(int64(len(ck.data)))
 		t.e.obsMem.Set(t.e.mem.Load())
+	}
+	if d != nil && !spilled && !t.dropped && t.e.decMem.Load()+d.bytes() <= decodedCacheBudget {
+		ck.dec = d
+		t.decBytes += d.bytes()
+		t.e.decMem.Add(d.bytes())
 	}
 	t.chunks = append(t.chunks, ck)
 	t.broadcastLocked()
@@ -195,15 +354,23 @@ func (t *Trace) writeSpill(data []byte, crc uint32) (int64, error) {
 	return off, nil
 }
 
-// finish seals the final chunk and marks the capture complete.
+// finish seals the final chunk and marks the capture complete. On the batch
+// self-feed path the final chunk reaches the capturing arm's kernel only
+// after the trace is published complete, so a kernel panic there (e.g.
+// cooperative cancellation) fails that arm alone, not the shared capture.
 func (t *Trace) finish(cr *captureRec) {
-	t.seal(cr.w.Cut())
+	data := cr.w.Cut()
+	d := cr.takeDecoded()
+	t.seal(data, d)
 	t.mu.Lock()
 	t.counts = cr.Counts
 	t.done = true
 	t.captureEndedLocked()
 	t.broadcastLocked()
 	t.mu.Unlock()
+	if d != nil {
+		d.feed(cr.sink)
+	}
 }
 
 // fail marks the capture failed, wakes every waiter with the wrapped cause,
@@ -280,11 +447,41 @@ func (t *Trace) quarantine(i int, data []byte, crc uint32, cause error) {
 // when rec is non-nil — into the capturing arm's own recorder, so the
 // capturer simulates while it records. On any failure, including a panic
 // unwinding through produce, the trace is failed first so no waiter hangs.
-func (t *Trace) capture(produce func(trace.Recorder) error, rec trace.Recorder) (c trace.Counts, err error) {
+func (t *Trace) capture(produce func(trace.Recorder) error, rec trace.Recorder) (trace.Counts, error) {
+	cr := &captureRec{t: t}
+	var target trace.Recorder = cr
+	if rec != nil {
+		target = trace.Tee(cr, rec)
+	}
+	return t.runCapture(produce, cr, target)
+}
+
+// captureBatch is capture for an arm with a devirtualized batch kernel:
+// instead of a per-event tee into the arm's recorder, the capture
+// accumulates each chunk's decoded form alongside its encoding and feeds it
+// to the arm's kernel as the chunk seals. The instrumented execution records
+// through a trace.Batcher into the bulk capture path, the simulation runs
+// block-wise, and the decoded chunks are cached so replaying arms skip the
+// decode too.
+func (t *Trace) captureBatch(produce func(trace.Recorder) error, sink trace.BlockSink) (trace.Counts, error) {
+	cr := &captureRec{t: t, sink: sink}
+	b := trace.NewBatcher(cr, 0)
+	run := func(target trace.Recorder) error {
+		if err := produce(target); err != nil {
+			return err
+		}
+		b.Flush()
+		return nil
+	}
+	return t.runCapture(run, cr, b)
+}
+
+// runCapture drives one capture attempt through target, failing the trace
+// on any error or panic so no waiter hangs.
+func (t *Trace) runCapture(produce func(trace.Recorder) error, cr *captureRec, target trace.Recorder) (c trace.Counts, err error) {
 	t.mu.Lock()
 	t.capturing = true
 	t.mu.Unlock()
-	cr := &captureRec{t: t}
 	defer func() {
 		if r := recover(); r != nil {
 			t.fail(fmt.Errorf("capture panicked: %v", r))
@@ -296,10 +493,6 @@ func (t *Trace) capture(produce func(trace.Recorder) error, rec trace.Recorder) 
 		}
 		t.finish(cr)
 	}()
-	var target trace.Recorder = cr
-	if rec != nil {
-		target = trace.Tee(cr, rec)
-	}
 	err = produce(target)
 	return cr.Counts, err
 }
@@ -330,6 +523,8 @@ func (t *Trace) markDropped() {
 		t.e.mem.Add(-t.memBytes)
 		t.e.obsMem.Set(t.e.mem.Load())
 		t.memBytes = 0
+		t.e.decMem.Add(-t.decBytes)
+		t.decBytes = 0
 	}
 	if t.readers == 0 {
 		t.closeSpillLocked()
@@ -361,43 +556,43 @@ func (t *Trace) closeSpillLocked() {
 	fs.Remove(name)
 }
 
-// chunkAt returns chunk i's encoded bytes and capture-time checksum,
-// waiting until the capture seals it. Spilled chunks are read into *buf,
-// which is reused across calls. The second-to-last result is true when the
-// stream ended before chunk i.
-func (t *Trace) chunkAt(done <-chan struct{}, i int, buf *[]byte) ([]byte, uint32, bool, error) {
+// chunkAt returns chunk i's encoded bytes, capture-time checksum and cached
+// decoded form (nil when uncached), waiting until the capture seals it.
+// Spilled chunks are read into *buf, which is reused across calls. The
+// second-to-last result is true when the stream ended before chunk i.
+func (t *Trace) chunkAt(done <-chan struct{}, i int, buf *[]byte) ([]byte, uint32, *decoded, bool, error) {
 	for {
 		t.mu.Lock()
 		if t.err != nil {
 			err := t.err
 			t.mu.Unlock()
-			return nil, 0, true, err
+			return nil, 0, nil, true, err
 		}
 		if i < len(t.chunks) {
 			ck := t.chunks[i]
 			t.mu.Unlock()
 			if ck.data != nil {
-				return ck.data, ck.crc, false, nil
+				return ck.data, ck.crc, ck.dec, false, nil
 			}
 			if cap(*buf) < ck.size {
 				*buf = make([]byte, ck.size)
 			}
 			b := (*buf)[:ck.size]
 			if _, err := t.spill.ReadAt(b, ck.off); err != nil {
-				return nil, 0, false, fmt.Errorf("replay: reading spilled chunk: %w", err)
+				return nil, 0, nil, false, fmt.Errorf("replay: reading spilled chunk: %w", err)
 			}
-			return b, ck.crc, false, nil
+			return b, ck.crc, nil, false, nil
 		}
 		if t.done {
 			t.mu.Unlock()
-			return nil, 0, true, nil
+			return nil, 0, nil, true, nil
 		}
 		ch := t.notify
 		t.mu.Unlock()
 		select {
 		case <-ch:
 		case <-done:
-			return nil, 0, false, errCancelled
+			return nil, 0, nil, false, errCancelled
 		}
 	}
 }
@@ -436,9 +631,15 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 			panic(r)
 		}
 	}()
+	// Feed block-capable recorders through the batch decoder: same events,
+	// same order, no per-event dispatch. The engine's batch switch is the
+	// -no-batch escape hatch back to the scalar per-event decode.
+	sink, blocks := rec.(trace.BlockSink)
+	blocks = blocks && t.e.batch
+	var bbuf trace.BlockBuf
 	var buf []byte
 	for i := 0; ; i++ {
-		data, crc, ended, err := t.chunkAt(ctx.Done(), i, &buf)
+		data, crc, dec, ended, err := t.chunkAt(ctx.Done(), i, &buf)
 		if err != nil {
 			if errors.Is(err, errCancelled) {
 				err = ctx.Err()
@@ -450,13 +651,31 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 			// is the full one and the shared totals are its totals.
 			return t.Counts(), nil
 		}
+		if blocks && dec != nil {
+			// Decoded-cache hit: the capture already decoded this chunk,
+			// and the cache exists only for chunks that never left memory —
+			// their bytes were checksummed at capture and not re-read from
+			// disk, so there is nothing new for verification to catch.
+			dec.feed(sink)
+			t.e.obsChunksReplayed.Add(1)
+			if err := ctx.Err(); err != nil {
+				return trace.Counts{}, err
+			}
+			continue
+		}
 		if t.e.verify {
 			if verr := trace.Verify(data, crc); verr != nil {
 				t.quarantine(i, data, crc, verr)
 				return trace.Counts{}, t.failCorrupt(verr)
 			}
 		}
-		if err := trace.DecodeChunk(data, rec); err != nil {
+		decode := func(data []byte) error {
+			if blocks {
+				return trace.DecodeChunkBlocks(data, sink, &bbuf)
+			}
+			return trace.DecodeChunk(data, rec)
+		}
+		if err := decode(data); err != nil {
 			if errors.Is(err, trace.ErrCorrupt) {
 				// The checksum passed (or was skipped) but the records no
 				// longer parse: same corruption policy, same recovery.
@@ -491,7 +710,7 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	}
 	var buf, hdr []byte
 	for i := 0; ; i++ {
-		data, crc, ended, err := t.chunkAt(nil, i, &buf)
+		data, crc, _, ended, err := t.chunkAt(nil, i, &buf)
 		if err != nil {
 			return n, err
 		}

@@ -143,6 +143,45 @@ func sameStream(t *testing.T, label string, got, want *trace.Buffer) {
 // TestCaptureOnce proves the singleflight contract: many concurrent arms on
 // one key execute the workload exactly once and all observe the identical
 // stream.
+// TestSweepNoBatchMatchesBatch pins the -no-batch escape hatch to the
+// default path: a sweep with the batched kernel disabled must produce
+// bit-identical sim.Metrics and stream counts to the batched sweep, arm by
+// arm, across both the devirtualized predictors and the scalar-fallback
+// ones.
+func TestSweepNoBatchMatchesBatch(t *testing.T) {
+	ctx := context.Background()
+	specs := equivalencePredictors()
+	prog, err := workload.Get("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(batch bool) []sim.Metrics {
+		e := replay.New(2, 0, "", replay.WithBatch(batch))
+		defer e.Close()
+		arms := make([]replay.Arm, len(specs))
+		for i, spec := range specs {
+			spec := spec
+			arms[i] = replay.Arm{Label: spec, New: func() (trace.Recorder, error) {
+				return newArmRunner(t, spec, "compress", workload.InputTest), nil
+			}}
+		}
+		out := make([]sim.Metrics, len(specs))
+		for i, res := range e.Sweep(ctx, prog, workload.InputTest, arms) {
+			if res.Err != nil {
+				t.Fatalf("batch=%v %s: %v", batch, res.Label, res.Err)
+			}
+			out[i] = res.Rec.(*sim.Runner).Metrics()
+		}
+		return out
+	}
+	on, off := run(true), run(false)
+	for i, spec := range specs {
+		if d := off[i].Diff(on[i]); d != "" {
+			t.Errorf("%s: batch sweep diverges from -no-batch sweep: %s", spec, d)
+		}
+	}
+}
+
 func TestCaptureOnce(t *testing.T) {
 	e := replay.New(4, 0, "")
 	defer e.Close()

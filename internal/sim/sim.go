@@ -123,6 +123,14 @@ type Runner struct {
 	// by NewRunner; finished — final interval sealed, records journaled — by
 	// the first Metrics call.
 	tel *telemetry.Collector
+
+	// kern is the predictor's native batch kernel (nil when it has none);
+	// RunBlock routes whole decoded blocks through it instead of the
+	// per-event Predict/Update protocol. The scratch slices back the
+	// kernel's per-event outputs when telemetry or profiling needs them.
+	kern            predictor.BatchSim
+	scratchCorrect  []bool
+	scratchCollided []bool
 }
 
 // cancelEvery is the branch cadence of the Runner's own context check, used
@@ -212,8 +220,16 @@ func NewRunner(p predictor.Predictor, opts ...Option) *Runner {
 	// Bind after the option loop so the collector sees the final labels and
 	// the collision-tracking decision, whatever order the options came in.
 	r.tel.Bind(p, r.metrics.Workload, r.metrics.Input, r.metrics.Predictor, r.metrics.CollisionsTracked)
+	if k, native := predictor.Batch(p); native {
+		r.kern = k
+	}
 	return r
 }
+
+// BatchKernel reports whether the runner's predictor has a native batch
+// kernel, i.e. whether RunBlock actually batches. Replay engines use it to
+// decide if a capturing arm is worth feeding through the block decoder.
+func (r *Runner) BatchKernel() bool { return r.kern != nil }
 
 // Branch implements trace.Recorder: predict, score, classify, train.
 func (r *Runner) Branch(pc uint64, taken bool) {
@@ -247,6 +263,100 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 		r.tel.Branch(pc, taken, correct, collided)
 	}
 	if r.events++; r.events%cancelEvery == 0 {
+		if r.obsEvents != nil {
+			r.flushObs()
+		}
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				panic(trace.Stop{Err: err})
+			}
+		}
+	}
+}
+
+// RunBlock implements trace.BlockSink: the batched equivalent of calling
+// Ops(ops[i]) then Branch(pcs[i], taken[i]) per event. When the predictor
+// has a native kernel the whole block runs devirtualized and the metrics
+// are folded in wholesale; per-event consumers (profile, telemetry) are
+// then fed from the kernel's per-event outputs, in order. Two cases fall
+// back to the per-event loop, which is bit-identical by construction: a
+// predictor without a kernel, and telemetry that samples predictor tables
+// at interval boundaries (the snapshot must observe exactly the events
+// sealed so far, so the predictor may not run ahead of the collector).
+func (r *Runner) RunBlock(pcs []uint64, taken []bool, ops []uint64) {
+	var opsSum uint64
+	for _, o := range ops[:len(pcs)] {
+		opsSum += o
+	}
+	r.RunBlockSummed(pcs, taken, ops, opsSum)
+}
+
+// RunBlockSummed implements trace.SummedBlockSink: RunBlock for feeders that
+// already hold the block's straight-line instruction total (the engine's
+// decoded-block cache computes it once at capture), sparing the per-block
+// summing pass.
+func (r *Runner) RunBlockSummed(pcs []uint64, taken []bool, ops []uint64, opsSum uint64) {
+	if len(pcs) == 0 {
+		return
+	}
+	if r.kern == nil || r.tel.TableSampling() {
+		for i, pc := range pcs {
+			if ops[i] != 0 {
+				r.Ops(ops[i])
+			}
+			r.Branch(pc, taken[i])
+		}
+		return
+	}
+	n := len(pcs)
+	var bm predictor.BlockMetrics
+	if r.tel != nil || r.prof != nil {
+		if cap(r.scratchCorrect) < n {
+			r.scratchCorrect = make([]bool, n)
+			r.scratchCollided = make([]bool, n)
+		}
+		bm.Correct = r.scratchCorrect[:n]
+		bm.Collided = r.scratchCollided[:n]
+	}
+	r.kern.RunBlock(pcs, taken, &bm)
+
+	r.metrics.Mispredicts += bm.Mispredicts
+	// The kernel reports raw tag collisions; they count only when this
+	// runner tracks collisions, mirroring the scalar gate on r.col.
+	tracked := r.col != nil
+	if tracked {
+		r.metrics.Collisions.Total += bm.Collisions
+		r.metrics.Collisions.Constructive += bm.Constructive
+		r.metrics.Collisions.Destructive += bm.Destructive
+	}
+	r.metrics.Instructions += opsSum + uint64(n)
+	r.metrics.Branches += uint64(n)
+	r.metrics.TakenCount += bm.TakenCount
+
+	if r.prof != nil {
+		for i, pc := range pcs {
+			correct := bm.Correct[i]
+			r.prof.RecordPredicted(pc, taken[i], correct)
+			if tracked && !correct && bm.Collided[i] {
+				r.prof.RecordDestructiveCollision(pc)
+			}
+		}
+	}
+	if r.tel != nil {
+		for i, pc := range pcs {
+			if ops[i] != 0 {
+				r.tel.Ops(ops[i])
+			}
+			r.tel.Branch(pc, taken[i], bm.Correct[i], tracked && bm.Collided[i])
+		}
+	}
+
+	// Preserve the observer-flush and cancellation cadence at block
+	// granularity: fire once whenever the block crossed a cancelEvery
+	// multiple, as the per-event loop would have.
+	before := r.events
+	r.events += uint64(n)
+	if before/cancelEvery != r.events/cancelEvery {
 		if r.obsEvents != nil {
 			r.flushObs()
 		}

@@ -162,6 +162,13 @@ func (c *Collector) Bind(p predictor.Predictor, workload, input, pred string, tr
 	}
 }
 
+// TableSampling reports whether the collector introspects predictor tables
+// at interval boundaries (TableStats configured and the bound predictor
+// supports it). Callers batching the event stream must fall back to
+// per-event feeding when this is true: a boundary seal snapshots the live
+// tables, so the predictor may not run ahead of the collector. Safe on nil.
+func (c *Collector) TableSampling() bool { return c != nil && c.in != nil }
+
 // Branch feeds one dynamic branch: its resolved direction, whether the
 // prediction was correct, and whether the lookup collided (false when the
 // arm does not track collisions). Safe on nil.
@@ -216,21 +223,30 @@ func (c *Collector) Branch(pc uint64, taken, correct, collided bool) {
 	}
 }
 
-// Ops charges n straight-line instructions. Safe on nil.
+// Ops charges n straight-line instructions. A run that crosses one or more
+// interval boundaries seals exactly at each boundary — the records are the
+// same as if the run were charged one instruction at a time, so seal points
+// cannot depend on how the recording pipeline batches straight-line runs
+// (the raw workload stream, the capture tee, decoded chunks and the block
+// kernels all coalesce Ops differently). Safe on nil.
 func (c *Collector) Ops(n uint64) {
 	if c == nil {
 		return
 	}
 	c.instr += n
-	if c.instr >= c.next {
+	for c.instr >= c.next {
+		total := c.instr
+		c.instr = c.next
 		c.seal()
+		c.instr = total
 	}
 }
 
 // seal closes the current interval: one IntervalRecord with the deltas since
 // the previous boundary and, when enabled, one table-introspection sample.
-// A bulk Ops jump that crosses several boundaries seals a single interval
-// spanning them — delta sums still reconstruct the totals exactly.
+// Ops clamps c.instr to the boundary before calling, so every mid-stream
+// seal lands on an exact Interval multiple; only the final partial seal from
+// Finish can land between boundaries.
 func (c *Collector) seal() {
 	rec := obs.IntervalRecord{
 		Workload: c.workload, Input: c.input, Predictor: c.pred,

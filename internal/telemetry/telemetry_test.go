@@ -232,18 +232,30 @@ func TestRateBucket(t *testing.T) {
 	}
 }
 
-func TestSingleSealOnBulkOps(t *testing.T) {
-	c := New(Config{Interval: 100}, nil)
-	c.Bind(predictor.NewBimodal(64), "w", "i", "p", false)
-	c.Branch(0x40, true, true, false)
-	c.Ops(10_000) // jumps 100 boundaries: one spanning interval
-	c.Branch(0x44, true, true, false)
-	recs := c.Finish()
-	if len(recs.Intervals) != 2 {
-		t.Fatalf("got %d intervals, want 2 (one spanning seal + final partial)", len(recs.Intervals))
+// TestBulkOpsSealsPerBoundary pins the canonical seal rule: a straight-line
+// run seals exactly at every interval boundary it crosses, as if charged one
+// instruction at a time. This is what makes journals independent of how the
+// recording pipeline batches Ops (raw workload stream vs capture tee vs
+// decoded chunks vs block kernels coalesce the same gap differently).
+func TestBulkOpsSealsPerBoundary(t *testing.T) {
+	run := func(charge func(c *Collector)) Records {
+		c := New(Config{Interval: 100}, nil)
+		c.Bind(predictor.NewBimodal(64), "w", "i", "p", false)
+		c.Branch(0x40, true, true, false)
+		charge(c)
+		c.Branch(0x44, true, true, false)
+		return c.Finish()
 	}
-	if recs.Intervals[0].DInstructions != 10_001 {
-		t.Errorf("spanning interval covered %d instructions, want 10001", recs.Intervals[0].DInstructions)
+
+	recs := run(func(c *Collector) { c.Ops(10_000) })
+	// Boundaries 100, 200, …, 10000 each seal, plus the final partial.
+	if len(recs.Intervals) != 101 {
+		t.Fatalf("got %d intervals, want 101 (one per crossed boundary + final partial)", len(recs.Intervals))
+	}
+	for i, r := range recs.Intervals[:100] {
+		if want := uint64(100 * (i + 1)); r.Instructions != want {
+			t.Fatalf("interval %d sealed at %d instructions, want the exact boundary %d", i, r.Instructions, want)
+		}
 	}
 	var sum uint64
 	for _, r := range recs.Intervals {
@@ -251,6 +263,29 @@ func TestSingleSealOnBulkOps(t *testing.T) {
 	}
 	if sum != 10_002 {
 		t.Errorf("delta sum = %d, want 10002", sum)
+	}
+
+	// The records are identical however the same run is split into Ops calls.
+	singly := run(func(c *Collector) {
+		for i := 0; i < 10_000; i++ {
+			c.Ops(1)
+		}
+	})
+	uneven := run(func(c *Collector) {
+		c.Ops(99)
+		c.Ops(1) // lands exactly on the first boundary
+		c.Ops(151)
+		c.Ops(9_749)
+	})
+	for name, got := range map[string]Records{"one-at-a-time": singly, "uneven splits": uneven} {
+		if len(got.Intervals) != len(recs.Intervals) {
+			t.Fatalf("%s: got %d intervals, want %d", name, len(got.Intervals), len(recs.Intervals))
+		}
+		for i := range got.Intervals {
+			if got.Intervals[i] != recs.Intervals[i] {
+				t.Errorf("%s: interval %d = %+v, want %+v", name, i, got.Intervals[i], recs.Intervals[i])
+			}
+		}
 	}
 }
 

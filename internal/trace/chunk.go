@@ -40,6 +40,19 @@ const (
 // branch record; anything larger is stored in absolute form.
 const maxDeltaZig = uint64(1)<<62 - 1
 
+// appendUvarint is binary.AppendUvarint with the one- and two-byte cases —
+// nearly every record header, delta and ops count on real streams — inlined
+// ahead of the generic loop. The emitted bytes are identical.
+func appendUvarint(buf []byte, v uint64) []byte {
+	if v < 1<<7 {
+		return append(buf, byte(v))
+	}
+	if v < 1<<14 {
+		return append(buf, byte(v)|0x80, byte(v>>7))
+	}
+	return binary.AppendUvarint(buf, v)
+}
+
 // ErrMalformedChunk is returned by DecodeChunk for input that is not a
 // valid chunk: a truncated or overlong varint, or an impossible field. It
 // wraps ErrCorrupt, so callers handling corruption generically can match
@@ -68,14 +81,14 @@ func (w *ChunkWriter) Branch(pc uint64, taken bool) {
 	}
 	if w.rel {
 		if zz := zigzag(int64(pc - w.lastPC)); zz <= maxDeltaZig {
-			w.buf = binary.AppendUvarint(w.buf, chunkDelta+(zz<<1|t))
+			w.buf = appendUvarint(w.buf, chunkDelta+(zz<<1|t))
 			w.lastPC = pc
 			return
 		}
 	}
-	w.buf = binary.AppendUvarint(w.buf, chunkAbs)
-	w.buf = binary.AppendUvarint(w.buf, pc)
-	w.buf = binary.AppendUvarint(w.buf, t)
+	w.buf = append(w.buf, chunkAbs)
+	w.buf = appendUvarint(w.buf, pc)
+	w.buf = append(w.buf, byte(t))
 	w.rel = true
 	w.lastPC = pc
 }
@@ -84,8 +97,8 @@ func (w *ChunkWriter) flushOps() {
 	if w.pending == 0 {
 		return
 	}
-	w.buf = binary.AppendUvarint(w.buf, chunkOps)
-	w.buf = binary.AppendUvarint(w.buf, w.pending)
+	w.buf = append(w.buf, chunkOps)
+	w.buf = appendUvarint(w.buf, w.pending)
 	w.pending = 0
 }
 
@@ -103,7 +116,10 @@ func (w *ChunkWriter) Cut() []byte {
 		return nil
 	}
 	out := w.buf
-	w.buf = nil
+	// Pre-size the next chunk from this one: steady-state producers cut at a
+	// fixed threshold, so the next chunk's size is known and the per-record
+	// appends skip their growth copies.
+	w.buf = make([]byte, 0, len(out)+len(out)/8)
 	w.rel = false
 	return out
 }
@@ -119,11 +135,23 @@ func malformedChunk(off int, what string) error {
 func DecodeChunk(data []byte, rec Recorder) error {
 	var lastPC uint64
 	for i := 0; i < len(data); {
-		v, n := binary.Uvarint(data[i:])
-		if n <= 0 {
-			return malformedChunk(i, "record header")
+		// One- and two-byte headers (nearly every record) decode inline;
+		// the generic loop handles longer and malformed varints.
+		var v uint64
+		if b := data[i]; b < 0x80 {
+			v = uint64(b)
+			i++
+		} else if i+1 < len(data) && data[i+1] < 0x80 {
+			v = uint64(b&0x7f) | uint64(data[i+1])<<7
+			i += 2
+		} else {
+			vv, n := binary.Uvarint(data[i:])
+			if n <= 0 {
+				return malformedChunk(i, "record header")
+			}
+			v = vv
+			i += n
 		}
-		i += n
 		switch v {
 		case chunkOps:
 			c, n := binary.Uvarint(data[i:])

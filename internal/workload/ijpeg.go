@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"branchsim/internal/trace"
 	"branchsim/internal/xrand"
@@ -117,9 +118,24 @@ var jpegZigzag = [64]int{
 	53, 60, 61, 54, 47, 55, 62, 63,
 }
 
+// imgCache memoizes genImage per input. The image is a pure function of the
+// input descriptor and is only ever read after generation, so concurrent
+// captures of the same workload/input share one copy instead of re-running
+// the per-pixel generator.
+var imgCache sync.Map // jpegInput -> []uint8
+
 // genImage builds a deterministic grayscale image: smooth gradients with a
 // seeded fraction of high-frequency texture.
 func genImage(in jpegInput) []uint8 {
+	if img, ok := imgCache.Load(in); ok {
+		return img.([]uint8)
+	}
+	img := genImageUncached(in)
+	imgCache.Store(in, img)
+	return img
+}
+
+func genImageUncached(in jpegInput) []uint8 {
 	rng := xrand.New(in.seed)
 	img := make([]uint8, in.w*in.h)
 	for y := 0; y < in.h; y++ {

@@ -8,6 +8,7 @@ import (
 	"branchsim/internal/predictor"
 	"branchsim/internal/sim"
 	"branchsim/internal/telemetry"
+	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 )
 
@@ -22,6 +23,7 @@ type simConfig struct {
 	pred       Predictor
 	predSpec   string
 	collisions bool
+	noBatch    bool
 	profile    *ProfileDB
 	obs        *obs.Observer
 	telemetry  telemetry.Config
@@ -55,6 +57,16 @@ func WithPredictorSpec(spec string) SimOption {
 // predictor supports it (see the Collider interface).
 func WithCollisions() SimOption {
 	return func(c *simConfig) { c.collisions = true }
+}
+
+// WithBatch toggles the batched simulation route (the default is on). When
+// the predictor has a devirtualized block kernel, Simulate records the
+// workload's branch stream into in-memory chunks and feeds it back through
+// the block decoder, instead of fusing per-event prediction into the
+// instrumented execution. Results are bit-identical either way; off is the
+// -no-batch escape hatch and the scalar baseline for benchmarks.
+func WithBatch(on bool) SimOption {
+	return func(c *simConfig) { c.noBatch = !on }
 }
 
 // WithProfileInto collects per-branch statistics into db during the run
@@ -161,10 +173,29 @@ func (cfg *simConfig) simulate(ctx context.Context, pred Predictor, span *obs.Sp
 	}
 	runner := sim.NewRunner(pred, sopts...)
 	end := span.Phase(obs.PhaseSimulate)
-	err = workload.RunProgram(ctx, prog, cfg.input, runner)
+	if !cfg.noBatch && runner.BatchKernel() {
+		err = runBatched(ctx, prog, cfg.input, runner)
+	} else {
+		err = workload.RunProgram(ctx, prog, cfg.input, runner)
+	}
 	end()
 	if err != nil {
 		return Metrics{}, err
 	}
 	return runner.Metrics(), nil
+}
+
+// runBatched is the facade's batch route: the instrumented workload records
+// through a trace.Batcher, which hands the runner's devirtualized kernel
+// whole blocks of branches instead of one event at a time. The stream the
+// runner consumes is identical to the one direct execution would feed it, in
+// the same order; only the dispatch granularity changes, so results are
+// bit-identical to the scalar route.
+func runBatched(ctx context.Context, prog workload.Program, input string, runner *sim.Runner) error {
+	b := trace.NewBatcher(runner, 0)
+	if err := workload.RunProgram(ctx, prog, input, b); err != nil {
+		return err
+	}
+	b.Flush()
+	return nil
 }
