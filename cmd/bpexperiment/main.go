@@ -62,14 +62,13 @@ import (
 	"syscall"
 	"time"
 
-	"branchsim/internal/dashboard"
+	"branchsim/internal/cliflags"
 	"branchsim/internal/experiment"
-	"branchsim/internal/obs"
-	"branchsim/internal/replay"
-	"branchsim/internal/telemetry"
 )
 
-// options collects the flags of one invocation.
+// options collects the flags of one invocation. The replay, observability
+// and telemetry groups are the shared ones every branchsim daemon/sweep tool
+// registers (see internal/cliflags).
 type options struct {
 	runID         string
 	quick         bool
@@ -80,20 +79,9 @@ type options struct {
 	checkpointDir string
 	armTimeout    time.Duration
 	retries       int
-	workers       int
-	noReplay      bool
-	noBatch       bool
-	replayMemMB   int
-	replaySpill   string
-	verifyChunks  bool
-	quarantineDir string
-	journalPath   string
-	metricsAddr   string
-	serveAddr     string
-	progress      bool
-	interval      uint64
-	tableStats    bool
-	topK          int
+	replay        cliflags.Replay
+	observe       cliflags.Obs
+	telemetry     cliflags.Telemetry
 }
 
 func main() {
@@ -111,20 +99,9 @@ func main() {
 	flag.StringVar(&opt.checkpointDir, "checkpoint", "", "journal completed simulations into this directory and resume from it")
 	flag.DurationVar(&opt.armTimeout, "arm-timeout", 0, "per-simulation deadline, e.g. 10m (0 = none)")
 	flag.IntVar(&opt.retries, "retries", 1, "attempts per simulation for transient failures")
-	flag.IntVar(&opt.workers, "workers", runtime.GOMAXPROCS(0), "concurrent trace replays in the capture-once engine")
-	flag.BoolVar(&opt.noReplay, "no-replay", false, "execute the workload for every arm instead of capturing its branch stream once and replaying it")
-	flag.BoolVar(&opt.noBatch, "no-batch", false, "replay per-event through the scalar Predict/Update protocol instead of the batched block kernel (results are bit-identical; this is an escape hatch and benchmarking baseline)")
-	flag.IntVar(&opt.replayMemMB, "replay-mem", 512, "in-memory budget for captured traces, in MiB; beyond it chunks spill to disk (0 = unlimited)")
-	flag.StringVar(&opt.replaySpill, "replay-spill", "", "directory for spilled trace chunks (default: the system temp directory)")
-	flag.BoolVar(&opt.verifyChunks, "verify-chunks", true, "CRC32C-verify every captured trace chunk before replaying it; corrupt chunks are quarantined and the capture retried")
-	flag.StringVar(&opt.quarantineDir, "quarantine-dir", "", "preserve corrupt trace chunks and spill files in this directory for post-mortem (default: discard them)")
-	flag.StringVar(&opt.journalPath, "journal", "", "write one JSONL record per simulated arm to this file")
-	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
-	flag.StringVar(&opt.serveAddr, "serve", "", "serve the live dashboard at / plus /metrics (Prometheus), /events (SSE), /debug/vars and /debug/pprof on this address while the sweep runs")
-	flag.BoolVar(&opt.progress, "progress", false, "print a periodic one-line sweep status to stderr")
-	flag.Uint64Var(&opt.interval, "interval", 0, "journal an interval telemetry record every N instructions (0 = off; requires -journal to persist)")
-	flag.BoolVar(&opt.tableStats, "table-stats", false, "sample predictor-table introspection (occupancy, counter states, entropy, sharing) at interval boundaries")
-	flag.IntVar(&opt.topK, "topk", 0, "track the K worst-offender branches per arm with bounded per-branch stats (0 = off)")
+	opt.replay.Register(flag.CommandLine)
+	opt.observe.Register(flag.CommandLine)
+	opt.telemetry.Register(flag.CommandLine)
 	flag.Parse()
 
 	if list {
@@ -149,72 +126,34 @@ func run(ctx context.Context, opt options) error {
 	if opt.parallel < 1 {
 		opt.parallel = 1
 	}
-	// Observability: one sink shared by the journal, the HTTP endpoint and
+	// Observability: one sink shared by the journal, the HTTP endpoints and
 	// the progress reporter. No flag, no sink — the zero-cost default.
-	var sink *obs.Observer
-	if opt.journalPath != "" || opt.metricsAddr != "" || opt.serveAddr != "" || opt.progress {
-		var obsOpts []obs.Option
-		if opt.journalPath != "" {
-			j, err := obs.OpenJournal(opt.journalPath)
-			if err != nil {
-				return err
-			}
-			obsOpts = append(obsOpts, obs.WithJournal(j))
-		}
-		sink = obs.New(obsOpts...)
-		defer sink.Close()
+	sink, err := opt.observe.Observer()
+	if err != nil {
+		return err
 	}
-	if opt.metricsAddr != "" {
-		srv, err := sink.Serve(opt.metricsAddr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bpexperiment: serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
+	defer sink.Close()
+	stopEndpoints, err := opt.observe.StartEndpoints(sink, "bpexperiment", os.Stderr, nil)
+	if err != nil {
+		return err
 	}
-	if opt.serveAddr != "" {
-		state, stopFeed := dashboard.Attach(sink)
-		defer stopFeed()
-		srv, err := sink.Serve(opt.serveAddr, obs.WithRootHandler(dashboard.Handler(state)))
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bpexperiment: dashboard on http://%s/ (/metrics, /events, /debug/vars, /debug/pprof/)\n", srv.Addr())
-	}
-	if opt.progress {
-		defer sink.StartProgress(os.Stderr, 2*time.Second)()
-	}
+	defer stopEndpoints()
 
 	hopts := []experiment.HarnessOption{
 		experiment.WithArmTimeout(opt.armTimeout),
 		experiment.WithObserver(sink),
 	}
-	if opt.interval > 0 || opt.tableStats || opt.topK != 0 {
-		hopts = append(hopts, experiment.WithTelemetry(telemetry.Config{
-			Interval:   opt.interval,
-			TableStats: opt.tableStats,
-			TopK:       opt.topK,
-		}))
+	if opt.telemetry.Enabled() {
+		hopts = append(hopts, experiment.WithTelemetry(opt.telemetry.Config()))
 	}
 	if opt.verbose {
 		hopts = append(hopts, experiment.WithLogger(os.Stderr))
 	}
-	if !opt.noReplay {
-		ropts := []replay.Option{
-			replay.WithVerify(opt.verifyChunks),
-			replay.WithBatch(!opt.noBatch),
-			replay.WithLogf(func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "bpexperiment: "+format+"\n", args...)
-			}),
-		}
-		if opt.quarantineDir != "" {
-			ropts = append(ropts, replay.WithQuarantine(opt.quarantineDir))
-		}
-		eng := replay.New(opt.workers, int64(opt.replayMemMB)<<20, opt.replaySpill, ropts...)
-		defer eng.Close()
-		hopts = append(hopts, experiment.WithReplay(eng))
-	}
+	ropts, stopReplay := opt.replay.HarnessOptions(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bpexperiment: "+format+"\n", args...)
+	})
+	defer stopReplay()
+	hopts = append(hopts, ropts...)
 	if opt.retries > 1 {
 		hopts = append(hopts, experiment.WithRetry(experiment.RetryPolicy{Attempts: opt.retries, Backoff: 250 * time.Millisecond}))
 	}

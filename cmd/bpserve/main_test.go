@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchsim/serveapi"
+)
+
+// startDaemon runs the daemon in the background and returns its base URL and
+// a shutdown function that simulates SIGTERM and waits for a clean exit.
+func startDaemon(t *testing.T, opt options) (string, func() error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	opt.addr = "127.0.0.1:0"
+	opt.ready = ready
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, opt) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(time.Minute):
+				t.Fatal("daemon did not shut down within a minute")
+				return nil
+			}
+		}
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon exited before listening: %v", err)
+		return "", nil
+	}
+}
+
+// TestServeSubmitAndShutdown boots the daemon, runs a small grid over the
+// API, and shuts down cleanly on the signal path.
+func TestServeSubmitAndShutdown(t *testing.T) {
+	base, shutdown := startDaemon(t, options{quick: true, grace: time.Minute})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	client := serveapi.NewClient(base, serveapi.WithTenant("ci"))
+	ack, err := client.SubmitJob(ctx, &serveapi.JobSpec{
+		Workloads:  []string{"compress"},
+		Inputs:     []string{"test"},
+		Predictors: []string{"gshare:1KB", "bimodal:1KB"},
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	st, err := client.WaitJob(ctx, ack.ID)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if st.State != serveapi.StateDone || st.ArmsDone != 2 {
+		t.Fatalf("job = %s %d/%d (error %q), want done 2/2", st.State, st.ArmsDone, st.ArmsTotal, st.Error)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeDrainCheckpointRestart kills the daemon right after submitting,
+// with a tiny grace period, then restarts it over the same checkpoint and
+// journal directory and reruns the job — the point of the drain contract is
+// that the second run recalls finished arms instead of recomputing them.
+func TestServeDrainCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	opt := options{quick: true, grace: 50 * time.Millisecond,
+		checkpointDir: filepath.Join(dir, "ckpt"), armWorkers: 2}
+	base, shutdown := startDaemon(t, opt)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	client := serveapi.NewClient(base)
+	spec := func() *serveapi.JobSpec {
+		return &serveapi.JobSpec{
+			Workloads:  []string{"compress"},
+			Inputs:     []string{"test"},
+			Predictors: []string{"gshare:1KB", "bimodal:1KB", "ghist:1KB", "2bcgskew:1KB"},
+		}
+	}
+	if _, err := client.SubmitJob(ctx, spec()); err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	// SIGTERM immediately: whatever drained within the grace window is
+	// checkpointed, the rest is cancelled. Shutdown must still be clean.
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown mid-job: %v", err)
+	}
+
+	// Restart on the same checkpoint; the resubmitted grid completes.
+	base2, shutdown2 := startDaemon(t, opt)
+	client2 := serveapi.NewClient(base2)
+	ack, err := client2.SubmitJob(ctx, spec())
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	st, err := client2.WaitJob(ctx, ack.ID)
+	if err != nil {
+		t.Fatalf("WaitJob after restart: %v", err)
+	}
+	if st.State != serveapi.StateDone || st.ArmsDone != 4 {
+		t.Fatalf("restarted job = %s %d/%d (error %q), want done 4/4", st.State, st.ArmsDone, st.ArmsTotal, st.Error)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestServeRejectsBadSpecOverHTTP proves validation errors surface as typed
+// errors through the whole command stack.
+func TestServeRejectsBadSpecOverHTTP(t *testing.T) {
+	base, shutdown := startDaemon(t, options{quick: true, grace: time.Minute})
+	defer shutdown() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	client := serveapi.NewClient(base)
+	_, err := client.SubmitJob(ctx, &serveapi.JobSpec{
+		Workloads:  []string{"nosuch"},
+		Inputs:     []string{"test"},
+		Predictors: []string{"gshare:1KB"},
+	})
+	if !serveapi.IsCode(err, serveapi.CodeBadSpec) {
+		t.Fatalf("bad workload: err = %v, want code %s", err, serveapi.CodeBadSpec)
+	}
+	if !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error %q does not name the bad workload", err)
+	}
+}

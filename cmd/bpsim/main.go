@@ -27,28 +27,25 @@ import (
 	"os"
 
 	"branchsim"
+	"branchsim/internal/cliflags"
 	"branchsim/internal/core"
-	"branchsim/internal/dashboard"
-	"branchsim/internal/obs"
 )
 
 func main() {
 	var (
-		wl          = flag.String("workload", "gcc", "workload name (see -list)")
-		input       = flag.String("input", "ref", "workload input: test, train or ref")
-		pred        = flag.String("predictor", "gshare:16KB", "dynamic predictor spec, e.g. 2bcgskew:8KB")
-		hintsPath   = flag.String("hints", "", "static hint database (JSON) produced by bpselect")
-		shift       = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
-		collisions  = flag.Bool("collisions", true, "track predictor-table collisions")
-		noBatch     = flag.Bool("no-batch", false, "simulate per-event through the scalar Predict/Update protocol instead of the batched block kernel (results are bit-identical; batch is faster)")
-		metricsAddr = flag.String("metrics", "", "serve /debug/vars and /debug/pprof on this address during the run")
-		serveAddr   = flag.String("serve", "", "serve the live dashboard at / plus /metrics (Prometheus), /events (SSE) and the /debug routes on this address during the run")
-		journalPath = flag.String("journal", "", "write the run's JSONL records (arm + telemetry) to this file")
-		interval    = flag.Uint64("interval", 0, "journal an interval telemetry record every N instructions (0 = off)")
-		tableStats  = flag.Bool("table-stats", false, "sample predictor-table introspection at interval boundaries")
-		topK        = flag.Int("topk", 0, "track the K worst-offender branches with bounded per-branch stats (0 = off)")
-		list        = flag.Bool("list", false, "list workloads and predictor schemes, then exit")
+		wl         = flag.String("workload", "gcc", "workload name (see -list)")
+		input      = flag.String("input", "ref", "workload input: test, train or ref")
+		pred       = flag.String("predictor", "gshare:16KB", "dynamic predictor spec, e.g. 2bcgskew:8KB")
+		hintsPath  = flag.String("hints", "", "static hint database (JSON) produced by bpselect")
+		shift      = flag.Bool("shift", false, "shift outcomes of statically predicted branches into the global history")
+		collisions = flag.Bool("collisions", true, "track predictor-table collisions")
+		noBatch    = flag.Bool("no-batch", false, "simulate per-event through the scalar Predict/Update protocol instead of the batched block kernel (results are bit-identical; batch is faster)")
+		list       = flag.Bool("list", false, "list workloads and predictor schemes, then exit")
+		observe    cliflags.Obs
+		tel        cliflags.Telemetry
 	)
+	observe.Register(flag.CommandLine)
+	tel.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -61,8 +58,7 @@ func main() {
 		return
 	}
 
-	tel := branchsim.TelemetryConfig{Interval: *interval, TableStats: *tableStats, TopK: *topK}
-	if err := run(*wl, *input, *pred, *hintsPath, *metricsAddr, *serveAddr, *journalPath, *shift, *collisions, *noBatch, tel); err != nil {
+	if err := run(*wl, *input, *pred, *hintsPath, observe.MetricsAddr, observe.ServeAddr, observe.JournalPath, *shift, *collisions, *noBatch, tel.Config()); err != nil {
 		fmt.Fprintln(os.Stderr, "bpsim:", err)
 		os.Exit(1)
 	}
@@ -90,38 +86,18 @@ func run(wl, input, pred, hintsPath, metricsAddr, serveAddr, journalPath string,
 	}
 	combined := branchsim.Combine(dyn, hints, policy)
 
-	telemetryOn := tel.Interval > 0 || tel.TableStats || tel.TopK != 0
-	var sink *branchsim.Observer
-	if metricsAddr != "" || serveAddr != "" || journalPath != "" {
-		var obsOpts []branchsim.ObserverOption
-		if journalPath != "" {
-			j, err := branchsim.OpenJournal(journalPath)
-			if err != nil {
-				return err
-			}
-			obsOpts = append(obsOpts, branchsim.WithJournal(j))
-		}
-		sink = branchsim.NewObserver(obsOpts...)
-		defer sink.Close()
+	telemetryOn := tel.Enabled()
+	observe := cliflags.Obs{JournalPath: journalPath, MetricsAddr: metricsAddr, ServeAddr: serveAddr}
+	sink, err := observe.Observer()
+	if err != nil {
+		return err
 	}
-	if metricsAddr != "" {
-		srv, err := sink.Serve(metricsAddr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bpsim: serving metrics on http://%s/debug/vars\n", srv.Addr())
+	defer sink.Close()
+	stopEndpoints, err := observe.StartEndpoints(sink, "bpsim", os.Stderr, nil)
+	if err != nil {
+		return err
 	}
-	if serveAddr != "" {
-		state, stopFeed := dashboard.Attach(sink)
-		defer stopFeed()
-		srv, err := sink.Serve(serveAddr, obs.WithRootHandler(dashboard.Handler(state)))
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bpsim: dashboard on http://%s/\n", srv.Addr())
-	}
+	defer stopEndpoints()
 	if telemetryOn && journalPath == "" {
 		fmt.Fprintln(os.Stderr, "bpsim: telemetry enabled without -journal; records will be collected and discarded")
 	}

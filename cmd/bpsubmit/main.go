@@ -1,0 +1,161 @@
+// Command bpsubmit submits a sweep job to a running bpserve daemon over the
+// versioned job API and, by default, waits for the result and prints one
+// line per arm.
+//
+//	bpsubmit -addr http://127.0.0.1:8321 -workloads compress,go -inputs test \
+//	         -predictors gshare:8KB,2bcgskew:8KB -schemes none,static95
+//	bpsubmit -workloads compress -inputs test -predictors gshare:1KB -no-wait
+//	bpsubmit -status j000001
+//	bpsubmit -cancel j000001
+//	bpsubmit -list
+//
+// Predictor specs use the canonical predictor.Spec syntax ("gshare:16KB:h=8");
+// bad tokens are rejected client-side with an error naming the token. Typed
+// daemon rejections (tenant job quota, per-job arm quota, draining) are
+// reported with their code so scripts can branch on them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"branchsim/serveapi"
+)
+
+// options collects the flags of one invocation.
+type options struct {
+	addr       string
+	tenant     string
+	name       string
+	workloads  string
+	inputs     string
+	predictors string
+	schemes    string
+	noWait     bool
+	status     string
+	cancel     string
+	list       bool
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.addr, "addr", "http://127.0.0.1:8321", "base URL of the bpserve daemon")
+	flag.StringVar(&opt.tenant, "tenant", "", "tenant identity for admission control (default: the daemon's default tenant)")
+	flag.StringVar(&opt.name, "name", "", "freeform job label shown in status records and the dashboard")
+	flag.StringVar(&opt.workloads, "workloads", "", "comma-separated workload names, e.g. compress,go")
+	flag.StringVar(&opt.inputs, "inputs", "test", "comma-separated workload inputs (test, train, ref)")
+	flag.StringVar(&opt.predictors, "predictors", "", "comma-separated predictor specs, e.g. gshare:8KB,2bcgskew:8KB")
+	flag.StringVar(&opt.schemes, "schemes", "", "comma-separated static-filter schemes crossed into the grid (default: none)")
+	flag.BoolVar(&opt.noWait, "no-wait", false, "print the job ID and return instead of waiting for completion")
+	flag.StringVar(&opt.status, "status", "", "print the status of this job ID and exit")
+	flag.StringVar(&opt.cancel, "cancel", "", "cancel this job ID and exit")
+	flag.BoolVar(&opt.list, "list", false, "list the daemon's jobs and exit")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsubmit:", err)
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func run(ctx context.Context, opt options, w io.Writer) error {
+	client := serveapi.NewClient(opt.addr, serveapi.WithTenant(opt.tenant))
+
+	switch {
+	case opt.list:
+		jl, err := client.ListJobs(ctx)
+		if err != nil {
+			return err
+		}
+		for _, j := range jl.Jobs {
+			fmt.Fprintf(w, "%s  %-9s  %3d/%3d arms  tenant=%s  %s\n",
+				j.ID, j.State, j.ArmsDone, j.ArmsTotal, j.Tenant, j.Name)
+		}
+		return nil
+	case opt.status != "":
+		st, err := client.JobStatus(ctx, opt.status)
+		if err != nil {
+			return err
+		}
+		return printStatus(w, st)
+	case opt.cancel != "":
+		st, err := client.CancelJob(ctx, opt.cancel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s  %s\n", st.ID, st.State)
+		return nil
+	}
+
+	spec := &serveapi.JobSpec{
+		Name:       opt.name,
+		Workloads:  splitList(opt.workloads),
+		Inputs:     splitList(opt.inputs),
+		Predictors: splitList(opt.predictors),
+		Schemes:    splitList(opt.schemes),
+	}
+	ack, err := client.SubmitJob(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "submitted %s (%d arms)\n", ack.ID, ack.Arms)
+	if opt.noWait {
+		return nil
+	}
+	st, err := client.WaitJob(ctx, ack.ID)
+	if err != nil {
+		return err
+	}
+	return printStatus(w, st)
+}
+
+// printStatus renders a job snapshot, one line per arm, and returns an error
+// for non-done terminal states so the process exits non-zero.
+func printStatus(w io.Writer, st *serveapi.JobStatus) error {
+	fmt.Fprintf(w, "%s  %s  %d/%d arms done", st.ID, st.State, st.ArmsDone, st.ArmsTotal)
+	if st.ArmsFailed > 0 {
+		fmt.Fprintf(w, " (%d failed)", st.ArmsFailed)
+	}
+	fmt.Fprintln(w)
+	for _, a := range st.Arms {
+		switch {
+		case a.Metrics != nil:
+			fmt.Fprintf(w, "  %-10s %-6s %-16s %-10s MISP/KI %7.3f  acc %6.2f%%  (%d mispred / %d branches)\n",
+				a.Workload, a.Input, a.Predictor, a.Scheme,
+				a.Metrics.MISPKI(), 100*a.Metrics.Accuracy(), a.Metrics.Mispredicts, a.Metrics.Branches)
+		case a.Error != "":
+			fmt.Fprintf(w, "  %-10s %-6s %-16s %-10s FAILED: %s\n", a.Workload, a.Input, a.Predictor, a.Scheme, a.Error)
+		default:
+			fmt.Fprintf(w, "  %-10s %-6s %-16s %-10s %s\n", a.Workload, a.Input, a.Predictor, a.Scheme, a.State)
+		}
+	}
+	switch st.State {
+	case serveapi.StateDone:
+		return nil
+	case serveapi.StateFailed:
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	case serveapi.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", st.ID)
+	default:
+		return fmt.Errorf("job %s still %s", st.ID, st.State)
+	}
+}

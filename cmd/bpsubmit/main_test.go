@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"branchsim/internal/dashboard"
+	"branchsim/internal/experiment"
+	"branchsim/internal/obs"
+	"branchsim/internal/serve"
+	"branchsim/serveapi"
+)
+
+// startDaemon boots an in-process bpserve-equivalent stack and returns its
+// base URL.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	sink := obs.New()
+	h := experiment.NewQuickHarness(experiment.WithObserver(sink), experiment.WithWorkers(2))
+	t.Cleanup(h.Close)
+	s, err := serve.New(serve.Config{Harness: h, Obs: sink, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	state, stopFeed := dashboard.Attach(sink)
+	t.Cleanup(stopFeed)
+	srv, err := sink.Serve("127.0.0.1:0", obs.WithRootHandler(serve.Handler(s, dashboard.Handler(state))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + srv.Addr()
+}
+
+func TestSubmitWaitStatusList(t *testing.T) {
+	base := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var out strings.Builder
+	err := run(ctx, options{addr: base, tenant: "alice", name: "cli",
+		workloads: "compress", inputs: "test",
+		predictors: "gshare:1KB, bimodal:1KB"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"submitted j", "done  2/2 arms done", "gshare:1KB", "bimodal:1KB", "MISP/KI"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// -list shows the finished job; -status prints it again.
+	out.Reset()
+	if err := run(ctx, options{addr: base, list: true}, &out); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if !strings.Contains(out.String(), "done") || !strings.Contains(out.String(), "tenant=alice") {
+		t.Errorf("-list output unexpected:\n%s", out.String())
+	}
+	id := strings.Fields(out.String())[0]
+	out.Reset()
+	if err := run(ctx, options{addr: base, status: id}, &out); err != nil {
+		t.Fatalf("-status: %v", err)
+	}
+	if !strings.Contains(out.String(), id) {
+		t.Errorf("-status output missing job id:\n%s", out.String())
+	}
+}
+
+func TestSubmitNoWaitAndErrors(t *testing.T) {
+	base := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var out strings.Builder
+	if err := run(ctx, options{addr: base, workloads: "compress", inputs: "test",
+		predictors: "gshare:1KB", noWait: true}, &out); err != nil {
+		t.Fatalf("-no-wait: %v", err)
+	}
+	if !strings.Contains(out.String(), "submitted j") {
+		t.Errorf("-no-wait output missing ack:\n%s", out.String())
+	}
+
+	// A bad predictor token fails client-side, naming the token.
+	err := run(ctx, options{addr: base, workloads: "compress", inputs: "test",
+		predictors: "gsharre:1KB"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "gsharre") {
+		t.Errorf("bad predictor: err = %v, want one naming the token", err)
+	}
+
+	// Unknown job IDs surface the daemon's typed not-found error.
+	err = run(ctx, options{addr: base, status: "j999999"}, &out)
+	if !serveapi.IsCode(err, serveapi.CodeNotFound) {
+		t.Errorf("-status unknown: err = %v, want code %s", err, serveapi.CodeNotFound)
+	}
+}

@@ -46,6 +46,20 @@ type Arm struct {
 	Error        string  `json:"error,omitempty"`
 }
 
+// Job is one sweep-service job's live status row (bpserve publishes these;
+// offline journals have none).
+type Job struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Name   string `json:"name,omitempty"`
+	// State is queued, running, done, failed or cancelled.
+	State      string `json:"state"`
+	ArmsTotal  int    `json:"arms_total"`
+	ArmsDone   int    `json:"arms_done"`
+	ArmsFailed int    `json:"arms_failed"`
+	Error      string `json:"error,omitempty"`
+}
+
 // State is the dashboard's server-side model. Feed it record frames with
 // Ingest; read it through the Handler routes. Safe for concurrent use.
 type State struct {
@@ -53,6 +67,9 @@ type State struct {
 
 	arms  map[string]*Arm
 	order []string // arm keys in first-seen order
+
+	jobs     map[string]*Job
+	jobOrder []string // job IDs in first-seen order
 
 	progress obs.ProgressRecord
 	hasProg  bool
@@ -72,7 +89,7 @@ type State struct {
 
 // NewState returns an empty model.
 func NewState() *State {
-	return &State{arms: map[string]*Arm{}}
+	return &State{arms: map[string]*Arm{}, jobs: map[string]*Job{}}
 }
 
 // Ingest feeds one JSONL record frame (no trailing newline). Unparseable
@@ -110,6 +127,16 @@ func (st *State) Ingest(line []byte) {
 			st.intervalsEvicted++
 		}
 		st.intervals = append(st.intervals, *r)
+	case *obs.JobRecord:
+		j := st.jobs[r.ID]
+		if j == nil {
+			j = &Job{ID: r.ID}
+			st.jobs[r.ID] = j
+			st.jobOrder = append(st.jobOrder, r.ID)
+		}
+		j.Tenant, j.Name, j.State = r.Tenant, r.Name, r.State
+		j.ArmsTotal, j.ArmsDone, j.ArmsFailed = r.ArmsTotal, r.ArmsDone, r.ArmsFailed
+		j.Error = r.Error
 	case *obs.ProgressRecord:
 		st.progress, st.hasProg = *r, true
 	case *obs.DropsRecord:
@@ -145,7 +172,10 @@ func (st *State) pushTail(line []byte) {
 
 // Snapshot is the /api/state payload.
 type Snapshot struct {
-	Arms     []Arm               `json:"arms"`
+	Arms []Arm `json:"arms"`
+	// Jobs is the cross-job sweep-service view, first-submitted first
+	// (empty unless a bpserve daemon feeds the stream).
+	Jobs     []Job               `json:"jobs,omitempty"`
 	Progress *obs.ProgressRecord `json:"progress,omitempty"`
 	// Intervals is how many interval records the charts currently cover;
 	// IntervalsEvicted how many older ones the bounded store let go.
@@ -174,6 +204,9 @@ func (st *State) Snapshot() Snapshot {
 	}
 	for _, key := range st.order {
 		out.Arms = append(out.Arms, *st.arms[key])
+	}
+	for _, id := range st.jobOrder {
+		out.Jobs = append(out.Jobs, *st.jobs[id])
 	}
 	if st.hasProg {
 		p := st.progress

@@ -77,6 +77,32 @@ func TestStateIngestLifecycle(t *testing.T) {
 	}
 }
 
+// TestStateIngestJobs folds bpserve job lifecycle records into the cross-job
+// view: one row per job ID, updated in place, submission order preserved.
+func TestStateIngestJobs(t *testing.T) {
+	st := NewState()
+	job := func(id, tenant, state string, done, failed int) {
+		st.Ingest(frame(t, &obs.JobRecord{Type: obs.RecJob, V: obs.SchemaV1,
+			ID: id, Tenant: tenant, Name: "grid", State: state,
+			ArmsTotal: 4, ArmsDone: done, ArmsFailed: failed}))
+	}
+	job("j000001", "alice", "queued", 0, 0)
+	job("j000002", "bob", "running", 1, 0)
+	job("j000001", "alice", "running", 2, 0)
+	job("j000001", "alice", "done", 4, 0)
+
+	snap := st.Snapshot()
+	if len(snap.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(snap.Jobs))
+	}
+	if j := snap.Jobs[0]; j.ID != "j000001" || j.State != "done" || j.ArmsDone != 4 || j.Tenant != "alice" {
+		t.Fatalf("job[0] = %+v", j)
+	}
+	if j := snap.Jobs[1]; j.ID != "j000002" || j.State != "running" || j.ArmsDone != 1 {
+		t.Fatalf("job[1] = %+v", j)
+	}
+}
+
 func TestStateBoundedStores(t *testing.T) {
 	st := NewState()
 	for i := 0; i < maxIntervals+10; i++ {

@@ -78,6 +78,28 @@ const (
 	// bounded per-branch tracker (the site cap was reached).
 	MTelemetrySitesDropped = "telemetry.sites_dropped"
 
+	// MServeJobsSubmitted counts sweep jobs accepted by the serve daemon.
+	MServeJobsSubmitted = "serve.jobs_submitted"
+	// MServeJobsRejected counts job submissions refused by admission
+	// control (tenant quota, arm quota, draining).
+	MServeJobsRejected = "serve.jobs_rejected"
+	// MServeJobsDone counts jobs that finished with every arm successful.
+	MServeJobsDone = "serve.jobs_done"
+	// MServeJobsFailed counts jobs that finished with at least one failed arm.
+	MServeJobsFailed = "serve.jobs_failed"
+	// MServeJobsCancelled counts jobs cancelled by a client or by drain.
+	MServeJobsCancelled = "serve.jobs_cancelled"
+	// MServeJobsRunning (gauge) is the number of jobs currently in flight.
+	MServeJobsRunning = "serve.jobs_running"
+	// MServeArmsDone counts job arms completed successfully (including
+	// arms satisfied by the shared caches — the daemon's unit of progress).
+	MServeArmsDone = "serve.arms_done"
+	// MServeArmsFailed counts job arms that ended in an error.
+	MServeArmsFailed = "serve.arms_failed"
+	// MServeArmsPending (gauge) is the number of expanded arms admitted but
+	// not yet finished, across all jobs.
+	MServeArmsPending = "serve.arms_pending"
+
 	// MBusPublished counts records published to the live event bus.
 	MBusPublished = "bus.published"
 	// MBusDropped counts frames discarded across all bus subscribers by the
@@ -111,6 +133,12 @@ const (
 	// RecDrops reports a subscriber's cumulative dropped-frame count
 	// (DropsRecord). Live-only.
 	RecDrops = "drops"
+	// RecJob is one sweep job's lifecycle snapshot from the serve daemon
+	// (JobRecord). Live-only: published to the event bus on every state
+	// change and arm completion, never journaled — the journal's unit stays
+	// the arm, so daemon journals are byte-identical to offline runs of the
+	// same arms.
+	RecJob = "job"
 )
 
 // NameKind classifies a registered name.
@@ -157,6 +185,15 @@ var registeredNames = []RegisteredName{
 	{MTelemetryTopK, KindCounter},
 	{MTelemetrySites, KindGauge},
 	{MTelemetrySitesDropped, KindCounter},
+	{MServeJobsSubmitted, KindCounter},
+	{MServeJobsRejected, KindCounter},
+	{MServeJobsDone, KindCounter},
+	{MServeJobsFailed, KindCounter},
+	{MServeJobsCancelled, KindCounter},
+	{MServeJobsRunning, KindGauge},
+	{MServeArmsDone, KindCounter},
+	{MServeArmsFailed, KindCounter},
+	{MServeArmsPending, KindGauge},
 	{MBusPublished, KindCounter},
 	{MBusDropped, KindCounter},
 	{MBusSubscribers, KindGauge},
@@ -167,6 +204,7 @@ var registeredNames = []RegisteredName{
 	{RecArmStart, KindRecord},
 	{RecProgress, KindRecord},
 	{RecDrops, KindRecord},
+	{RecJob, KindRecord},
 }
 
 // RegisteredNames returns a copy of the registry: every well-known metric

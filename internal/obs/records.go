@@ -31,6 +31,7 @@ func (r *TopKRecord) stamp()       { r.Type, r.V = RecTopK, SchemaV1 }
 func (r *ArmStartRecord) stamp()   { r.Type, r.V = RecArmStart, SchemaV1 }
 func (r *ProgressRecord) stamp()   { r.Type, r.V = RecProgress, SchemaV1 }
 func (r *DropsRecord) stamp()      { r.Type, r.V = RecDrops, SchemaV1 }
+func (r *JobRecord) stamp()        { r.Type, r.V = RecJob, SchemaV1 }
 
 // ArmStartRecord announces that an arm's span opened. It is a live-only
 // record: published to the event bus when StartArm fires so dashboards can
@@ -81,6 +82,36 @@ type DropsRecord struct {
 
 	// Dropped is the cumulative frame count discarded for this subscriber.
 	Dropped uint64 `json:"dropped"`
+}
+
+// JobRecord is one sweep job's lifecycle snapshot from the serve daemon:
+// published to the event bus when a job is admitted, on every arm
+// completion, and when the job reaches a terminal state, so dashboards can
+// show cross-job progress. Live-only, never journaled — it carries
+// wall-clock state and job identity, and the journal must stay
+// byte-identical to an offline run of the same arms.
+type JobRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// Time is when the snapshot was taken, RFC 3339 with nanoseconds.
+	Time time.Time `json:"time"`
+	// ID is the daemon-assigned job identifier.
+	ID string `json:"id"`
+	// Tenant is the submitting tenant.
+	Tenant string `json:"tenant"`
+	// Name is the client's freeform job label, if any.
+	Name string `json:"name,omitempty"`
+	// State is the lifecycle state: "queued", "running", "done", "failed"
+	// or "cancelled".
+	State string `json:"state"`
+	// ArmsTotal is the job's expanded arm count; ArmsDone and ArmsFailed
+	// count terminal arms so far.
+	ArmsTotal  int `json:"arms_total"`
+	ArmsDone   int `json:"arms_done"`
+	ArmsFailed int `json:"arms_failed"`
+	// Error summarizes the failure of a "failed" job (first failed arm).
+	Error string `json:"error,omitempty"`
 }
 
 // IntervalRecord is one interval of an arm's simulation-domain time series:
@@ -255,8 +286,8 @@ type SchemaError struct {
 
 // Error implements error.
 func (e *SchemaError) Error() string {
-	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s; version %d)",
-		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecArmStart, RecProgress, RecDrops, SchemaV1)
+	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s, %s; version %d)",
+		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecArmStart, RecProgress, RecDrops, RecJob, SchemaV1)
 }
 
 // Records is a parsed journal, split by record type. The live-only types
@@ -270,12 +301,13 @@ type Records struct {
 	ArmStarts  []ArmStartRecord
 	Progress   []ProgressRecord
 	Drops      []DropsRecord
+	Jobs       []JobRecord
 }
 
 // Len returns the total record count.
 func (r *Records) Len() int {
 	return len(r.Arms) + len(r.Intervals) + len(r.TableStats) + len(r.TopK) +
-		len(r.ArmStarts) + len(r.Progress) + len(r.Drops)
+		len(r.ArmStarts) + len(r.Progress) + len(r.Drops) + len(r.Jobs)
 }
 
 // Add appends one decoded record (a DecodeRecord result) to its slice;
@@ -300,6 +332,8 @@ func (r *Records) add(rec any) {
 		r.Progress = append(r.Progress, *rec)
 	case *DropsRecord:
 		r.Drops = append(r.Drops, *rec)
+	case *JobRecord:
+		r.Jobs = append(r.Jobs, *rec)
 	}
 }
 
@@ -311,7 +345,8 @@ type recordHead struct {
 
 // DecodeRecord decodes one JSONL record line into its typed record — one of
 // *ArmRecord, *IntervalRecord, *TableStatsRecord, *TopKRecord,
-// *ArmStartRecord, *ProgressRecord or *DropsRecord. A line without a "type"
+// *ArmStartRecord, *ProgressRecord, *DropsRecord or *JobRecord. A line
+// without a "type"
 // field is an arm record (the pre-telemetry schema). An unknown record type
 // or schema version fails with a *SchemaError (Line 0; batch readers stamp
 // their own line numbers).
@@ -340,6 +375,8 @@ func DecodeRecord(data []byte) (any, error) {
 		rec = &ProgressRecord{}
 	case RecDrops:
 		rec = &DropsRecord{}
+	case RecJob:
+		rec = &JobRecord{}
 	default:
 		return nil, &SchemaError{Type: head.Type, Version: head.V}
 	}

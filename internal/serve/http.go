@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"branchsim/serveapi"
+)
+
+// maxJobSpecBytes bounds a job submission body. Grids large enough to hit
+// this would be rejected by the arm quota anyway.
+const maxJobSpecBytes = 4 << 20
+
+// Handler routes the versioned job API (/api/v1/*) to s and delegates every
+// other path to next — typically the embedded dashboard — so one obs.Server
+// serves /metrics, /events, the UI and the job API from a single listener.
+// A nil next turns unmatched paths into 404s.
+func Handler(s *Server, next http.Handler) http.Handler {
+	if next == nil {
+		next = http.NotFoundHandler()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxJobSpecBytes))
+		if err != nil {
+			writeError(w, serveapi.Errorf(serveapi.CodeBadRequest, "reading body: %v", err))
+			return
+		}
+		spec, err := serveapi.DecodeJobSpec(body)
+		if err != nil {
+			writeError(w, serveapi.Errorf(serveapi.CodeBadRequest, "%v", err))
+			return
+		}
+		if spec.Tenant == "" {
+			spec.Tenant = r.Header.Get("X-Tenant")
+		}
+		ack, err := s.Submit(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ack)
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, serveapi.Errorf(serveapi.CodeNotFound, "no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	mux.Handle("/", next)
+	return mux
+}
+
+// writeJSON serves one wire message.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeError serves a typed API error at its mapped HTTP status. Untyped
+// errors (there should be none) become 500s with CodeBadRequest semantics
+// hidden — the message still travels.
+func writeError(w http.ResponseWriter, err error) {
+	var e *serveapi.Error
+	if !errors.As(err, &e) {
+		e = &serveapi.Error{Code: "internal", Message: fmt.Sprintf("%v", err)}
+		e.Stamp()
+	}
+	writeJSON(w, e.HTTPStatus(), e)
+}

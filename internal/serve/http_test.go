@@ -1,0 +1,235 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"branchsim/internal/experiment"
+	"branchsim/internal/obs"
+	"branchsim/internal/serve"
+	"branchsim/internal/telemetry"
+	"branchsim/serveapi"
+)
+
+// telemetryLines extracts a journal's wall-clock-free telemetry records
+// (interval, table_stats, topk), sorted — the byte-stable subset two
+// equivalent sweeps must agree on exactly.
+func telemetryLines(journal []byte) []string {
+	var out []string
+	for _, line := range strings.Split(string(journal), "\n") {
+		for _, kind := range []string{`{"type":"interval"`, `{"type":"table_stats"`, `{"type":"topk"`} {
+			if strings.HasPrefix(line, kind) {
+				out = append(out, line)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestDaemonJournalMatchesOffline runs the same grid once through a plain
+// harness and once through the daemon, with full telemetry journaling, and
+// demands (a) bit-identical per-arm metrics and (b) byte-identical telemetry
+// journals — attaching the service must never perturb results or records.
+// It also proves job lifecycle records stay off the journal entirely.
+func TestDaemonJournalMatchesOffline(t *testing.T) {
+	tcfg := telemetry.Config{Interval: 20_000, TableStats: true, TopK: 4}
+	preds := []string{"gshare:1KB", "bimodal:1KB"}
+
+	// Offline reference: direct harness runs.
+	var offBuf bytes.Buffer
+	offSink := obs.New(obs.WithJournal(obs.NewJournal(&offBuf)))
+	h1 := experiment.NewQuickHarness(
+		experiment.WithObserver(offSink),
+		experiment.WithWorkers(2),
+		experiment.WithTelemetry(tcfg),
+	)
+	want := map[string]serveapi.Metrics{}
+	for _, pred := range preds {
+		m, err := h1.Run(context.Background(), experiment.Arm{
+			Workload: "compress", Input: "test", Pred: pred, Scheme: "none"})
+		if err != nil {
+			t.Fatalf("offline %s: %v", pred, err)
+		}
+		want[pred] = serveapi.Metrics{
+			Instructions:      m.Instructions,
+			Branches:          m.Branches,
+			Taken:             m.TakenCount,
+			Mispredicts:       m.Mispredicts,
+			CollisionsTracked: m.CollisionsTracked,
+			Collisions:        m.Collisions.Total,
+			Constructive:      m.Collisions.Constructive,
+			Destructive:       m.Collisions.Destructive,
+		}
+	}
+	h1.Close()
+	if err := offSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon run of the identical grid.
+	var srvBuf bytes.Buffer
+	srvSink := obs.New(obs.WithJournal(obs.NewJournal(&srvBuf)))
+	h2 := experiment.NewQuickHarness(
+		experiment.WithObserver(srvSink),
+		experiment.WithWorkers(2),
+		experiment.WithTelemetry(tcfg),
+	)
+	s, err := serve.New(serve.Config{Harness: h2, Obs: srvSink, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := s.Submit(&serveapi.JobSpec{Tenant: "alice",
+		Workloads: []string{"compress"}, Inputs: []string{"test"}, Predictors: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, ack.ID)
+	if st.State != serveapi.StateDone {
+		t.Fatalf("daemon job state = %s (error %q), want done", st.State, st.Error)
+	}
+	s.Close()
+	h2.Close()
+	if err := srvSink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Per-arm metrics are bit-identical to the offline run.
+	for _, a := range st.Arms {
+		if a.Metrics == nil {
+			t.Fatalf("arm %s has no metrics", a.Key())
+		}
+		if *a.Metrics != want[a.Predictor] {
+			t.Errorf("arm %s metrics diverge from offline run:\n daemon  %+v\n offline %+v",
+				a.Key(), *a.Metrics, want[a.Predictor])
+		}
+	}
+
+	// (b) The telemetry journals agree byte for byte.
+	off, srv := telemetryLines(offBuf.Bytes()), telemetryLines(srvBuf.Bytes())
+	if len(off) == 0 {
+		t.Fatal("offline journal has no telemetry records; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(off, srv) {
+		t.Errorf("telemetry journals diverge: offline %d lines, daemon %d lines", len(off), len(srv))
+		for i := 0; i < len(off) && i < len(srv); i++ {
+			if off[i] != srv[i] {
+				t.Errorf("first divergence:\n offline %s\n daemon  %s", off[i], srv[i])
+				break
+			}
+		}
+	}
+
+	// Job lifecycle records are live-only: never in the journal.
+	if strings.Contains(srvBuf.String(), `{"type":"job"`) {
+		t.Error("daemon journal contains job records; they must stay on the live bus only")
+	}
+}
+
+// TestHTTPEndToEnd drives the full stack — serveapi.Client → HTTP handler →
+// daemon → shared harness — through a real obs.Server, with the job API
+// mounted alongside /metrics and /events on one listener. WaitJob's SSE fast
+// path is live here: the poll interval is set far above the job's runtime,
+// so only the event-bus kick can finish the wait promptly.
+func TestHTTPEndToEnd(t *testing.T) {
+	sink := obs.New()
+	h := experiment.NewQuickHarness(experiment.WithObserver(sink), experiment.WithWorkers(2))
+	defer h.Close()
+	s, err := serve.New(serve.Config{Harness: h, Obs: sink, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv, err := sink.Serve("127.0.0.1:0", obs.WithRootHandler(serve.Handler(s, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	client := serveapi.NewClient(base,
+		serveapi.WithTenant("alice"),
+		serveapi.WithPollInterval(30*time.Second))
+
+	ack, err := client.SubmitJob(ctx, &serveapi.JobSpec{Name: "e2e",
+		Workloads: []string{"compress"}, Inputs: []string{"test"},
+		Predictors: []string{"gshare:1KB", "bimodal:1KB"}})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if ack.Arms != 2 {
+		t.Errorf("ack.Arms = %d, want 2", ack.Arms)
+	}
+	start := time.Now()
+	st, err := client.WaitJob(ctx, ack.ID)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if wait := time.Since(start); wait > 20*time.Second {
+		t.Errorf("WaitJob took %v; the SSE fast path did not fire", wait)
+	}
+	if st.State != serveapi.StateDone || st.ArmsDone != 2 || st.Tenant != "alice" {
+		t.Fatalf("job = %+v, want done/2 for alice", st)
+	}
+	for _, a := range st.Arms {
+		if a.State != serveapi.ArmDone || a.Metrics == nil || a.Metrics.Branches == 0 {
+			t.Errorf("arm %s: state=%s metrics=%+v", a.Key(), a.State, a.Metrics)
+		}
+	}
+
+	// List shows the job; cancelling a done job is a no-op.
+	jl, err := client.ListJobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jl.Jobs) != 1 || jl.Jobs[0].ID != ack.ID {
+		t.Errorf("ListJobs = %+v, want the one submitted job", jl.Jobs)
+	}
+	if st, err := client.CancelJob(ctx, ack.ID); err != nil || st.State != serveapi.StateDone {
+		t.Errorf("CancelJob(done job) = %v/%v, want done/nil", st, err)
+	}
+
+	// Typed errors cross the wire: unknown job, malformed body.
+	if _, err := client.JobStatus(ctx, "j999999"); !serveapi.IsCode(err, serveapi.CodeNotFound) {
+		t.Errorf("JobStatus(unknown): err = %v, want code %s", err, serveapi.CodeNotFound)
+	}
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"workloads":["compress"]}`)) // no {type,v} envelope
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("envelope-less submit: HTTP %d, want 400", resp.StatusCode)
+	}
+	if e, derr := serveapi.DecodeError(body); derr != nil || e.Code != serveapi.CodeBadRequest {
+		t.Errorf("envelope-less submit body = %s (decode err %v), want typed %s", body, derr, serveapi.CodeBadRequest)
+	}
+
+	// The serve.* series are live on the same listener's /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"branchsim_serve_jobs_submitted 1",
+		"branchsim_serve_jobs_done 1",
+		"branchsim_serve_arms_done 2",
+	} {
+		if !bytes.Contains(metrics, []byte(series)) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+}

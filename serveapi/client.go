@@ -1,0 +1,254 @@
+package serveapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// defaultPoll is the WaitJob polling cadence when the client has none set.
+const defaultPoll = 250 * time.Millisecond
+
+// Client drives a bpserve daemon over its versioned job API. The zero value
+// is not usable; build one with NewClient. A Client is safe for concurrent
+// use.
+type Client struct {
+	base   string
+	tenant string
+	hc     *http.Client
+	poll   time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTenant stamps every submitted job with the given tenant identity.
+func WithTenant(tenant string) ClientOption {
+	return func(c *Client) { c.tenant = tenant }
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithPollInterval sets the WaitJob polling cadence (default 250ms). The
+// SSE fast path makes completion latency largely independent of it; the
+// poll is the safety net.
+func WithPollInterval(d time.Duration) ClientOption {
+	return func(c *Client) { c.poll = d }
+}
+
+// NewClient returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:8321".
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   http.DefaultClient,
+		poll: defaultPoll,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// SubmitJob validates and canonicalizes spec (Normalize — parse errors name
+// the bad token without a round-trip), stamps the client's tenant when the
+// spec carries none, and submits it. The daemon's admission failures come
+// back as a typed *Error (IsCode branches on them).
+func (c *Client) SubmitJob(ctx context.Context, spec *JobSpec) (*Submitted, error) {
+	if spec.Tenant == "" {
+		spec.Tenant = c.tenant
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serveapi: encoding job spec: %w", err)
+	}
+	out := &Submitted{}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs", body, TypeSubmitted, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JobStatus fetches one job's snapshot, per-arm results included.
+func (c *Client) JobStatus(ctx context.Context, id string) (*JobStatus, error) {
+	out := &JobStatus{}
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, TypeJobStatus, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ListJobs fetches summaries of every job the daemon knows, oldest first.
+func (c *Client) ListJobs(ctx context.Context) (*JobList, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/jobs", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serveapi: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serveapi: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("serveapi: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp.StatusCode, data)
+	}
+	out := &JobList{}
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, fmt.Errorf("serveapi: decoding job list: %w", err)
+	}
+	return out, nil
+}
+
+// CancelJob asks the daemon to cancel a job's remaining arms cooperatively
+// and returns the resulting snapshot. Cancelling a terminal job is a no-op.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	out := &JobStatus{}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+id+"/cancel", nil, TypeJobStatus, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WaitJob blocks until the job reaches a terminal state (or ctx ends) and
+// returns its final snapshot. It listens to the daemon's /events SSE stream
+// for the job's lifecycle records and re-polls immediately on each — so
+// completion is noticed at bus latency — while a periodic status poll
+// covers daemons without a bus and dropped frames.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	kick := make(chan struct{}, 1)
+	go c.watchEvents(ctx, id, kick)
+	poll := c.poll
+	if poll <= 0 {
+		poll = defaultPoll
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		case <-kick:
+		}
+	}
+}
+
+// watchEvents follows the daemon's SSE stream, nudging kick whenever a job
+// record for id arrives. Best-effort: any failure falls back to the poll
+// loop, reconnecting with backoff until ctx ends.
+func (c *Client) watchEvents(ctx context.Context, id string, kick chan<- struct{}) {
+	for ctx.Err() == nil {
+		c.streamEvents(ctx, id, kick)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// streamEvents consumes one /events connection until it breaks.
+func (c *Client) streamEvents(ctx context.Context, id string, kick chan<- struct{}) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/events", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	// Frames are the journal's JSONL envelope; only job records for our id
+	// matter here.
+	var frame struct {
+		Type string `json:"type"`
+		ID   string `json:"id"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		frame.Type, frame.ID = "", ""
+		if json.Unmarshal([]byte(data), &frame) != nil {
+			continue
+		}
+		if frame.Type == "job" && frame.ID == id {
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// do runs one JSON round-trip: non-2xx responses decode into the typed
+// *Error (falling back to the raw body text), 2xx responses decode through
+// the {type,v} envelope check.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, wantType string, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("serveapi: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serveapi: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("serveapi: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp.StatusCode, data)
+	}
+	return decodeEnvelope(data, wantType, out)
+}
+
+// apiError turns a non-2xx response into the typed *Error when the body
+// carries one, else a plain error quoting the body.
+func apiError(status int, body []byte) error {
+	if e, err := DecodeError(body); err == nil {
+		return e
+	}
+	return fmt.Errorf("serveapi: HTTP %d: %s", status, bytes.TrimSpace(body))
+}

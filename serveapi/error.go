@@ -1,0 +1,91 @@
+package serveapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes the daemon's admission control and routing return. Clients
+// branch on Code, not on message text or HTTP status.
+const (
+	// CodeBadRequest is a malformed request: undecodable body, wrong
+	// envelope, bad route parameter.
+	CodeBadRequest = "bad_request"
+	// CodeBadSpec is a job spec that failed validation; the message names
+	// the offending token (unknown scheme, bad size suffix, ...).
+	CodeBadSpec = "bad_spec"
+	// CodeQuotaJobs means the tenant already has its maximum number of jobs
+	// in flight. Back off and resubmit; the daemon never queues unboundedly.
+	CodeQuotaJobs = "quota_jobs"
+	// CodeQuotaArms means the job's expanded grid exceeds the per-job arm
+	// quota. Split the grid into smaller jobs.
+	CodeQuotaArms = "quota_arms"
+	// CodeDraining means the daemon is shutting down and no longer admits
+	// jobs. In-flight jobs drain; resubmit to the replacement instance.
+	CodeDraining = "draining"
+	// CodeNotFound means the job ID is unknown to this daemon.
+	CodeNotFound = "not_found"
+)
+
+// Error is the typed failure the job API returns instead of free-text HTTP
+// errors. It is both the wire message ({type:"error",v:1}) and the Go error
+// clients receive.
+type Error struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// Stamp fills the envelope fields.
+func (e *Error) Stamp() { e.Type, e.V = TypeError, SchemaV1 }
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("serveapi: %s: %s", e.Code, e.Message)
+}
+
+// Errorf builds a stamped Error.
+func Errorf(code, format string, args ...any) *Error {
+	e := &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+	e.Stamp()
+	return e
+}
+
+// HTTPStatus maps the error code to the status the daemon serves it with.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBadRequest, CodeBadSpec:
+		return http.StatusBadRequest
+	case CodeQuotaJobs:
+		return http.StatusTooManyRequests
+	case CodeQuotaArms:
+		return http.StatusRequestEntityTooLarge
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// DecodeError decodes a {type:"error",v:1} message.
+func DecodeError(data []byte) (*Error, error) {
+	e := &Error{}
+	if err := decodeEnvelope(data, TypeError, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// IsCode reports whether err (or anything it wraps) is a serveapi.Error
+// with the given code.
+func IsCode(err error, code string) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}

@@ -1,0 +1,312 @@
+// Package serveapi is the versioned wire schema and Go client for the
+// bpserve sweep service. It is the contract both the daemon
+// (internal/serve) and clients (the Client type, cmd/bpsubmit, CI scripts)
+// compile against.
+//
+// Every message carries the {type,v} envelope the run journal established
+// (internal/obs): a "type" field naming the message and a "v" schema
+// version. Readers reject versions they do not understand with a
+// *SchemaError instead of misparsing them, so the daemon and its clients
+// can evolve independently. The current version is SchemaV1.
+//
+// Predictor specifications use the one canonical syntax the rest of the
+// system uses — predictor.Spec strings, e.g. "gshare:16KB:h=8" (see
+// ParseSpec there). Normalize rewrites every accepted spelling to its
+// canonical form and rejects bad specs with an error naming the offending
+// token, so a job's arms carry exactly the strings the harness
+// singleflight/checkpoint keys are built from.
+package serveapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"branchsim/internal/predictor"
+)
+
+// SchemaV1 is the current job API schema version, stamped into every
+// message's "v" field.
+const SchemaV1 = 1
+
+// Message type names on the job API wire.
+const (
+	// TypeJobSpec is a job submission (JobSpec), the POST /api/v1/jobs body.
+	TypeJobSpec = "job_spec"
+	// TypeSubmitted acknowledges an accepted job (Submitted).
+	TypeSubmitted = "job_submitted"
+	// TypeJobStatus is a job's lifecycle snapshot with per-arm results
+	// (JobStatus).
+	TypeJobStatus = "job_status"
+	// TypeError is a typed request failure (Error).
+	TypeError = "error"
+)
+
+// Job lifecycle states, as reported in JobStatus.State.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Arm lifecycle states, as reported in ArmResult.State.
+const (
+	ArmPending = "pending"
+	ArmRunning = "running"
+	ArmDone    = "done"
+	ArmFailed  = "failed"
+)
+
+// JobSpec is one sweep job: a (workload × input × predictor-spec × scheme)
+// grid the daemon expands into arms. The zero values of the list fields are
+// invalid; Normalize validates and canonicalizes a spec before submission.
+type JobSpec struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// Tenant identifies the submitting tenant for admission control. The
+	// client stamps it from its own configuration; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Name is a freeform label echoed in status records and dashboards.
+	Name string `json:"name,omitempty"`
+
+	// Workloads, Inputs and Predictors span the grid. Predictors use
+	// predictor.Spec syntax ("2bcgskew:8KB"); Normalize canonicalizes them.
+	Workloads  []string `json:"workloads"`
+	Inputs     []string `json:"inputs"`
+	Predictors []string `json:"predictors"`
+	// Schemes are static-filter schemes crossed into the grid ("none",
+	// "static95", "staticacc", ...). Empty means ["none"] — pure dynamic.
+	Schemes []string `json:"schemes,omitempty"`
+}
+
+// Stamp fills the envelope fields. Clients call it (or let Normalize) before
+// encoding; the decoder rejects a missing or foreign envelope.
+func (s *JobSpec) Stamp() { s.Type, s.V = TypeJobSpec, SchemaV1 }
+
+// Normalize validates the spec in place: the envelope is stamped, every
+// predictor spec is parsed and rewritten to its canonical predictor.Spec
+// string (the exact string the daemon's dedupe keys use), the scheme list
+// defaults to ["none"], and empty grid dimensions are rejected. Errors name
+// the offending token.
+func (s *JobSpec) Normalize() error {
+	s.Stamp()
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("serveapi: job spec: no workloads")
+	}
+	if len(s.Inputs) == 0 {
+		return fmt.Errorf("serveapi: job spec: no inputs")
+	}
+	if len(s.Predictors) == 0 {
+		return fmt.Errorf("serveapi: job spec: no predictors")
+	}
+	for i, raw := range s.Predictors {
+		spec, err := predictor.ParseSpec(raw)
+		if err != nil {
+			return fmt.Errorf("serveapi: job spec: %w", err)
+		}
+		s.Predictors[i] = spec.String()
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = []string{"none"}
+	}
+	for i, sch := range s.Schemes {
+		sch = strings.ToLower(strings.TrimSpace(sch))
+		if sch == "" {
+			sch = "none"
+		}
+		s.Schemes[i] = sch
+	}
+	return nil
+}
+
+// Arms expands the grid in deterministic order: workloads outermost, then
+// inputs, predictors, schemes. Call Normalize first; Arms performs no
+// validation.
+func (s *JobSpec) Arms() []Arm {
+	out := make([]Arm, 0, len(s.Workloads)*len(s.Inputs)*len(s.Predictors)*len(s.Schemes))
+	for _, wl := range s.Workloads {
+		for _, in := range s.Inputs {
+			for _, pred := range s.Predictors {
+				for _, sch := range s.Schemes {
+					out = append(out, Arm{Workload: wl, Input: in, Predictor: pred, Scheme: sch})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Arm is one point of a job's grid.
+type Arm struct {
+	Workload  string `json:"workload"`
+	Input     string `json:"input"`
+	Predictor string `json:"predictor"` // canonical predictor.Spec string
+	Scheme    string `json:"scheme"`
+}
+
+// Key is the arm's stable identity within a job ("compress/test/gshare:8KB/none").
+func (a Arm) Key() string {
+	return a.Workload + "/" + a.Input + "/" + a.Predictor + "/" + a.Scheme
+}
+
+// Metrics is the wire form of one arm's simulation result. Field for field
+// it mirrors the simulator's metrics struct, so a daemon result is
+// bit-identical to an offline run of the same arm.
+type Metrics struct {
+	Instructions uint64 `json:"instructions"`
+	Branches     uint64 `json:"branches"`
+	Taken        uint64 `json:"taken"`
+	Mispredicts  uint64 `json:"mispredicts"`
+
+	// Collision counters, populated when the arm tracked collisions (the
+	// daemon always does, matching the experiment harness).
+	CollisionsTracked bool   `json:"collisions_tracked,omitempty"`
+	Collisions        uint64 `json:"collisions,omitempty"`
+	Constructive      uint64 `json:"constructive,omitempty"`
+	Destructive       uint64 `json:"destructive,omitempty"`
+}
+
+// MISPKI returns mispredictions per thousand instructions, the paper's
+// primary metric.
+func (m Metrics) MISPKI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(m.Mispredicts) / float64(m.Instructions)
+}
+
+// Accuracy returns the fraction of branches predicted correctly.
+func (m Metrics) Accuracy() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return 1 - float64(m.Mispredicts)/float64(m.Branches)
+}
+
+// ArmResult is one arm's state and, when done, its metrics.
+type ArmResult struct {
+	Arm
+	State   string   `json:"state"` // pending|running|done|failed
+	Metrics *Metrics `json:"metrics,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Submitted acknowledges an accepted job.
+type Submitted struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// ID is the daemon-assigned job identifier; poll it with JobStatus.
+	ID string `json:"id"`
+	// Arms is the expanded arm count the job was admitted with.
+	Arms int `json:"arms"`
+}
+
+// Stamp fills the envelope fields.
+func (s *Submitted) Stamp() { s.Type, s.V = TypeSubmitted, SchemaV1 }
+
+// JobStatus is one job's lifecycle snapshot. Terminal states carry the full
+// per-arm result list.
+type JobStatus struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Name   string `json:"name,omitempty"`
+	// State is queued, running, done, failed or cancelled.
+	State string `json:"state"`
+
+	ArmsTotal  int `json:"arms_total"`
+	ArmsDone   int `json:"arms_done"`
+	ArmsFailed int `json:"arms_failed"`
+
+	// Error summarizes a failed job (its first failed arm's error).
+	Error string `json:"error,omitempty"`
+	// Arms carries per-arm results in grid-expansion order.
+	Arms []ArmResult `json:"arms,omitempty"`
+}
+
+// Stamp fills the envelope fields.
+func (s *JobStatus) Stamp() { s.Type, s.V = TypeJobStatus, SchemaV1 }
+
+// Terminal reports whether the job has reached a final state.
+func (s *JobStatus) Terminal() bool {
+	switch s.State {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// JobList is the GET /api/v1/jobs payload: job summaries (no per-arm
+// results), oldest first.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// SchemaError reports a wire message whose type or schema version this
+// reader does not understand, mirroring the journal reader's discipline:
+// fail loudly, never misparse.
+type SchemaError struct {
+	// Want is the message type the caller was decoding.
+	Want string
+	// Type and Version are what the message declared.
+	Type    string
+	Version int
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("serveapi: unsupported message schema: type=%q v=%d (want type %q, version %d)",
+		e.Type, e.Version, e.Want, SchemaV1)
+}
+
+// envelope is the {type,v} head every message is peeked through.
+type envelope struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+}
+
+// decodeEnvelope unmarshals data into out after checking its {type,v}
+// envelope against wantType and SchemaV1.
+func decodeEnvelope(data []byte, wantType string, out any) error {
+	var head envelope
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("serveapi: decoding %s: %w", wantType, err)
+	}
+	if head.Type != wantType || head.V != SchemaV1 {
+		return &SchemaError{Want: wantType, Type: head.Type, Version: head.V}
+	}
+	return json.Unmarshal(data, out)
+}
+
+// DecodeJobSpec decodes a {type:"job_spec",v:1} message.
+func DecodeJobSpec(data []byte) (*JobSpec, error) {
+	s := &JobSpec{}
+	if err := decodeEnvelope(data, TypeJobSpec, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeSubmitted decodes a {type:"job_submitted",v:1} message.
+func DecodeSubmitted(data []byte) (*Submitted, error) {
+	s := &Submitted{}
+	if err := decodeEnvelope(data, TypeSubmitted, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeJobStatus decodes a {type:"job_status",v:1} message.
+func DecodeJobStatus(data []byte) (*JobStatus, error) {
+	s := &JobStatus{}
+	if err := decodeEnvelope(data, TypeJobStatus, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
