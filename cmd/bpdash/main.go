@@ -10,18 +10,30 @@
 // if it is truncated or replaced by a new run), so bpdash can watch a sweep
 // that is journaling in another process.
 //
+// With -events it attaches to a running daemon's /events SSE stream instead
+// of a journal and mirrors the remote dashboard locally. That stream carries
+// the live-only frames journals never contain — job lifecycle, progress
+// pulses, trace spans — and -capture appends every received frame verbatim
+// to a JSONL file, which is how trace captures for `bpjournal -trace` are
+// made (-capture also works in journal mode, recording what was
+// re-streamed).
+//
 // Examples:
 //
 //	bpdash -journal run.jsonl -addr 127.0.0.1:8080
 //	bpdash -journal run.jsonl -follow        # watch a sweep still running
+//	bpdash -events http://127.0.0.1:8321 -capture frames.jsonl
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,56 +43,101 @@ import (
 
 func main() {
 	var (
-		journal = flag.String("journal", "", "journal file to serve (required)")
+		journal = flag.String("journal", "", "journal file to serve")
+		events  = flag.String("events", "", "base URL of a running daemon whose /events stream to mirror instead of a journal")
+		capture = flag.String("capture", "", "append every received frame verbatim to this JSONL file (trace captures for bpjournal -trace)")
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (:0 for an ephemeral port)")
 		follow  = flag.Bool("follow", false, "keep tailing the journal for new records (reopens on truncate)")
 		poll    = flag.Duration("poll", 250*time.Millisecond, "journal poll interval with -follow")
 	)
 	flag.Parse()
-	if *journal == "" {
-		fmt.Fprintln(os.Stderr, "usage: bpdash -journal RUN.jsonl [-addr HOST:PORT] [-follow [-poll D]]")
+	if (*journal == "") == (*events == "") {
+		fmt.Fprintln(os.Stderr, "usage: bpdash -journal RUN.jsonl [-follow [-poll D]] | -events http://HOST:PORT  [-addr HOST:PORT] [-capture FILE]")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *journal, *addr, *follow, *poll); err != nil {
+	if err := run(ctx, options{journal: *journal, events: *events, capture: *capture,
+		addr: *addr, follow: *follow, poll: *poll}); err != nil {
 		fmt.Fprintln(os.Stderr, "bpdash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, journal, addr string, follow bool, poll time.Duration) error {
-	return serve(ctx, journal, addr, follow, poll, nil)
+// options collects the flags of one invocation.
+type options struct {
+	journal string
+	events  string
+	capture string
+	addr    string
+	follow  bool
+	poll    time.Duration
+}
+
+func run(ctx context.Context, opt options) error {
+	return serve(ctx, opt, nil)
 }
 
 // serve is run with a test seam: onReady receives the bound address once
 // the endpoint is listening.
-func serve(ctx context.Context, journal, addr string, follow bool, poll time.Duration, onReady func(addr string)) error {
+func serve(ctx context.Context, opt options, onReady func(addr string)) error {
 	// The observer exists for its bus and registry — bpdash journals nothing.
 	sink := obs.New()
 	defer sink.Close()
 	state, stopFeed := dashboard.Attach(sink)
 	defer stopFeed()
-	srv, err := sink.Serve(addr, obs.WithRootHandler(dashboard.Handler(state)))
+	srv, err := sink.Serve(opt.addr, obs.WithRootHandler(dashboard.Handler(state)))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "bpdash: serving %s on http://%s/\n", journal, srv.Addr())
+	source := opt.journal
+	if opt.events != "" {
+		source = opt.events + "/events"
+	}
+	fmt.Fprintf(os.Stderr, "bpdash: serving %s on http://%s/\n", source, srv.Addr())
 	if onReady != nil {
 		onReady(srv.Addr())
+	}
+
+	// -capture appends frames verbatim, one write (and so one flush) per
+	// line: a capture must be complete up to the instant it is read, even
+	// while bpdash is still attached.
+	var capf *os.File
+	if opt.capture != "" {
+		capf, err = os.OpenFile(opt.capture, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer capf.Close()
+	}
+	ingest := func(line []byte) error {
+		sink.PublishRaw(append([]byte(nil), line...))
+		if capf != nil {
+			if _, err := capf.Write(append(line, '\n')); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if opt.events != "" {
+		err = mirrorEvents(ctx, opt.events, ingest)
+		if err == context.Canceled {
+			err = nil
+		}
+		return err
 	}
 
 	// Re-stream the journal onto the bus verbatim: the dashboard state and
 	// every /events subscriber see the same frames a live sweep would
 	// publish (the bus ring replays recent history to late subscribers).
 	feed := func(fnCtx context.Context, doFollow bool) error {
-		return obs.TailJournal(fnCtx, journal, poll, doFollow, func(line []byte) error {
-			sink.PublishRaw(line)
-			return nil
+		return obs.TailJournal(fnCtx, opt.journal, opt.poll, doFollow, func(line []byte) error {
+			return ingest(line)
 		})
 	}
-	if follow {
+	if opt.follow {
 		err = feed(ctx, true)
 		if err == context.Canceled {
 			err = nil
@@ -93,4 +150,54 @@ func serve(ctx context.Context, journal, addr string, follow bool, poll time.Dur
 	fmt.Fprintln(os.Stderr, "bpdash: journal loaded; Ctrl-C to exit")
 	<-ctx.Done()
 	return nil
+}
+
+// mirrorEvents follows base's /events SSE stream until ctx ends, handing
+// every frame payload to ingest. Broken connections reconnect with a 1s
+// backoff — the remote bus ring replays recent frames on reattach — but a
+// server that refuses the very first connection is an error: attaching to
+// nothing deserves a message, not a silent retry loop.
+func mirrorEvents(ctx context.Context, base string, ingest func([]byte) error) error {
+	first := true
+	for {
+		err := streamEvents(ctx, base, ingest)
+		if first && err != nil && ctx.Err() == nil {
+			return err
+		}
+		first = false
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// streamEvents consumes one /events connection until it breaks.
+func streamEvents(ctx context.Context, base string, ingest func([]byte) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/events: HTTP %d", base, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		if err := ingest([]byte(data)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }

@@ -49,7 +49,7 @@ func TestServeJournal(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, path, "127.0.0.1:0", false, time.Millisecond,
+		done <- serve(ctx, options{journal: path, addr: "127.0.0.1:0", poll: time.Millisecond},
 			func(addr string) { ready <- addr })
 	}()
 	var base string
@@ -159,7 +159,7 @@ func TestServeFollowPicksUpAppends(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, path, "127.0.0.1:0", true, time.Millisecond,
+		done <- serve(ctx, options{journal: path, addr: "127.0.0.1:0", follow: true, poll: time.Millisecond},
 			func(addr string) { ready <- addr })
 	}()
 	base := "http://" + <-ready
@@ -209,9 +209,99 @@ func TestServeFollowPicksUpAppends(t *testing.T) {
 }
 
 func TestServeMissingJournalFails(t *testing.T) {
-	err := run(context.Background(), filepath.Join(t.TempDir(), "missing.jsonl"), "127.0.0.1:0", false, time.Millisecond)
+	err := run(context.Background(), options{journal: filepath.Join(t.TempDir(), "missing.jsonl"), addr: "127.0.0.1:0", poll: time.Millisecond})
 	if err == nil {
 		t.Fatal("missing journal accepted")
 	}
 	fmt.Println(err)
+}
+
+// TestMirrorEventsAndCapture attaches bpdash to a live daemon-style /events
+// stream and proves both halves of the mirror: frames published on the
+// remote bus land in the local dashboard state, and -capture persists them
+// verbatim — span frames included, which is how bpjournal -trace gets its
+// input.
+func TestMirrorEventsAndCapture(t *testing.T) {
+	remote := obs.New(obs.WithTracing())
+	defer remote.Close()
+	rsrv, err := remote.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+
+	capPath := filepath.Join(t.TempDir(), "frames.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, options{events: "http://" + rsrv.Addr(), capture: capPath,
+			addr: "127.0.0.1:0"}, func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("mirror never came up")
+	}
+
+	// Publish one span and one job frame on the remote bus after a moment —
+	// the mirror may still be connecting.
+	time.Sleep(100 * time.Millisecond)
+	span, _ := remote.StartSpan(context.Background(), "request")
+	span.SetTenant("alice")
+	span.End(nil)
+	traceID := span.Context().TraceID
+	remote.Publish(&obs.JobRecord{Time: time.Now(), ID: "j000001", Tenant: "alice", State: "running", ArmsTotal: 1})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, _ := os.ReadFile(capPath)
+		if strings.Contains(string(data), traceID) && strings.Contains(string(data), `"job"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("capture never saw the frames; capture:\n%s", data)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Captured span frames decode and carry the trace.
+	data, err := os.ReadFile(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSpan bool
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		rec, err := obs.DecodeRecord([]byte(line))
+		if err != nil {
+			t.Fatalf("captured frame does not decode: %v (%s)", err, line)
+		}
+		if s, ok := rec.(*obs.SpanRecord); ok && s.TraceID == traceID && s.Tenant == "alice" {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Fatalf("no span frame for trace %s in capture:\n%s", traceID, data)
+	}
+
+	// The mirror's own dashboard saw the job frame too.
+	resp, err := http.Get(base + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "j000001") {
+		t.Fatalf("mirror dashboard state missing the job:\n%s", body)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
 }

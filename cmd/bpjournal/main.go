@@ -20,6 +20,16 @@
 //	bpjournal -q run.jsonl          # validate only, no output on success
 //	bpjournal -top 5 run.jsonl      # longer slowest-arm and worst-offender lists
 //	bpjournal -follow run.jsonl     # tail a sweep that is still running
+//
+// With -trace it becomes a trace renderer instead: given a capture of the
+// live frame stream (bpdash -capture frames.jsonl, which journals never
+// contain — span frames are live-only), it reconstructs the named trace's
+// request → job → arm → phase tree with a waterfall bar per span and prints
+// cross-trace links (singleflight followers to their winner, replay
+// consumers to the capture):
+//
+//	bpdash -events http://127.0.0.1:8321 -capture frames.jsonl &
+//	bpsubmit ... ; bpjournal -trace 1f60aa20cc407b15 frames.jsonl
 package main
 
 import (
@@ -43,18 +53,22 @@ func main() {
 		top    = flag.Int("top", 3, "number of slowest arms and worst-offender branches to list")
 		follow = flag.Bool("follow", false, "tail an in-flight journal; Ctrl-C prints the summary")
 		poll   = flag.Duration("poll", 250*time.Millisecond, "journal poll interval with -follow")
+		trace  = flag.String("trace", "", "render this trace ID's span tree from a live-frame capture (bpdash -capture) instead of summarizing a journal")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bpjournal [-q] [-top N] [-follow [-poll D]] JOURNAL.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: bpjournal [-q] [-top N] [-follow [-poll D]] [-trace ID] JOURNAL.jsonl")
 		os.Exit(2)
 	}
 	var err error
-	if *follow {
+	switch {
+	case *trace != "":
+		err = runTrace(flag.Arg(0), *trace, os.Stdout)
+	case *follow:
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		err = runFollow(ctx, flag.Arg(0), *poll, *quiet, *top)
-	} else {
+	default:
 		err = run(flag.Arg(0), *quiet, *top)
 	}
 	if err != nil {
@@ -82,6 +96,13 @@ func runFollow(ctx context.Context, path string, poll time.Duration, quiet bool,
 	err := obs.TailJournal(ctx, path, poll, true, func(line []byte) error {
 		rec, err := obs.DecodeRecord(line)
 		if err != nil {
+			// A record type this build doesn't know is someone else's frame
+			// (a newer writer's live-only types can land in tailed files);
+			// skip it. Anything else is real corruption and stays fatal.
+			var se *obs.SchemaError
+			if errors.As(err, &se) && se.Type != "" {
+				return nil
+			}
 			return err
 		}
 		all.Add(rec)

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"branchsim/internal/obs"
+)
+
+// runTrace renders one trace — request → job → arm → phases — from a capture
+// of the live frame stream (bpdash -capture, or `curl /events` with the
+// "data: " prefixes stripped). Captures interleave every frame type the bus
+// carries, so the reader is lenient where the journal reader is strict:
+// frames of unknown type are skipped, not fatal — a capture from a newer
+// daemon must not wedge the renderer. Malformed JSON still fails loudly.
+func runTrace(path, traceID string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var spans []*obs.SpanRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		// Tolerate raw SSE captures: strip the frame prefix if present.
+		raw = strings.TrimPrefix(raw, "data: ")
+		if raw == "" {
+			continue
+		}
+		rec, err := obs.DecodeRecord([]byte(raw))
+		if err != nil {
+			var se *obs.SchemaError
+			if errors.As(err, &se) && se.Type != "" {
+				continue // a frame type this reader doesn't know — not ours
+			}
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if s, ok := rec.(*obs.SpanRecord); ok && s.TraceID == traceID {
+			spans = append(spans, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans for trace %s in %s (is tracing on, and was the capture running?)", traceID, path)
+	}
+	renderTrace(w, traceID, spans)
+	return nil
+}
+
+// renderTrace prints the span tree with one waterfall bar per span, phases
+// and cross-trace links indented beneath their span.
+func renderTrace(w io.Writer, traceID string, spans []*obs.SpanRecord) {
+	// Index parent → children; spans whose parent never arrived (or whose
+	// parent lives outside the capture window) render as roots.
+	byID := map[string]*obs.SpanRecord{}
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	children := map[string][]*obs.SpanRecord{}
+	var roots []*obs.SpanRecord
+	for _, s := range spans {
+		if s.ParentID != "" && byID[s.ParentID] != nil {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []*obs.SpanRecord) {
+		sort.Slice(list, func(i, j int) bool { return list[i].StartNanos < list[j].StartNanos })
+	}
+	byStart(roots)
+	for _, list := range children {
+		byStart(list)
+	}
+
+	// The waterfall scale spans the earliest start to the latest end.
+	t0, t1 := spans[0].StartNanos, spans[0].StartNanos+spans[0].DurNanos
+	for _, s := range spans {
+		if s.StartNanos < t0 {
+			t0 = s.StartNanos
+		}
+		if end := s.StartNanos + s.DurNanos; end > t1 {
+			t1 = end
+		}
+	}
+	total := t1 - t0
+	if total <= 0 {
+		total = 1
+	}
+
+	fmt.Fprintf(w, "trace %s: %d spans, %v\n", traceID, len(spans),
+		time.Duration(total).Round(time.Microsecond))
+	var walk func(s *obs.SpanRecord, prefix string, last, root bool)
+	walk = func(s *obs.SpanRecord, prefix string, last, root bool) {
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		if root {
+			branch, cont = "", "" // roots sit flush left
+		}
+		fmt.Fprintf(w, "%-52s %9v  %s\n",
+			prefix+branch+spanLabel(s),
+			time.Duration(s.DurNanos).Round(time.Microsecond),
+			waterfall(s.StartNanos-t0, s.DurNanos, total))
+		detail := prefix + cont + "     "
+		for _, p := range s.Phases {
+			fmt.Fprintf(w, "%s%s %v (at +%v)\n", detail, p.Phase,
+				time.Duration(p.DurNanos).Round(time.Microsecond),
+				time.Duration(p.OffsetNanos).Round(time.Microsecond))
+		}
+		for _, l := range s.Links {
+			fmt.Fprintf(w, "%s→ %s %s/%s\n", detail, l.Kind, l.TraceID, l.SpanID)
+		}
+		if s.Error != "" {
+			fmt.Fprintf(w, "%sERROR: %s\n", detail, s.Error)
+		}
+		kids := children[s.SpanID]
+		for i, c := range kids {
+			walk(c, prefix+cont, i == len(kids)-1, false)
+		}
+	}
+	for i, r := range roots {
+		walk(r, "", i == len(roots)-1, true)
+	}
+}
+
+// spanLabel is the one-line identity of a span: its name plus whichever
+// attribution fields it carries.
+func spanLabel(s *obs.SpanRecord) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Tenant != "" {
+		fmt.Fprintf(&b, " tenant=%s", s.Tenant)
+	}
+	if s.Job != "" {
+		fmt.Fprintf(&b, " job=%s", s.Job)
+	}
+	if s.Key != "" {
+		fmt.Fprintf(&b, " %s", s.Key)
+	}
+	if s.Source != "" {
+		fmt.Fprintf(&b, " src=%s", s.Source)
+	}
+	return b.String()
+}
+
+// waterfall renders a span's lifetime as a fixed-width bar against the whole
+// trace: dots before the start, hashes for the duration (at least one).
+func waterfall(offset, dur, total int64) string {
+	const width = 24
+	lo := int(offset * width / total)
+	hi := int((offset + dur) * width / total)
+	if lo >= width {
+		lo = width - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > width {
+		hi = width
+	}
+	bar := make([]byte, width)
+	for i := range bar {
+		switch {
+		case i >= lo && i < hi:
+			bar[i] = '#'
+		default:
+			bar[i] = '.'
+		}
+	}
+	return "|" + string(bar) + "|"
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"branchsim/internal/obs"
+)
+
+// writeCapture lays down a live-frame capture file: raw JSONL lines exactly
+// as bpdash -capture stores them.
+func writeCapture(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "frames.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func spanLine(t *testing.T, s *obs.SpanRecord) string {
+	t.Helper()
+	s.Type, s.V = obs.RecSpan, obs.SchemaV1
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunTraceRendersTree drives the -trace renderer over a capture holding
+// one request → job → arm hierarchy plus foreign frames: spans of another
+// trace, job records, and a frame type this build does not know. The tree
+// must nest by parent, show phases and the singleflight cross-link, and the
+// unknown frame must be skipped, not fatal.
+func TestRunTraceRendersTree(t *testing.T) {
+	base := time.Now()
+	req := &obs.SpanRecord{Time: base, TraceID: "aaaa000011112222", SpanID: "0000000000000001",
+		Name: "request", Tenant: "bob", StartNanos: base.UnixNano(), DurNanos: int64(2 * time.Millisecond)}
+	job := &obs.SpanRecord{Time: base, TraceID: "aaaa000011112222", SpanID: "0000000000000002",
+		ParentID: "0000000000000001", Name: "job", Tenant: "bob", Job: "j000007",
+		StartNanos: base.UnixNano() + int64(time.Millisecond), DurNanos: int64(40 * time.Millisecond)}
+	arm := &obs.SpanRecord{Time: base, TraceID: "aaaa000011112222", SpanID: "0000000000000003",
+		ParentID: "0000000000000002", Name: "arm", Tenant: "bob", Job: "j000007",
+		Key:        "compress/test/gshare:1KB/none",
+		StartNanos: base.UnixNano() + int64(2*time.Millisecond), DurNanos: int64(30 * time.Millisecond),
+		Phases: []obs.SpanPhase{{Phase: obs.PhaseQueue, OffsetNanos: 0, DurNanos: int64(time.Millisecond)}},
+		Links:  []obs.SpanLink{{TraceID: "bbbb000011112222", SpanID: "00000000000000ff", Kind: "singleflight"}},
+	}
+	other := &obs.SpanRecord{Time: base, TraceID: "cccc000011112222", SpanID: "00000000000000aa",
+		Name: "request", StartNanos: base.UnixNano(), DurNanos: 1}
+
+	path := writeCapture(t,
+		spanLine(t, req),
+		`{"type":"job","v":1,"id":"j000007","tenant":"bob","state":"running"}`,
+		spanLine(t, job),
+		`{"type":"from_the_future","v":1,"payload":true}`,
+		spanLine(t, arm),
+		spanLine(t, other),
+	)
+
+	var out strings.Builder
+	if err := runTrace(path, "aaaa000011112222", &out); err != nil {
+		t.Fatalf("runTrace: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trace aaaa000011112222: 3 spans",
+		"request tenant=bob",
+		"└─ job tenant=bob job=j000007",
+		"└─ arm tenant=bob job=j000007 compress/test/gshare:1KB/none",
+		"queue_wait 1ms",
+		"→ singleflight bbbb000011112222/00000000000000ff",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "cccc000011112222") {
+		t.Errorf("foreign trace's span leaked into the render:\n%s", text)
+	}
+
+	// Unknown traces name the problem instead of printing an empty tree.
+	if err := runTrace(path, "ffffffffffffffff", &out); err == nil {
+		t.Error("runTrace on an absent trace ID: want error, got nil")
+	}
+}
+
+// TestRunTraceMalformedLineFatal keeps the leniency bounded: unknown frame
+// types skip, but JSON that does not parse is corruption and must fail.
+func TestRunTraceMalformedLineFatal(t *testing.T) {
+	path := writeCapture(t, `{"type":"span","v":1`, "")
+	err := runTrace(path, "aaaa000011112222", new(strings.Builder))
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("%s:1", path)) {
+		t.Fatalf("err = %v, want one naming line 1", err)
+	}
+}

@@ -94,7 +94,7 @@ func main() {
 func run(ctx context.Context, opt options) error {
 	// The daemon always observes: job lifecycle records and the serve.*
 	// series feed the dashboard and /metrics even without -journal.
-	var obsOpts []obs.Option
+	obsOpts := opt.observe.ObserverOptions()
 	if opt.observe.JournalPath != "" {
 		j, err := obs.OpenJournal(opt.observe.JournalPath)
 		if err != nil {

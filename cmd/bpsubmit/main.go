@@ -6,8 +6,10 @@
 //	         -predictors gshare:8KB,2bcgskew:8KB -schemes none,static95
 //	bpsubmit -workloads compress -inputs test -predictors gshare:1KB -no-wait
 //	bpsubmit -status j000001
+//	bpsubmit -status j000001 -json
 //	bpsubmit -cancel j000001
 //	bpsubmit -list
+//	bpsubmit -list -json
 //
 // Predictor specs use the canonical predictor.Spec syntax ("gshare:16KB:h=8");
 // bad tokens are rejected client-side with an error naming the token. Typed
@@ -17,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +44,7 @@ type options struct {
 	status     string
 	cancel     string
 	list       bool
+	json       bool
 }
 
 func main() {
@@ -56,6 +60,7 @@ func main() {
 	flag.StringVar(&opt.status, "status", "", "print the status of this job ID and exit")
 	flag.StringVar(&opt.cancel, "cancel", "", "cancel this job ID and exit")
 	flag.BoolVar(&opt.list, "list", false, "list the daemon's jobs and exit")
+	flag.BoolVar(&opt.json, "json", false, "with -status or -list, print the daemon's wire message verbatim as indented JSON and exit zero; scripts read the state field")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,6 +91,9 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if opt.json {
+			return printJSON(w, jl)
+		}
 		for _, j := range jl.Jobs {
 			fmt.Fprintf(w, "%s  %-9s  %3d/%3d arms  tenant=%s  %s\n",
 				j.ID, j.State, j.ArmsDone, j.ArmsTotal, j.Tenant, j.Name)
@@ -95,6 +103,9 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 		st, err := client.JobStatus(ctx, opt.status)
 		if err != nil {
 			return err
+		}
+		if opt.json {
+			return printJSON(w, st)
 		}
 		return printStatus(w, st)
 	case opt.cancel != "":
@@ -117,7 +128,11 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "submitted %s (%d arms)\n", ack.ID, ack.Arms)
+	if ack.TraceID != "" {
+		fmt.Fprintf(w, "submitted %s (%d arms, trace %s)\n", ack.ID, ack.Arms, ack.TraceID)
+	} else {
+		fmt.Fprintf(w, "submitted %s (%d arms)\n", ack.ID, ack.Arms)
+	}
 	if opt.noWait {
 		return nil
 	}
@@ -126,6 +141,18 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 		return err
 	}
 	return printStatus(w, st)
+}
+
+// printJSON renders one wire message exactly as the daemon sent it, indented.
+// Always exits zero: -json is for scripts, which read the state field rather
+// than the process status.
+func printJSON(w io.Writer, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
 }
 
 // printStatus renders a job snapshot, one line per arm, and returns an error

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -69,6 +70,47 @@ func TestSubmitWaitStatusList(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), id) {
 		t.Errorf("-status output missing job id:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput proves -json emits the daemon's wire messages verbatim: the
+// status output round-trips through the serveapi decoder and the list output
+// unmarshals into the wire JobList, and both exit zero regardless of state.
+func TestJSONOutput(t *testing.T) {
+	base := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var out strings.Builder
+	err := run(ctx, options{addr: base, tenant: "alice", workloads: "compress",
+		inputs: "test", predictors: "gshare:1KB"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	id := strings.Fields(strings.TrimPrefix(out.String(), "submitted "))[0]
+
+	out.Reset()
+	if err := run(ctx, options{addr: base, status: id, json: true}, &out); err != nil {
+		t.Fatalf("-status -json: %v", err)
+	}
+	st, err := serveapi.DecodeJobStatus([]byte(out.String()))
+	if err != nil {
+		t.Fatalf("-status -json output is not the wire message: %v\n%s", err, out.String())
+	}
+	if st.ID != id || st.State != serveapi.StateDone || len(st.Arms) != 1 {
+		t.Fatalf("decoded status = %+v", st)
+	}
+
+	out.Reset()
+	if err := run(ctx, options{addr: base, list: true, json: true}, &out); err != nil {
+		t.Fatalf("-list -json: %v", err)
+	}
+	var jl serveapi.JobList
+	if err := json.Unmarshal([]byte(out.String()), &jl); err != nil {
+		t.Fatalf("-list -json output does not unmarshal: %v\n%s", err, out.String())
+	}
+	if len(jl.Jobs) != 1 || jl.Jobs[0].ID != id {
+		t.Fatalf("decoded list = %+v", jl)
 	}
 }
 

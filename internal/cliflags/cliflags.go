@@ -93,12 +93,14 @@ func (r *Replay) HarnessOptions(logf func(format string, args ...any)) ([]experi
 }
 
 // Obs is the observability flag group: -journal, -metrics, -serve,
-// -progress.
+// -progress, -trace, -slow-arm.
 type Obs struct {
 	JournalPath string
 	MetricsAddr string
 	ServeAddr   string
 	Progress    bool
+	Trace       bool
+	SlowArm     time.Duration
 }
 
 // Register binds all observability flags to fs.
@@ -113,11 +115,29 @@ func (o *Obs) Register(fs *flag.FlagSet) {
 func (o *Obs) RegisterJournal(fs *flag.FlagSet) {
 	fs.StringVar(&o.JournalPath, "journal", "", "write one JSONL record per simulated arm to this file")
 	fs.BoolVar(&o.Progress, "progress", false, "print a periodic one-line sweep status to stderr")
+	fs.BoolVar(&o.Trace, "trace", true, "publish live-only trace spans (request → job → arm → phase) on the event bus; journals are unaffected")
+	fs.DurationVar(&o.SlowArm, "slow-arm", 30*time.Second, "arms at least this slow record a latency-histogram exemplar linking the bucket to their trace (0 = off)")
 }
 
-// Enabled reports whether any observability flag was set.
+// Enabled reports whether any observability flag was set. -trace and
+// -slow-arm only shape an observer that exists for another reason; on their
+// own they do not force one into being (tracing without a bus or journal
+// would observe nothing).
 func (o *Obs) Enabled() bool {
 	return o.JournalPath != "" || o.MetricsAddr != "" || o.ServeAddr != "" || o.Progress
+}
+
+// ObserverOptions returns the obs options the tracing flags select; callers
+// that build an observer directly (bpserve) apply them alongside their own.
+func (o *Obs) ObserverOptions() []obs.Option {
+	var opts []obs.Option
+	if o.Trace {
+		opts = append(opts, obs.WithTracing())
+	}
+	if o.SlowArm > 0 {
+		opts = append(opts, obs.WithSlowArm(o.SlowArm))
+	}
+	return opts
 }
 
 // Observer builds the shared sink, journal-backed when -journal was given.
@@ -127,7 +147,7 @@ func (o *Obs) Observer() (*obs.Observer, error) {
 	if !o.Enabled() {
 		return nil, nil
 	}
-	var opts []obs.Option
+	opts := o.ObserverOptions()
 	if o.JournalPath != "" {
 		j, err := obs.OpenJournal(o.JournalPath)
 		if err != nil {

@@ -21,6 +21,10 @@ const (
 	maxIntervals = 8192
 	// tailLines is the journal-tail pane depth.
 	tailLines = 200
+	// maxTraces caps the retained trace store: the oldest complete traces
+	// are evicted past it. Spans within one trace are unbounded — a trace
+	// is request → job → arms, which the arm quota already bounds.
+	maxTraces = 64
 )
 
 // Arm is one sweep arm's live status row.
@@ -80,6 +84,9 @@ type State struct {
 	tail  [][]byte // ring of the newest raw JSONL lines
 	tailN uint64   // total lines ever ingested
 
+	traces     map[string][]obs.SpanRecord
+	traceOrder []string // trace IDs in first-seen order
+
 	malformed uint64
 	drops     uint64 // cumulative upstream frame drops (DropsRecord)
 
@@ -89,7 +96,7 @@ type State struct {
 
 // NewState returns an empty model.
 func NewState() *State {
-	return &State{arms: map[string]*Arm{}, jobs: map[string]*Job{}}
+	return &State{arms: map[string]*Arm{}, jobs: map[string]*Job{}, traces: map[string][]obs.SpanRecord{}}
 }
 
 // Ingest feeds one JSONL record frame (no trailing newline). Unparseable
@@ -137,6 +144,16 @@ func (st *State) Ingest(line []byte) {
 		j.Tenant, j.Name, j.State = r.Tenant, r.Name, r.State
 		j.ArmsTotal, j.ArmsDone, j.ArmsFailed = r.ArmsTotal, r.ArmsDone, r.ArmsFailed
 		j.Error = r.Error
+	case *obs.SpanRecord:
+		if _, ok := st.traces[r.TraceID]; !ok {
+			if len(st.traceOrder) >= maxTraces {
+				oldest := st.traceOrder[0]
+				st.traceOrder = st.traceOrder[1:]
+				delete(st.traces, oldest)
+			}
+			st.traceOrder = append(st.traceOrder, r.TraceID)
+		}
+		st.traces[r.TraceID] = append(st.traces[r.TraceID], *r)
 	case *obs.ProgressRecord:
 		st.progress, st.hasProg = *r, true
 	case *obs.DropsRecord:
@@ -215,6 +232,70 @@ func (st *State) Snapshot() Snapshot {
 	if st.liveDrops != nil {
 		out.LiveDrops = st.liveDrops()
 	}
+	return out
+}
+
+// TraceSummary is one retained trace's row in the /api/traces listing.
+type TraceSummary struct {
+	TraceID string `json:"trace_id"`
+	// Root names the earliest-starting span ("request" for daemon traces).
+	Root   string `json:"root"`
+	Tenant string `json:"tenant,omitempty"`
+	Job    string `json:"job,omitempty"`
+	Spans  int    `json:"spans"`
+	// DurNanos spans the earliest start to the latest end seen so far.
+	DurNanos int64 `json:"dur_ns"`
+	Errors   int   `json:"errors,omitempty"`
+}
+
+// Traces summarizes the retained traces, oldest first.
+func (st *State) Traces() []TraceSummary {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TraceSummary, 0, len(st.traceOrder))
+	for _, id := range st.traceOrder {
+		spans := st.traces[id]
+		sum := TraceSummary{TraceID: id, Spans: len(spans)}
+		t0, t1 := spans[0].StartNanos, spans[0].StartNanos+spans[0].DurNanos
+		rootStart := int64(1<<63 - 1)
+		for i := range spans {
+			sp := &spans[i]
+			if sp.StartNanos < t0 {
+				t0 = sp.StartNanos
+			}
+			if end := sp.StartNanos + sp.DurNanos; end > t1 {
+				t1 = end
+			}
+			if sp.StartNanos < rootStart {
+				rootStart, sum.Root = sp.StartNanos, sp.Name
+			}
+			if sum.Tenant == "" {
+				sum.Tenant = sp.Tenant
+			}
+			if sum.Job == "" {
+				sum.Job = sp.Job
+			}
+			if sp.Error != "" {
+				sum.Errors++
+			}
+		}
+		sum.DurNanos = t1 - t0
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Trace returns a copy of one trace's spans in arrival order, or nil when
+// the trace is unknown (or already evicted).
+func (st *State) Trace(id string) []obs.SpanRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	spans := st.traces[id]
+	if spans == nil {
+		return nil
+	}
+	out := make([]obs.SpanRecord, len(spans))
+	copy(out, spans)
 	return out
 }
 

@@ -17,6 +17,8 @@ var uiHTML []byte
 //	/                   the embedded single-page UI
 //	/api/state          JSON Snapshot (arm grid, progress, drop counters)
 //	/api/tail?n=50      newest ingested JSONL lines, plain text
+//	/api/traces         retained trace summaries (live daemon streams only)
+//	/api/trace?id=X     one trace's span records, for the waterfall pane
 //	/plot/intervals.svg?metric=mispki|accuracy|destructive
 //	/plot/heatmap.svg   destructive-aliasing heatmap (arms × intervals)
 //
@@ -35,6 +37,19 @@ func Handler(st *State) http.Handler {
 	mux.HandleFunc("/api/state", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = json.NewEncoder(w).Encode(st.Snapshot())
+	})
+	mux.HandleFunc("/api/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(st.Traces())
+	})
+	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans := st.Trace(r.URL.Query().Get("id"))
+		if spans == nil {
+			http.Error(w, "unknown trace", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(spans)
 	})
 	mux.HandleFunc("/api/tail", func(w http.ResponseWriter, r *http.Request) {
 		n, _ := strconv.Atoi(r.URL.Query().Get("n"))

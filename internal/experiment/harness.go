@@ -173,8 +173,11 @@ func (h *Harness) newPredictor(spec string) (predictor.Predictor, error) {
 // recorder of the final, successful attempt for the caller to read. The
 // returned phase says how the stream was fed — direct execution
 // (PhaseSimulate), shared capture (PhaseCapture) or replay of one
-// (PhaseReplay) — for the arm's span.
-func (h *Harness) feed(ctx context.Context, prog workload.Program, input string, newRec func() (trace.Recorder, error)) (obs.Phase, error) {
+// (PhaseReplay) — for the arm's span. span is the arm's lifecycle span:
+// when it traces, a capturing arm is noted in the cross-link registry under
+// the capture key, and a replaying arm links the capturer's span — the
+// shared work stays attributable from every consumer's trace.
+func (h *Harness) feed(ctx context.Context, span *obs.Span, prog workload.Program, input string, newRec func() (trace.Recorder, error)) (obs.Phase, error) {
 	if h.Replay == nil {
 		rec, err := newRec()
 		if err != nil {
@@ -182,14 +185,42 @@ func (h *Harness) feed(ctx context.Context, prog workload.Program, input string,
 		}
 		return obs.PhaseSimulate, workload.RunProgram(ctx, prog, input, rec)
 	}
+	capKey := "cap|" + replay.Key(prog.Name(), input)
 	produce := func(r trace.Recorder) error {
+		// produce runs only in the capturing arm's goroutine: this arm is
+		// the one recording the shared stream.
+		if ts := span.Trace(); ts != nil {
+			h.Obs.NoteSpanKey(capKey, ts.Context())
+		}
 		return workload.RunProgram(ctx, prog, input, r)
 	}
 	_, src, err := h.Replay.RunSourced(ctx, replay.Key(prog.Name(), input), produce, newRec)
 	if src == replay.SourceCapture {
 		return obs.PhaseCapture, err
 	}
+	if sc, ok := h.Obs.SpanForKey(capKey); ok {
+		span.Trace().Link(sc, "capture")
+	}
 	return obs.PhaseReplay, err
+}
+
+// linkFollower publishes a follower span for a singleflight-coalesced call:
+// the wall time this caller spent blocked on (or recalling) the winner's
+// work, cross-linked to the winner's span so a tenant's latency stays
+// decomposable even when the work ran under another request's trace. No-op
+// unless the observer traces.
+func (h *Harness) linkFollower(ctx context.Context, start time.Time, name, key string, err error) {
+	fs, _ := h.Obs.StartSpan(ctx, name)
+	if fs == nil {
+		return
+	}
+	fs.SetStart(start)
+	fs.SetKey(key)
+	fs.SetSource(obs.SourceSingleflight)
+	if sc, ok := h.Obs.SpanForKey(key); ok {
+		fs.Link(sc, "singleflight")
+	}
+	fs.End(err)
 }
 
 // countPanic bumps the observer's panic counter when err carries an
@@ -260,13 +291,15 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 	key := "p|" + wl + "|" + input + "|" + spec
 	var span *obs.Span
 	attempts := 0
+	started := time.Now()
 	db, shared, err := h.profiles.doShared(ctx, key, func() (*profile.DB, error) {
 		// The span is created inside the singleflight fn — it runs in the
 		// winning caller's goroutine — so one arm gets exactly one span no
 		// matter how many callers coalesce onto it. Retries re-enter fn and
-		// accumulate onto the same span.
+		// accumulate onto the same span. StartArmCtx threads the winner's
+		// trace context down to nested work.
 		if attempts++; attempts == 1 {
-			span = h.Obs.StartArm("profile", key)
+			span, ctx = h.Obs.StartArmCtx(ctx, "profile", key)
 			span.SetLabels(wl, input, spec, "")
 		} else {
 			span.AddRetry()
@@ -300,7 +333,7 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 			var phase obs.Phase
 			if predSpec == "" {
 				var rec *biasOnly
-				phase, err = h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+				phase, err = h.feed(armCtx, span, prog, input, func() (trace.Recorder, error) {
 					db = profile.NewDB(wl, input)
 					rec = &biasOnly{db: db}
 					return rec, nil
@@ -312,7 +345,7 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 				db.Instructions = rec.instr
 			} else {
 				var r *sim.Runner
-				phase, err = h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+				phase, err = h.feed(armCtx, span, prog, input, func() (trace.Recorder, error) {
 					p, err := h.newPredictor(predSpec)
 					if err != nil {
 						return nil, err
@@ -326,7 +359,9 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 				if err != nil {
 					return nil, err
 				}
+				endSeal := span.Phase(obs.PhaseSeal)
 				r.Metrics() // stamps db.Instructions
+				endSeal()
 			}
 			return db, nil
 		})
@@ -346,6 +381,7 @@ func (h *Harness) Profile(ctx context.Context, wl, input, predSpec string) (*pro
 	})
 	if shared {
 		h.Obs.Counter(obs.MSingleflightHits).Add(1)
+		h.linkFollower(ctx, started, "profile:wait", key, err)
 	} else {
 		h.countPanic(err)
 		span.End(err)
@@ -447,14 +483,26 @@ func (a Arm) input(h *Harness) string {
 // tracking is always on. The simulation runs under ctx plus the per-arm
 // deadline; failures are reported as *ArmError and not memoized.
 func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
+	m, _, err := h.RunAttributed(ctx, a)
+	return m, err
+}
+
+// RunAttributed is Run plus result attribution: the second return value
+// says where the metrics came from — obs.SourceComputed (simulated here),
+// obs.SourceCheckpoint (recalled from disk) or obs.SourceSingleflight
+// (coalesced onto another caller's in-flight or memoized arm). The serve
+// daemon uses it to count per-tenant capture-cache savings.
+func (h *Harness) RunAttributed(ctx context.Context, a Arm) (sim.Metrics, string, error) {
 	h.setup()
 	spec := predictor.Canonical(a.Pred)
 	key := a.key() + "|" + a.input(h)
 	var span *obs.Span
 	attempts := 0
+	started := time.Now()
+	src := obs.SourceComputed
 	m, shared, err := h.runs.doShared(ctx, key, func() (sim.Metrics, error) {
 		if attempts++; attempts == 1 {
-			span = h.Obs.StartArm("run", key)
+			span, ctx = h.Obs.StartArmCtx(ctx, "run", key)
 			span.SetLabels(a.Workload, a.input(h), spec, a.schemeLabel())
 		} else {
 			span.AddRetry()
@@ -466,6 +514,7 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 			if ok {
 				h.checkpointHits.Add(1)
 				h.Obs.Counter(obs.MCheckpointHits).Add(1)
+				src = obs.SourceCheckpoint
 				span.SetSource(obs.SourceCheckpoint)
 				span.SetEvents(m.Branches)
 				span.SetMetrics(m)
@@ -495,7 +544,7 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 			h.logf("run     %-8s %-5s %-14s %-10s shift=%v prof=%s", a.Workload, input, spec, a.schemeLabel(), a.Shift, a.ProfileInput)
 			var r *sim.Runner
 			t0 := time.Now()
-			phase, err := h.feed(armCtx, prog, input, func() (trace.Recorder, error) {
+			phase, err := h.feed(armCtx, span, prog, input, func() (trace.Recorder, error) {
 				dyn, err := h.newPredictor(a.Pred)
 				if err != nil {
 					return nil, err
@@ -509,7 +558,10 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 			if err != nil {
 				return sim.Metrics{}, err
 			}
-			return r.Metrics(), nil
+			endSeal := span.Phase(obs.PhaseSeal)
+			m := r.Metrics()
+			endSeal()
+			return m, nil
 		})
 		if err != nil {
 			return sim.Metrics{}, err
@@ -527,12 +579,14 @@ func (h *Harness) Run(ctx context.Context, a Arm) (sim.Metrics, error) {
 		return m, nil
 	})
 	if shared {
+		src = obs.SourceSingleflight
 		h.Obs.Counter(obs.MSingleflightHits).Add(1)
+		h.linkFollower(ctx, started, "run:wait", key, err)
 	} else {
 		h.countPanic(err)
 		span.End(err)
 	}
-	return m, armError("run", key, err)
+	return m, src, armError("run", key, err)
 }
 
 // Improvement returns the relative MISP/KI improvement of arm over the

@@ -33,9 +33,16 @@ func telemetrySweep(t *testing.T, workers int, concurrent bool, opts ...HarnessO
 // its returned stop func runs after the journal is sealed. Extra harness
 // options (WithBatch(false), …) append after the defaults.
 func telemetrySweepWith(t *testing.T, workers int, concurrent bool, tap func(sink *obs.Observer) (stop func()), opts ...HarnessOption) (*obs.Records, []byte) {
+	return telemetrySweepObs(t, workers, concurrent, nil, tap, opts...)
+}
+
+// telemetrySweepObs is the full-parameter variant: extra observer options
+// (obs.WithTracing, …) append after the journal, so tracing tests can run
+// the identical sweep against a tracing-enabled observer.
+func telemetrySweepObs(t *testing.T, workers int, concurrent bool, obsOpts []obs.Option, tap func(sink *obs.Observer) (stop func()), opts ...HarnessOption) (*obs.Records, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
-	sink := obs.New(obs.WithJournal(obs.NewJournal(&buf)))
+	sink := obs.New(append([]obs.Option{obs.WithJournal(obs.NewJournal(&buf))}, obsOpts...)...)
 	if tap != nil {
 		defer tap(sink)()
 	}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency distribution: fixed exponential buckets
+// with upper bounds of 1µs, 2µs, 4µs, … doubling through histBuckets
+// powers of two, plus an implicit +Inf bucket. Observations update one
+// bucket counter, the count and the sum with plain atomic adds — no locks,
+// no allocation — so it sits on request paths the same way Counter does.
+// A nil *Histogram is a no-op, preserving the nil-observer contract.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+
+	// exemplars holds at most one exemplar per bucket: the trace ID of a
+	// recent observation that landed there, so a scrape can link a latency
+	// bucket back to a concrete trace (slow-arm attribution).
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// histBuckets is the finite bucket count; bounds run 2^0 .. 2^(histBuckets-1)
+// microseconds, so the largest finite bound is ~36 minutes.
+const histBuckets = 32
+
+// Exemplar ties one observed duration to the trace it came from.
+type Exemplar struct {
+	TraceID  string
+	DurNanos int64
+}
+
+// histBucketIndex returns the index of the lowest bucket whose bound covers
+// d, or histBuckets when d exceeds every finite bound (the +Inf bucket).
+func histBucketIndex(d time.Duration) int {
+	us := (uint64(d) + 999) / 1e3 // ceiling: le bounds are inclusive
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1) // smallest i with us <= 2^i
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// BucketBound returns bucket i's upper bound.
+func BucketBound(i int) time.Duration {
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	if i := histBucketIndex(d); i < histBuckets {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// ObserveExemplar records one duration and, when traceID is nonempty,
+// attaches it as the exemplar of the bucket the observation landed in —
+// later scrapes can follow the bucket back to that trace.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	if traceID == "" {
+		return
+	}
+	i := histBucketIndex(d)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, DurNanos: int64(d)})
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observed duration (0 for nil).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Buckets returns a snapshot of the per-bucket (non-cumulative) counts.
+// Observations beyond the last finite bound appear only in Count(). Nil
+// histograms snapshot all-zero.
+func (h *Histogram) Buckets() [histBuckets]uint64 {
+	var out [histBuckets]uint64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Exemplars returns the per-bucket exemplars (nil entries where none was
+// recorded).
+func (h *Histogram) Exemplars() [histBuckets]*Exemplar {
+	var out [histBuckets]*Exemplar
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// CounterVec is a counter family keyed by one label value (the tenant).
+// Children are created on first use and live for the registry's lifetime,
+// like every other metric handle. A nil *CounterVec hands out nil counters.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the child counter for the given label value.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[label]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[label]; c == nil {
+		if v.m == nil {
+			v.m = map[string]*Counter{}
+		}
+		c = &Counter{}
+		v.m[label] = c
+	}
+	return c
+}
+
+// Labels returns the label values with children, sorted (empty for nil).
+func (v *CounterVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return sortedKeys(v.m)
+}
+
+// HistogramVec is a histogram family keyed by one label value (the tenant).
+// A nil *HistogramVec hands out nil histograms.
+type HistogramVec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(label string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[label]; h == nil {
+		if v.m == nil {
+			v.m = map[string]*Histogram{}
+		}
+		h = &Histogram{}
+		v.m[label] = h
+	}
+	return h
+}
+
+// Labels returns the label values with children, sorted (empty for nil).
+func (v *HistogramVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return sortedKeys(v.m)
+}
+
+func sortedKeys[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort: label sets are tiny (one entry per tenant)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

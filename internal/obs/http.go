@@ -172,6 +172,7 @@ func (o *Observer) eventsHandler(w http.ResponseWriter, r *http.Request, done <-
 	defer sub.Close()
 	hb := time.NewTicker(sseHeartbeat)
 	defer hb.Stop()
+	lag := o.Histogram(MBusSSELag)
 	var reported uint64
 	for {
 		select {
@@ -189,10 +190,12 @@ func (o *Observer) eventsHandler(w http.ResponseWriter, r *http.Request, done <-
 					}
 				}
 			}
+			t0 := time.Now()
 			if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
 				return
 			}
 			fl.Flush()
+			lag.Observe(time.Since(t0))
 		case <-hb.C:
 			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
 				return

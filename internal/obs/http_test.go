@@ -96,8 +96,9 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 			t.Errorf("exposition missing %q in:\n%s", want, body)
 		}
 	}
-	// Every line is a comment or "name value" with a mangled-safe name.
-	lineRE := regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge)|[a-zA-Z_:][a-zA-Z0-9_:]* -?\d+)$`)
+	// Every line is a comment or "name[{labels}] value" with a mangled-safe
+	// name (histogram samples carry le/tenant labels and float values).
+	lineRE := regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|# EXEMPLAR .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?\d+|[-+0-9.eE]+|\+Inf))$`)
 	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
 		if !lineRE.MatchString(line) {
 			t.Fatalf("malformed exposition line %q", line)

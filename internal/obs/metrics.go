@@ -55,18 +55,26 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Timer accumulates observed durations: a count and a total. A nil *Timer
-// is a no-op.
+// Timer accumulates observed durations: a count, a total and the maximum.
+// A nil *Timer is a no-op.
 type Timer struct {
-	n  atomic.Uint64
-	ns atomic.Int64
+	n   atomic.Uint64
+	ns  atomic.Int64
+	max atomic.Int64
 }
 
 // Observe records one duration.
 func (t *Timer) Observe(d time.Duration) {
-	if t != nil {
-		t.n.Add(1)
-		t.ns.Add(int64(d))
+	if t == nil {
+		return
+	}
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+	for {
+		cur := t.max.Load()
+		if int64(d) <= cur || t.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
 	}
 }
 
@@ -86,6 +94,14 @@ func (t *Timer) Total() time.Duration {
 	return time.Duration(t.ns.Load())
 }
 
+// Max returns the largest observed duration (0 for nil).
+func (t *Timer) Max() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.max.Load())
+}
+
 // Mean returns the average observed duration (0 for nil or empty).
 func (t *Timer) Mean() time.Duration {
 	n := t.Count()
@@ -100,18 +116,24 @@ func (t *Timer) Mean() time.Duration {
 // resolves its handles once and updates lock-free afterwards. A nil
 // *Registry hands out nil (no-op) handles.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	timers      map[string]*Timer
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		timers:   map[string]*Timer{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		timers:      map[string]*Timer{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -175,9 +197,73 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the named per-tenant counter family, creating it on
+// first use.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.counterVecs[name]; v == nil {
+		v = &CounterVec{}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named per-tenant histogram family, creating it
+// on first use.
+func (r *Registry) HistogramVec(name string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.histVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.histVecs[name]; v == nil {
+		v = &HistogramVec{}
+		r.histVecs[name] = v
+	}
+	return v
+}
+
 // Snapshot returns a point-in-time flat view of every metric. Counters and
-// gauges map to their value; a timer named t contributes "t.count" and
-// "t.total_ns". Nil registries snapshot empty.
+// gauges map to their value; a timer named t contributes "t.count",
+// "t.total_ns" and "t.max_ns"; a histogram named h contributes "h.count",
+// "h.sum_ns" and "h.max_ns"; vec children contribute one entry per label,
+// keyed name{tenant="x"}. Nil registries snapshot empty.
 func (r *Registry) Snapshot() map[string]int64 {
 	out := map[string]int64{}
 	if r == nil {
@@ -194,6 +280,24 @@ func (r *Registry) Snapshot() map[string]int64 {
 	for name, t := range r.timers {
 		out[name+".count"] = int64(t.Count())
 		out[name+".total_ns"] = int64(t.Total())
+		out[name+".max_ns"] = int64(t.Max())
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = int64(h.Count())
+		out[name+".sum_ns"] = int64(h.Sum())
+		out[name+".max_ns"] = int64(h.Max())
+	}
+	for name, v := range r.counterVecs {
+		for _, label := range v.Labels() {
+			out[name+`{tenant="`+label+`"}`] = int64(v.With(label).Value())
+		}
+	}
+	for name, v := range r.histVecs {
+		for _, label := range v.Labels() {
+			h := v.With(label)
+			out[name+`{tenant="`+label+`"}.count`] = int64(h.Count())
+			out[name+`{tenant="`+label+`"}.sum_ns`] = int64(h.Sum())
+		}
 	}
 	return out
 }

@@ -100,6 +100,50 @@ const (
 	// not yet finished, across all jobs.
 	MServeArmsPending = "serve.arms_pending"
 
+	// MServeJobLatency (histogram) is submit-to-terminal job latency.
+	MServeJobLatency = "serve.job_latency"
+	// MServeQueueWait (histogram) is how long admitted arms waited for a
+	// worker slot before starting.
+	MServeQueueWait = "serve.queue_wait"
+
+	// MTenantJobs counts jobs accepted, per tenant.
+	MTenantJobs = "serve.tenant.jobs"
+	// MTenantArmsRun counts job arms completed (any source), per tenant.
+	MTenantArmsRun = "serve.tenant.arms_run"
+	// MTenantBranches counts dynamic branches simulated for a tenant's
+	// completed arms.
+	MTenantBranches = "serve.tenant.branches"
+	// MTenantArmsSaved counts a tenant's arms satisfied from the shared
+	// caches (checkpoint or singleflight) instead of fresh simulation —
+	// capture-cache hits the tenant did not pay for.
+	MTenantArmsSaved = "serve.tenant.arms_saved"
+	// MTenantShed counts job submissions refused by admission control, per
+	// tenant.
+	MTenantShed = "serve.tenant.shed"
+	// MTenantJobLatency (histogram vec) is per-tenant job latency.
+	MTenantJobLatency = "serve.tenant.job_latency"
+
+	// MArmWall (histogram) is total arm wall time across harness arms.
+	MArmWall = "experiment.arm_wall"
+	// MPhaseCapture .. MPhaseSeal (histograms) are per-phase arm durations.
+	MPhaseCapture    = "experiment.phase.capture"
+	MPhaseReplay     = "experiment.phase.replay"
+	MPhaseSimulate   = "experiment.phase.simulate"
+	MPhaseSelect     = "experiment.phase.select"
+	MPhaseCheckpoint = "experiment.phase.checkpoint"
+	MPhaseSeal       = "experiment.phase.seal"
+
+	// MReplayChunkDecode (histogram) is per-chunk decode latency on the
+	// replay path.
+	MReplayChunkDecode = "replay.chunk_decode"
+
+	// MBusSSELag (histogram) is per-frame SSE delivery time (serialize +
+	// flush to the client connection).
+	MBusSSELag = "bus.sse_lag"
+
+	// MTraceSpans counts trace spans published to the live bus.
+	MTraceSpans = "trace.spans"
+
 	// MBusPublished counts records published to the live event bus.
 	MBusPublished = "bus.published"
 	// MBusDropped counts frames discarded across all bus subscribers by the
@@ -139,6 +183,10 @@ const (
 	// the arm, so daemon journals are byte-identical to offline runs of the
 	// same arms.
 	RecJob = "job"
+	// RecSpan is one closed trace span (SpanRecord). Live-only: published
+	// to the event bus when a span ends, never journaled — tracing must
+	// leave journal bytes identical.
+	RecSpan = "span"
 )
 
 // NameKind classifies a registered name.
@@ -149,6 +197,13 @@ const (
 	KindCounter NameKind = "counter"
 	KindGauge   NameKind = "gauge"
 	KindRecord  NameKind = "record"
+	// KindHistogram is an exponential-bucket latency distribution
+	// (Histogram), rendered as _bucket/_sum/_count series.
+	KindHistogram NameKind = "histogram"
+	// KindCounterVec / KindHistogramVec are per-tenant metric families:
+	// one child series per tenant label value.
+	KindCounterVec   NameKind = "counter_vec"
+	KindHistogramVec NameKind = "histogram_vec"
 )
 
 // RegisteredName is one entry of the name registry.
@@ -194,6 +249,24 @@ var registeredNames = []RegisteredName{
 	{MServeArmsDone, KindCounter},
 	{MServeArmsFailed, KindCounter},
 	{MServeArmsPending, KindGauge},
+	{MServeJobLatency, KindHistogram},
+	{MServeQueueWait, KindHistogram},
+	{MTenantJobs, KindCounterVec},
+	{MTenantArmsRun, KindCounterVec},
+	{MTenantBranches, KindCounterVec},
+	{MTenantArmsSaved, KindCounterVec},
+	{MTenantShed, KindCounterVec},
+	{MTenantJobLatency, KindHistogramVec},
+	{MArmWall, KindHistogram},
+	{MPhaseCapture, KindHistogram},
+	{MPhaseReplay, KindHistogram},
+	{MPhaseSimulate, KindHistogram},
+	{MPhaseSelect, KindHistogram},
+	{MPhaseCheckpoint, KindHistogram},
+	{MPhaseSeal, KindHistogram},
+	{MReplayChunkDecode, KindHistogram},
+	{MBusSSELag, KindHistogram},
+	{MTraceSpans, KindCounter},
 	{MBusPublished, KindCounter},
 	{MBusDropped, KindCounter},
 	{MBusSubscribers, KindGauge},
@@ -205,6 +278,7 @@ var registeredNames = []RegisteredName{
 	{RecProgress, KindRecord},
 	{RecDrops, KindRecord},
 	{RecJob, KindRecord},
+	{RecSpan, KindRecord},
 }
 
 // RegisteredNames returns a copy of the registry: every well-known metric

@@ -107,9 +107,38 @@ func TestRegisteredNamesUnique(t *testing.T) {
 		}
 		seen[rn.Name] = true
 		switch rn.Kind {
-		case KindCounter, KindGauge, KindRecord:
+		case KindCounter, KindGauge, KindRecord,
+			KindHistogram, KindCounterVec, KindHistogramVec:
 		default:
 			t.Errorf("name %q has unknown kind %q", rn.Name, rn.Kind)
+		}
+	}
+}
+
+// TestPromNamesUnique proves every metric name (everything but the record
+// types) PromName-mangles to a distinct exposition name: dots collapsing to
+// underscores must not alias two registered series. Histograms additionally
+// claim their _bucket/_sum/_count suffixed names, which must not collide
+// with any other mangled name either.
+func TestPromNamesUnique(t *testing.T) {
+	seen := map[string]string{}
+	claim := func(prom, name string) {
+		if prev, ok := seen[prom]; ok {
+			t.Errorf("PromName collision: %q and %q both mangle to %q", prev, name, prom)
+		}
+		seen[prom] = name
+	}
+	for _, rn := range RegisteredNames() {
+		if rn.Kind == KindRecord {
+			continue
+		}
+		prom := PromName(rn.Name)
+		claim(prom, rn.Name)
+		switch rn.Kind {
+		case KindHistogram, KindHistogramVec:
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				claim(prom+suffix, rn.Name+suffix)
+			}
 		}
 	}
 }

@@ -49,6 +49,15 @@ type Observer struct {
 	// terminate their goroutines without holding every stop handle.
 	stopsMu sync.Mutex
 	stops   []func()
+
+	// tracing enables request-scoped span publication (WithTracing);
+	// slowArm is the wall-time threshold past which an arm records a
+	// histogram exemplar carrying its trace ID (WithSlowArm, 0 = off).
+	tracing bool
+	slowArm time.Duration
+	// spanKeys is the cross-link registry for singleflight and shared-
+	// capture attribution (see trace.go).
+	spanKeys spanKeyStore
 }
 
 // Option configures an Observer at construction.
@@ -64,6 +73,22 @@ func WithJournal(j *Journal) Option {
 // errors) from stderr to w.
 func WithErrorLog(w io.Writer) Option {
 	return func(o *Observer) { o.errw = w }
+}
+
+// WithTracing enables request-scoped span publication: StartSpan returns
+// live spans, arm spans carry trace context, and closed spans are published
+// to the event bus as {type:"span",v:1} frames. Journals are unaffected —
+// span frames are live-only. Without this option StartSpan returns nil and
+// tracing costs one branch per call site.
+func WithTracing() Option {
+	return func(o *Observer) { o.tracing = true }
+}
+
+// WithSlowArm sets the slow-arm threshold: arms whose wall time reaches d
+// record an exemplar on the arm-wall histogram linking the latency bucket
+// to their trace ID. 0 disables exemplars.
+func WithSlowArm(d time.Duration) Option {
+	return func(o *Observer) { o.slowArm = d }
 }
 
 // New returns an enabled Observer with a fresh registry and live event bus.
@@ -100,6 +125,24 @@ func (o *Observer) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
 
 // Timer returns the named timer (nil, a no-op, for a nil observer).
 func (o *Observer) Timer(name string) *Timer { return o.Registry().Timer(name) }
+
+// Histogram returns the named histogram (nil, a no-op, for a nil observer).
+func (o *Observer) Histogram(name string) *Histogram { return o.Registry().Histogram(name) }
+
+// TenantCounter returns the named per-tenant counter child (nil, a no-op,
+// for a nil observer).
+func (o *Observer) TenantCounter(name, tenant string) *Counter {
+	return o.Registry().CounterVec(name).With(tenant)
+}
+
+// TenantHistogram returns the named per-tenant histogram child (nil, a
+// no-op, for a nil observer).
+func (o *Observer) TenantHistogram(name, tenant string) *Histogram {
+	return o.Registry().HistogramVec(name).With(tenant)
+}
+
+// TracingEnabled reports whether this observer publishes trace spans.
+func (o *Observer) TracingEnabled() bool { return o != nil && o.tracing }
 
 // Uptime reports how long the observer has existed — the run's elapsed wall
 // time for reporters. Zero for a nil observer.

@@ -3,7 +3,9 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // promNamespace prefixes every exposition metric, so scraped series are
@@ -30,26 +32,133 @@ func PromName(name string) string {
 	return b.String()
 }
 
+// promLabel escapes a label value per the exposition format: backslash,
+// double quote and newline are escaped.
+func promLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promLE formats a histogram bucket bound as seconds for the le label.
+func promLE(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/1e9, 'g', -1, 64)
+}
+
+// writeHistogram renders one histogram as _bucket/_sum/_count series, with
+// optional extra labels (the tenant) on every sample. Exemplars — buckets
+// that remembered a trace ID — follow as comment lines, since text format
+// 0.0.4 has no exemplar syntax; they stay grep-able without breaking
+// parsers.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	buckets := h.Buckets()
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, promLE(BucketBound(i)), cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, count); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(float64(h.Sum())/1e9, 'g', -1, 64)
+	var lb string
+	if labels != "" {
+		lb = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, lb, sum, name, lb, count); err != nil {
+		return err
+	}
+	for i, ex := range h.Exemplars() {
+		if ex == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# EXEMPLAR %s_bucket{%s%sle=%q} trace_id=%s value=%s\n",
+			name, labels, sep, promLE(BucketBound(i)), ex.TraceID,
+			strconv.FormatFloat(float64(ex.DurNanos)/1e9, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition format
 // (version 0.0.4). The series set is exactly the registered-name block in
-// names.go — counters and gauges, in registration order, zero-valued series
-// included — so the scrape schema is as stable as the registry itself. Safe
-// on a nil registry (writes the same series, all zero).
+// names.go — counters, gauges, histograms and per-tenant families, in
+// registration order, zero-valued series included (tenant families render
+// one child per tenant seen so far) — so the scrape schema is as stable as
+// the registry itself. Safe on a nil registry (writes the same series, all
+// zero).
 func WritePrometheus(w io.Writer, r *Registry) error {
 	snap := r.Snapshot()
 	for _, rn := range registeredNames {
-		var typ string
+		name := PromName(rn.Name)
 		switch rn.Kind {
-		case KindCounter:
-			typ = "counter"
-		case KindGauge:
-			typ = "gauge"
+		case KindCounter, KindGauge:
+			typ := "counter"
+			if rn.Kind == KindGauge {
+				typ = "gauge"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, snap[rn.Name]); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var h *Histogram
+			if r != nil {
+				h = r.Histogram(rn.Name)
+			}
+			if err := writeHistogram(w, name, "", h); err != nil {
+				return err
+			}
+		case KindCounterVec:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+				return err
+			}
+			var v *CounterVec
+			if r != nil {
+				v = r.CounterVec(rn.Name)
+			}
+			for _, label := range v.Labels() {
+				if _, err := fmt.Fprintf(w, "%s{tenant=\"%s\"} %d\n", name, promLabel(label), v.With(label).Value()); err != nil {
+					return err
+				}
+			}
+		case KindHistogramVec:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var v *HistogramVec
+			if r != nil {
+				v = r.HistogramVec(rn.Name)
+			}
+			for _, label := range v.Labels() {
+				labels := `tenant="` + promLabel(label) + `"`
+				if err := writeHistogram(w, name, labels, v.With(label)); err != nil {
+					return err
+				}
+			}
 		default:
 			continue // record types are journal schema, not metrics
-		}
-		name := PromName(rn.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, snap[rn.Name]); err != nil {
-			return err
 		}
 	}
 	return nil

@@ -32,6 +32,67 @@ func (r *ArmStartRecord) stamp()   { r.Type, r.V = RecArmStart, SchemaV1 }
 func (r *ProgressRecord) stamp()   { r.Type, r.V = RecProgress, SchemaV1 }
 func (r *DropsRecord) stamp()      { r.Type, r.V = RecDrops, SchemaV1 }
 func (r *JobRecord) stamp()        { r.Type, r.V = RecJob, SchemaV1 }
+func (r *SpanRecord) stamp()       { r.Type, r.V = RecSpan, SchemaV1 }
+
+// SpanRecord is one closed trace span: a node of a request's span tree,
+// identified by (trace_id, span_id) with parent_id naming its parent within
+// the same trace. Live-only: published to the event bus by TraceSpan.End,
+// never journaled — the journal must stay byte-identical with tracing on or
+// off, per the arm_start/progress precedent. Consumers (bpjournal -trace,
+// the dashboard) reassemble the tree from these frames.
+type SpanRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	// Time is when the span ended, RFC 3339 with nanoseconds.
+	Time time.Time `json:"time"`
+
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+
+	// Name is the spanned operation: "request", "job", "arm", "run",
+	// "profile", "run:wait", "profile:wait", …
+	Name string `json:"name"`
+
+	Tenant string `json:"tenant,omitempty"`
+	Job    string `json:"job,omitempty"`
+	// Key is the arm memoization key the span covers, if any.
+	Key string `json:"key,omitempty"`
+	// Source says where the spanned result came from (computed, checkpoint,
+	// singleflight), when known.
+	Source string `json:"source,omitempty"`
+
+	// StartNanos is the span's start as Unix nanoseconds; DurNanos its wall
+	// time. Phase offsets below are relative to StartNanos.
+	StartNanos int64 `json:"start_ns"`
+	DurNanos   int64 `json:"dur_ns"`
+
+	// Phases are the span's timed sub-stages, in the order they ran.
+	Phases []SpanPhase `json:"phases,omitempty"`
+	// Links are cross-trace references: a singleflight follower links the
+	// winner's span, a replaying arm links the capture's span.
+	Links []SpanLink `json:"links,omitempty"`
+
+	// Error is the spanned operation's failure, if it had one.
+	Error string `json:"error,omitempty"`
+}
+
+// SpanPhase is one timed sub-stage of a span, offset-relative so renderers
+// can draw a waterfall without reconciling wall clocks.
+type SpanPhase struct {
+	Phase       Phase `json:"phase"`
+	OffsetNanos int64 `json:"offset_ns"`
+	DurNanos    int64 `json:"dur_ns"`
+}
+
+// SpanLink is one cross-trace reference. Kind is "singleflight" (follower →
+// winner) or "capture" (replay consumer → capturing arm).
+type SpanLink struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Kind    string `json:"kind"`
+}
 
 // ArmStartRecord announces that an arm's span opened. It is a live-only
 // record: published to the event bus when StartArm fires so dashboards can
@@ -286,8 +347,8 @@ type SchemaError struct {
 
 // Error implements error.
 func (e *SchemaError) Error() string {
-	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s, %s; version %d)",
-		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecArmStart, RecProgress, RecDrops, RecJob, SchemaV1)
+	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s, %s, %s; version %d)",
+		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecArmStart, RecProgress, RecDrops, RecJob, RecSpan, SchemaV1)
 }
 
 // Records is a parsed journal, split by record type. The live-only types
@@ -302,12 +363,14 @@ type Records struct {
 	Progress   []ProgressRecord
 	Drops      []DropsRecord
 	Jobs       []JobRecord
+	Spans      []SpanRecord
 }
 
 // Len returns the total record count.
 func (r *Records) Len() int {
 	return len(r.Arms) + len(r.Intervals) + len(r.TableStats) + len(r.TopK) +
-		len(r.ArmStarts) + len(r.Progress) + len(r.Drops) + len(r.Jobs)
+		len(r.ArmStarts) + len(r.Progress) + len(r.Drops) + len(r.Jobs) +
+		len(r.Spans)
 }
 
 // Add appends one decoded record (a DecodeRecord result) to its slice;
@@ -334,6 +397,8 @@ func (r *Records) add(rec any) {
 		r.Drops = append(r.Drops, *rec)
 	case *JobRecord:
 		r.Jobs = append(r.Jobs, *rec)
+	case *SpanRecord:
+		r.Spans = append(r.Spans, *rec)
 	}
 }
 
@@ -345,8 +410,8 @@ type recordHead struct {
 
 // DecodeRecord decodes one JSONL record line into its typed record — one of
 // *ArmRecord, *IntervalRecord, *TableStatsRecord, *TopKRecord,
-// *ArmStartRecord, *ProgressRecord, *DropsRecord or *JobRecord. A line
-// without a "type"
+// *ArmStartRecord, *ProgressRecord, *DropsRecord, *JobRecord or
+// *SpanRecord. A line without a "type"
 // field is an arm record (the pre-telemetry schema). An unknown record type
 // or schema version fails with a *SchemaError (Line 0; batch readers stamp
 // their own line numbers).
@@ -377,6 +442,8 @@ func DecodeRecord(data []byte) (any, error) {
 		rec = &DropsRecord{}
 	case RecJob:
 		rec = &JobRecord{}
+	case RecSpan:
+		rec = &SpanRecord{}
 	default:
 		return nil, &SchemaError{Type: head.Type, Version: head.V}
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"time"
 )
@@ -19,6 +20,13 @@ const (
 	PhaseSimulate   Phase = "simulate"
 	PhaseSelect     Phase = "select"
 	PhaseCheckpoint Phase = "checkpoint"
+	// PhaseSeal is the telemetry-seal stage: stamping final metrics and
+	// flushing the arm's telemetry records.
+	PhaseSeal Phase = "seal"
+	// PhaseQueue is a serve-side trace phase: how long an admitted arm
+	// waited for a worker slot. Trace spans only — it never appears in
+	// ArmRecord.Phases.
+	PhaseQueue Phase = "queue_wait"
 )
 
 // Arm-record Source values: where the arm's result came from.
@@ -93,23 +101,52 @@ type Span struct {
 	rec     ArmRecord
 	started time.Time
 	faults0 uint64
+	// trace is the arm's trace span, when the observer traces; the
+	// ArmRecord itself never carries trace fields, so journal bytes are
+	// identical with tracing on or off.
+	trace *TraceSpan
 }
 
 // StartArm opens a span for one arm. kind is the harness stage ("profile",
 // "run", "simulate"); key is the arm's memoization key.
 func (o *Observer) StartArm(kind, key string) *Span {
+	s, _ := o.StartArmCtx(context.Background(), kind, key)
+	return s
+}
+
+// StartArmCtx is StartArm with trace propagation: when the observer traces,
+// the arm also opens a trace span as a child of the span carried by ctx, and
+// the returned context carries the arm's span (so nested work — the shared
+// capture — attributes to it). The arm's span context is noted under key in
+// the cross-link registry so singleflight followers can link the winner.
+func (o *Observer) StartArmCtx(ctx context.Context, kind, key string) (*Span, context.Context) {
 	if o == nil {
-		return nil
+		return nil, ctx
 	}
 	o.Counter(MArmsStarted).Add(1)
 	o.Gauge(MArmsRunning).Add(1)
 	o.Publish(&ArmStartRecord{Time: time.Now(), Kind: kind, Key: key})
-	return &Span{
+	s := &Span{
 		o:       o,
 		rec:     ArmRecord{Kind: kind, Key: key, Source: SourceComputed},
 		started: time.Now(),
 		faults0: o.Counter(MFaultsInjected).Value(),
 	}
+	s.trace, ctx = o.StartSpan(ctx, kind)
+	if s.trace != nil {
+		s.trace.SetKey(key)
+		o.NoteSpanKey(key, s.trace.Context())
+	}
+	return s, ctx
+}
+
+// Trace returns the arm's trace span (nil when the observer does not
+// trace), for callers that attach cross-trace links.
+func (s *Span) Trace() *TraceSpan {
+	if s == nil {
+		return nil
+	}
+	return s.trace
 }
 
 // SetLabels records the arm's identity. Empty strings leave the previous
@@ -137,14 +174,41 @@ func (s *Span) SetLabels(workload, input, predictor, scheme string) {
 func (s *Span) SetSource(source string) {
 	if s != nil {
 		s.rec.Source = source
+		s.trace.SetSource(source)
 	}
 }
 
-// AddPhase appends one phase timing.
+// AddPhase appends one phase timing (the phase ended now, d ago), mirrors
+// it onto the arm's trace span, and feeds the per-phase duration histogram.
 func (s *Span) AddPhase(p Phase, d time.Duration) {
-	if s != nil {
-		s.rec.Phases = append(s.rec.Phases, PhaseTiming{Phase: p, Nanos: int64(d)})
+	if s == nil {
+		return
 	}
+	s.rec.Phases = append(s.rec.Phases, PhaseTiming{Phase: p, Nanos: int64(d)})
+	s.trace.AddPhase(p, time.Now().Add(-d), d)
+	if name := phaseHistName(p); name != "" {
+		s.o.Histogram(name).Observe(d)
+	}
+}
+
+// phaseHistName maps an arm phase to its duration-histogram name ("" for
+// phases without one).
+func phaseHistName(p Phase) string {
+	switch p {
+	case PhaseCapture:
+		return MPhaseCapture
+	case PhaseReplay:
+		return MPhaseReplay
+	case PhaseSimulate:
+		return MPhaseSimulate
+	case PhaseSelect:
+		return MPhaseSelect
+	case PhaseCheckpoint:
+		return MPhaseCheckpoint
+	case PhaseSeal:
+		return MPhaseSeal
+	}
+	return ""
 }
 
 // Phase starts timing phase p and returns the function that ends it. Usage:
@@ -209,6 +273,15 @@ func (s *Span) End(err error) {
 	} else {
 		s.o.Counter(MArmsDone).Add(1)
 	}
+	wall := time.Duration(s.rec.WallNanos)
+	if s.trace != nil && s.o.slowArm > 0 && wall >= s.o.slowArm {
+		// A slow arm: pin an exemplar so the latency bucket leads back to
+		// this arm's trace.
+		s.o.Histogram(MArmWall).ObserveExemplar(wall, s.trace.rec.TraceID)
+	} else {
+		s.o.Histogram(MArmWall).Observe(wall)
+	}
+	s.trace.End(err)
 	s.o.record(&s.rec)
 }
 

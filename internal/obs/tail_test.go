@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -127,5 +128,98 @@ func TestTailJournalFollowSeesAppendsAndTruncate(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("follow did not stop on cancel")
+	}
+}
+
+// TestTailJournalRotationWithUnknownRecords is the live-tail resilience
+// case: a tailed file is rotated (replaced by a new run) mid-tail, and both
+// generations interleave record types this build does not know — the
+// live-only frames a newer writer might emit. The tail must hand every
+// complete line over in order across the rotation, and a decode-and-skip
+// consumer (the bpjournal -follow discipline: unknown types skip, malformed
+// JSON is fatal) must absorb the unknowns without error and keep every
+// known record from both generations.
+func TestTailJournalRotationWithUnknownRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	gen1 := `{"type":"arm","v":1,"kind":"run","key":"g1-a"}` + "\n" +
+		`{"type":"frame_from_the_future","v":1,"blob":[1,2,3]}` + "\n" +
+		`{"type":"arm","v":1,"kind":"run","key":"g1-b"}` + "\n"
+	if err := os.WriteFile(path, []byte(gen1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var keys []string
+	var skipped int
+	done := make(chan error, 1)
+	go func() {
+		done <- TailJournal(ctx, path, 2*time.Millisecond, true, func(line []byte) error {
+			rec, err := DecodeRecord(line)
+			if err != nil {
+				var se *SchemaError
+				if errors.As(err, &se) && se.Type != "" {
+					mu.Lock()
+					skipped++
+					mu.Unlock()
+					return nil
+				}
+				return err
+			}
+			if a, ok := rec.(*ArmRecord); ok {
+				mu.Lock()
+				keys = append(keys, a.Key)
+				mu.Unlock()
+			}
+			return nil
+		})
+	}()
+
+	await := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(keys)
+			mu.Unlock()
+			if n >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("saw %d arm records, want %d", n, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	await(2)
+
+	// Rotate: a new, shorter file replaces the old one (same name, fresh
+	// inode via rename — how journal rotation actually lands).
+	gen2 := `{"type":"span","v":1,"trace_id":"aaaa","span_id":"bbbb","name":"request","start_ns":1,"dur_ns":1}` + "\n" +
+		`{"type":"another_unknown","v":1}` + "\n" +
+		`{"type":"arm","v":1,"kind":"run","key":"g2-a"}` + "\n"
+	tmp := filepath.Join(dir, "j.jsonl.new")
+	if err := os.WriteFile(tmp, []byte(gen2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	await(3)
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("tail ended with %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if want := []string{"g1-a", "g1-b", "g2-a"}; len(keys) != 3 ||
+		keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+		t.Fatalf("keys = %q, want %q", keys, want)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d unknown-type records, want 2", skipped)
 	}
 }

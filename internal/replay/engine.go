@@ -49,6 +49,7 @@ type Engine struct {
 	obsSpillErrors       *obs.Counter
 	obsMem               *obs.Gauge
 	obsWaiting           *obs.Gauge
+	obsChunkDecode       *obs.Histogram
 
 	mu     sync.Mutex
 	traces map[string]*Trace
@@ -149,6 +150,7 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 	e.obsSpillErrors = o.Counter(obs.MReplaySpillErrors)
 	e.obsMem = o.Gauge(obs.MReplayMemBytes)
 	e.obsWaiting = o.Gauge(obs.MReplayPoolWaiting)
+	e.obsChunkDecode = o.Histogram(obs.MReplayChunkDecode)
 }
 
 // Key names the shared capture of one (workload, input) pair. The harness

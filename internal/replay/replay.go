@@ -39,6 +39,7 @@ import (
 	"io"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"branchsim/internal/fsx"
 	"branchsim/internal/trace"
@@ -675,6 +676,7 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 			}
 			return trace.DecodeChunk(data, rec)
 		}
+		d0 := time.Now()
 		if err := decode(data); err != nil {
 			if errors.Is(err, trace.ErrCorrupt) {
 				// The checksum passed (or was skipped) but the records no
@@ -684,6 +686,7 @@ func (t *Trace) Replay(ctx context.Context, rec trace.Recorder) (c trace.Counts,
 			}
 			return trace.Counts{}, err
 		}
+		t.e.obsChunkDecode.Observe(time.Since(d0))
 		t.e.obsChunksReplayed.Add(1)
 		// Chunks are a few tens of thousands of events, the same order as
 		// the simulator's own cancellation cadence — checking here keeps a

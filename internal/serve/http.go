@@ -37,15 +37,28 @@ func Handler(s *Server, next http.Handler) http.Handler {
 		if spec.Tenant == "" {
 			spec.Tenant = r.Header.Get("X-Tenant")
 		}
-		ack, err := s.Submit(spec)
+		// The request span roots the trace: the job span Submit opens
+		// becomes its child, so `bpjournal -trace` reconstructs
+		// request → job → arm → phases from the submission inward.
+		rspan, rctx := s.obs.StartSpan(r.Context(), "request")
+		if spec.Tenant != "" {
+			rspan.SetTenant(spec.Tenant)
+		}
+		ack, err := s.Submit(rctx, spec)
 		if err != nil {
+			rspan.End(err)
 			writeError(w, err)
 			return
 		}
+		rspan.SetJob(ack.ID)
+		rspan.End(nil)
 		writeJSON(w, http.StatusOK, ack)
 	})
 	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /api/v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Tenants())
 	})
 	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Status(r.PathValue("id"))

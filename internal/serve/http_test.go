@@ -86,7 +86,7 @@ func TestDaemonJournalMatchesOffline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ack, err := s.Submit(&serveapi.JobSpec{Tenant: "alice",
+	ack, err := s.Submit(context.Background(), &serveapi.JobSpec{Tenant: "alice",
 		Workloads: []string{"compress"}, Inputs: []string{"test"}, Predictors: preds})
 	if err != nil {
 		t.Fatal(err)

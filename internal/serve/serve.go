@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -88,6 +89,7 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string
 	inflight map[string]int // tenant → jobs not yet terminal
+	tenants  map[string]*tenantStats
 	nextID   uint64
 	draining bool
 
@@ -108,6 +110,25 @@ type job struct {
 
 	cancel context.CancelFunc
 	doneCh chan struct{}
+
+	// created is the admission instant (job latency measures from here);
+	// span is the job's trace span and traceID its trace, when the
+	// observer traces.
+	created time.Time
+	span    *obs.TraceSpan
+	traceID string
+}
+
+// tenantStats is one tenant's attribution ledger, guarded by Server.mu. It
+// backs the /api/v1/tenants summary; the per-tenant serve.tenant.* metric
+// families mirror it at /metrics.
+type tenantStats struct {
+	jobs, jobsDone, jobsFailed, jobsCancelled uint64
+	shed                                      uint64
+	armsRun, armsFailed, armsSaved            uint64
+	branches                                  uint64
+	latCount                                  uint64
+	latTotal, latMax                          time.Duration
 }
 
 // New builds a Server over cfg. Call Drain (or Close) before discarding it.
@@ -143,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 		cancel:        cancel,
 		jobs:          map[string]*job{},
 		inflight:      map[string]int{},
+		tenants:       map[string]*tenantStats{},
 	}, nil
 }
 
@@ -151,8 +173,11 @@ func New(cfg Config) (*Server, error) {
 // failures name the offending token (CodeBadSpec), admission failures say
 // which quota was exhausted (CodeQuotaJobs, CodeQuotaArms) or that the
 // daemon is draining (CodeDraining). Submit never queues: an admitted job
-// is running, a refused job is the client's to resubmit elsewhere.
-func (s *Server) Submit(spec *serveapi.JobSpec) (*serveapi.Submitted, error) {
+// is running, a refused job is the client's to resubmit elsewhere. ctx is
+// the submission's request scope: when it carries a trace span (the HTTP
+// handler opens one per request), the job's span becomes its child and the
+// acknowledgement carries the trace ID.
+func (s *Server) Submit(ctx context.Context, spec *serveapi.JobSpec) (*serveapi.Submitted, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, serveapi.Errorf(serveapi.CodeBadSpec, "%v", err)
 	}
@@ -183,7 +208,7 @@ func (s *Server) Submit(spec *serveapi.JobSpec) (*serveapi.Submitted, error) {
 	}
 	arms := spec.Arms()
 	if len(arms) > s.maxArmsPerJob {
-		s.obs.Counter(obs.MServeJobsRejected).Add(1)
+		s.shed(tenant)
 		return nil, serveapi.Errorf(serveapi.CodeQuotaArms,
 			"job expands to %d arms, quota is %d per job; split the grid", len(arms), s.maxArmsPerJob)
 	}
@@ -191,13 +216,13 @@ func (s *Server) Submit(spec *serveapi.JobSpec) (*serveapi.Submitted, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.obs.Counter(obs.MServeJobsRejected).Add(1)
+		s.shed(tenant)
 		return nil, serveapi.Errorf(serveapi.CodeDraining, "daemon is draining; resubmit to its replacement")
 	}
 	if s.inflight[tenant] >= s.maxTenantJobs {
 		n := s.inflight[tenant]
 		s.mu.Unlock()
-		s.obs.Counter(obs.MServeJobsRejected).Add(1)
+		s.shed(tenant)
 		return nil, serveapi.Errorf(serveapi.CodeQuotaJobs,
 			"tenant %q has %d jobs in flight, quota is %d; wait for one to finish", tenant, n, s.maxTenantJobs)
 	}
@@ -206,9 +231,10 @@ func (s *Server) Submit(spec *serveapi.JobSpec) (*serveapi.Submitted, error) {
 		id:     fmt.Sprintf("j%06d", s.nextID),
 		tenant: tenant,
 		name:   spec.Name,
-		state:  serveapi.StateQueued,
-		arms:   make([]serveapi.ArmResult, len(arms)),
-		doneCh: make(chan struct{}),
+		state:   serveapi.StateQueued,
+		arms:    make([]serveapi.ArmResult, len(arms)),
+		doneCh:  make(chan struct{}),
+		created: time.Now(),
 	}
 	for i, a := range arms {
 		j.arms[i] = serveapi.ArmResult{Arm: a, State: serveapi.ArmPending}
@@ -218,18 +244,51 @@ func (s *Server) Submit(spec *serveapi.JobSpec) (*serveapi.Submitted, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.inflight[tenant]++
+	s.tenantLocked(tenant).jobs++
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	// The job's span is a child of the submission request's span: the job
+	// context descends from the server context (so jobs outlive their
+	// submission connection) but carries the request's trace lineage.
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		jctx = obs.ContextWithSpan(jctx, sc)
+	}
+	j.span, jctx = s.obs.StartSpan(jctx, "job")
+	j.span.SetTenant(tenant)
+	j.span.SetJob(j.id)
+	j.traceID = j.span.Context().TraceID
+
 	s.obs.Counter(obs.MServeJobsSubmitted).Add(1)
+	s.obs.TenantCounter(obs.MTenantJobs, tenant).Add(1)
 	s.obs.Gauge(obs.MServeJobsRunning).Add(1)
 	s.obs.Gauge(obs.MServeArmsPending).Add(int64(len(arms)))
 	s.publish(j)
 	go s.runJob(jctx, j)
 
-	ack := &serveapi.Submitted{ID: j.id, Arms: len(arms)}
+	ack := &serveapi.Submitted{ID: j.id, Arms: len(arms), TraceID: j.traceID}
 	ack.Stamp()
 	return ack, nil
+}
+
+// shed records one load-shedding rejection, globally and per tenant.
+func (s *Server) shed(tenant string) {
+	s.obs.Counter(obs.MServeJobsRejected).Add(1)
+	s.obs.TenantCounter(obs.MTenantShed, tenant).Add(1)
+	s.mu.Lock()
+	s.tenantLocked(tenant).shed++
+	s.mu.Unlock()
+}
+
+// tenantLocked returns tenant's stats ledger, creating it on first use.
+// Caller holds s.mu.
+func (s *Server) tenantLocked(tenant string) *tenantStats {
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantStats{}
+		s.tenants[tenant] = ts
+	}
+	return ts
 }
 
 // validInput accepts the standard workload input names.
@@ -251,21 +310,25 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	j.mu.Unlock()
 	s.publish(j)
 
+	queueWait := s.obs.Histogram(obs.MServeQueueWait)
 	var arms sync.WaitGroup
 	for i := range j.arms {
 		// Respect cancellation while waiting for a pool slot: a cancelled
 		// job's pending arms never run at all.
+		queued := time.Now()
 		select {
 		case <-ctx.Done():
 		case s.sem <- struct{}{}:
+			wait := time.Since(queued)
+			queueWait.Observe(wait)
 			arms.Add(1)
 			go func(i int) {
 				defer func() { <-s.sem; arms.Done() }()
-				s.runArm(ctx, j, i)
+				s.runArm(ctx, j, i, wait)
 			}(i)
 			continue
 		}
-		s.settleArm(j, i, sim.Metrics{}, ctx.Err())
+		s.settleArm(j, i, sim.Metrics{}, "", ctx.Err())
 	}
 	arms.Wait()
 
@@ -290,33 +353,71 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.obs.Counter(obs.MServeJobsCancelled).Add(1)
 	}
 	s.obs.Gauge(obs.MServeJobsRunning).Add(-1)
+
+	lat := time.Since(j.created)
+	s.obs.Histogram(obs.MServeJobLatency).Observe(lat)
+	s.obs.TenantHistogram(obs.MTenantJobLatency, j.tenant).Observe(lat)
 	s.mu.Lock()
 	s.inflight[j.tenant]--
+	ts := s.tenantLocked(j.tenant)
+	switch state {
+	case serveapi.StateDone:
+		ts.jobsDone++
+	case serveapi.StateFailed:
+		ts.jobsFailed++
+	default:
+		ts.jobsCancelled++
+	}
+	ts.latCount++
+	ts.latTotal += lat
+	if lat > ts.latMax {
+		ts.latMax = lat
+	}
 	s.mu.Unlock()
+
+	var jerr error
+	if state == serveapi.StateFailed {
+		j.mu.Lock()
+		jerr = errors.New(j.firstErr)
+		j.mu.Unlock()
+	}
+	j.span.End(jerr)
 	s.publish(j)
 	close(j.doneCh)
 }
 
 // runArm executes one arm on the shared harness and settles its result.
-func (s *Server) runArm(ctx context.Context, j *job, i int) {
+// queued is how long the arm waited for a pool slot; the arm's span records
+// it as a queue_wait phase so a trace waterfall shows contention, not just
+// compute.
+func (s *Server) runArm(ctx context.Context, j *job, i int, queued time.Duration) {
 	a := j.arms[i].Arm
 	j.mu.Lock()
 	j.arms[i].State = serveapi.ArmRunning
 	j.mu.Unlock()
-	m, err := s.harness.Run(ctx, experiment.Arm{
+	aspan, actx := s.obs.StartSpan(ctx, "arm")
+	aspan.SetTenant(j.tenant)
+	aspan.SetJob(j.id)
+	aspan.SetKey(a.Key())
+	if queued > 0 {
+		aspan.AddPhase(obs.PhaseQueue, time.Now().Add(-queued), queued)
+	}
+	m, src, err := s.harness.RunAttributed(actx, experiment.Arm{
 		Workload: a.Workload,
 		Input:    a.Input,
 		Pred:     a.Predictor,
 		Scheme:   a.Scheme,
 	})
-	s.settleArm(j, i, m, err)
+	aspan.SetSource(src)
+	aspan.End(err)
+	s.settleArm(j, i, m, src, err)
 }
 
 // settleArm records one arm's outcome and publishes the job's progress. A
 // cancellation is not a failure: the arm goes back to pending — it produced
 // no result and a resubmitted job will run it (or recall it from the
 // checkpoint, if it finished on a previous daemon).
-func (s *Server) settleArm(j *job, i int, m sim.Metrics, err error) {
+func (s *Server) settleArm(j *job, i int, m sim.Metrics, src string, err error) {
 	j.mu.Lock()
 	switch {
 	case errors.Is(err, context.Canceled):
@@ -340,8 +441,28 @@ func (s *Server) settleArm(j *job, i int, m sim.Metrics, err error) {
 	case errors.Is(err, context.Canceled):
 	case err != nil:
 		s.obs.Counter(obs.MServeArmsFailed).Add(1)
+		s.obs.TenantCounter(obs.MTenantArmsRun, j.tenant).Add(1)
+		s.mu.Lock()
+		ts := s.tenantLocked(j.tenant)
+		ts.armsRun++
+		ts.armsFailed++
+		s.mu.Unlock()
 	default:
 		s.obs.Counter(obs.MServeArmsDone).Add(1)
+		s.obs.TenantCounter(obs.MTenantArmsRun, j.tenant).Add(1)
+		s.obs.TenantCounter(obs.MTenantBranches, j.tenant).Add(m.Branches)
+		saved := src == obs.SourceCheckpoint || src == obs.SourceSingleflight
+		if saved {
+			s.obs.TenantCounter(obs.MTenantArmsSaved, j.tenant).Add(1)
+		}
+		s.mu.Lock()
+		ts := s.tenantLocked(j.tenant)
+		ts.armsRun++
+		ts.branches += m.Branches
+		if saved {
+			ts.armsSaved++
+		}
+		s.mu.Unlock()
 	}
 	s.obs.Gauge(obs.MServeArmsPending).Add(-1)
 	s.publish(j)
@@ -391,6 +512,7 @@ func (j *job) status(withArms bool) *serveapi.JobStatus {
 	defer j.mu.Unlock()
 	st := &serveapi.JobStatus{
 		ID:         j.id,
+		TraceID:    j.traceID,
 		Tenant:     j.tenant,
 		Name:       j.name,
 		State:      j.state,
@@ -448,6 +570,43 @@ func (s *Server) List() *serveapi.JobList {
 			out.Jobs = append(out.Jobs, *j.status(false))
 		}
 	}
+	return out
+}
+
+// Tenants summarizes every tenant's resource attribution, sorted by tenant
+// name: jobs admitted and settled, load-shedding rejections, arms and
+// simulated branches charged to the tenant, arms the capture cache or
+// checkpoint store saved from recompute, and job-latency aggregates.
+func (s *Server) Tenants() *serveapi.TenantList {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := &serveapi.TenantList{Tenants: make([]serveapi.TenantSummary, 0, len(names))}
+	for _, name := range names {
+		ts := s.tenants[name]
+		sum := serveapi.TenantSummary{
+			Tenant:        name,
+			Jobs:          ts.jobs,
+			JobsDone:      ts.jobsDone,
+			JobsFailed:    ts.jobsFailed,
+			JobsCancelled: ts.jobsCancelled,
+			Shed:          ts.shed,
+			ArmsRun:       ts.armsRun,
+			ArmsFailed:    ts.armsFailed,
+			ArmsSaved:     ts.armsSaved,
+			Branches:      ts.branches,
+			LatencyMaxMS:  float64(ts.latMax) / float64(time.Millisecond),
+		}
+		if ts.latCount > 0 {
+			sum.LatencyMeanMS = float64(ts.latTotal) / float64(ts.latCount) / float64(time.Millisecond)
+		}
+		out.Tenants = append(out.Tenants, sum)
+	}
+	s.mu.Unlock()
+	out.Stamp()
 	return out
 }
 

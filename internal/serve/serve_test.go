@@ -95,7 +95,7 @@ func TestMultiTenantDedupe(t *testing.T) {
 	// Both grids hit (compress, test); "gshare:1KB" appears in both.
 	submit := func(tenant string, preds ...string) string {
 		t.Helper()
-		ack, err := s.Submit(&serveapi.JobSpec{
+		ack, err := s.Submit(context.Background(), &serveapi.JobSpec{
 			Tenant:     tenant,
 			Workloads:  []string{"compress"},
 			Inputs:     []string{"test"},
@@ -193,7 +193,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	var ids []string
 	for _, pred := range []string{"gshare:1KB", "bimodal:1KB"} {
-		ack, err := s.Submit(spec("alice", pred))
+		ack, err := s.Submit(context.Background(), spec("alice", pred))
 		if err != nil {
 			t.Fatalf("Submit: %v", err)
 		}
@@ -201,18 +201,18 @@ func TestAdmissionControl(t *testing.T) {
 	}
 
 	// Third alice job: over the in-flight quota.
-	if _, err := s.Submit(spec("alice", "ghist:1KB")); !serveapi.IsCode(err, serveapi.CodeQuotaJobs) {
+	if _, err := s.Submit(context.Background(), spec("alice", "ghist:1KB")); !serveapi.IsCode(err, serveapi.CodeQuotaJobs) {
 		t.Errorf("over-quota submit: err = %v, want code %s", err, serveapi.CodeQuotaJobs)
 	}
 	// Quotas are per tenant: bob is unaffected by alice's jobs.
-	ack, err := s.Submit(spec("bob", "ghist:1KB"))
+	ack, err := s.Submit(context.Background(), spec("bob", "ghist:1KB"))
 	if err != nil {
 		t.Fatalf("Submit(bob): %v", err)
 	}
 	ids = append(ids, ack.ID)
 
 	// A grid over the arm quota is refused outright, with advice to split.
-	_, err = s.Submit(&serveapi.JobSpec{Tenant: "bob",
+	_, err = s.Submit(context.Background(), &serveapi.JobSpec{Tenant: "bob",
 		Workloads: []string{"compress"}, Inputs: []string{"test"},
 		Predictors: []string{"gshare:1KB", "gshare:2KB", "gshare:4KB", "gshare:8KB", "gshare:16KB"}})
 	if !serveapi.IsCode(err, serveapi.CodeQuotaArms) {
@@ -231,7 +231,7 @@ func TestAdmissionControl(t *testing.T) {
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("Drain: %v", err)
 	}
-	if _, err := s.Submit(spec("carol", "gshare:1KB")); !serveapi.IsCode(err, serveapi.CodeDraining) {
+	if _, err := s.Submit(context.Background(), spec("carol", "gshare:1KB")); !serveapi.IsCode(err, serveapi.CodeDraining) {
 		t.Errorf("draining submit: err = %v, want code %s", err, serveapi.CodeDraining)
 	}
 
@@ -276,7 +276,7 @@ func TestSubmitValidation(t *testing.T) {
 	for _, tc := range cases {
 		spec := base()
 		tc.mutate(spec)
-		_, err := s.Submit(spec)
+		_, err := s.Submit(context.Background(), spec)
 		if !serveapi.IsCode(err, serveapi.CodeBadSpec) {
 			t.Errorf("%s: err = %v, want code %s", tc.name, err, serveapi.CodeBadSpec)
 			continue
@@ -330,7 +330,7 @@ func TestDrainCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ack, err := s1.Submit(spec())
+	ack, err := s1.Submit(context.Background(), spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestDrainCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	ack2, err := s2.Submit(spec())
+	ack2, err := s2.Submit(context.Background(), spec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(&serveapi.JobSpec{Workloads: []string{"compress"},
+	if _, err := s.Submit(context.Background(), &serveapi.JobSpec{Workloads: []string{"compress"},
 		Inputs: []string{"test"}, Predictors: []string{"gshare:1KB"}}); err != nil {
 		t.Fatal(err)
 	}

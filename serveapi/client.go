@@ -116,6 +116,15 @@ func (c *Client) ListJobs(ctx context.Context) (*JobList, error) {
 	return out, nil
 }
 
+// Tenants fetches the daemon's per-tenant attribution summary.
+func (c *Client) Tenants(ctx context.Context) (*TenantList, error) {
+	out := &TenantList{}
+	if err := c.do(ctx, http.MethodGet, "/api/v1/tenants", nil, TypeTenants, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CancelJob asks the daemon to cancel a job's remaining arms cooperatively
 // and returns the resulting snapshot. Cancelling a terminal job is a no-op.
 func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {

@@ -40,6 +40,8 @@ const (
 	TypeJobStatus = "job_status"
 	// TypeError is a typed request failure (Error).
 	TypeError = "error"
+	// TypeTenants is the per-tenant attribution summary (TenantList).
+	TypeTenants = "tenants"
 )
 
 // Job lifecycle states, as reported in JobStatus.State.
@@ -203,6 +205,10 @@ type Submitted struct {
 	ID string `json:"id"`
 	// Arms is the expanded arm count the job was admitted with.
 	Arms int `json:"arms"`
+	// TraceID identifies the job's trace when the daemon traces requests;
+	// feed it to `bpjournal -trace` against captured live frames. Empty
+	// when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Stamp fills the envelope fields.
@@ -214,8 +220,10 @@ type JobStatus struct {
 	Type string `json:"type"`
 	V    int    `json:"v"`
 
-	ID     string `json:"id"`
-	Tenant string `json:"tenant"`
+	ID string `json:"id"`
+	// TraceID is the job's trace, when the daemon traces requests.
+	TraceID string `json:"trace_id,omitempty"`
+	Tenant  string `json:"tenant"`
 	Name   string `json:"name,omitempty"`
 	// State is queued, running, done, failed or cancelled.
 	State string `json:"state"`
@@ -247,6 +255,46 @@ func (s *JobStatus) Terminal() bool {
 type JobList struct {
 	Jobs []JobStatus `json:"jobs"`
 }
+
+// TenantSummary is one tenant's attribution ledger: what the daemon admitted,
+// shed, ran and charged on the tenant's behalf since boot.
+type TenantSummary struct {
+	Tenant string `json:"tenant"`
+
+	// Jobs counts admitted jobs; JobsDone/JobsFailed/JobsCancelled are the
+	// terminal outcomes reached so far.
+	Jobs          uint64 `json:"jobs"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	// Shed counts load-shedding rejections (quota or draining).
+	Shed uint64 `json:"shed"`
+
+	// ArmsRun counts arms that reached a terminal non-cancelled state;
+	// ArmsFailed is the failing subset. ArmsSaved is how many of those the
+	// checkpoint store or cross-job singleflight answered without
+	// recompute. Branches is the simulated-branch volume charged to the
+	// tenant across its done arms.
+	ArmsRun    uint64 `json:"arms_run"`
+	ArmsFailed uint64 `json:"arms_failed"`
+	ArmsSaved  uint64 `json:"arms_saved"`
+	Branches   uint64 `json:"branches"`
+
+	// Job-latency aggregates over the tenant's terminal jobs, milliseconds.
+	LatencyMeanMS float64 `json:"latency_mean_ms,omitempty"`
+	LatencyMaxMS  float64 `json:"latency_max_ms,omitempty"`
+}
+
+// TenantList is the GET /api/v1/tenants payload, sorted by tenant name.
+type TenantList struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	Tenants []TenantSummary `json:"tenants"`
+}
+
+// Stamp fills the envelope fields.
+func (s *TenantList) Stamp() { s.Type, s.V = TypeTenants, SchemaV1 }
 
 // SchemaError reports a wire message whose type or schema version this
 // reader does not understand, mirroring the journal reader's discipline:
@@ -297,6 +345,15 @@ func DecodeJobSpec(data []byte) (*JobSpec, error) {
 func DecodeSubmitted(data []byte) (*Submitted, error) {
 	s := &Submitted{}
 	if err := decodeEnvelope(data, TypeSubmitted, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeTenants decodes a {type:"tenants",v:1} message.
+func DecodeTenants(data []byte) (*TenantList, error) {
+	s := &TenantList{}
+	if err := decodeEnvelope(data, TypeTenants, s); err != nil {
 		return nil, err
 	}
 	return s, nil
