@@ -27,7 +27,7 @@ func main() {
 	var (
 		wl      = flag.String("workload", "gcc", "workload name")
 		input   = flag.String("input", "train", "workload input")
-		scheme  = flag.String("scheme", "gshare", "indexing scheme: bimodal, ghist or gshare")
+		scheme  = flag.String("scheme", "gshare", "indexing scheme: bimodal, ghist, gshare, tage or perceptron")
 		size    = flag.String("size", "4KB", "table size")
 		top     = flag.Int("top", 15, "number of pairs/victims to print (also the heatmap dimension)")
 		heatmap = flag.String("heatmap", "", "also render the victims×aggressors conflict matrix as an SVG heatmap to this file")
@@ -56,9 +56,20 @@ func run(ctx context.Context, wl, input, scheme, size string, top int, heatmapPa
 
 	fmt.Printf("%s on %s/%s: %d branches, %d cross-branch conflicts (%.1f%% of lookups), %.1f%% between opposed branches\n\n",
 		a.Scheme(), wl, input, a.Branches, a.Conflicts,
-		100*float64(a.Conflicts)/float64(a.Branches), 100*a.OpposedFraction())
+		100*float64(a.Conflicts)/float64(a.Lookups), 100*a.OpposedFraction())
 	if d := a.Dropped(); d > 0 {
 		fmt.Printf("warning: %d conflicts unattributed (pair table full)\n\n", d)
+	}
+
+	if banks := a.Banks(); len(banks) > 1 {
+		fmt.Printf("per-bank conflicts:\n%-10s %10s %8s %12s %10s\n",
+			"bank", "entries", "hist", "conflicts", "rate")
+		for _, b := range banks {
+			fmt.Printf("%-10s %10d %8d %12d %9.1f%%\n",
+				b.Name, b.Entries, b.HistLen, b.Conflicts,
+				100*float64(b.Conflicts)/float64(a.Branches))
+		}
+		fmt.Println()
 	}
 
 	fmt.Printf("top interference pairs:\n%-14s %-14s %10s %10s %7s %7s\n",

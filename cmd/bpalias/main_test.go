@@ -34,7 +34,7 @@ func TestAliasHeatmap(t *testing.T) {
 }
 
 func TestAliasErrors(t *testing.T) {
-	if err := run(context.Background(), "gcc", "test", "tage", "1KB", 5, ""); err == nil {
+	if err := run(context.Background(), "gcc", "test", "neural-net", "1KB", 5, ""); err == nil {
 		t.Fatal("unsupported scheme accepted")
 	}
 	if err := run(context.Background(), "nosuch", "test", "gshare", "1KB", 5, ""); err == nil {

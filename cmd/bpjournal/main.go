@@ -93,14 +93,22 @@ func run(path string, quiet bool, top int) error {
 // stops parsing mid-tail is an error, exactly as in batch mode.
 func runFollow(ctx context.Context, path string, poll time.Duration, quiet bool, top int) error {
 	all := &obs.Records{}
+	skipped := map[string]bool{} // record types already reported as skipped
 	err := obs.TailJournal(ctx, path, poll, true, func(line []byte) error {
 		rec, err := obs.DecodeRecord(line)
 		if err != nil {
 			// A record type this build doesn't know is someone else's frame
 			// (a newer writer's live-only types can land in tailed files);
-			// skip it. Anything else is real corruption and stays fatal.
+			// skip it, but say what was skipped — a silent drop reads as
+			// data loss when a newer writer's telemetry vanishes from the
+			// tail. Anything else is real corruption and stays fatal.
 			var se *obs.SchemaError
 			if errors.As(err, &se) && se.Type != "" {
+				if !quiet && !skipped[se.Type] {
+					skipped[se.Type] = true
+					fmt.Fprintf(os.Stderr, "bpjournal: skipping %q v%d records (unknown to this build; upgrade bpjournal to render them)\n",
+						se.Type, se.Version)
+				}
 				return nil
 			}
 			return err
@@ -202,9 +210,10 @@ func summarize(path string, all *obs.Records, top int) error {
 		fmt.Printf("%s: no arm records\n", path)
 	}
 
-	if len(all.Intervals) > 0 || len(all.TableStats) > 0 || len(all.TopK) > 0 {
-		fmt.Printf("  telemetry: %d interval records, %d table samples, %d top-K summaries\n",
-			len(all.Intervals), len(all.TableStats), len(all.TopK))
+	if len(all.Intervals) > 0 || len(all.TableStats) > 0 || len(all.TaggedStats) > 0 ||
+		len(all.Confidence) > 0 || len(all.TopK) > 0 {
+		fmt.Printf("  telemetry: %d interval records, %d table samples, %d tagged samples, %d confidence records, %d top-K summaries\n",
+			len(all.Intervals), len(all.TableStats), len(all.TaggedStats), len(all.Confidence), len(all.TopK))
 	}
 	if len(all.Intervals) > 0 {
 		fmt.Println()
@@ -212,9 +221,24 @@ func summarize(path string, all *obs.Records, top int) error {
 			return err
 		}
 	}
+	if len(all.Confidence) > 0 {
+		if err := report.ConfidenceSummary(all.Confidence).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if len(all.TaggedStats) > 0 {
+		if err := report.TaggedTableSummary(all.TaggedStats).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if top > 0 && len(all.TopK) > 0 {
 		if err := report.TopOffenders(all.TopK, top).Render(os.Stdout); err != nil {
 			return err
+		}
+		if t := report.LowConfidenceOffenders(all.TopK, top); t != nil {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -32,7 +32,7 @@ func main() {
 		title       = flag.String("title", "", "chart title (default: input filename)")
 		yLabel      = flag.String("ylabel", "MISP/KI", "y-axis label for -csv charts")
 		xLabel      = flag.String("xlabel", "", "x-axis label for -csv charts")
-		metricStr   = flag.String("metric", "mispki", "interval metric for -journal: mispki, accuracy or destructive")
+		metricStr   = flag.String("metric", "mispki", "journal metric: mispki, accuracy, destructive (interval records), lowrate or lowmisp (confidence records)")
 	)
 	flag.Parse()
 	var err error
@@ -87,10 +87,12 @@ func runCSV(csvPath, out, kindStr, xCol, seriesList, title, xLabel, yLabel strin
 	return emit(c.SVG(), out)
 }
 
-// runJournal charts the interval telemetry of a run journal: one series per
-// arm, one point per interval.
+// runJournal charts the telemetry of a run journal: one series per arm, one
+// point per interval. The interval metrics read interval records; the
+// confidence metrics read confidence records.
 func runJournal(path, out, title, metricStr string) error {
 	var metric plot.IntervalMetric
+	var confMetric plot.ConfidenceMetric
 	switch metricStr {
 	case "mispki":
 		metric = plot.MetricMISPKI
@@ -98,18 +100,32 @@ func runJournal(path, out, title, metricStr string) error {
 		metric = plot.MetricAccuracy
 	case "destructive":
 		metric = plot.MetricDestructiveKI
+	case "lowrate":
+		confMetric = plot.MetricLowRate
+	case "lowmisp":
+		confMetric = plot.MetricLowMispShare
 	default:
-		return fmt.Errorf("unknown interval metric %q (want mispki, accuracy or destructive)", metricStr)
+		return fmt.Errorf("unknown journal metric %q (want mispki, accuracy, destructive, lowrate or lowmisp)", metricStr)
 	}
 	recs, err := obs.ReadRecordsFile(path)
 	if err != nil {
 		return err
 	}
-	if len(recs.Intervals) == 0 {
-		return fmt.Errorf("%s: no interval records (run with -interval N to collect them)", path)
-	}
 	if title == "" {
 		title = path
+	}
+	if confMetric.Of != nil {
+		if len(recs.Confidence) == 0 {
+			return fmt.Errorf("%s: no confidence records (run with -confidence -interval N to collect them)", path)
+		}
+		c, err := plot.ConfidenceCurves(title, recs.Confidence, confMetric)
+		if err != nil {
+			return err
+		}
+		return emit(c.SVG(), out)
+	}
+	if len(recs.Intervals) == 0 {
+		return fmt.Errorf("%s: no interval records (run with -interval N to collect them)", path)
 	}
 	c, err := plot.IntervalCurves(title, recs.Intervals, metric)
 	if err != nil {

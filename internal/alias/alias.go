@@ -8,11 +8,13 @@
 // conflict to an (aggressor, victim) pair. The StaticCol selector uses the
 // per-branch aggregation; the bpalias tool prints the pair ranking.
 //
-// The analyzer models the index function of the simple single-table schemes
-// (bimodal, ghist, gshare) directly, rather than instrumenting a live
-// predictor: interference is a property of the indexing, not of counter
-// dynamics, and modelling it separately lets one analysis pass serve any
-// table size.
+// The analyzer models the index functions of the predictor schemes directly,
+// rather than instrumenting a live predictor: interference is a property of
+// the indexing, not of counter dynamics, and modelling it separately lets
+// one analysis pass serve any table size. The single-table schemes (bimodal,
+// ghist, gshare) model one bank; the multi-bank schemes (tage, perceptron)
+// model every bank with the geometry the predictor package would build for
+// the same budget, attributing each conflict to the bank it happened in.
 package alias
 
 import (
@@ -35,15 +37,33 @@ type Pair struct {
 	Opposed uint64
 }
 
+// Bank is one modeled predictor table: its geometry, the last branch to
+// touch each entry, and the conflicts attributed to it.
+type Bank struct {
+	// Name identifies the bank ("pht" for the single-table schemes, "base"
+	// and "t4" … "t64" for tage, "weights" for perceptron).
+	Name string
+	// Entries is the bank's capacity; HistLen the history length its index
+	// consumes (0 for history-free indexing).
+	Entries int
+	HistLen int
+	// Conflicts counts cross-branch conflicts observed in this bank.
+	Conflicts uint64
+
+	mask   uint64
+	owners []uint64 // last PC per entry (0 = untouched)
+	index  func(pc, hist uint64) uint64
+}
+
 // Analyzer is a trace Recorder that builds the interference graph of one
 // indexing scheme over one run.
 type Analyzer struct {
-	scheme  string
-	entries int
-	histLen int
+	scheme    string
+	schemeStr string
+	banks     []*Bank
+	histLen   int // longest history any bank's index consumes
 
-	owners []uint64 // last PC per entry (0 = untouched)
-	hist   uint64
+	hist uint64
 
 	// per-branch running direction counts, to classify opposition
 	execs map[uint64]uint64
@@ -52,7 +72,8 @@ type Analyzer struct {
 	pairs    map[[2]uint64]*Pair
 	overflow uint64 // conflicts dropped after maxPairs distinct pairs
 
-	Conflicts uint64 // total cross-branch conflicts observed
+	Conflicts uint64 // total cross-branch conflicts observed, all banks
+	Lookups   uint64 // total bank lookups (Branches × bank count)
 	Branches  uint64
 }
 
@@ -60,33 +81,130 @@ type Analyzer struct {
 // pathological stream must not exhaust memory.
 const maxPairs = 1 << 20
 
-// NewAnalyzer builds an analyzer for scheme ("bimodal", "ghist" or
-// "gshare") with a table of sizeBytes of 2-bit counters, mirroring the
-// predictor's own geometry.
+// foldHist compresses hl bits of history into width bits by xor-folding,
+// mirroring the predictor package's tagged-component indexing.
+func foldHist(hist uint64, hl, width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	h := hist
+	if hl < 64 {
+		h &= (uint64(1) << hl) - 1
+	}
+	var out uint64
+	for hl > 0 {
+		out ^= h & ((uint64(1) << width) - 1)
+		h >>= width
+		hl -= width
+	}
+	return out
+}
+
+// tageAliasHistLens mirrors the predictor package's geometric history
+// lengths for the tagged components.
+var tageAliasHistLens = []int{4, 8, 16, 32, 64}
+
+// NewAnalyzer builds an analyzer for scheme ("bimodal", "ghist", "gshare",
+// "tage" or "perceptron") with sizeBytes of predictor storage, mirroring
+// the predictor package's own geometry for that budget.
 func NewAnalyzer(scheme string, sizeBytes int) (*Analyzer, error) {
 	scheme = strings.ToLower(scheme)
+	a := &Analyzer{
+		scheme: scheme,
+		execs:  map[uint64]uint64{},
+		takes:  map[uint64]uint64{},
+		pairs:  map[[2]uint64]*Pair{},
+	}
+	counters2b := func(bytes int) int { // power-of-two 2-bit counters in bytes
+		if bytes < 1 {
+			bytes = 1
+		}
+		e := 1
+		for e*2 <= bytes*4 {
+			e *= 2
+		}
+		return e
+	}
 	switch scheme {
 	case "bimodal", "ghist", "gshare":
+		entries := counters2b(sizeBytes)
+		histLen := 0
+		if scheme != "bimodal" {
+			histLen = log2i(entries)
+		}
+		b := &Bank{Name: "pht", Entries: entries, HistLen: histLen, mask: uint64(entries - 1)}
+		switch scheme {
+		case "bimodal":
+			b.index = func(pc, _ uint64) uint64 { return pc >> 2 }
+		case "ghist":
+			b.index = func(_, h uint64) uint64 { return h }
+		default: // gshare
+			b.index = func(pc, h uint64) uint64 { return (pc >> 2) ^ h }
+		}
+		a.banks = []*Bank{b}
+		a.schemeStr = fmt.Sprintf("%s:%s", scheme, predictor.FormatSize(entries/4))
+	case "tage":
+		// Mirror predictor.NewTAGE: the base bimodal gets a quarter of the
+		// budget; the rest splits evenly across the tagged components, each
+		// entry costing 3+2+tagBits bits.
+		baseBudget := sizeBytes / 4
+		if baseBudget < 1 {
+			baseBudget = 1
+		}
+		baseEntries := counters2b(baseBudget)
+		base := &Bank{Name: "base", Entries: baseEntries, mask: uint64(baseEntries - 1)}
+		base.index = func(pc, _ uint64) uint64 { return pc >> 2 }
+		a.banks = []*Bank{base}
+		perComp := (sizeBytes - baseBudget) / len(tageAliasHistLens)
+		for i, hl := range tageAliasHistLens {
+			tagBits := 7 + i
+			entryBits := 3 + 2 + tagBits
+			e := 2
+			for e*2*entryBits <= perComp*8 {
+				e *= 2
+			}
+			w := log2i(e)
+			hl := hl
+			b := &Bank{
+				Name:    fmt.Sprintf("t%d", hl),
+				Entries: e,
+				HistLen: hl,
+				mask:    uint64(e - 1),
+			}
+			b.index = func(pc, h uint64) uint64 {
+				x := pc >> 2
+				return x ^ (x >> uint(w)) ^ foldHist(h, hl, w)
+			}
+			a.banks = append(a.banks, b)
+		}
+		a.schemeStr = fmt.Sprintf("%s:%s", scheme, predictor.FormatSize(sizeBytes))
+	case "perceptron":
+		// Mirror predictor.NewPerceptron: 31-bit history, 8-bit weights,
+		// one vector of histLen+1 weights per entry. The index hashes the
+		// PC only, so perceptron interference is history-free.
+		const histLen = 31
+		perEntryBits := (histLen + 1) * 8
+		e := 2
+		for e*2*perEntryBits <= sizeBytes*8 {
+			e *= 2
+		}
+		b := &Bank{Name: "weights", Entries: e, mask: uint64(e - 1)}
+		b.index = func(pc, _ uint64) uint64 {
+			x := pc >> 2
+			return x ^ (x >> 9)
+		}
+		a.banks = []*Bank{b}
+		a.schemeStr = fmt.Sprintf("%s:%s", scheme, predictor.FormatSize(sizeBytes))
 	default:
-		return nil, fmt.Errorf("alias: unsupported scheme %q (want bimodal, ghist or gshare)", scheme)
+		return nil, fmt.Errorf("alias: unsupported scheme %q (want bimodal, ghist, gshare, tage or perceptron)", scheme)
 	}
-	entries := 1
-	for entries*2 <= sizeBytes*4 {
-		entries *= 2
+	for _, b := range a.banks {
+		b.owners = make([]uint64, b.Entries)
+		if b.HistLen > a.histLen {
+			a.histLen = b.HistLen
+		}
 	}
-	histLen := 0
-	if scheme != "bimodal" {
-		histLen = log2i(entries)
-	}
-	return &Analyzer{
-		scheme:  scheme,
-		entries: entries,
-		histLen: histLen,
-		owners:  make([]uint64, entries),
-		execs:   map[uint64]uint64{},
-		takes:   map[uint64]uint64{},
-		pairs:   map[[2]uint64]*Pair{},
-	}, nil
+	return a, nil
 }
 
 func log2i(n int) int {
@@ -99,51 +217,45 @@ func log2i(n int) int {
 }
 
 // Scheme reports the analyzed scheme and geometry.
-func (a *Analyzer) Scheme() string {
-	return fmt.Sprintf("%s:%s", a.scheme, predictor.FormatSize(a.entries/4))
-}
+func (a *Analyzer) Scheme() string { return a.schemeStr }
 
-func (a *Analyzer) index(pc uint64) uint64 {
-	mask := uint64(a.entries - 1)
-	h := a.hist
-	if a.histLen < 64 {
-		h &= (uint64(1) << a.histLen) - 1
-	}
-	switch a.scheme {
-	case "bimodal":
-		return (pc >> 2) & mask
-	case "ghist":
-		return h & mask
-	default: // gshare
-		return ((pc >> 2) ^ h) & mask
-	}
-}
+// Banks exposes the per-bank view of the analysis: geometry and conflict
+// attribution for each modeled table, base-first.
+func (a *Analyzer) Banks() []*Bank { return a.banks }
 
 // Branch implements trace.Recorder.
 func (a *Analyzer) Branch(pc uint64, taken bool) {
 	a.Branches++
-	idx := a.index(pc)
-	owner := a.owners[idx]
-	if owner != 0 && owner != pc {
-		a.Conflicts++
-		key := [2]uint64{pc, owner}
-		p := a.pairs[key]
-		if p == nil {
-			if len(a.pairs) >= maxPairs {
-				a.overflow++
-			} else {
-				p = &Pair{Victim: pc, Aggressor: owner}
-				a.pairs[key] = p
+	for _, b := range a.banks {
+		a.Lookups++
+		h := a.hist
+		if b.HistLen < 64 {
+			h &= (uint64(1) << b.HistLen) - 1
+		}
+		idx := b.index(pc, h) & b.mask
+		owner := b.owners[idx]
+		if owner != 0 && owner != pc {
+			a.Conflicts++
+			b.Conflicts++
+			key := [2]uint64{pc, owner}
+			p := a.pairs[key]
+			if p == nil {
+				if len(a.pairs) >= maxPairs {
+					a.overflow++
+				} else {
+					p = &Pair{Victim: pc, Aggressor: owner}
+					a.pairs[key] = p
+				}
+			}
+			if p != nil {
+				p.Count++
+				if a.majorityTaken(pc, taken) != a.majorityTaken(owner, false) {
+					p.Opposed++
+				}
 			}
 		}
-		if p != nil {
-			p.Count++
-			if a.majorityTaken(pc, taken) != a.majorityTaken(owner, false) {
-				p.Opposed++
-			}
-		}
+		b.owners[idx] = pc
 	}
-	a.owners[idx] = pc
 
 	a.execs[pc]++
 	if taken {

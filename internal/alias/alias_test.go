@@ -8,8 +8,90 @@ import (
 )
 
 func TestAnalyzerRejectsUnknownScheme(t *testing.T) {
-	if _, err := NewAnalyzer("tage", 1024); err == nil {
+	if _, err := NewAnalyzer("neural-net", 1024); err == nil {
 		t.Fatal("unsupported scheme accepted")
+	}
+}
+
+// TestTAGEBankGeometry: the tage model builds the same banks NewTAGE would
+// for the budget — a base plus one component per geometric history length.
+func TestTAGEBankGeometry(t *testing.T) {
+	a, err := NewAnalyzer("tage", 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := a.Banks()
+	if len(banks) != 6 {
+		t.Fatalf("got %d banks, want 6", len(banks))
+	}
+	if banks[0].Name != "base" || banks[0].HistLen != 0 {
+		t.Errorf("bank 0 = %+v, want history-free base", banks[0])
+	}
+	wantHL := []int{4, 8, 16, 32, 64}
+	for i, b := range banks[1:] {
+		if b.HistLen != wantHL[i] {
+			t.Errorf("bank %s: histLen %d, want %d", b.Name, b.HistLen, wantHL[i])
+		}
+		if b.Entries&(b.Entries-1) != 0 || b.Entries < 2 {
+			t.Errorf("bank %s: %d entries, want a power of two >= 2", b.Name, b.Entries)
+		}
+	}
+}
+
+// TestTAGEMultiBankConflicts: two branches with equal low PC bits collide in
+// the base bank; conflicts are attributed per bank and summed into the
+// analyzer totals, with Lookups counting every bank probe.
+func TestTAGEMultiBankConflicts(t *testing.T) {
+	a, err := NewAnalyzer("tage", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := a.Banks()[0]
+	pcA := uint64(0x1000)
+	pcB := pcA + uint64(base.Entries)*4 // same base index
+	for i := 0; i < 50; i++ {
+		a.Branch(pcA, true)
+		a.Branch(pcB, false)
+	}
+	if a.Lookups != a.Branches*uint64(len(a.Banks())) {
+		t.Errorf("lookups = %d, want branches (%d) x banks (%d)", a.Lookups, a.Branches, len(a.Banks()))
+	}
+	if base.Conflicts == 0 {
+		t.Error("no base-bank conflicts between branches sharing a base index")
+	}
+	var sum uint64
+	for _, b := range a.Banks() {
+		sum += b.Conflicts
+	}
+	if sum != a.Conflicts {
+		t.Errorf("per-bank conflicts sum to %d, total says %d", sum, a.Conflicts)
+	}
+	if len(a.TopPairs(0)) == 0 {
+		t.Error("no interference pairs attributed")
+	}
+}
+
+// TestPerceptronHistoryFreeIndex: perceptron interference is a PC-hash
+// property, so branches whose hashes differ never conflict regardless of
+// history, and the model has exactly one bank.
+func TestPerceptronHistoryFreeIndex(t *testing.T) {
+	a, err := NewAnalyzer("perceptron", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Banks()) != 1 || a.Banks()[0].Name != "weights" {
+		t.Fatalf("banks = %+v, want one weights bank", a.Banks())
+	}
+	b := a.Banks()[0]
+	pcA := uint64(0x1000)
+	pcB := pcA + uint64(b.Entries)*4<<9 // differs only above the hash fold
+	for i := 0; i < 100; i++ {
+		a.Branch(pcA, i%2 == 0)
+		a.Branch(pcB, i%3 == 0)
+	}
+	// Same vector iff the hashes collide; either way totals must reconcile.
+	if b.Conflicts != a.Conflicts {
+		t.Errorf("single-bank conflicts %d != total %d", b.Conflicts, a.Conflicts)
 	}
 }
 

@@ -25,23 +25,26 @@ import (
 	"branchsim/internal/telemetry"
 )
 
-// Telemetry is the -interval / -table-stats / -topk flag group.
+// Telemetry is the -interval / -table-stats / -confidence / -topk flag
+// group.
 type Telemetry struct {
 	Interval   uint64
 	TableStats bool
+	Confidence bool
 	TopK       int
 }
 
 // Register binds the telemetry flags to fs.
 func (t *Telemetry) Register(fs *flag.FlagSet) {
 	fs.Uint64Var(&t.Interval, "interval", 0, "journal an interval telemetry record every N instructions (0 = off; requires -journal to persist)")
-	fs.BoolVar(&t.TableStats, "table-stats", false, "sample predictor-table introspection (occupancy, counter states, entropy, sharing) at interval boundaries")
+	fs.BoolVar(&t.TableStats, "table-stats", false, "sample predictor-table introspection (occupancy, counter states, entropy, sharing; per-bank tagged stats for tage/perceptron) at interval boundaries")
+	fs.BoolVar(&t.Confidence, "confidence", false, "collect per-prediction confidence telemetry (interval records plus a low-confidence top-K with -topk) for predictors that grade themselves (tage, perceptron)")
 	fs.IntVar(&t.TopK, "topk", 0, "track the K worst-offender branches per arm with bounded per-branch stats (0 = off)")
 }
 
 // Config converts the parsed flags to a telemetry configuration.
 func (t *Telemetry) Config() telemetry.Config {
-	return telemetry.Config{Interval: t.Interval, TableStats: t.TableStats, TopK: t.TopK}
+	return telemetry.Config{Interval: t.Interval, TableStats: t.TableStats, Confidence: t.Confidence, TopK: t.TopK}
 }
 
 // Enabled reports whether any telemetry feature was requested.

@@ -62,7 +62,8 @@ type Combined struct {
 	hints  *HintDB
 	shift  ShiftPolicy
 	stats  CombinedStats
-	shiftr predictor.HistoryShifter // nil if dyn keeps no global history
+	shiftr predictor.HistoryShifter      // nil if dyn keeps no global history
+	ce     predictor.ConfidenceEstimator // nil if dyn cannot grade itself
 
 	lastStatic bool
 	lastTaken  bool
@@ -75,6 +76,9 @@ func NewCombined(dyn predictor.Predictor, hints *HintDB, shift ShiftPolicy) *Com
 	c := &Combined{dyn: dyn, hints: hints, shift: shift}
 	if hs, ok := dyn.(predictor.HistoryShifter); ok {
 		c.shiftr = hs
+	}
+	if ce, ok := predictor.ConfidenceEstimatorOf(dyn); ok {
+		c.ce = ce
 	}
 	return c
 }
@@ -218,4 +222,36 @@ func (c *Combined) Introspect() []predictor.TableStats {
 		return in.Introspect()
 	}
 	return nil
+}
+
+// IntrospectTagged implements predictor.TaggedIntrospector, returning the
+// dynamic component's tagged banks (nil when it has none). Hints keep no
+// banks, so the wrapper adds nothing.
+func (c *Combined) IntrospectTagged() []predictor.TaggedBankStats {
+	if tin, ok := c.dyn.(predictor.TaggedIntrospector); ok {
+		return tin.IntrospectTagged()
+	}
+	return nil
+}
+
+// ConfidenceSource implements predictor.ConfidenceProvider: the wrapper
+// grades its predictions exactly when the dynamic component can grade
+// itself.
+func (c *Combined) ConfidenceSource() (predictor.ConfidenceEstimator, bool) {
+	if c.ce == nil {
+		return nil, false
+	}
+	return c, true
+}
+
+// LastConfidence implements predictor.ConfidenceEstimator. A statically
+// predicted branch carries full confidence — the hint is fixed, the paper's
+// filter has already vouched for it — while dynamic branches report the
+// component's own estimate. Meaningful only when ConfidenceSource returns
+// true.
+func (c *Combined) LastConfidence() predictor.Confidence {
+	if c.lastStatic || c.ce == nil {
+		return predictor.Confidence{Score: 1}
+	}
+	return c.ce.LastConfidence()
 }

@@ -182,9 +182,56 @@ func (s StaticCol) Select(db *profile.DB) (*HintDB, error) {
 	return h, nil
 }
 
+// StaticConf selects branches the dynamic predictor itself is *unsure*
+// about: reasonably biased branches (Bias > BiasFloor, so a fixed hint is
+// defensible) whose phase-1 low-confidence rate exceeds LowRate. Where
+// Static_Acc infers difficulty from realized accuracy and Static_Col from
+// observed aliasing, Static_Conf asks the predictor directly — TAGE's
+// provider counter strength, the perceptron's training margin — and hands
+// the branches it keeps hedging on back to profile-directed hints. Requires
+// a profile collected against a self-grading predictor (tage, perceptron,
+// or a combined wrapper around one); BranchStats.LowConf is zero otherwise
+// and nothing is selected.
+type StaticConf struct {
+	// BiasFloor is the minimum bias required; zero means 0.9.
+	BiasFloor float64
+	// LowRate is the low-confidence rate threshold; zero means 0.2.
+	LowRate float64
+	// MinExec ignores branches executed fewer than this many times.
+	MinExec uint64
+}
+
+// Name implements Selector.
+func (StaticConf) Name() string { return "staticconf" }
+
+// Select implements Selector.
+func (s StaticConf) Select(db *profile.DB) (*HintDB, error) {
+	if db.Predictor == "" {
+		return nil, fmt.Errorf("core: staticconf needs a profile with per-branch confidence counts (annotated against a self-grading predictor)")
+	}
+	floor := s.BiasFloor
+	if floor == 0 {
+		floor = 0.9
+	}
+	rate := s.LowRate
+	if rate == 0 {
+		rate = 0.2
+	}
+	h := NewHintDB(db.Workload, s.Name(), db.Input)
+	for _, b := range db.Branches() {
+		if b.Exec < s.MinExec || b.Exec == 0 {
+			continue
+		}
+		if b.Bias() > floor && b.LowConfRate() > rate {
+			h.Set(b.PC, b.MajorityTaken())
+		}
+	}
+	return h, nil
+}
+
 // SelectorByName builds a selector from a scheme name as used on tool
 // command lines: "static95", "static99", "staticacc", "staticfac",
-// "staticcol", or "none" (nil hint set).
+// "staticcol", "staticconf", or "none" (nil hint set).
 func SelectorByName(name string) (Selector, error) {
 	switch name {
 	case "static95":
@@ -199,6 +246,8 @@ func SelectorByName(name string) (Selector, error) {
 		return StaticFac{}, nil
 	case "staticcol":
 		return StaticCol{}, nil
+	case "staticconf":
+		return StaticConf{}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown selection scheme %q", name)
 	}

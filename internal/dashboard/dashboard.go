@@ -81,6 +81,9 @@ type State struct {
 	intervals        []obs.IntervalRecord
 	intervalsEvicted uint64
 
+	confidence        []obs.ConfidenceRecord
+	confidenceEvicted uint64
+
 	tail  [][]byte // ring of the newest raw JSONL lines
 	tailN uint64   // total lines ever ingested
 
@@ -134,6 +137,13 @@ func (st *State) Ingest(line []byte) {
 			st.intervalsEvicted++
 		}
 		st.intervals = append(st.intervals, *r)
+	case *obs.ConfidenceRecord:
+		if len(st.confidence) >= maxIntervals {
+			n := copy(st.confidence, st.confidence[1:])
+			st.confidence = st.confidence[:n]
+			st.confidenceEvicted++
+		}
+		st.confidence = append(st.confidence, *r)
 	case *obs.JobRecord:
 		j := st.jobs[r.ID]
 		if j == nil {
@@ -196,8 +206,11 @@ type Snapshot struct {
 	Progress *obs.ProgressRecord `json:"progress,omitempty"`
 	// Intervals is how many interval records the charts currently cover;
 	// IntervalsEvicted how many older ones the bounded store let go.
-	Intervals        int    `json:"intervals"`
-	IntervalsEvicted uint64 `json:"intervals_evicted,omitempty"`
+	// Confidence counts the retained confidence records likewise.
+	Intervals         int    `json:"intervals"`
+	IntervalsEvicted  uint64 `json:"intervals_evicted,omitempty"`
+	Confidence        int    `json:"confidence,omitempty"`
+	ConfidenceEvicted uint64 `json:"confidence_evicted,omitempty"`
 	// Drops is the upstream subscriber drop count reported in the stream;
 	// LiveDrops this dashboard's own bus-queue drops. Either being nonzero
 	// means the view is lossy (the journal is still complete).
@@ -212,12 +225,14 @@ func (st *State) Snapshot() Snapshot {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := Snapshot{
-		Arms:             make([]Arm, 0, len(st.order)),
-		Intervals:        len(st.intervals),
-		IntervalsEvicted: st.intervalsEvicted,
-		Drops:            st.drops,
-		Malformed:        st.malformed,
-		Lines:            st.tailN,
+		Arms:              make([]Arm, 0, len(st.order)),
+		Intervals:         len(st.intervals),
+		IntervalsEvicted:  st.intervalsEvicted,
+		Confidence:        len(st.confidence),
+		ConfidenceEvicted: st.confidenceEvicted,
+		Drops:             st.drops,
+		Malformed:         st.malformed,
+		Lines:             st.tailN,
 	}
 	for _, key := range st.order {
 		out.Arms = append(out.Arms, *st.arms[key])
@@ -345,4 +360,14 @@ func Attach(o *obs.Observer) (*State, func()) {
 		<-done
 	}
 	return st, stop
+}
+
+// ConfidenceRecords returns a copy of the retained confidence records (the
+// confidence chart renders from this).
+func (st *State) ConfidenceRecords() []obs.ConfidenceRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]obs.ConfidenceRecord, len(st.confidence))
+	copy(out, st.confidence)
+	return out
 }

@@ -20,6 +20,7 @@ var uiHTML []byte
 //	/api/traces         retained trace summaries (live daemon streams only)
 //	/api/trace?id=X     one trace's span records, for the waterfall pane
 //	/plot/intervals.svg?metric=mispki|accuracy|destructive
+//	/plot/confidence.svg?metric=lowrate|lowmisp
 //	/plot/heatmap.svg   destructive-aliasing heatmap (arms × intervals)
 //
 // Mount it at "/" (obs.WithRootHandler); chart SVGs are rendered
@@ -73,6 +74,25 @@ func Handler(st *State) http.Handler {
 		}
 		recs := st.Intervals()
 		c, err := plot.IntervalCurves(metric.Name+" by interval", recs, metric)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml; charset=utf-8")
+		_, _ = w.Write([]byte(c.SVG()))
+	})
+	mux.HandleFunc("/plot/confidence.svg", func(w http.ResponseWriter, r *http.Request) {
+		metric := plot.MetricLowRate
+		switch r.URL.Query().Get("metric") {
+		case "", "lowrate":
+		case "lowmisp":
+			metric = plot.MetricLowMispShare
+		default:
+			http.Error(w, "unknown metric (want lowrate or lowmisp)", http.StatusBadRequest)
+			return
+		}
+		recs := st.ConfidenceRecords()
+		c, err := plot.ConfidenceCurves(metric.Name+" by interval", recs, metric)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return

@@ -642,6 +642,7 @@ var paperOrder = []string{
 	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 	"table3", "table4", "table5", "fig13",
 	"abl-cutoff", "abl-shift", "abl-agree", "abl-staticcol", "abl-zoo", "abl-history", "abl-modern", "abl-pipeline", "abl-extra",
+	"conf-grid",
 	"smoke",
 }
 

@@ -22,9 +22,9 @@ func TestHistogramBuckets(t *testing.T) {
 		{time.Microsecond + 1, 1},
 		{2 * time.Microsecond, 1},
 		{3 * time.Microsecond, 2},
-		{time.Millisecond, 10},  // 1024µs = 2^10
-		{time.Second, 20},       // ~1.05s bound at 2^20 µs
-		{30 * time.Second, 25},  // 33.6s bound at 2^25 µs
+		{time.Millisecond, 10},          // 1024µs = 2^10
+		{time.Second, 20},               // ~1.05s bound at 2^20 µs
+		{30 * time.Second, 25},          // 33.6s bound at 2^25 µs
 		{40 * time.Minute, histBuckets}, // past the ~36min top bound: +Inf
 	} {
 		if got := histBucketIndex(tc.d); got != tc.want {
@@ -42,7 +42,7 @@ func TestHistogramBuckets(t *testing.T) {
 	h.Observe(time.Microsecond)
 	h.Observe(3 * time.Microsecond)
 	h.Observe(3 * time.Microsecond)
-	h.Observe(-time.Second)    // clamps to 0
+	h.Observe(-time.Second)     // clamps to 0
 	h.Observe(40 * time.Minute) // overflow
 	b := h.Buckets()
 	if b[0] != 2 || b[2] != 2 {

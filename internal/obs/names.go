@@ -77,6 +77,12 @@ const (
 	// MTelemetrySitesDropped counts static branches that fell off the
 	// bounded per-branch tracker (the site cap was reached).
 	MTelemetrySitesDropped = "telemetry.sites_dropped"
+	// MTelemetryTaggedSamples counts tagged-bank introspection samples taken
+	// at interval boundaries (tage/perceptron table stats).
+	MTelemetryTaggedSamples = "telemetry.tagged_samples"
+	// MTelemetryConfidence counts per-interval confidence records sealed by
+	// telemetry collectors.
+	MTelemetryConfidence = "telemetry.confidence_records"
 
 	// MServeJobsSubmitted counts sweep jobs accepted by the serve daemon.
 	MServeJobsSubmitted = "serve.jobs_submitted"
@@ -168,6 +174,12 @@ const (
 	// RecTopK is one arm's per-branch summary: histograms plus the top-K
 	// worst offenders (TopKRecord).
 	RecTopK = "topk"
+	// RecTaggedTableStats is one tagged-bank introspection sample from a
+	// tagged/neural predictor (TaggedTableStatsRecord).
+	RecTaggedTableStats = "tagged_table_stats"
+	// RecConfidence is one interval of an arm's prediction-confidence time
+	// series (ConfidenceRecord).
+	RecConfidence = "confidence"
 	// RecArmStart announces a span opening (ArmStartRecord). Live-only:
 	// published to the event bus, never journaled.
 	RecArmStart = "arm_start"
@@ -240,6 +252,8 @@ var registeredNames = []RegisteredName{
 	{MTelemetryTopK, KindCounter},
 	{MTelemetrySites, KindGauge},
 	{MTelemetrySitesDropped, KindCounter},
+	{MTelemetryTaggedSamples, KindCounter},
+	{MTelemetryConfidence, KindCounter},
 	{MServeJobsSubmitted, KindCounter},
 	{MServeJobsRejected, KindCounter},
 	{MServeJobsDone, KindCounter},
@@ -274,6 +288,8 @@ var registeredNames = []RegisteredName{
 	{RecInterval, KindRecord},
 	{RecTableStats, KindRecord},
 	{RecTopK, KindRecord},
+	{RecTaggedTableStats, KindRecord},
+	{RecConfidence, KindRecord},
 	{RecArmStart, KindRecord},
 	{RecProgress, KindRecord},
 	{RecDrops, KindRecord},

@@ -24,15 +24,17 @@ type JournalRecord interface {
 	stamp()
 }
 
-func (r *ArmRecord) stamp()        { r.Type, r.V = RecArm, SchemaV1 }
-func (r *IntervalRecord) stamp()   { r.Type, r.V = RecInterval, SchemaV1 }
-func (r *TableStatsRecord) stamp() { r.Type, r.V = RecTableStats, SchemaV1 }
-func (r *TopKRecord) stamp()       { r.Type, r.V = RecTopK, SchemaV1 }
-func (r *ArmStartRecord) stamp()   { r.Type, r.V = RecArmStart, SchemaV1 }
-func (r *ProgressRecord) stamp()   { r.Type, r.V = RecProgress, SchemaV1 }
-func (r *DropsRecord) stamp()      { r.Type, r.V = RecDrops, SchemaV1 }
-func (r *JobRecord) stamp()        { r.Type, r.V = RecJob, SchemaV1 }
-func (r *SpanRecord) stamp()       { r.Type, r.V = RecSpan, SchemaV1 }
+func (r *ArmRecord) stamp()              { r.Type, r.V = RecArm, SchemaV1 }
+func (r *IntervalRecord) stamp()         { r.Type, r.V = RecInterval, SchemaV1 }
+func (r *TableStatsRecord) stamp()       { r.Type, r.V = RecTableStats, SchemaV1 }
+func (r *TopKRecord) stamp()             { r.Type, r.V = RecTopK, SchemaV1 }
+func (r *TaggedTableStatsRecord) stamp() { r.Type, r.V = RecTaggedTableStats, SchemaV1 }
+func (r *ConfidenceRecord) stamp()       { r.Type, r.V = RecConfidence, SchemaV1 }
+func (r *ArmStartRecord) stamp()         { r.Type, r.V = RecArmStart, SchemaV1 }
+func (r *ProgressRecord) stamp()         { r.Type, r.V = RecProgress, SchemaV1 }
+func (r *DropsRecord) stamp()            { r.Type, r.V = RecDrops, SchemaV1 }
+func (r *JobRecord) stamp()              { r.Type, r.V = RecJob, SchemaV1 }
+func (r *SpanRecord) stamp()             { r.Type, r.V = RecSpan, SchemaV1 }
 
 // SpanRecord is one closed trace span: a node of a request's span tree,
 // identified by (trace_id, span_id) with parent_id naming its parent within
@@ -273,6 +275,114 @@ type TableStatsRecord struct {
 	Tables []TableStat `json:"tables"`
 }
 
+// TaggedBankStat is one bank of a tagged or neural predictor at a sampling
+// instant, as introspected by the predictor (predictor.TaggedBankStats
+// mirrors this shape; the obs package stays import-free of the predictor
+// layer). The stream counters are cumulative since instrumentation was
+// enabled, not deltas.
+type TaggedBankStat struct {
+	// Name identifies the bank ("base", "t4" … "t64", "weights").
+	Name string `json:"name"`
+	// Entries is the bank's capacity (counters or weight vectors).
+	Entries int `json:"entries"`
+	// HistLen is the bank's history length in bits; TagBits its partial-tag
+	// width. Both 0 for untagged banks.
+	HistLen int `json:"hist_len,omitempty"`
+	TagBits int `json:"tag_bits,omitempty"`
+	// Occupied counts allocated (nonzero-tag) or touched entries.
+	Occupied int `json:"occupied"`
+	// Ctr is the counter-state histogram: 8 buckets (-4 … 3) for a TAGE
+	// tagged bank, the 4-bucket 2-bit distribution for its base, the
+	// log₂ weight-magnitude histogram for a perceptron.
+	Ctr []uint64 `json:"ctr,omitempty"`
+	// Useful is the 2-bit useful-counter distribution (TAGE tagged banks).
+	Useful []uint64 `json:"useful,omitempty"`
+	// Saturated counts weights pinned at ±max (perceptron).
+	Saturated uint64 `json:"saturated,omitempty"`
+	// Margin is the log₂-bucketed |dot product| stream histogram (perceptron).
+	Margin []uint64 `json:"margin,omitempty"`
+	// Hits/Misses count tag matches/mismatches; Provider predictions this
+	// bank provided; AltUsed the newly-allocated overrides; Allocs/AllocFails
+	// the allocation churn.
+	Hits       uint64 `json:"hits,omitempty"`
+	Misses     uint64 `json:"misses,omitempty"`
+	Provider   uint64 `json:"provider,omitempty"`
+	AltUsed    uint64 `json:"alt_used,omitempty"`
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocFails uint64 `json:"alloc_fails,omitempty"`
+}
+
+// TaggedTableStatsRecord is one tagged-bank introspection sample, taken at
+// an interval boundary when table statistics are enabled and the predictor
+// implements the tagged introspector (tage, perceptron). Like the other
+// telemetry records it is wall-clock-free — a function of the branch stream
+// alone — so journals stay byte-stable at any worker or batch setting.
+type TaggedTableStatsRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	Workload  string `json:"workload"`
+	Input     string `json:"input"`
+	Predictor string `json:"predictor"`
+
+	// Seq and Instructions match the interval at whose boundary the sample
+	// was taken.
+	Seq          int    `json:"seq"`
+	Instructions uint64 `json:"instructions"`
+
+	Banks []TaggedBankStat `json:"banks"`
+}
+
+// ConfidenceRecord is one interval of an arm's prediction-confidence time
+// series, emitted alongside IntervalRecord when confidence telemetry is on
+// and the predictor grades its own predictions (tage, perceptron). The
+// delta fields cover the branches between two interval boundaries;
+// wall-clock-free and byte-stable like every telemetry record.
+type ConfidenceRecord struct {
+	Type string `json:"type"`
+	V    int    `json:"v"`
+
+	Workload  string `json:"workload"`
+	Input     string `json:"input"`
+	Predictor string `json:"predictor"`
+
+	// Seq and Instructions match the interval this record closes with.
+	Seq          int    `json:"seq"`
+	Instructions uint64 `json:"instructions"`
+
+	// DBranches counts graded predictions in the interval; DLow the subset
+	// the predictor flagged low-confidence. DLowMispredicts and
+	// DHighMispredicts split the interval's mispredictions by that flag —
+	// their ratio is the filter question: how many misses live in the
+	// population a confidence-based static filter would remove.
+	DBranches        uint64 `json:"d_branches"`
+	DLow             uint64 `json:"d_low"`
+	DLowMispredicts  uint64 `json:"d_low_misp"`
+	DHighMispredicts uint64 `json:"d_high_misp"`
+
+	// ScoreHist buckets the interval's confidence scores over [0,1] into
+	// eight equal-width bins (bucket 7 includes score 1).
+	ScoreHist []uint64 `json:"score_hist,omitempty"`
+}
+
+// LowRate returns the interval's low-confidence prediction fraction.
+func (r *ConfidenceRecord) LowRate() float64 {
+	if r.DBranches == 0 {
+		return 0
+	}
+	return float64(r.DLow) / float64(r.DBranches)
+}
+
+// LowMispShare returns the share of the interval's mispredictions that fell
+// on low-confidence predictions — the cover a confidence filter would get.
+func (r *ConfidenceRecord) LowMispShare() float64 {
+	m := r.DLowMispredicts + r.DHighMispredicts
+	if m == 0 {
+		return 0
+	}
+	return float64(r.DLowMispredicts) / float64(m)
+}
+
 // BranchCount is one entry of a top-K worst-offender list.
 type BranchCount struct {
 	// PC is the static branch address.
@@ -289,6 +399,9 @@ type BranchCount struct {
 	Execs    uint64  `json:"execs,omitempty"`
 	Bias     float64 `json:"bias,omitempty"`
 	MispRate float64 `json:"misp_rate,omitempty"`
+	// LowRate is the branch's low-confidence prediction fraction (populated
+	// on the TopLowConfidence list only).
+	LowRate float64 `json:"low_rate,omitempty"`
 }
 
 // TopKRecord is one arm's streaming per-branch summary, emitted once at the
@@ -322,16 +435,22 @@ type TopKRecord struct {
 
 	// TopDestructive ranks branches by destructive collisions caused while
 	// they were predicted (empty unless the arm tracked collisions);
-	// TopMispredicted ranks by mispredictions.
-	TopDestructive  []BranchCount `json:"top_destructive,omitempty"`
-	TopMispredicted []BranchCount `json:"top_mispredicted,omitempty"`
+	// TopMispredicted ranks by mispredictions; TopLowConfidence ranks by
+	// low-confidence predictions (empty unless confidence telemetry was on).
+	TopDestructive   []BranchCount `json:"top_destructive,omitempty"`
+	TopMispredicted  []BranchCount `json:"top_mispredicted,omitempty"`
+	TopLowConfidence []BranchCount `json:"top_low_confidence,omitempty"`
 }
 
 // Key returns the record's (workload, input, predictor) identity, shared by
-// the three telemetry record types for grouping.
+// the telemetry record types for grouping.
 func (r *IntervalRecord) Key() string   { return r.Workload + "/" + r.Input + "/" + r.Predictor }
 func (r *TableStatsRecord) Key() string { return r.Workload + "/" + r.Input + "/" + r.Predictor }
 func (r *TopKRecord) Key() string       { return r.Workload + "/" + r.Input + "/" + r.Predictor }
+func (r *TaggedTableStatsRecord) Key() string {
+	return r.Workload + "/" + r.Input + "/" + r.Predictor
+}
+func (r *ConfidenceRecord) Key() string { return r.Workload + "/" + r.Input + "/" + r.Predictor }
 
 // SchemaError reports a journal line whose record type or schema version
 // this reader does not understand. The fields name exactly what was found;
@@ -347,28 +466,31 @@ type SchemaError struct {
 
 // Error implements error.
 func (e *SchemaError) Error() string {
-	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s, %s, %s; version %d)",
-		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecArmStart, RecProgress, RecDrops, RecJob, RecSpan, SchemaV1)
+	return fmt.Sprintf("obs: journal line %d: unsupported record schema: type=%q v=%d (supported types: %s, %s, %s, %s, %s, %s, %s, %s, %s, %s, %s; version %d)",
+		e.Line, e.Type, e.Version, RecArm, RecInterval, RecTableStats, RecTopK, RecTaggedTableStats, RecConfidence, RecArmStart, RecProgress, RecDrops, RecJob, RecSpan, SchemaV1)
 }
 
 // Records is a parsed journal, split by record type. The live-only types
 // (arm starts, progress, drops) never appear in journals this package
 // writes, but a capture of the /events stream parses into the same struct.
 type Records struct {
-	Arms       []ArmRecord
-	Intervals  []IntervalRecord
-	TableStats []TableStatsRecord
-	TopK       []TopKRecord
-	ArmStarts  []ArmStartRecord
-	Progress   []ProgressRecord
-	Drops      []DropsRecord
-	Jobs       []JobRecord
-	Spans      []SpanRecord
+	Arms        []ArmRecord
+	Intervals   []IntervalRecord
+	TableStats  []TableStatsRecord
+	TaggedStats []TaggedTableStatsRecord
+	Confidence  []ConfidenceRecord
+	TopK        []TopKRecord
+	ArmStarts   []ArmStartRecord
+	Progress    []ProgressRecord
+	Drops       []DropsRecord
+	Jobs        []JobRecord
+	Spans       []SpanRecord
 }
 
 // Len returns the total record count.
 func (r *Records) Len() int {
 	return len(r.Arms) + len(r.Intervals) + len(r.TableStats) + len(r.TopK) +
+		len(r.TaggedStats) + len(r.Confidence) +
 		len(r.ArmStarts) + len(r.Progress) + len(r.Drops) + len(r.Jobs) +
 		len(r.Spans)
 }
@@ -387,6 +509,10 @@ func (r *Records) add(rec any) {
 		r.Intervals = append(r.Intervals, *rec)
 	case *TableStatsRecord:
 		r.TableStats = append(r.TableStats, *rec)
+	case *TaggedTableStatsRecord:
+		r.TaggedStats = append(r.TaggedStats, *rec)
+	case *ConfidenceRecord:
+		r.Confidence = append(r.Confidence, *rec)
 	case *TopKRecord:
 		r.TopK = append(r.TopK, *rec)
 	case *ArmStartRecord:
@@ -409,7 +535,8 @@ type recordHead struct {
 }
 
 // DecodeRecord decodes one JSONL record line into its typed record — one of
-// *ArmRecord, *IntervalRecord, *TableStatsRecord, *TopKRecord,
+// *ArmRecord, *IntervalRecord, *TableStatsRecord, *TaggedTableStatsRecord,
+// *ConfidenceRecord, *TopKRecord,
 // *ArmStartRecord, *ProgressRecord, *DropsRecord, *JobRecord or
 // *SpanRecord. A line without a "type"
 // field is an arm record (the pre-telemetry schema). An unknown record type
@@ -432,6 +559,10 @@ func DecodeRecord(data []byte) (any, error) {
 		rec = &IntervalRecord{}
 	case RecTableStats:
 		rec = &TableStatsRecord{}
+	case RecTaggedTableStats:
+		rec = &TaggedTableStatsRecord{}
+	case RecConfidence:
+		rec = &ConfidenceRecord{}
 	case RecTopK:
 		rec = &TopKRecord{}
 	case RecArmStart:

@@ -121,3 +121,89 @@ func formatInstr(n uint64) string {
 		return fmt.Sprintf("%d", n)
 	}
 }
+
+// ConfidenceMetric selects the y quantity a confidence curve plots.
+type ConfidenceMetric struct {
+	// Name labels the y axis.
+	Name string
+	// Of extracts the value from one confidence record.
+	Of func(*obs.ConfidenceRecord) float64
+}
+
+// Built-in confidence metrics. MetricLowRate tracks how often the predictor
+// flags its own prediction unsure; MetricLowMispShare tracks what fraction
+// of the interval's mispredictions fell on those flagged predictions — the
+// cover a confidence-based static filter would get.
+var (
+	MetricLowRate = ConfidenceMetric{Name: "low-confidence rate", Of: func(r *obs.ConfidenceRecord) float64 { return r.LowRate() }}
+
+	MetricLowMispShare = ConfidenceMetric{Name: "low-confidence mispredict share", Of: func(r *obs.ConfidenceRecord) float64 { return r.LowMispShare() }}
+)
+
+// ConfidenceCurves builds a line chart from confidence telemetry records:
+// one series per arm, one x category per interval boundary, exactly like
+// IntervalCurves. A nil metric.Of defaults to MetricLowRate.
+func ConfidenceCurves(title string, recs []obs.ConfidenceRecord, metric ConfidenceMetric) (*Chart, error) {
+	if metric.Of == nil {
+		metric = MetricLowRate
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("plot: no confidence records to chart")
+	}
+
+	sameStream := true
+	for i := range recs {
+		if recs[i].Workload != recs[0].Workload || recs[i].Input != recs[0].Input {
+			sameStream = false
+			break
+		}
+	}
+	name := func(r *obs.ConfidenceRecord) string {
+		if sameStream {
+			return r.Predictor
+		}
+		return r.Key()
+	}
+
+	bySeries := map[string]map[int]float64{}
+	var order []string
+	boundary := map[int]uint64{}
+	for i := range recs {
+		r := &recs[i]
+		key := name(r)
+		m := bySeries[key]
+		if m == nil {
+			m = map[int]float64{}
+			bySeries[key] = m
+			order = append(order, key)
+		}
+		m[r.Seq] = metric.Of(r)
+		if r.Instructions > boundary[r.Seq] {
+			boundary[r.Seq] = r.Instructions
+		}
+	}
+
+	seqs := make([]int, 0, len(boundary))
+	for s := range boundary {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	cats := make([]string, len(seqs))
+	for i, s := range seqs {
+		cats[i] = formatInstr(boundary[s])
+	}
+	c := New(title, Line, cats)
+	c.XLabel = "instructions"
+	c.YLabel = metric.Name
+	for _, key := range order {
+		vals := make([]float64, len(seqs))
+		for i, s := range seqs {
+			vals[i] = bySeries[key][s]
+		}
+		if err := c.AddSeries(key, vals); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,52 @@
+package predictor
+
+// Confidence is a per-prediction confidence estimate. Score is a normalized
+// strength in [0,1] (0 = the predictor is guessing, 1 = as sure as its state
+// can express); Low flags predictions the predictor itself would call unsure
+// — the population a confidence-based static filter would hand back to
+// profile-directed hints.
+type Confidence struct {
+	Score float64
+	Low   bool
+}
+
+// ConfidenceEstimator is implemented by predictors that can grade their own
+// predictions. LastConfidence reports the confidence of the most recent
+// Predict; it is computed from state captured at Predict time and stays
+// stable until the next Predict, so callers (the telemetry collector, the
+// profiling runner) may query it after Update without seeing the training
+// step's mutations.
+//
+// The per-predictor models:
+//
+//   - TAGE: provider 3-bit counter strength (0 weak … 3 saturated) plus the
+//     entry's useful counter, Score = (2·strength+useful)/9. Low when the
+//     provider counter is weak, when the use-alt-on-newly-allocated policy
+//     fired (Score 0), or when the base bimodal provided from a weak state.
+//   - Perceptron: Score = min(1, |dot product| / θ). Low exactly when
+//     |dot product| ≤ θ — the same margin condition that triggers training
+//     on a correct prediction.
+type ConfidenceEstimator interface {
+	LastConfidence() Confidence
+}
+
+// ConfidenceProvider is implemented by wrappers that can sometimes grade
+// their predictions — e.g. a combined static+dynamic predictor grades
+// itself exactly when its dynamic component does. ConfidenceSource returns
+// (estimator, true) when grading is meaningful, (nil, false) otherwise.
+type ConfidenceProvider interface {
+	ConfidenceSource() (ConfidenceEstimator, bool)
+}
+
+// ConfidenceEstimatorOf returns the estimator grading p's predictions, if
+// any, resolving wrappers through ConfidenceProvider. Callers must use this
+// instead of asserting ConfidenceEstimator directly: a wrapper structurally
+// satisfies the interface even when its inner predictor cannot grade
+// itself, and only the provider protocol can decline.
+func ConfidenceEstimatorOf(p Predictor) (ConfidenceEstimator, bool) {
+	if cp, ok := p.(ConfidenceProvider); ok {
+		return cp.ConfidenceSource()
+	}
+	ce, ok := p.(ConfidenceEstimator)
+	return ce, ok
+}

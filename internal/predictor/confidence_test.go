@@ -1,0 +1,130 @@
+package predictor
+
+import "testing"
+
+var (
+	_ ConfidenceEstimator = (*TAGE)(nil)
+	_ ConfidenceEstimator = (*Perceptron)(nil)
+	_ Introspector        = (*TAGE)(nil)
+	_ Introspector        = (*Perceptron)(nil)
+	_ TaggedIntrospector  = (*TAGE)(nil)
+	_ TaggedIntrospector  = (*Perceptron)(nil)
+)
+
+// TestTAGEConfidenceCold: a cold TAGE falls to the bimodal base, whose
+// power-on weakly-not-taken counters are low confidence by construction.
+func TestTAGEConfidenceCold(t *testing.T) {
+	p := NewTAGE(1 << 12)
+	p.Predict(0x1000)
+	c := p.LastConfidence()
+	if !c.Low {
+		t.Errorf("cold prediction confidence = %+v, want Low", c)
+	}
+	if c.Score < 0 || c.Score > 1 {
+		t.Errorf("score %v outside [0,1]", c.Score)
+	}
+}
+
+// TestTAGEConfidenceTrained: a branch hammered in one direction saturates
+// whatever entry predicts it; confidence must rise out of the Low band and
+// stay queryable after Update (the estimator contract).
+func TestTAGEConfidenceTrained(t *testing.T) {
+	p := NewTAGE(1 << 12)
+	for i := 0; i < 1000; i++ {
+		p.Predict(0x1000)
+		p.Update(0x1000, true)
+	}
+	p.Predict(0x1000)
+	before := p.LastConfidence()
+	p.Update(0x1000, true)
+	after := p.LastConfidence()
+	if before != after {
+		t.Errorf("confidence changed across Update: %+v → %+v", before, after)
+	}
+	if after.Low {
+		t.Errorf("trained always-taken branch still Low: %+v", after)
+	}
+	if after.Score <= 1.0/9.0 {
+		t.Errorf("trained score = %v, want above the weak-base band", after.Score)
+	}
+}
+
+// TestTAGEConfidenceScoreBounds sweeps a mixed stream and checks every
+// reported score stays in [0,1].
+func TestTAGEConfidenceScoreBounds(t *testing.T) {
+	p := NewTAGE(1 << 11)
+	for i := 0; i < 20000; i++ {
+		pc := 0x1000 + uint64(i%313)*4
+		p.Predict(pc)
+		c := p.LastConfidence()
+		if c.Score < 0 || c.Score > 1 {
+			t.Fatalf("iteration %d: score %v outside [0,1]", i, c.Score)
+		}
+		p.Update(pc, (i>>1)%3 != 0)
+	}
+}
+
+// TestPerceptronConfidenceMargin: zero weights give a zero dot product
+// (maximally unsure); training one branch hard pushes |sum| past θ.
+func TestPerceptronConfidenceMargin(t *testing.T) {
+	p := NewPerceptron(1 << 10)
+	p.Predict(0x1000)
+	if c := p.LastConfidence(); !c.Low || c.Score != 0 {
+		t.Errorf("cold confidence = %+v, want Low with score 0", c)
+	}
+	for i := 0; i < 2000; i++ {
+		p.Predict(0x1000)
+		p.Update(0x1000, true)
+	}
+	p.Predict(0x1000)
+	before := p.LastConfidence()
+	p.Update(0x1000, true)
+	after := p.LastConfidence()
+	if before != after {
+		t.Errorf("confidence changed across Update: %+v → %+v", before, after)
+	}
+	if after.Low {
+		t.Errorf("trained always-taken branch still below θ: %+v", after)
+	}
+	if after.Score != 1 {
+		t.Errorf("saturated-margin score = %v, want clamped to 1", after.Score)
+	}
+}
+
+// TestConfidenceLowMatchesTheta pins the perceptron Low condition to the
+// training-margin rule: Low exactly when |sum| ≤ θ.
+func TestConfidenceLowMatchesTheta(t *testing.T) {
+	p := NewPerceptron(1 << 10)
+	for i := 0; i < 5000; i++ {
+		pc := 0x1000 + uint64(i%57)*4
+		p.Predict(pc)
+		m := p.lSum
+		if m < 0 {
+			m = -m
+		}
+		if got, want := p.LastConfidence().Low, m <= p.theta; got != want {
+			t.Fatalf("iteration %d: Low = %v with |sum|=%d θ=%d", i, got, m, p.theta)
+		}
+		p.Update(pc, i%2 == 0)
+	}
+}
+
+// TestConfidenceNoBehaviorChange proves the confidence capture and the
+// stream counters are pure instrumentation: the prediction stream with
+// EnableTableStats on equals the stream with it off, branch for branch.
+func TestConfidenceNoBehaviorChange(t *testing.T) {
+	for _, name := range []string{"tage", "perceptron"} {
+		plain := MustNew(name + ":2KB")
+		instr := MustNew(name + ":2KB")
+		instr.(Introspector).EnableTableStats()
+		for i := 0; i < 30000; i++ {
+			pc := 0x1000 + uint64(i%211)*4
+			outcome := (i*i)%5 < 3
+			if a, b := plain.Predict(pc), instr.Predict(pc); a != b {
+				t.Fatalf("%s: prediction diverged at %d with stats on", name, i)
+			}
+			plain.Update(pc, outcome)
+			instr.Update(pc, outcome)
+		}
+	}
+}

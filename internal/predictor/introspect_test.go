@@ -5,24 +5,38 @@ import (
 	"testing"
 )
 
-// fivePaperPredictors builds the paper's five schemes at a small size.
-func fivePaperPredictors() map[string]Predictor {
+// introspectablePredictors builds every scheme that implements Introspector
+// at a small size: the paper's five (bimodal, ghist, gshare, bimode,
+// 2bcgskew) plus the modern successors tage and perceptron.
+func introspectablePredictors() map[string]Predictor {
 	return map[string]Predictor{
-		"bimodal":  NewBimodal(1 << 10),
-		"ghist":    NewGHist(1 << 10),
-		"gshare":   NewGShare(1 << 10),
-		"bimode":   NewBiMode(1 << 10),
-		"2bcgskew": NewTwoBcGskew(1 << 10),
+		"bimodal":    NewBimodal(1 << 10),
+		"ghist":      NewGHist(1 << 10),
+		"gshare":     NewGShare(1 << 10),
+		"bimode":     NewBiMode(1 << 10),
+		"2bcgskew":   NewTwoBcGskew(1 << 10),
+		"tage":       NewTAGE(1 << 12),
+		"perceptron": NewPerceptron(1 << 10),
 	}
 }
 
 // expectedTables is how many distinct counter tables each scheme exposes.
+// tage reports its bimodal base plus the five tagged banks; perceptron one
+// weight table.
 var expectedTables = map[string]int{
 	"bimodal": 1, "ghist": 1, "gshare": 1, "bimode": 3, "2bcgskew": 4,
+	"tage": 6, "perceptron": 1,
 }
 
-func TestIntrospectAllPaperPredictors(t *testing.T) {
-	for name, p := range fivePaperPredictors() {
+// fullSharing lists the schemes whose tables all carry ownership-switch
+// tracking; tage's tagged banks and perceptron's weight vectors express
+// sharing through tags/allocation instead, so their SharingHist stays nil.
+var fullSharing = map[string]bool{
+	"bimodal": true, "ghist": true, "gshare": true, "bimode": true, "2bcgskew": true,
+}
+
+func TestIntrospectAllPredictors(t *testing.T) {
+	for name, p := range introspectablePredictors() {
 		in, ok := p.(Introspector)
 		if !ok {
 			t.Errorf("%s does not implement Introspector", name)
@@ -60,13 +74,44 @@ func TestIntrospectAllPaperPredictors(t *testing.T) {
 			if s.Entropy < 0 || s.Entropy > 2 {
 				t.Errorf("%s/%s: entropy = %v, want within [0,2]", name, s.Name, s.Entropy)
 			}
-			var shareSum uint64
-			for _, b := range s.SharingHist {
-				shareSum += b
+			if fullSharing[name] && s.SharingHist == nil {
+				t.Errorf("%s/%s: no sharing histogram", name, s.Name)
 			}
-			if shareSum != uint64(s.Entries) {
-				t.Errorf("%s/%s: sharing histogram sums to %d, want %d", name, s.Name, shareSum, s.Entries)
+			if s.SharingHist != nil {
+				var shareSum uint64
+				for _, b := range s.SharingHist {
+					shareSum += b
+				}
+				if shareSum != uint64(s.Entries) {
+					t.Errorf("%s/%s: sharing histogram sums to %d, want %d", name, s.Name, shareSum, s.Entries)
+				}
 			}
+		}
+	}
+}
+
+// introspectorExempt lists the registered schemes that intentionally do not
+// implement Introspector: the contemporary extensions (their composite
+// tables predate the introspection work) and the trivial static baselines,
+// which have no tables at all. Every other registered Spec must introspect —
+// a new predictor either joins telemetry or earns an explicit entry here.
+var introspectorExempt = map[string]bool{
+	"agree": true, "gskew": true, "yags": true, "local": true, "mcfarling": true,
+	"taken": true, "nottaken": true,
+}
+
+func TestEveryRegisteredSpecIntrospects(t *testing.T) {
+	for _, name := range Names() {
+		p := MustNew(name)
+		_, ok := p.(Introspector)
+		if introspectorExempt[name] {
+			if ok {
+				t.Errorf("%s implements Introspector but is on the exemption list — remove it", name)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s does not implement Introspector and is not exempt", name)
 		}
 	}
 }

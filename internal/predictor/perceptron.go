@@ -1,5 +1,7 @@
 package predictor
 
+import "math/bits"
+
 // Perceptron is the neural branch predictor of Jiménez and Lin: each branch
 // hashes to a weight vector; the prediction is the sign of the dot product
 // of the weights with the global history (±1 per bit) plus a bias weight.
@@ -21,6 +23,12 @@ type Perceptron struct {
 	lIdx  uint64
 	lSum  int32
 	lPred bool
+
+	// statsOn gates the margin-histogram accumulation behind
+	// EnableTableStats so untelemetried runs pay one boolean test.
+	// marginHist log₂-buckets |dot product| over the branch stream.
+	statsOn    bool
+	marginHist [33]uint64
 }
 
 // perceptronWeightBits is the per-weight width (8-bit signed weights, the
@@ -79,7 +87,30 @@ func (p *Perceptron) Predict(pc uint64) bool {
 	}
 	p.lSum = sum
 	p.lPred = sum >= 0
+	if p.statsOn {
+		m := sum
+		if m < 0 {
+			m = -m
+		}
+		p.marginHist[bits.Len32(uint32(m))]++
+	}
 	return p.lPred
+}
+
+// LastConfidence implements ConfidenceEstimator. The dot product survives
+// Update untouched (training reads it), so this stays stable until the next
+// Predict. Low is the classic margin condition |sum| ≤ θ — the same test
+// that forces training on a correct prediction.
+func (p *Perceptron) LastConfidence() Confidence {
+	m := p.lSum
+	if m < 0 {
+		m = -m
+	}
+	score := float64(m) / float64(p.theta)
+	if score > 1 {
+		score = 1
+	}
+	return Confidence{Score: score, Low: m <= p.theta}
 }
 
 func satAdd8(w int16, up bool) int16 {
@@ -129,6 +160,7 @@ func (p *Perceptron) Reset() {
 	}
 	p.hist.reset()
 	p.collision = false
+	p.marginHist = [33]uint64{}
 }
 
 // EnableCollisionTracking implements Collider.

@@ -32,8 +32,16 @@ type TAGE struct {
 	lIdx      []uint64
 	lTagMatch []bool
 	lNewAlloc bool
+	lConf     Confidence
 	collision bool
 	tick      int
+
+	// statsOn gates the per-bank stream counters (tag hits, provider
+	// attribution, allocation churn) behind EnableTableStats so untelemetried
+	// runs pay one boolean test. sBaseProv counts predictions the bimodal
+	// base provided.
+	statsOn   bool
+	sBaseProv uint64
 }
 
 type tageComp struct {
@@ -45,6 +53,15 @@ type tageComp struct {
 	tagBits int
 
 	dbgTags []uint64 // collision instrumentation (last PC per entry)
+
+	// stream counters, accumulated only while statsOn (EnableTableStats):
+	// tag hits/misses at lookup, provider attribution (sProv predictions
+	// provided, sAlt of those overridden by use-alt-on-newly-allocated),
+	// and allocation churn (sAlloc entries claimed, sAllocFail refusals
+	// because the candidate's useful counter pinned it).
+	sHit, sMiss        uint64
+	sProv, sAlt        uint64
+	sAlloc, sAllocFail uint64
 }
 
 // tageHistLens are the geometric history lengths of the tagged components.
@@ -148,6 +165,13 @@ func (t *TAGE) Predict(pc uint64) bool {
 			}
 			c.dbgTags[t.lIdx[i]] = pc + 1
 		}
+		if t.statsOn {
+			if t.lTagMatch[i] {
+				c.sHit++
+			} else {
+				c.sMiss++
+			}
+		}
 		if t.lTagMatch[i] {
 			if t.lProvider >= 0 {
 				alt = t.comps[t.lProvider].ctr[t.lIdx[t.lProvider]] >= 0
@@ -177,8 +201,51 @@ func (t *TAGE) Predict(pc uint64) bool {
 	}
 	t.lAltPred = alt
 	t.lPred = pred
+	if t.statsOn {
+		if t.lProvider >= 0 {
+			prov := &t.comps[t.lProvider]
+			prov.sProv++
+			if t.lNewAlloc {
+				prov.sAlt++
+			}
+		} else {
+			t.sBaseProv++
+		}
+	}
+	t.lConf = t.confidence(baseCtr)
 	return pred
 }
+
+// confidence grades the prediction Predict just produced, from the provider
+// state as read at lookup time (Update mutates the provider counter, so this
+// must be captured here, not computed lazily).
+func (t *TAGE) confidence(baseCtr uint8) Confidence {
+	if t.lProvider < 0 {
+		// Base bimodal provided: only the 2-bit counter speaks. A saturated
+		// counter earns the strength a mid-range tagged provider would; the
+		// weak states are low-confidence by construction.
+		if baseCtr == 0 || baseCtr == ctrMax {
+			return Confidence{Score: 4.0 / 9.0}
+		}
+		return Confidence{Score: 1.0 / 9.0, Low: true}
+	}
+	if t.lNewAlloc {
+		// Newly allocated entry: the alternate prediction was used and the
+		// provider has earned no trust yet.
+		return Confidence{Score: 0, Low: true}
+	}
+	prov := &t.comps[t.lProvider]
+	ctr := prov.ctr[t.lIdx[t.lProvider]]
+	s := int(ctr)
+	if s < 0 {
+		s = -s - 1 // 3-bit counter strength: 0 (weak) … 3 (saturated)
+	}
+	u := int(prov.useful[t.lIdx[t.lProvider]])
+	return Confidence{Score: float64(2*s+u) / 9.0, Low: s == 0}
+}
+
+// LastConfidence implements ConfidenceEstimator.
+func (t *TAGE) LastConfidence() Confidence { return t.lConf }
 
 func ctr3Update(v int8, outcome bool) int8 {
 	if outcome {
@@ -233,8 +300,14 @@ func (t *TAGE) Update(pc uint64, outcome bool) {
 				} else {
 					c.ctr[idx] = -1
 				}
+				if t.statsOn {
+					c.sAlloc++
+				}
 				allocated = true
 				break
+			}
+			if t.statsOn {
+				c.sAllocFail++
 			}
 		}
 		if !allocated {
@@ -279,10 +352,15 @@ func (t *TAGE) Reset() {
 		if c.dbgTags != nil {
 			c.dbgTags = make([]uint64, len(c.ctr))
 		}
+		c.sHit, c.sMiss = 0, 0
+		c.sProv, c.sAlt = 0, 0
+		c.sAlloc, c.sAllocFail = 0, 0
 	}
 	t.hist.reset()
 	t.tick = 0
 	t.collision = false
+	t.sBaseProv = 0
+	t.lConf = Confidence{}
 }
 
 // EnableCollisionTracking implements Collider.

@@ -20,6 +20,7 @@ type BranchStats struct {
 	Taken   uint64 `json:"taken"`
 	Correct uint64 `json:"correct,omitempty"` // phase-1 dynamic-predictor hits; meaningful only if DB.Predictor != ""
 	Dcol    uint64 `json:"dcol,omitempty"`    // phase-1 destructive collisions suffered by this branch
+	LowConf uint64 `json:"lowconf,omitempty"` // phase-1 low-confidence executions; only if the predictor grades itself
 }
 
 // TakenBias is the fraction of executions in which the branch was taken.
@@ -54,6 +55,16 @@ func (b *BranchStats) Accuracy() float64 {
 		return 0
 	}
 	return float64(b.Correct) / float64(b.Exec)
+}
+
+// LowConfRate is the fraction of phase-1 executions the dynamic predictor
+// graded as low confidence. It is 0 for a DB collected without a
+// self-grading predictor.
+func (b *BranchStats) LowConfRate() float64 {
+	if b.Exec == 0 {
+		return 0
+	}
+	return float64(b.LowConf) / float64(b.Exec)
 }
 
 // DB is a profile database for one (workload, input) pair, optionally
@@ -135,6 +146,11 @@ func (d *DB) RecordPredicted(pc uint64, taken, correct bool) {
 // collision-targeted selection scheme.
 func (d *DB) RecordDestructiveCollision(pc uint64) { d.stats(pc).Dcol++ }
 
+// RecordLowConfidence notes that the phase-1 predictor graded one execution
+// of the branch at pc as low confidence. Used by the confidence-based
+// selection scheme (Static_Conf).
+func (d *DB) RecordLowConfidence(pc uint64) { d.stats(pc).LowConf++ }
+
 // Remove deletes the branch at pc from the database.
 func (d *DB) Remove(pc uint64) { delete(d.byPC, pc) }
 
@@ -171,15 +187,18 @@ func (d *DB) Merge(other *DB) {
 		if samePred {
 			b.Correct += ob.Correct
 			b.Dcol += ob.Dcol
+			b.LowConf += ob.LowConf
 		} else {
 			b.Correct = 0
 			b.Dcol = 0
+			b.LowConf = 0
 		}
 	}
 	if !samePred {
 		for _, b := range d.byPC {
 			b.Correct = 0
 			b.Dcol = 0
+			b.LowConf = 0
 		}
 	}
 	if d.Input != other.Input {
@@ -223,6 +242,9 @@ func (d *DB) Validate() error {
 		}
 		if b.Correct > b.Exec {
 			return fmt.Errorf("profile: pc %#x: correct %d > exec %d", pc, b.Correct, b.Exec)
+		}
+		if b.LowConf > b.Exec {
+			return fmt.Errorf("profile: pc %#x: lowconf %d > exec %d", pc, b.LowConf, b.Exec)
 		}
 	}
 	return nil

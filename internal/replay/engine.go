@@ -35,7 +35,7 @@ type Engine struct {
 
 	sem     chan struct{}
 	mem     atomic.Int64
-	decMem  atomic.Int64 // decoded-block cache bytes (see decodedCacheBudget)
+	decMem  atomic.Int64  // decoded-block cache bytes (see decodedCacheBudget)
 	quarSeq atomic.Uint64 // names quarantined chunk files uniquely
 
 	// Observability handles (nil when unobserved; all are nil-safe no-ops

@@ -90,3 +90,133 @@ func IntervalSummary(recs []obs.IntervalRecord) *Table {
 	}
 	return t
 }
+
+// ConfidenceSummary condenses confidence telemetry into one row per arm:
+// the aggregate low-confidence prediction rate, the share of mispredictions
+// that fell on low-confidence predictions (the cover a confidence-based
+// static filter would get), and the interval where the low rate peaked.
+func ConfidenceSummary(recs []obs.ConfidenceRecord) *Table {
+	type arm struct {
+		key               string
+		intervals         int
+		branches, low     uint64
+		lowMisp, highMisp uint64
+		peakLow           float64
+		peakAt            uint64
+	}
+	byKey := map[string]*arm{}
+	var order []*arm
+	for i := range recs {
+		r := &recs[i]
+		a := byKey[r.Key()]
+		if a == nil {
+			a = &arm{key: r.Key()}
+			byKey[r.Key()] = a
+			order = append(order, a)
+		}
+		a.intervals++
+		a.branches += r.DBranches
+		a.low += r.DLow
+		a.lowMisp += r.DLowMispredicts
+		a.highMisp += r.DHighMispredicts
+		if lr := r.LowRate(); lr > a.peakLow {
+			a.peakLow = lr
+			a.peakAt = r.Instructions
+		}
+	}
+
+	t := NewTable("Confidence telemetry summary",
+		"ARM", "INTERVALS", "BRANCHES", "LOW RATE", "LOW-CONF MISP SHARE", "PEAK LOW", "PEAK AT")
+	for _, a := range order {
+		lowRate := 0.0
+		if a.branches > 0 {
+			lowRate = float64(a.low) / float64(a.branches)
+		}
+		share := 0.0
+		if m := a.lowMisp + a.highMisp; m > 0 {
+			share = float64(a.lowMisp) / float64(m)
+		}
+		t.AddRow(a.key,
+			fmt.Sprintf("%d", a.intervals),
+			fmt.Sprintf("%d", a.branches),
+			Pct(lowRate),
+			Pct(share),
+			Pct(a.peakLow),
+			fmt.Sprintf("%d", a.peakAt))
+	}
+	t.AddNote("LOW-CONF MISP SHARE is the fraction of mispredictions a filter on low-confidence branches could reach")
+	return t
+}
+
+// TaggedTableSummary renders the final tagged-bank sample of each arm — the
+// stream counters are cumulative, so the last sample is the run's total —
+// as one row per bank: occupancy, tag hit rate, provider share, and
+// allocation churn.
+func TaggedTableSummary(recs []obs.TaggedTableStatsRecord) *Table {
+	last := map[string]*obs.TaggedTableStatsRecord{}
+	var order []string
+	for i := range recs {
+		r := &recs[i]
+		if _, ok := last[r.Key()]; !ok {
+			order = append(order, r.Key())
+		}
+		last[r.Key()] = r
+	}
+
+	t := NewTable("Tagged-table introspection (final sample)",
+		"ARM", "BANK", "ENTRIES", "OCCUPANCY", "TAG HIT", "PROVIDER", "ALT USED", "ALLOCS", "ALLOC FAILS")
+	for _, key := range order {
+		r := last[key]
+		for _, b := range r.Banks {
+			occ := 0.0
+			if b.Entries > 0 {
+				occ = float64(b.Occupied) / float64(b.Entries)
+			}
+			hit := "-"
+			if lookups := b.Hits + b.Misses; lookups > 0 {
+				hit = Pct(float64(b.Hits) / float64(lookups))
+			}
+			t.AddRow(key, b.Name,
+				fmt.Sprintf("%d", b.Entries),
+				Pct(occ),
+				hit,
+				fmt.Sprintf("%d", b.Provider),
+				fmt.Sprintf("%d", b.AltUsed),
+				fmt.Sprintf("%d", b.Allocs),
+				fmt.Sprintf("%d", b.AllocFails))
+		}
+	}
+	return t
+}
+
+// LowConfidenceOffenders renders the low-confidence top-K lists: for each
+// arm, the n branch sites the predictor flagged unsure most often, with the
+// per-site low-confidence fraction from the bounded site tracker.
+func LowConfidenceOffenders(recs []obs.TopKRecord, n int) *Table {
+	t := NewTable("Low-confidence branches",
+		"ARM", "PC", "EXECS", "BIAS", "MISP RATE", "LOW RATE", "LOW COUNT", "MAX ERR")
+	rows := 0
+	for i := range recs {
+		r := &recs[i]
+		list := r.TopLowConfidence
+		if n > 0 && len(list) > n {
+			list = list[:n]
+		}
+		for _, bc := range list {
+			rows++
+			t.AddRow(r.Key(),
+				fmt.Sprintf("0x%x", bc.PC),
+				fmt.Sprintf("%d", bc.Execs),
+				F(bc.Bias, 3),
+				Pct(bc.MispRate),
+				Pct(bc.LowRate),
+				fmt.Sprintf("%d", bc.Count),
+				fmt.Sprintf("%d", bc.MaxError))
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+	t.AddNote("low counts are space-saving sketch estimates; true count >= LOW COUNT - MAX ERR")
+	return t
+}

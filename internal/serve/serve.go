@@ -228,9 +228,9 @@ func (s *Server) Submit(ctx context.Context, spec *serveapi.JobSpec) (*serveapi.
 	}
 	s.nextID++
 	j := &job{
-		id:     fmt.Sprintf("j%06d", s.nextID),
-		tenant: tenant,
-		name:   spec.Name,
+		id:      fmt.Sprintf("j%06d", s.nextID),
+		tenant:  tenant,
+		name:    spec.Name,
 		state:   serveapi.StateQueued,
 		arms:    make([]serveapi.ArmResult, len(arms)),
 		doneCh:  make(chan struct{}),

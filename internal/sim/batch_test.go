@@ -123,9 +123,9 @@ func FuzzBatchVsScalar(f *testing.F) {
 	f.Add(valid, uint8(1), uint8(3))
 	f.Add(valid, uint8(7), uint8(6))
 	f.Add([]byte{}, uint8(1), uint8(1))
-	f.Add([]byte{0: 0}, uint8(3), uint8(2))          // ops record missing count
+	f.Add([]byte{0: 0}, uint8(3), uint8(2))                   // ops record missing count
 	f.Add(bytes.Repeat([]byte{0x80}, 12), uint8(2), uint8(4)) // unterminated varint
-	f.Add([]byte{1, 0x10, 0x02}, uint8(5), uint8(5)) // impossible outcome
+	f.Add([]byte{1, 0x10, 0x02}, uint8(5), uint8(5))          // impossible outcome
 	// Single-byte-corruption corpus over a small valid chunk, mirroring the
 	// trace package's chunk fuzz seeds.
 	small := encodeStream(40, 11)

@@ -124,6 +124,11 @@ type Runner struct {
 	// the first Metrics call.
 	tel *telemetry.Collector
 
+	// ce grades predictions for the profile database (nil unless profiling
+	// a predictor that implements ConfidenceEstimator): low-confidence
+	// executions per branch feed the confidence-based static filter.
+	ce predictor.ConfidenceEstimator
+
 	// kern is the predictor's native batch kernel (nil when it has none);
 	// RunBlock routes whole decoded blocks through it instead of the
 	// per-event Predict/Update protocol. The scratch slices back the
@@ -220,6 +225,11 @@ func NewRunner(p predictor.Predictor, opts ...Option) *Runner {
 	// Bind after the option loop so the collector sees the final labels and
 	// the collision-tracking decision, whatever order the options came in.
 	r.tel.Bind(p, r.metrics.Workload, r.metrics.Input, r.metrics.Predictor, r.metrics.CollisionsTracked)
+	if r.prof != nil {
+		if ce, ok := predictor.ConfidenceEstimatorOf(p); ok {
+			r.ce = ce
+		}
+	}
 	if k, native := predictor.Batch(p); native {
 		r.kern = k
 	}
@@ -254,6 +264,9 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 		if destructive {
 			r.prof.RecordDestructiveCollision(pc)
 		}
+		if r.ce != nil && r.ce.LastConfidence().Low {
+			r.prof.RecordLowConfidence(pc)
+		}
 	}
 	r.p.Update(pc, taken)
 	r.metrics.Counts.Branch(pc, taken)
@@ -278,11 +291,13 @@ func (r *Runner) Branch(pc uint64, taken bool) {
 // Ops(ops[i]) then Branch(pcs[i], taken[i]) per event. When the predictor
 // has a native kernel the whole block runs devirtualized and the metrics
 // are folded in wholesale; per-event consumers (profile, telemetry) are
-// then fed from the kernel's per-event outputs, in order. Two cases fall
+// then fed from the kernel's per-event outputs, in order. Three cases fall
 // back to the per-event loop, which is bit-identical by construction: a
-// predictor without a kernel, and telemetry that samples predictor tables
-// at interval boundaries (the snapshot must observe exactly the events
-// sealed so far, so the predictor may not run ahead of the collector).
+// predictor without a kernel; telemetry that samples predictor tables at
+// interval boundaries (the snapshot must observe exactly the events sealed
+// so far, so the predictor may not run ahead of the collector); and any
+// consumer of per-prediction confidence (LastConfidence reports only the
+// most recent Predict, so the kernel may not run ahead of the grader).
 func (r *Runner) RunBlock(pcs []uint64, taken []bool, ops []uint64) {
 	var opsSum uint64
 	for _, o := range ops[:len(pcs)] {
@@ -299,7 +314,7 @@ func (r *Runner) RunBlockSummed(pcs []uint64, taken []bool, ops []uint64, opsSum
 	if len(pcs) == 0 {
 		return
 	}
-	if r.kern == nil || r.tel.TableSampling() {
+	if r.kern == nil || r.tel.TableSampling() || r.tel.ConfidenceSampling() || r.ce != nil {
 		for i, pc := range pcs {
 			if ops[i] != 0 {
 				r.Ops(ops[i])

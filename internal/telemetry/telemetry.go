@@ -43,8 +43,14 @@ type Config struct {
 	// boundaries).
 	Interval uint64
 	// TableStats samples predictor-table introspection (occupancy, counter
-	// distribution, entropy, sharing degree) at interval boundaries.
+	// distribution, entropy, sharing degree) at interval boundaries. When
+	// the predictor has tagged/neural banks (tage, perceptron) the same flag
+	// also samples their per-bank tagged statistics.
 	TableStats bool
+	// Confidence collects the per-prediction confidence time series: one
+	// ConfidenceRecord per interval plus the low-confidence top-K list, for
+	// predictors that grade their own predictions (tage, perceptron).
+	Confidence bool
 	// TopK is the worst-offender list capacity; 0 disables the per-branch
 	// tracker, negative means DefaultTopK.
 	TopK int
@@ -56,7 +62,7 @@ type Config struct {
 
 // Enabled reports whether the configuration collects anything at all.
 func (c Config) Enabled() bool {
-	return c.Interval > 0 || c.TableStats || c.TopK != 0
+	return c.Interval > 0 || c.TableStats || c.Confidence || c.TopK != 0
 }
 
 // withDefaults resolves the zero values of an enabled configuration.
@@ -78,9 +84,10 @@ func (c Config) withDefaults() Config {
 
 // site is one static branch's running profile.
 type site struct {
-	execs uint64
-	taken uint64
-	misp  uint64
+	execs   uint64
+	taken   uint64
+	misp    uint64
+	lowconf uint64
 }
 
 // Collector accumulates one arm's telemetry. Not safe for concurrent use —
@@ -93,6 +100,8 @@ type Collector struct {
 	workload, input, pred string
 	tracked               bool // collision tracking on
 	in                    predictor.Introspector
+	tin                   predictor.TaggedIntrospector
+	ce                    predictor.ConfidenceEstimator
 
 	// Cumulative stream counters (instructions includes branches).
 	instr, branches, taken uint64
@@ -100,20 +109,31 @@ type Collector struct {
 	next                   uint64 // next interval boundary
 	seq                    int
 
+	// Cumulative confidence counters (ce bound): low-confidence predictions
+	// and the low/high split of mispredictions, plus the score histogram
+	// (eight equal-width buckets over [0,1]).
+	confLow, confLowMisp, confHighMisp uint64
+	scoreHist                          [8]uint64
+
 	// prev* snapshot the cumulative counters at the last sealed boundary.
-	pInstr, pBranches, pTaken uint64
-	pMisp, pCol, pCons, pDest uint64
+	pInstr, pBranches, pTaken  uint64
+	pMisp, pCol, pCons, pDest  uint64
+	pConfLow, pConfLM, pConfHM uint64
+	pScoreHist                 [8]uint64
 
 	// Per-branch tracking (TopK != 0).
 	sites        map[uint64]*site
 	sitesDropped uint64
 	topDest      *spaceSaving
 	topMisp      *spaceSaving
+	topLow       *spaceSaving // nil unless confidence telemetry bound
 
 	// Buffered records, emitted at Finish.
-	intervals  []obs.IntervalRecord
-	tableStats []obs.TableStatsRecord
-	topk       []obs.TopKRecord // 0 or 1 entries, built by Finish
+	intervals   []obs.IntervalRecord
+	tableStats  []obs.TableStatsRecord
+	taggedStats []obs.TaggedTableStatsRecord
+	confidence  []obs.ConfidenceRecord
+	topk        []obs.TopKRecord // 0 or 1 entries, built by Finish
 
 	finished bool
 }
@@ -159,6 +179,24 @@ func (c *Collector) Bind(p predictor.Predictor, workload, input, pred string, tr
 			in.EnableTableStats()
 			c.in = in
 		}
+		if tin, ok := p.(predictor.TaggedIntrospector); ok {
+			tin.EnableTableStats()
+			// Wrappers pass IntrospectTagged through and return nil banks
+			// when the inner predictor has none; only wire the sampler when
+			// there is something to sample (the bank set is structural, so a
+			// cold predictor still reports its banks).
+			if len(tin.IntrospectTagged()) > 0 {
+				c.tin = tin
+			}
+		}
+	}
+	if c.cfg.Confidence {
+		if ce, ok := predictor.ConfidenceEstimatorOf(p); ok {
+			c.ce = ce
+			if c.sites != nil {
+				c.topLow = newSpaceSaving(c.cfg.TopK)
+			}
+		}
 	}
 }
 
@@ -167,7 +205,14 @@ func (c *Collector) Bind(p predictor.Predictor, workload, input, pred string, tr
 // supports it). Callers batching the event stream must fall back to
 // per-event feeding when this is true: a boundary seal snapshots the live
 // tables, so the predictor may not run ahead of the collector. Safe on nil.
-func (c *Collector) TableSampling() bool { return c != nil && c.in != nil }
+func (c *Collector) TableSampling() bool { return c != nil && (c.in != nil || c.tin != nil) }
+
+// ConfidenceSampling reports whether the collector grades every prediction
+// (Confidence configured and the bound predictor estimates it). Callers
+// batching the event stream must fall back to per-event feeding when this is
+// true: Branch queries the predictor's last-prediction state, so the
+// predictor may not run ahead of the collector. Safe on nil.
+func (c *Collector) ConfidenceSampling() bool { return c != nil && c.ce != nil }
 
 // Branch feeds one dynamic branch: its resolved direction, whether the
 // prediction was correct, and whether the lookup collided (false when the
@@ -194,6 +239,26 @@ func (c *Collector) Branch(pc uint64, taken, correct, collided bool) {
 			destructive = true
 		}
 	}
+	low := false
+	if c.ce != nil {
+		conf := c.ce.LastConfidence()
+		low = conf.Low
+		if low {
+			c.confLow++
+			if !correct {
+				c.confLowMisp++
+			}
+		} else if !correct {
+			c.confHighMisp++
+		}
+		b := int(conf.Score * 8)
+		if b > 7 {
+			b = 7
+		} else if b < 0 {
+			b = 0
+		}
+		c.scoreHist[b]++
+	}
 	if c.sites != nil {
 		s := c.sites[pc]
 		if s == nil {
@@ -213,9 +278,15 @@ func (c *Collector) Branch(pc uint64, taken, correct, collided bool) {
 				s.misp++
 				c.topMisp.Add(pc)
 			}
+			if low {
+				s.lowconf++
+			}
 		}
 		if destructive {
 			c.topDest.Add(pc)
+		}
+		if low && c.topLow != nil {
+			c.topLow.Add(pc)
 		}
 	}
 	if c.instr >= c.next {
@@ -293,17 +364,79 @@ func (c *Collector) seal() {
 		c.o.Publish(&liveTS)
 	}
 
+	if c.tin != nil {
+		banks := c.tin.IntrospectTagged()
+		ts := obs.TaggedTableStatsRecord{
+			Workload: c.workload, Input: c.input, Predictor: c.pred,
+			Seq: c.seq, Instructions: c.instr,
+			Banks: make([]obs.TaggedBankStat, 0, len(banks)),
+		}
+		for _, b := range banks {
+			ts.Banks = append(ts.Banks, obs.TaggedBankStat{
+				Name:       b.Name,
+				Entries:    b.Entries,
+				HistLen:    b.HistLen,
+				TagBits:    b.TagBits,
+				Occupied:   b.Occupied,
+				Ctr:        b.Ctr,
+				Useful:     b.Useful,
+				Saturated:  b.Saturated,
+				Margin:     b.Margin,
+				Hits:       b.Hits,
+				Misses:     b.Misses,
+				Provider:   b.Provider,
+				AltUsed:    b.AltUsed,
+				Allocs:     b.Allocs,
+				AllocFails: b.AllocFails,
+			})
+		}
+		c.taggedStats = append(c.taggedStats, ts)
+		c.o.Counter(obs.MTelemetryTaggedSamples).Add(1)
+		liveTS := ts
+		c.o.Publish(&liveTS)
+	}
+
+	if c.ce != nil {
+		cr := obs.ConfidenceRecord{
+			Workload: c.workload, Input: c.input, Predictor: c.pred,
+			Seq: c.seq, Instructions: c.instr,
+			DBranches:        c.branches - c.pBranches,
+			DLow:             c.confLow - c.pConfLow,
+			DLowMispredicts:  c.confLowMisp - c.pConfLM,
+			DHighMispredicts: c.confHighMisp - c.pConfHM,
+		}
+		hist := make([]uint64, len(c.scoreHist))
+		n := 0
+		for i := range c.scoreHist {
+			hist[i] = c.scoreHist[i] - c.pScoreHist[i]
+			if hist[i] != 0 {
+				n = i + 1
+			}
+		}
+		if n > 0 {
+			cr.ScoreHist = hist[:n]
+		}
+		c.confidence = append(c.confidence, cr)
+		c.o.Counter(obs.MTelemetryConfidence).Add(1)
+		liveCR := cr
+		c.o.Publish(&liveCR)
+	}
+
 	c.pInstr, c.pBranches, c.pTaken = c.instr, c.branches, c.taken
 	c.pMisp, c.pCol, c.pCons, c.pDest = c.misp, c.col, c.cons, c.dest
+	c.pConfLow, c.pConfLM, c.pConfHM = c.confLow, c.confLowMisp, c.confHighMisp
+	c.pScoreHist = c.scoreHist
 	c.seq++
 	c.next = (c.instr/c.cfg.Interval + 1) * c.cfg.Interval
 }
 
 // Records is everything a collector gathered, as returned by Finish.
 type Records struct {
-	Intervals  []obs.IntervalRecord
-	TableStats []obs.TableStatsRecord
-	TopK       *obs.TopKRecord // nil when per-branch tracking is off
+	Intervals   []obs.IntervalRecord
+	TableStats  []obs.TableStatsRecord
+	TaggedStats []obs.TaggedTableStatsRecord
+	Confidence  []obs.ConfidenceRecord
+	TopK        *obs.TopKRecord // nil when per-branch tracking is off
 }
 
 // Finish seals the final partial interval, builds the per-branch top-K
@@ -325,6 +458,12 @@ func (c *Collector) Finish() Records {
 		for i := range c.tableStats {
 			c.o.Emit(&c.tableStats[i])
 		}
+		for i := range c.taggedStats {
+			c.o.Emit(&c.taggedStats[i])
+		}
+		for i := range c.confidence {
+			c.o.Emit(&c.confidence[i])
+		}
 		if c.sites != nil {
 			c.buildTopK()
 		}
@@ -333,7 +472,10 @@ func (c *Collector) Finish() Records {
 	if len(c.topk) == 1 {
 		top = &c.topk[0]
 	}
-	return Records{Intervals: c.intervals, TableStats: c.tableStats, TopK: top}
+	return Records{
+		Intervals: c.intervals, TableStats: c.tableStats,
+		TaggedStats: c.taggedStats, Confidence: c.confidence, TopK: top,
+	}
 }
 
 // buildTopK assembles and emits the TopKRecord.
@@ -370,8 +512,11 @@ func (c *Collector) buildTopK() {
 		rec.BiasHist = biasHist[:maxBias+1]
 		rec.MispHist = mispHist[:maxMisp+1]
 	}
-	rec.TopDestructive = c.branchCounts(c.topDest)
-	rec.TopMispredicted = c.branchCounts(c.topMisp)
+	rec.TopDestructive = c.branchCounts(c.topDest, false)
+	rec.TopMispredicted = c.branchCounts(c.topMisp, false)
+	if c.topLow != nil {
+		rec.TopLowConfidence = c.branchCounts(c.topLow, true)
+	}
 	c.topk = append(c.topk, rec)
 	c.o.Emit(&c.topk[0])
 	liveTop := rec
@@ -382,8 +527,9 @@ func (c *Collector) buildTopK() {
 }
 
 // branchCounts converts a sketch's top list, joining each entry with its
-// site profile when the site tracker still holds it.
-func (c *Collector) branchCounts(s *spaceSaving) []obs.BranchCount {
+// site profile when the site tracker still holds it. withLowRate adds the
+// per-site low-confidence fraction (the TopLowConfidence list).
+func (c *Collector) branchCounts(s *spaceSaving, withLowRate bool) []obs.BranchCount {
 	top := s.Top(c.cfg.TopK)
 	if len(top) == 0 {
 		return nil
@@ -399,6 +545,9 @@ func (c *Collector) branchCounts(s *spaceSaving) []obs.BranchCount {
 			}
 			bc.Bias = bias
 			bc.MispRate = float64(st.misp) / float64(st.execs)
+			if withLowRate {
+				bc.LowRate = float64(st.lowconf) / float64(st.execs)
+			}
 		}
 		out = append(out, bc)
 	}

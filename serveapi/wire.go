@@ -224,7 +224,7 @@ type JobStatus struct {
 	// TraceID is the job's trace, when the daemon traces requests.
 	TraceID string `json:"trace_id,omitempty"`
 	Tenant  string `json:"tenant"`
-	Name   string `json:"name,omitempty"`
+	Name    string `json:"name,omitempty"`
 	// State is queued, running, done, failed or cancelled.
 	State string `json:"state"`
 
